@@ -1,0 +1,37 @@
+# GVFS reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# testing.B entry points, one per paper table/figure (reduced scale).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full experiment suite at 1/64 of paper scale (several minutes).
+experiments:
+	$(GO) run ./cmd/gvfsbench -experiment all -scale 64 -v
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/vmclone
+	$(GO) run ./examples/interactive
+	$(GO) run ./examples/multilevel
+	$(GO) run ./examples/migrate
+
+clean:
+	$(GO) clean ./...

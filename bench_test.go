@@ -1,0 +1,251 @@
+package gvfs_test
+
+// Benchmark harness entry points: one testing.B benchmark per table
+// and figure in the paper's evaluation, plus ablation benches for the
+// design choices called out in DESIGN.md. Each benchmark iteration
+// regenerates the complete experiment (topology construction, cold
+// caches, workload execution) at a reduced scale; the full-size runs
+// live in cmd/gvfsbench.
+//
+// Key scenario results are attached via b.ReportMetric (in seconds) so
+// `go test -bench` output captures the table shape, not just the
+// harness runtime.
+//
+// Set GVFS_BENCH_SCALE to change the scale factor (default 1024; the
+// paper's sizes divided by 1024).
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"gvfs/internal/bench"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("GVFS_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 1024
+}
+
+func benchOptions(b *testing.B) bench.Options {
+	b.Helper()
+	return bench.Options{Scale: benchScale(), WorkDir: b.TempDir()}
+}
+
+// report attaches selected table cells as benchmark metrics.
+func report(b *testing.B, t *bench.Table, cells map[string][2]string) {
+	b.Helper()
+	for metric, rc := range cells {
+		if v, ok := t.Value(rc[0], rc[1]); ok {
+			b.ReportMetric(v, metric)
+		}
+	}
+}
+
+// BenchmarkFig3SPECseis regenerates Figure 3: SPECseis phase times
+// across Local/LAN/WAN/WAN+C.
+func BenchmarkFig3SPECseis(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunFig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"local-total-s": {"Local", "Total"},
+			"wan-total-s":   {"WAN", "Total"},
+			"wanc-total-s":  {"WAN+C", "Total"},
+		})
+	}
+}
+
+// BenchmarkFig4LaTeX regenerates Figure 4: LaTeX first-iteration and
+// steady-state times.
+func BenchmarkFig4LaTeX(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"local-mean-s": {"Local", "Mean 2-20"},
+			"wan-mean-s":   {"WAN", "Mean 2-20"},
+			"wanc-mean-s":  {"WAN+C", "Mean 2-20"},
+			"wan-first-s":  {"WAN", "First iter"},
+		})
+	}
+}
+
+// BenchmarkFig5KernelCompile regenerates Figure 5: kernel compilation,
+// cold and warm runs.
+func BenchmarkFig5KernelCompile(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunFig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"local-cold-s": {"Local run1", "Total"},
+			"wanc-cold-s":  {"WAN+C run1", "Total"},
+			"wanc-warm-s":  {"WAN+C run2", "Total"},
+			"wan-warm-s":   {"WAN run2", "Total"},
+		})
+	}
+}
+
+// BenchmarkFig6Cloning regenerates Figure 6: the 8-image cloning
+// sequences.
+func BenchmarkFig6Cloning(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"s1-first-clone-s": {"WAN-S1", "clone 1"},
+			"s1-warm-clone-s":  {"WAN-S1", "clone 8"},
+			"s2-clone-s":       {"WAN-S2", "clone 8"},
+			"s3-clone-s":       {"WAN-S3", "clone 8"},
+		})
+	}
+}
+
+// BenchmarkTable1ParallelCloning regenerates Table 1: sequential vs
+// parallel cloning of eight images, cold and warm.
+func BenchmarkTable1ParallelCloning(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"seq-cold-s": {"WAN-S1 (sequential)", "cold caches"},
+			"par-cold-s": {"WAN-P (parallel)", "cold caches"},
+			"seq-warm-s": {"WAN-S1 (sequential)", "warm caches"},
+			"par-warm-s": {"WAN-P (parallel)", "warm caches"},
+		})
+	}
+}
+
+// BenchmarkZeroBlockFiltering regenerates the in-text zero-filter
+// measurement (65,750 reads, 60,452 filtered at paper scale).
+func BenchmarkZeroBlockFiltering(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunZeroFilter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"reads":    {"this run", "client reads"},
+			"filtered": {"this run", "filtered"},
+		})
+	}
+}
+
+// BenchmarkAblationWritePolicy compares write-through and write-back
+// for a large WAN trace write (§3.2.1 design choice).
+func BenchmarkAblationWritePolicy(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunAblationWritePolicy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"writethrough-s": {"write-through", "write time"},
+			"writeback-s":    {"write-back", "write time"},
+		})
+	}
+}
+
+// BenchmarkAblationMetadata compares first-clone latency with full
+// meta-data, zero map only, and none (§3.2.2 design choice).
+func BenchmarkAblationMetadata(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunAblationMetadata()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"filechannel-s": {"file channel + zero map", "clone time"},
+			"zeromap-s":     {"zero map only", "clone time"},
+			"none-s":        {"no meta-data", "clone time"},
+		})
+	}
+}
+
+// BenchmarkAblationCacheGeometry sweeps cache block size and
+// associativity.
+func BenchmarkAblationCacheGeometry(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunAblationCacheGeometry()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"cold-8k-s":  {"8KB 16-way", "cold scan"},
+			"warm-8k-s":  {"8KB 16-way", "warm scan"},
+			"cold-32k-s": {"32KB 16-way", "cold scan"},
+		})
+	}
+}
+
+// BenchmarkAblationTunnel measures private-channel encryption cost.
+func BenchmarkAblationTunnel(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunAblationTunnel()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"plain-s":    {"plain", "cold scan"},
+			"tunneled-s": {"tunneled", "cold scan"},
+		})
+	}
+}
+
+// BenchmarkAblationReadAhead measures the future-work sequential
+// prefetching extension.
+func BenchmarkAblationReadAhead(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunAblationReadAhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"disabled-s": {"disabled", "cold scan"},
+			"ra16-s":     {"read-ahead 16", "cold scan"},
+		})
+	}
+}
+
+// BenchmarkPersistentVM exercises the §3.2.3 persistent-VM session:
+// resume, interactive work, suspend, settle — WAN vs WAN+C.
+func BenchmarkPersistentVM(b *testing.B) {
+	o := benchOptions(b)
+	for i := 0; i < b.N; i++ {
+		t, err := o.RunPersistentVM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, t, map[string][2]string{
+			"wan-suspend-s":  {"WAN", "suspend"},
+			"wanc-suspend-s": {"WAN+C", "suspend"},
+			"wan-resume-s":   {"WAN", "resume"},
+			"wanc-resume-s":  {"WAN+C", "resume"},
+		})
+	}
+}

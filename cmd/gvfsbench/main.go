@@ -1,0 +1,88 @@
+// Command gvfsbench regenerates the paper's tables and figures. Each
+// experiment assembles the required topology (image server, proxy
+// chain, emulated WAN/LAN links) in-process, runs the workloads, and
+// prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	gvfsbench -experiment all -scale 64
+//	gvfsbench -experiment fig4 -scale 16 -v
+//
+// Experiments: fig3, fig4, fig5, fig6, table1, zerofilter, all.
+// Data sizes and compute times are the paper's divided by -scale;
+// network latency and bandwidth always use the paper's calibrated
+// values, so measured seconds × scale estimate paper-scale seconds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gvfs/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|all")
+	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
+	verbose := flag.Bool("v", false, "log progress to stderr")
+	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	flag.Parse()
+
+	o := bench.Options{Scale: *scale, Verbose: *verbose, NoEncrypt: *noEncrypt}
+	runners := map[string]func() (*bench.Table, error){
+		"fig3":                 o.RunFig3,
+		"fig4":                 o.RunFig4,
+		"fig5":                 o.RunFig5,
+		"fig6":                 o.RunFig6,
+		"table1":               o.RunTable1,
+		"zerofilter":           o.RunZeroFilter,
+		"persistent":           o.RunPersistentVM,
+		"ablation-writepolicy": o.RunAblationWritePolicy,
+		"ablation-metadata":    o.RunAblationMetadata,
+		"ablation-geometry":    o.RunAblationCacheGeometry,
+		"ablation-tunnel":      o.RunAblationTunnel,
+		"ablation-readahead":   o.RunAblationReadAhead,
+	}
+	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent",
+		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead"}
+
+	var selected []string
+	if *experiment == "all" {
+		selected = order
+	} else {
+		for _, name := range strings.Split(*experiment, ",") {
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "gvfsbench: unknown experiment %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range selected {
+		t0 := time.Now()
+		table, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gvfsbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			blob, err := json.MarshalIndent(table, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gvfsbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(blob))
+		} else {
+			table.Print(os.Stdout)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "bench: %s took %v\n", name, time.Since(t0))
+		}
+	}
+}

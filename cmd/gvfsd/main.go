@@ -1,0 +1,111 @@
+// Command gvfsd runs the server-side GVFS services on an image server:
+// the proxy that authenticates requests and maps Grid users onto
+// short-lived logical accounts before forwarding to the local NFS
+// server, and the file-channel service used by client-side proxies for
+// meta-data-driven whole-file transfers.
+//
+// Usage:
+//
+//	gvfsd -listen :7049 -upstream 127.0.0.1:2049 \
+//	      -filechan-listen :7050 -root /srv/images \
+//	      -keyfile session.key
+//
+// The session key file (32 bytes) enables SSH-style encrypted private
+// channels; generate one with -genkey.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"gvfs/internal/auth"
+	"gvfs/internal/filechan"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/osfs"
+	"gvfs/internal/proxy"
+	"gvfs/internal/stack"
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/tunnel"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7049", "proxy listen address")
+	upstream := flag.String("upstream", "127.0.0.1:2049", "local NFS server address")
+	fcListen := flag.String("filechan-listen", "127.0.0.1:7050", "file-channel listen address")
+	root := flag.String("root", "", "export root served by the file channel (empty = disabled)")
+	keyfile := flag.String("keyfile", "", "32-byte session key file enabling tunnels")
+	genkey := flag.Bool("genkey", false, "generate a key into -keyfile and exit")
+	idBase := flag.Uint("identity-base", 60000, "first UID of the logical account pool")
+	idCount := flag.Uint("identity-count", 1000, "size of the logical account pool")
+	idTTL := flag.Duration("identity-ttl", 30*time.Minute, "lifetime of short-lived identities")
+	flag.Parse()
+
+	if *genkey {
+		if *keyfile == "" {
+			log.Fatal("gvfsd: -genkey requires -keyfile")
+		}
+		key := make([]byte, tunnel.KeySize)
+		if _, err := rand.Read(key); err != nil {
+			log.Fatalf("gvfsd: %v", err)
+		}
+		if err := os.WriteFile(*keyfile, key, 0600); err != nil {
+			log.Fatalf("gvfsd: %v", err)
+		}
+		fmt.Printf("gvfsd: wrote session key to %s\n", *keyfile)
+		return
+	}
+
+	var key []byte
+	if *keyfile != "" {
+		var err error
+		key, err = os.ReadFile(*keyfile)
+		if err != nil {
+			log.Fatalf("gvfsd: read key: %v", err)
+		}
+		if len(key) != tunnel.KeySize {
+			log.Fatalf("gvfsd: key must be %d bytes, got %d", tunnel.KeySize, len(key))
+		}
+	}
+
+	alloc := auth.NewAllocator(uint32(*idBase), uint32(*idCount), *idTTL)
+	upstreamDial := stack.Dialer(*upstream, nil, nil)
+	conn, err := upstreamDial()
+	if err != nil {
+		log.Fatalf("gvfsd: dial upstream: %v", err)
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream: sunrpc.NewClient(conn),
+		Mapper:   auth.NewMapper(alloc),
+	})
+	if err != nil {
+		log.Fatalf("gvfsd: %v", err)
+	}
+	srv := sunrpc.NewServer()
+	srv.Register(nfs3.Program, nfs3.Version, p)
+	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)
+
+	l, err := stack.ListenOn(*listen, nil, key)
+	if err != nil {
+		log.Fatalf("gvfsd: listen: %v", err)
+	}
+	fmt.Printf("gvfsd: proxying %s on %s (tunnel: %v)\n", *upstream, l.Addr(), key != nil)
+	go func() { log.Fatal(srv.Serve(l)) }()
+
+	if *root != "" {
+		store, err := osfs.New(*root)
+		if err != nil {
+			log.Fatalf("gvfsd: %v", err)
+		}
+		fcl, err := stack.ListenOn(*fcListen, nil, key)
+		if err != nil {
+			log.Fatalf("gvfsd: filechan listen: %v", err)
+		}
+		fmt.Printf("gvfsd: file channel for %s on %s\n", *root, fcl.Addr())
+		go func() { log.Fatal(filechan.NewServer(store).Serve(fcl)) }()
+	}
+	select {}
+}

@@ -1,0 +1,3 @@
+module gvfs
+
+go 1.22

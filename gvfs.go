@@ -1,0 +1,356 @@
+// Package gvfs is the public API of this GVFS implementation — a
+// reproduction of "Distributed File System Support for Virtual
+// Machines in Grid Computing" (Zhao, Zhang, Figueiredo; HPDC 2004).
+//
+// A Session plays the role of an NFS mount on a compute server: it
+// connects to a GVFS proxy (or directly to an NFS server), obtains the
+// export root via the MOUNT protocol, and provides file access through
+// a kernel-buffer-cache stand-in. All VM state access in the examples,
+// benchmarks and the VM monitor simulator flows through this API, then
+// through the proxy chain, exactly as the paper's Figure 2 describes:
+//
+//	application -> memory buffer (1) -> client proxy cache (3,4)
+//	            -> tunneled RPC (5) -> server proxy (6) -> NFS server (7)
+//
+// The heavy lifting lives in the internal packages: internal/proxy
+// (caching, meta-data, identity mapping), internal/cache (the
+// block-based disk cache), internal/filechan and internal/filecache
+// (the file-based data channel and cache), internal/nfs3 and
+// internal/sunrpc (the protocol substrate), and internal/simnet (WAN
+// emulation for experiments).
+package gvfs
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path"
+	"strings"
+	"sync"
+
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/pagecache"
+	"gvfs/internal/sunrpc"
+)
+
+// DefaultBlockSize is the NFS transfer size used by Sessions: 8 KB,
+// the preferred size advertised by the servers (protocol maximum is
+// 32 KB).
+const DefaultBlockSize = 8192
+
+// SessionConfig describes how to establish a GVFS session.
+type SessionConfig struct {
+	// Addr is the TCP address of the first hop (client proxy, or the
+	// NFS server itself). Ignored when Dial is set.
+	Addr string
+	// Dial, when set, produces the transport connection (e.g. through
+	// a simnet link or tunnel).
+	Dial func() (net.Conn, error)
+	// Export is the directory to mount (MOUNT protocol dirpath).
+	Export string
+	// Cred is the RPC credential presented by this session's user.
+	Cred sunrpc.OpaqueAuth
+	// PageCachePages bounds the in-memory buffer cache emulating the
+	// kernel NFS client's page cache. Zero disables it.
+	PageCachePages int
+	// BlockSize is the NFS read/write transfer size (default 8 KB).
+	BlockSize uint32
+}
+
+// Session is a mounted GVFS file system.
+type Session struct {
+	rpc   *sunrpc.Client
+	nfs   *nfs3.Client
+	root  nfs3.FH
+	bs    uint32
+	pages *pagecache.Cache
+
+	mu       sync.Mutex
+	dentries map[string]dentry // path -> fh/attr cache
+}
+
+type dentry struct {
+	fh   nfs3.FH
+	ftyp nfs3.FileType
+}
+
+// Mount establishes a session.
+func Mount(cfg SessionConfig) (*Session, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.BlockSize > 32768 {
+		return nil, fmt.Errorf("gvfs: block size %d exceeds the NFSv3 32 KB limit", cfg.BlockSize)
+	}
+	var conn net.Conn
+	var err error
+	if cfg.Dial != nil {
+		conn, err = cfg.Dial()
+	} else {
+		conn, err = net.Dial("tcp", cfg.Addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gvfs: dial: %w", err)
+	}
+	rpc := sunrpc.NewClient(conn)
+	export := cfg.Export
+	if export == "" {
+		export = "/"
+	}
+	root, err := mountd.Mount(rpc, cfg.Cred, export)
+	if err != nil {
+		rpc.Close()
+		return nil, fmt.Errorf("gvfs: mount %s: %w", export, err)
+	}
+	return &Session{
+		rpc:      rpc,
+		nfs:      nfs3.NewClient(rpc, cfg.Cred),
+		root:     root,
+		bs:       cfg.BlockSize,
+		pages:    pagecache.New(cfg.PageCachePages),
+		dentries: make(map[string]dentry),
+	}, nil
+}
+
+// Close tears down the session's connection.
+func (s *Session) Close() error { return s.rpc.Close() }
+
+// Root returns the export root handle.
+func (s *Session) Root() nfs3.FH { return s.root }
+
+// NFS exposes the underlying protocol client for advanced callers.
+func (s *Session) NFS() *nfs3.Client { return s.nfs }
+
+// BlockSize returns the session's transfer size.
+func (s *Session) BlockSize() uint32 { return s.bs }
+
+// PageCacheStats reports buffer-cache effectiveness.
+func (s *Session) PageCacheStats() pagecache.Stats { return s.pages.Stats() }
+
+// DropCaches empties the in-memory buffer cache — the equivalent of
+// the paper's un-mounting and re-mounting between cold-cache runs.
+func (s *Session) DropCaches() {
+	s.pages.InvalidateAll()
+	s.mu.Lock()
+	s.dentries = make(map[string]dentry)
+	s.mu.Unlock()
+}
+
+func splitPath(p string) []string {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// resolve walks p from the root, consulting the dentry cache.
+func (s *Session) resolve(p string) (nfs3.FH, nfs3.FileType, error) {
+	clean := path.Clean("/" + p)
+	if clean == "/" {
+		return s.root, nfs3.TypeDir, nil
+	}
+	s.mu.Lock()
+	if d, ok := s.dentries[clean]; ok {
+		s.mu.Unlock()
+		return d.fh, d.ftyp, nil
+	}
+	s.mu.Unlock()
+
+	cur := s.root
+	ftyp := nfs3.TypeDir
+	walked := "/"
+	for _, part := range splitPath(clean) {
+		fh, attr, err := s.nfs.Lookup(cur, part)
+		if err != nil {
+			return nil, 0, err
+		}
+		cur = fh
+		ftyp = nfs3.TypeReg
+		if attr != nil {
+			ftyp = attr.Type
+		}
+		walked = path.Join(walked, part)
+		s.mu.Lock()
+		s.dentries[walked] = dentry{fh: cur, ftyp: ftyp}
+		s.mu.Unlock()
+	}
+	return cur, ftyp, nil
+}
+
+func (s *Session) forgetDentry(p string) {
+	clean := path.Clean("/" + p)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key := range s.dentries {
+		if key == clean || strings.HasPrefix(key, clean+"/") {
+			delete(s.dentries, key)
+		}
+	}
+}
+
+// Stat returns the attributes of the object at p.
+func (s *Session) Stat(p string) (nfs3.Fattr, error) {
+	fh, _, err := s.resolve(p)
+	if err != nil {
+		return nfs3.Fattr{}, err
+	}
+	return s.nfs.GetAttr(fh)
+}
+
+// Mkdir creates a directory.
+func (s *Session) Mkdir(p string) error {
+	dir, base, err := s.resolveParent(p)
+	if err != nil {
+		return err
+	}
+	_, _, err = s.nfs.Mkdir(dir, base, nfs3.SetAttr{})
+	return err
+}
+
+// MkdirAll creates a directory and any missing parents.
+func (s *Session) MkdirAll(p string) error {
+	parts := splitPath(p)
+	cur := "/"
+	for _, part := range parts {
+		cur = path.Join(cur, part)
+		if err := s.Mkdir(cur); err != nil && nfs3.StatusOf(err) != nfs3.ErrExist {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove unlinks the file at p.
+func (s *Session) Remove(p string) error {
+	dir, base, err := s.resolveParent(p)
+	if err != nil {
+		return err
+	}
+	if err := s.nfs.Remove(dir, base); err != nil {
+		return err
+	}
+	s.forgetDentry(p)
+	return nil
+}
+
+// Rename moves oldp to newp (same-session, possibly across dirs).
+func (s *Session) Rename(oldp, newp string) error {
+	fromDir, fromBase, err := s.resolveParent(oldp)
+	if err != nil {
+		return err
+	}
+	toDir, toBase, err := s.resolveParent(newp)
+	if err != nil {
+		return err
+	}
+	if err := s.nfs.Rename(fromDir, fromBase, toDir, toBase); err != nil {
+		return err
+	}
+	s.forgetDentry(oldp)
+	s.forgetDentry(newp)
+	return nil
+}
+
+// Symlink creates a symbolic link at p pointing to target.
+func (s *Session) Symlink(target, p string) error {
+	dir, base, err := s.resolveParent(p)
+	if err != nil {
+		return err
+	}
+	_, _, err = s.nfs.Symlink(dir, base, target)
+	return err
+}
+
+// ReadLink returns the target of the symlink at p.
+func (s *Session) ReadLink(p string) (string, error) {
+	fh, _, err := s.resolve(p)
+	if err != nil {
+		return "", err
+	}
+	return s.nfs.ReadLink(fh)
+}
+
+// ReadDir lists the directory at p.
+func (s *Session) ReadDir(p string) ([]nfs3.DirEntry, error) {
+	fh, _, err := s.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.nfs.ReadDirAll(fh)
+}
+
+func (s *Session) resolveParent(p string) (nfs3.FH, string, error) {
+	clean := path.Clean("/" + p)
+	dir, base := path.Split(clean)
+	if base == "" {
+		return nil, "", errors.New("gvfs: empty file name")
+	}
+	fh, ftyp, err := s.resolve(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	if ftyp != nfs3.TypeDir {
+		return nil, "", &nfs3.Error{Status: nfs3.ErrNotDir, Op: dir}
+	}
+	return fh, base, nil
+}
+
+// Open opens an existing file for reading and writing.
+func (s *Session) Open(p string) (*File, error) {
+	fh, ftyp, err := s.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	if ftyp == nfs3.TypeDir {
+		return nil, &nfs3.Error{Status: nfs3.ErrIsDir, Op: p}
+	}
+	attr, err := s.nfs.GetAttr(fh)
+	if err != nil {
+		return nil, err
+	}
+	return &File{s: s, fh: fh, path: path.Clean("/" + p), size: attr.Size}, nil
+}
+
+// Create creates (or truncates) a file and opens it.
+func (s *Session) Create(p string) (*File, error) {
+	dir, base, err := s.resolveParent(p)
+	if err != nil {
+		return nil, err
+	}
+	var zero uint64
+	fh, _, err := s.nfs.Create(dir, base, nfs3.SetAttr{Size: &zero}, false)
+	if err != nil {
+		return nil, err
+	}
+	s.pages.InvalidateFile(fh)
+	clean := path.Clean("/" + p)
+	s.mu.Lock()
+	s.dentries[clean] = dentry{fh: fh, ftyp: nfs3.TypeReg}
+	s.mu.Unlock()
+	return &File{s: s, fh: fh, path: clean}, nil
+}
+
+// ReadFile reads the whole file at p.
+func (s *Session) ReadFile(p string) ([]byte, error) {
+	f, err := s.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return f.ReadAll()
+}
+
+// WriteFile creates p with the given contents.
+func (s *Session) WriteFile(p string, data []byte) error {
+	f, err := s.Create(p)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteAt(data, 0); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package auth implements GVFS cross-domain authentication support:
+// logical user accounts and short-lived identities. Grid middleware
+// allocates a local account at the server domain on behalf of a Grid
+// user for the duration of a session; the server-side proxy rewrites
+// the AUTH_UNIX credentials of forwarded RPC calls to the allocated
+// identity, so the kernel NFS server only ever sees local users.
+// This is the mechanism of the paper's references [14][15] that the
+// GVFS proxy builds on.
+package auth
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gvfs/internal/sunrpc"
+)
+
+// Identity is a short-lived local identity allocated to a Grid user.
+type Identity struct {
+	GridUser string
+	UID      uint32
+	GID      uint32
+	Expires  time.Time
+}
+
+// Valid reports whether the identity is still live at now.
+func (id Identity) Valid(now time.Time) bool { return now.Before(id.Expires) }
+
+// ErrPoolExhausted is returned when no local accounts remain.
+var ErrPoolExhausted = errors.New("auth: logical account pool exhausted")
+
+// ErrUnknownUser is returned when rewriting for a user with no
+// allocation.
+var ErrUnknownUser = errors.New("auth: no identity allocated for user")
+
+// Allocator manages a pool of logical user accounts: a contiguous UID
+// range reserved for Grid sessions, handed out with a TTL.
+type Allocator struct {
+	base  uint32
+	count uint32
+	ttl   time.Duration
+	now   func() time.Time
+
+	mu     sync.Mutex
+	byUser map[string]*Identity
+	inUse  map[uint32]string
+	next   uint32
+}
+
+// NewAllocator manages [base, base+count) with per-allocation ttl.
+func NewAllocator(base, count uint32, ttl time.Duration) *Allocator {
+	return &Allocator{
+		base:   base,
+		count:  count,
+		ttl:    ttl,
+		now:    time.Now,
+		byUser: make(map[string]*Identity),
+		inUse:  make(map[uint32]string),
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (a *Allocator) SetClock(now func() time.Time) { a.now = now }
+
+// Allocate returns the identity for gridUser, creating or renewing it.
+func (a *Allocator) Allocate(gridUser string) (Identity, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	if id, ok := a.byUser[gridUser]; ok {
+		id.Expires = now.Add(a.ttl) // renew on use
+		return *id, nil
+	}
+	a.expireLocked(now)
+	for i := uint32(0); i < a.count; i++ {
+		uid := a.base + (a.next+i)%a.count
+		if _, taken := a.inUse[uid]; !taken {
+			a.next = (a.next + i + 1) % a.count
+			id := &Identity{GridUser: gridUser, UID: uid, GID: uid, Expires: now.Add(a.ttl)}
+			a.byUser[gridUser] = id
+			a.inUse[uid] = gridUser
+			return *id, nil
+		}
+	}
+	return Identity{}, ErrPoolExhausted
+}
+
+// Lookup returns the live identity for gridUser.
+func (a *Allocator) Lookup(gridUser string) (Identity, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, ok := a.byUser[gridUser]
+	if !ok || !id.Valid(a.now()) {
+		return Identity{}, false
+	}
+	return *id, true
+}
+
+// Revoke releases gridUser's identity immediately (session teardown).
+func (a *Allocator) Revoke(gridUser string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id, ok := a.byUser[gridUser]; ok {
+		delete(a.inUse, id.UID)
+		delete(a.byUser, gridUser)
+	}
+}
+
+// Expire drops all identities past their TTL and returns how many.
+func (a *Allocator) Expire() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.expireLocked(a.now())
+}
+
+func (a *Allocator) expireLocked(now time.Time) int {
+	n := 0
+	for user, id := range a.byUser {
+		if !id.Valid(now) {
+			delete(a.inUse, id.UID)
+			delete(a.byUser, user)
+			n++
+		}
+	}
+	return n
+}
+
+// Live returns the number of live allocations.
+func (a *Allocator) Live() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.byUser)
+}
+
+// Mapper rewrites RPC credentials at the server-side proxy. Incoming
+// calls carry the Grid user's own credential; outgoing calls carry the
+// allocated short-lived local identity.
+type Mapper struct {
+	alloc *Allocator
+	// UserOf derives the Grid user name from an incoming credential.
+	// The default uses "uid<N>@<machine>" from AUTH_UNIX.
+	UserOf func(cred sunrpc.OpaqueAuth) (string, error)
+}
+
+// NewMapper returns a Mapper backed by alloc.
+func NewMapper(alloc *Allocator) *Mapper {
+	return &Mapper{alloc: alloc, UserOf: DefaultUserOf}
+}
+
+// DefaultUserOf names Grid users by their AUTH_UNIX uid and machine.
+// AUTH_NONE callers share a single anonymous identity.
+func DefaultUserOf(cred sunrpc.OpaqueAuth) (string, error) {
+	if cred.Flavor == sunrpc.AuthNone {
+		return "anonymous", nil
+	}
+	if cred.Flavor != sunrpc.AuthUnix {
+		return "", fmt.Errorf("auth: unsupported credential flavor %d", cred.Flavor)
+	}
+	uc, err := sunrpc.DecodeUnixCred(cred)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("uid%d@%s", uc.UID, uc.MachineName), nil
+}
+
+// Rewrite maps an incoming credential to the local identity's
+// credential, allocating on first use.
+func (m *Mapper) Rewrite(cred sunrpc.OpaqueAuth) (sunrpc.OpaqueAuth, Identity, error) {
+	user, err := m.UserOf(cred)
+	if err != nil {
+		return sunrpc.OpaqueAuth{}, Identity{}, err
+	}
+	id, err := m.alloc.Allocate(user)
+	if err != nil {
+		return sunrpc.OpaqueAuth{}, Identity{}, err
+	}
+	out := sunrpc.UnixCred{
+		MachineName: "gvfs-proxy",
+		UID:         id.UID,
+		GID:         id.GID,
+		GIDs:        []uint32{id.GID},
+	}.Encode()
+	return out, id, nil
+}

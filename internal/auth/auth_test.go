@@ -1,0 +1,180 @@
+package auth
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gvfs/internal/sunrpc"
+)
+
+func TestAllocateStable(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	id1, err := a.Allocate("alice@grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := a.Allocate("alice@grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1.UID != id2.UID {
+		t.Errorf("same user got different uids: %d, %d", id1.UID, id2.UID)
+	}
+	if id1.UID < 60000 || id1.UID >= 60010 {
+		t.Errorf("uid %d outside pool", id1.UID)
+	}
+}
+
+func TestAllocateDistinctUsers(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	ids := map[uint32]string{}
+	for i := 0; i < 10; i++ {
+		user := fmt.Sprintf("user%d", i)
+		id, err := a.Allocate(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, taken := ids[id.UID]; taken {
+			t.Errorf("uid %d reused: %s and %s", id.UID, prev, user)
+		}
+		ids[id.UID] = user
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	a := NewAllocator(60000, 2, time.Hour)
+	a.Allocate("u1")
+	a.Allocate("u2")
+	if _, err := a.Allocate("u3"); err != ErrPoolExhausted {
+		t.Errorf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+func TestRevokeFreesSlot(t *testing.T) {
+	a := NewAllocator(60000, 1, time.Hour)
+	a.Allocate("u1")
+	a.Revoke("u1")
+	if _, err := a.Allocate("u2"); err != nil {
+		t.Errorf("allocation after revoke failed: %v", err)
+	}
+	if _, ok := a.Lookup("u1"); ok {
+		t.Error("revoked identity still resolvable")
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := NewAllocator(60000, 1, time.Minute)
+	a.SetClock(func() time.Time { return now })
+	a.Allocate("u1")
+	if n := a.Expire(); n != 0 {
+		t.Errorf("expired %d fresh identities", n)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := a.Lookup("u1"); ok {
+		t.Error("expired identity still valid")
+	}
+	// The expired slot is reclaimable.
+	if _, err := a.Allocate("u2"); err != nil {
+		t.Errorf("allocation after expiry failed: %v", err)
+	}
+}
+
+func TestRenewalOnUse(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := NewAllocator(60000, 4, time.Minute)
+	a.SetClock(func() time.Time { return now })
+	a.Allocate("u1")
+	now = now.Add(50 * time.Second)
+	a.Allocate("u1") // renews
+	now = now.Add(50 * time.Second)
+	if _, ok := a.Lookup("u1"); !ok {
+		t.Error("identity expired despite renewal")
+	}
+}
+
+func TestLive(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	a.Allocate("u1")
+	a.Allocate("u2")
+	if a.Live() != 2 {
+		t.Errorf("live = %d", a.Live())
+	}
+}
+
+func TestMapperRewrite(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	m := NewMapper(a)
+	cred := sunrpc.UnixCred{UID: 500, GID: 500, MachineName: "compute1"}.Encode()
+	out, id, err := m.Rewrite(cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.GridUser != "uid500@compute1" {
+		t.Errorf("grid user = %q", id.GridUser)
+	}
+	uc, err := sunrpc.DecodeUnixCred(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uc.UID != id.UID || uc.UID < 60000 {
+		t.Errorf("rewritten uid = %d, identity uid = %d", uc.UID, id.UID)
+	}
+	// Same caller maps to the same identity every time.
+	_, id2, _ := m.Rewrite(cred)
+	if id2.UID != id.UID {
+		t.Error("rewrite not stable")
+	}
+}
+
+func TestMapperAnonymous(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	m := NewMapper(a)
+	_, id, err := m.Rewrite(sunrpc.AuthNoneCred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.GridUser != "anonymous" {
+		t.Errorf("grid user = %q", id.GridUser)
+	}
+}
+
+func TestMapperRejectsUnknownFlavor(t *testing.T) {
+	a := NewAllocator(60000, 10, time.Hour)
+	m := NewMapper(a)
+	if _, _, err := m.Rewrite(sunrpc.OpaqueAuth{Flavor: 99}); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+}
+
+func TestQuickDistinctUsersDistinctUIDs(t *testing.T) {
+	f := func(users []uint16) bool {
+		a := NewAllocator(60000, 1<<16, time.Hour)
+		seen := map[string]uint32{}
+		for _, u := range users {
+			user := fmt.Sprintf("u%d", u)
+			id, err := a.Allocate(user)
+			if err != nil {
+				return false
+			}
+			if prev, ok := seen[user]; ok && prev != id.UID {
+				return false // same user must keep its uid
+			}
+			seen[user] = id.UID
+		}
+		// All distinct users hold distinct uids.
+		uids := map[uint32]bool{}
+		for _, uid := range seen {
+			if uids[uid] {
+				return false
+			}
+			uids[uid] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

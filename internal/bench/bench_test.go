@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"gvfs/internal/memfs"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+)
+
+func TestTableAddRowAndValue(t *testing.T) {
+	tab := &Table{ID: "t", Title: "test", Columns: []string{"a", "b"}}
+	tab.AddRow("row1", time.Second, 2*time.Second)
+	if v, ok := tab.Value("row1", "a"); !ok || v != 1 {
+		t.Errorf("Value = %v %v", v, ok)
+	}
+	if v, ok := tab.Value("row1", "b"); !ok || v != 2 {
+		t.Errorf("Value = %v %v", v, ok)
+	}
+	if _, ok := tab.Value("row1", "zz"); ok {
+		t.Error("unknown column found")
+	}
+	if _, ok := tab.Value("nope", "a"); ok {
+		t.Error("unknown row found")
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{ID: "fig9", Title: "demo", Scale: 64, Columns: []string{"x"}}
+	tab.AddRow("r", 1500*time.Millisecond)
+	tab.AddNote("a note with %d", 42)
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"FIG9", "demo", "1.50", "a note with 42", "multiply by 64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.scale() != 64 {
+		t.Errorf("default scale = %v", o.scale())
+	}
+	if o.pagePages() <= 0 {
+		t.Error("page budget must be positive")
+	}
+	big := Options{Scale: 1 << 20}
+	if big.pagePages() < 16 {
+		t.Error("page budget floor violated")
+	}
+}
+
+func TestCacheConfigSizing(t *testing.T) {
+	o := Options{Scale: 64}
+	cfg := o.cacheConfig("/tmp/x", 0)
+	capacity := cfg.Capacity()
+	want := uint64(8 << 30 / 64)
+	ratio := float64(capacity) / float64(want)
+	if math.Abs(ratio-1) > 0.5 {
+		t.Errorf("capacity = %d, want ~%d", capacity, want)
+	}
+	if cfg.BlockSize != 8192 || cfg.Assoc != 16 {
+		t.Errorf("geometry = %+v", cfg)
+	}
+}
+
+func TestLinkFor(t *testing.T) {
+	if linkFor(Local) != nil {
+		t.Error("Local should have no link")
+	}
+	if linkFor(LAN) == nil || linkFor(WAN) == nil || linkFor(WANC) == nil {
+		t.Error("remote scenarios need links")
+	}
+	if linkFor(LAN).Profile().RTT >= linkFor(WAN).Profile().RTT {
+		t.Error("LAN RTT should be below WAN RTT")
+	}
+}
+
+func TestCloneTargets(t *testing.T) {
+	same := sameImage(3)
+	if len(same) != 3 || same[0] != same[2] {
+		t.Errorf("sameImage = %v", same)
+	}
+	distinct := distinctImages(3)
+	if distinct[0] == distinct[1] {
+		t.Errorf("distinctImages = %v", distinct)
+	}
+}
+
+// TestZeroFilterExperiment runs the cheapest full experiment end to
+// end and checks its invariants.
+func TestZeroFilterExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	o := Options{Scale: 4096, WorkDir: t.TempDir()}
+	tab, err := o.RunZeroFilter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, _ := tab.Value("this run", "client reads")
+	filtered, _ := tab.Value("this run", "filtered")
+	forwarded, _ := tab.Value("this run", "forwarded")
+	if reads <= 0 {
+		t.Fatal("no reads recorded")
+	}
+	if filtered+forwarded != reads {
+		t.Errorf("filtered %v + forwarded %v != reads %v", filtered, forwarded, reads)
+	}
+	frac := filtered / reads
+	if frac < 0.80 || frac > 0.98 {
+		t.Errorf("filtered fraction = %.2f, want ~0.92", frac)
+	}
+}
+
+// TestAppScenarioOrdering runs a miniature Figure-3-style comparison
+// and asserts the paper's qualitative ordering: Local <= LAN < WAN,
+// and WAN+C beats WAN overall.
+func TestAppScenarioOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	o := Options{Scale: 8192, WorkDir: t.TempDir()}
+	tab, err := o.RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, _ := tab.Value("Local", "Total")
+	wan, _ := tab.Value("WAN", "Total")
+	wanc, _ := tab.Value("WAN+C", "Total")
+	if !(local < wan) {
+		t.Errorf("Local (%v) should beat WAN (%v)", local, wan)
+	}
+	if !(wanc < wan) {
+		t.Errorf("WAN+C (%v) should beat WAN (%v)", wanc, wan)
+	}
+	// Phase 4 is compute-bound: scenarios should be within ~2x.
+	p4l, _ := tab.Value("Local", "Phase 4")
+	p4w, _ := tab.Value("WAN", "Phase 4")
+	if p4w > 3*p4l {
+		t.Errorf("phase 4 should be compute-bound: Local %v vs WAN %v", p4l, p4w)
+	}
+}
+
+// TestCloningInvariants runs a reduced fig6-style pass and asserts the
+// paper's qualitative cloning relations.
+func TestCloningInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	o := Options{Scale: 4096, WorkDir: t.TempDir()}
+	fs := memfs.New()
+	if _, err := o.installImages(fs, 1); err != nil {
+		t.Fatal(err)
+	}
+	wan := simnet.NewLink(simnet.WAN())
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{Link: wan, Encrypt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	node, sess, err := o.cloneChain(server, wan, server.FileChanAddr(), wan, server.Key,
+		server.ProxyAddr(), wan, server.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	defer sess.Close()
+	durs, err := o.sequentialClones(sess, sameImage(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durs[1] >= durs[0] || durs[2] >= durs[0] {
+		t.Errorf("warm clones (%v, %v) not faster than cold (%v)", durs[1], durs[2], durs[0])
+	}
+	if st := node.Proxy.Stats(); st.FileChanFetch != 1 {
+		t.Errorf("file channel fetches = %d, want 1", st.FileChanFetch)
+	}
+}

@@ -1,0 +1,17 @@
+package bench
+
+import (
+	"net"
+
+	"gvfs/internal/filechan"
+)
+
+// fetchFile pulls one file uncompressed over an open file channel.
+func fetchFile(conn net.Conn, path string) ([]byte, error) {
+	return filechan.Fetch(conn, path, false)
+}
+
+// uploadBytes pushes data uncompressed over an open file channel.
+func uploadBytes(conn net.Conn, path string, data []byte) error {
+	return filechan.Put(conn, path, data, false)
+}

@@ -1,0 +1,600 @@
+// Package cache implements the GVFS proxy-managed disk cache of the
+// paper's §3.2.1: a block cache operating at NFS-RPC granularity,
+// structured like a set-associative hardware cache. The cache consists
+// of file "banks" created on local disk on demand; each bank holds
+// frames in which data blocks are stored, with tags kept in memory.
+// Indexing hashes the requested NFS file handle and offset, and maps
+// consecutive blocks of a file onto consecutive sets to exploit
+// spatial locality. Banks, associativity, block size (up to the 32 KB
+// NFS limit) and capacity are all configurable per proxy — the
+// per-user/per-application tailoring that kernel cache implementations
+// (CacheFS, AFS) cannot provide.
+//
+// The cache supports both write-through and write-back policies.
+// Under write-back, dirty frames are retained locally and propagated
+// either on eviction or when the middleware triggers WriteBack/Flush —
+// the session-based consistency model of the paper.
+package cache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gvfs/internal/nfs3"
+)
+
+// Policy selects the write policy.
+type Policy int
+
+// Write policies.
+const (
+	// WriteThrough forwards every write to the server immediately;
+	// the cache only absorbs reads.
+	WriteThrough Policy = iota
+	// WriteBack retains dirty blocks locally and propagates them on
+	// eviction or explicit flush, hiding WAN write latency.
+	WriteBack
+)
+
+func (p Policy) String() string {
+	if p == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Config sizes and parameterizes a Cache. The zero value is completed
+// by DefaultConfig-like fallbacks in New.
+type Config struct {
+	// Dir is the directory holding bank files. Required.
+	Dir string
+	// Banks is the number of bank files (paper default: 512).
+	Banks int
+	// SetsPerBank is the number of sets in each bank.
+	SetsPerBank int
+	// Assoc is the set associativity (paper default: 16-way).
+	Assoc int
+	// BlockSize is the frame size in bytes (up to 32 KB).
+	BlockSize int
+	// Policy selects write-through or write-back.
+	Policy Policy
+	// ReadOnly marks the cache shareable for read-only data; writes
+	// bypass it entirely (the paper's shared read-only cache mode).
+	ReadOnly bool
+	// FlushConcurrency bounds the in-flight write-backs during
+	// WriteBackAll/Flush/WriteBackFile (default 8). Dirty data is
+	// propagated in a pipeline rather than one blocking RPC at a
+	// time, as a kernel client's asynchronous flusher would.
+	FlushConcurrency int
+}
+
+// DefaultConfig mirrors the experimental setup of the paper: 512 banks,
+// 16-way associative, 8 KB blocks, 8 GB capacity, scaled down by
+// default so unit tests stay light. Callers override as needed.
+func DefaultConfig(dir string) Config {
+	return Config{
+		Dir:         dir,
+		Banks:       512,
+		SetsPerBank: 128,
+		Assoc:       16,
+		BlockSize:   8192,
+		Policy:      WriteBack,
+	}
+}
+
+func (c *Config) fill() error {
+	if c.Dir == "" {
+		return fmt.Errorf("cache: Config.Dir is required")
+	}
+	if c.Banks <= 0 {
+		c.Banks = 512
+	}
+	if c.SetsPerBank <= 0 {
+		c.SetsPerBank = 128
+	}
+	if c.Assoc <= 0 {
+		c.Assoc = 16
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 8192
+	}
+	if c.BlockSize > 32768 {
+		return fmt.Errorf("cache: block size %d exceeds the 32 KB NFS limit", c.BlockSize)
+	}
+	if c.FlushConcurrency <= 0 {
+		c.FlushConcurrency = 8
+	}
+	return nil
+}
+
+// Capacity returns the configured data capacity in bytes.
+func (c Config) Capacity() uint64 {
+	return uint64(c.Banks) * uint64(c.SetsPerBank) * uint64(c.Assoc) * uint64(c.BlockSize)
+}
+
+// BlockID names one cached block: a file handle plus block index.
+type BlockID struct {
+	FH    string // nfs3.FH.Key()
+	Block uint64 // block number = offset / BlockSize
+}
+
+// frame is one cache frame's in-memory tag.
+type frame struct {
+	id    BlockID
+	valid bool
+	dirty bool
+	size  uint32 // valid bytes in the frame (tail blocks may be short)
+	lru   uint64
+	// epoch counts dirtying writes to this frame; concurrent flushes
+	// use it to avoid clearing a dirty bit set after their snapshot.
+	epoch uint64
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Insertions uint64
+	Evictions  uint64
+	// WriteBacks counts dirty frames propagated to the server,
+	// whether by eviction or flush.
+	WriteBacks uint64
+}
+
+// WriteBackFunc propagates one dirty block to the next level. The data
+// slice must not be retained.
+type WriteBackFunc func(fh nfs3.FH, offset uint64, data []byte) error
+
+// Cache is a proxy-managed disk cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	cfg    Config
+	mu     sync.Mutex
+	frames []frame // Banks*SetsPerBank*Assoc entries
+	index  map[BlockID]int
+	banks  []*os.File
+	clock  uint64
+	stats  Stats
+	wb     WriteBackFunc
+}
+
+// New creates (or reuses) the bank directory and returns an empty
+// cache. Bank files are created lazily on first touch.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0755); err != nil {
+		return nil, err
+	}
+	n := cfg.Banks * cfg.SetsPerBank * cfg.Assoc
+	return &Cache{
+		cfg:    cfg,
+		frames: make([]frame, n),
+		index:  make(map[BlockID]int),
+		banks:  make([]*os.File, cfg.Banks),
+	}, nil
+}
+
+// Close releases bank file descriptors. Dirty data is NOT flushed;
+// call Flush first if the session requires it.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for i, f := range c.banks {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+			c.banks[i] = nil
+		}
+	}
+	return first
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// SetWriteBackFunc installs the function used to propagate dirty
+// frames on eviction and flush. Required before any write-back
+// insertion can evict safely.
+func (c *Cache) SetWriteBackFunc(fn WriteBackFunc) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wb = fn
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// BlockSize returns the frame size in bytes.
+func (c *Cache) BlockSize() int { return c.cfg.BlockSize }
+
+// setOf computes the set index for a block, mapping consecutive blocks
+// of the same file to consecutive sets (paper §3.2.1).
+func (c *Cache) setOf(id BlockID) int {
+	h := fnv.New64a()
+	h.Write([]byte(id.FH))
+	base := h.Sum64()
+	totalSets := uint64(c.cfg.Banks * c.cfg.SetsPerBank)
+	return int((base + id.Block) % totalSets)
+}
+
+// frameRange returns the frame index range [lo, hi) of a set.
+func (c *Cache) frameRange(set int) (lo, hi int) {
+	lo = set * c.cfg.Assoc
+	return lo, lo + c.cfg.Assoc
+}
+
+// bankOf returns which bank file a frame lives in and its byte offset.
+func (c *Cache) bankOf(frameIdx int) (bank int, off int64) {
+	framesPerBank := c.cfg.SetsPerBank * c.cfg.Assoc
+	bank = frameIdx / framesPerBank
+	off = int64(frameIdx%framesPerBank) * int64(c.cfg.BlockSize)
+	return bank, off
+}
+
+func (c *Cache) bankFile(bank int) (*os.File, error) {
+	if c.banks[bank] != nil {
+		return c.banks[bank], nil
+	}
+	name := filepath.Join(c.cfg.Dir, fmt.Sprintf("bank%04d", bank))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0644)
+	if err != nil {
+		return nil, err
+	}
+	c.banks[bank] = f
+	return f, nil
+}
+
+func (c *Cache) readFrame(idx int, size uint32) ([]byte, error) {
+	bank, off := c.bankOf(idx)
+	f, err := c.bankFile(bank)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (c *Cache) writeFrame(idx int, data []byte) error {
+	bank, off := c.bankOf(idx)
+	f, err := c.bankFile(bank)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteAt(data, off)
+	return err
+}
+
+// Get returns the cached block if present. The boolean reports a hit.
+func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
+	id := BlockID{FH: fh.Key(), Block: block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.index[id]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	fr := &c.frames[idx]
+	data, err := c.readFrame(idx, fr.size)
+	if err != nil {
+		// Bank I/O failure: treat as miss and drop the frame.
+		delete(c.index, id)
+		fr.valid = false
+		c.stats.Misses++
+		return nil, false
+	}
+	c.clock++
+	fr.lru = c.clock
+	c.stats.Hits++
+	return data, true
+}
+
+// Peek reports whether the block is cached (and dirty) without
+// touching LRU state or counters.
+func (c *Cache) Peek(fh nfs3.FH, block uint64) (cached, dirty bool) {
+	id := BlockID{FH: fh.Key(), Block: block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.index[id]
+	if !ok {
+		return false, false
+	}
+	return true, c.frames[idx].dirty
+}
+
+// Put inserts or updates a block. dirty marks the frame for later
+// write-back (callers must only set it under the WriteBack policy).
+// If inserting requires evicting a dirty victim, the victim is
+// propagated through the WriteBackFunc first; its error aborts the
+// insertion.
+func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
+	if len(data) > c.cfg.BlockSize {
+		return fmt.Errorf("cache: block of %d bytes exceeds frame size %d", len(data), c.cfg.BlockSize)
+	}
+	if c.cfg.ReadOnly && dirty {
+		return fmt.Errorf("cache: dirty insertion into read-only cache")
+	}
+	id := BlockID{FH: fh.Key(), Block: block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Update in place on re-insertion.
+	if idx, ok := c.index[id]; ok {
+		if err := c.writeFrame(idx, data); err != nil {
+			return err
+		}
+		fr := &c.frames[idx]
+		fr.size = uint32(len(data))
+		fr.dirty = fr.dirty || dirty
+		if dirty {
+			fr.epoch++
+		}
+		c.clock++
+		fr.lru = c.clock
+		return nil
+	}
+
+	set := c.setOf(id)
+	lo, hi := c.frameRange(set)
+	victim := -1
+	var oldest uint64 = ^uint64(0)
+	for i := lo; i < hi; i++ {
+		fr := &c.frames[i]
+		if !fr.valid {
+			victim = i
+			break
+		}
+		if fr.lru < oldest {
+			oldest = fr.lru
+			victim = i
+		}
+	}
+	fr := &c.frames[victim]
+	if fr.valid {
+		if fr.dirty {
+			if err := c.writeBackLocked(victim); err != nil {
+				return err
+			}
+		}
+		delete(c.index, fr.id)
+		c.stats.Evictions++
+	}
+	if err := c.writeFrame(victim, data); err != nil {
+		return err
+	}
+	c.clock++
+	epoch := fr.epoch + 1
+	*fr = frame{id: id, valid: true, dirty: dirty, size: uint32(len(data)), lru: c.clock, epoch: epoch}
+	c.index[id] = victim
+	c.stats.Insertions++
+	return nil
+}
+
+// writeBackLocked propagates one dirty frame. Caller holds c.mu.
+func (c *Cache) writeBackLocked(idx int) error {
+	fr := &c.frames[idx]
+	if c.wb == nil {
+		return fmt.Errorf("cache: dirty eviction with no write-back function installed")
+	}
+	data, err := c.readFrame(idx, fr.size)
+	if err != nil {
+		return err
+	}
+	if err := c.wb(nfs3.FH(fr.id.FH), fr.id.Block*uint64(c.cfg.BlockSize), data); err != nil {
+		return err
+	}
+	fr.dirty = false
+	c.stats.WriteBacks++
+	return nil
+}
+
+// MarkClean clears the dirty bit of a block if cached (used after the
+// proxy has independently propagated it).
+func (c *Cache) MarkClean(fh nfs3.FH, block uint64) {
+	id := BlockID{FH: fh.Key(), Block: block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx, ok := c.index[id]; ok {
+		c.frames[idx].dirty = false
+	}
+}
+
+// DirtyCount returns the number of dirty frames.
+func (c *Cache) DirtyCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i := range c.frames {
+		if c.frames[i].valid && c.frames[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// dirtySnapshot is one dirty frame captured for pipelined write-back.
+type dirtySnapshot struct {
+	idx   int
+	id    BlockID
+	data  []byte
+	epoch uint64
+}
+
+// snapshotDirty captures the dirty frames of fileKey ("" = all files)
+// under the lock, reading their data from the bank files.
+func (c *Cache) snapshotDirty(fileKey string) ([]dirtySnapshot, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []dirtySnapshot
+	for i := range c.frames {
+		fr := &c.frames[i]
+		if !fr.valid || !fr.dirty {
+			continue
+		}
+		if fileKey != "" && fr.id.FH != fileKey {
+			continue
+		}
+		data, err := c.readFrame(i, fr.size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dirtySnapshot{idx: i, id: fr.id, data: data, epoch: fr.epoch})
+	}
+	return out, nil
+}
+
+// propagate pushes snapshots through the WriteBackFunc with bounded
+// concurrency, clearing dirty bits for frames unchanged since the
+// snapshot.
+func (c *Cache) propagate(snaps []dirtySnapshot) error {
+	c.mu.Lock()
+	wb := c.wb
+	c.mu.Unlock()
+	if wb == nil {
+		if len(snaps) == 0 {
+			return nil
+		}
+		return fmt.Errorf("cache: flush with no write-back function installed")
+	}
+	sem := make(chan struct{}, c.cfg.FlushConcurrency)
+	errs := make(chan error, len(snaps))
+	for _, snap := range snaps {
+		sem <- struct{}{}
+		go func(snap dirtySnapshot) {
+			defer func() { <-sem }()
+			err := wb(nfs3.FH(snap.id.FH), snap.id.Block*uint64(c.cfg.BlockSize), snap.data)
+			if err == nil {
+				c.mu.Lock()
+				if idx, ok := c.index[snap.id]; ok && idx == snap.idx &&
+					c.frames[idx].epoch == snap.epoch {
+					c.frames[idx].dirty = false
+				}
+				c.stats.WriteBacks++
+				c.mu.Unlock()
+			}
+			errs <- err
+		}(snap)
+	}
+	var first error
+	for range snaps {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WriteBackAll propagates every dirty frame through the WriteBackFunc,
+// leaving the data cached but clean. This is the middleware's
+// "write back" signal (SIGUSR1 on the proxy daemon). Propagation is
+// pipelined with Config.FlushConcurrency in-flight blocks.
+func (c *Cache) WriteBackAll() error {
+	snaps, err := c.snapshotDirty("")
+	if err != nil {
+		return err
+	}
+	return c.propagate(snaps)
+}
+
+// Flush propagates all dirty frames and invalidates the entire cache —
+// the middleware's "flush" signal (SIGUSR2 on the proxy daemon), used
+// when a session ends and another client may access the data.
+func (c *Cache) Flush() error {
+	if err := c.WriteBackAll(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.frames {
+		if c.frames[i].dirty {
+			// Re-dirtied during propagation: the caller must settle
+			// the session before flushing.
+			return fmt.Errorf("cache: frame dirtied during flush")
+		}
+	}
+	for i := range c.frames {
+		c.frames[i] = frame{}
+	}
+	c.index = make(map[BlockID]int)
+	return nil
+}
+
+// InvalidateFile drops all frames belonging to fh. Dirty frames are
+// written back first.
+func (c *Cache) InvalidateFile(fh nfs3.FH) error {
+	key := fh.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, idx := range c.index {
+		if id.FH != key {
+			continue
+		}
+		if c.frames[idx].dirty {
+			if err := c.writeBackLocked(idx); err != nil {
+				return err
+			}
+		}
+		c.frames[idx] = frame{}
+		delete(c.index, id)
+	}
+	return nil
+}
+
+// WriteBackFile propagates the dirty frames of one file, leaving them
+// cached and clean. Used by the proxy before it must forward an
+// operation that bypasses the cache for that file.
+func (c *Cache) WriteBackFile(fh nfs3.FH) error {
+	snaps, err := c.snapshotDirty(fh.Key())
+	if err != nil {
+		return err
+	}
+	return c.propagate(snaps)
+}
+
+// InvalidateBlock drops one frame if present. A dirty frame is written
+// back first.
+func (c *Cache) InvalidateBlock(fh nfs3.FH, block uint64) error {
+	id := BlockID{FH: fh.Key(), Block: block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx, ok := c.index[id]
+	if !ok {
+		return nil
+	}
+	if c.frames[idx].dirty {
+		if err := c.writeBackLocked(idx); err != nil {
+			return err
+		}
+	}
+	c.frames[idx] = frame{}
+	delete(c.index, id)
+	return nil
+}
+
+// DirtyBlocks returns the IDs of all dirty frames (for inspection and
+// tests).
+func (c *Cache) DirtyBlocks() []BlockID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []BlockID
+	for i := range c.frames {
+		if c.frames[i].valid && c.frames[i].dirty {
+			out = append(out, c.frames[i].id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Cache-index persistence. The paper's proxy caches are long-lived —
+// "the cached data of memory state and virtual disk from previous
+// clones can greatly expedite new clonings" — and a proxy restart
+// should not discard gigabytes of cached blocks. SaveIndex writes the
+// in-memory tags beside the bank files; a cache created over the same
+// directory with the same geometry reloads them and resumes warm.
+//
+// Dirty frames are deliberately NOT persisted as dirty: a proxy must
+// flush before saving (enforced below), because replaying write-backs
+// after a crash would need a write-ahead log, which the paper's
+// session-consistency model does not require — middleware flushes at
+// session boundaries.
+
+// indexFileName is the tag snapshot file inside the cache directory.
+const indexFileName = "index.json"
+
+type persistedIndex struct {
+	Version     int              `json:"version"`
+	Banks       int              `json:"banks"`
+	SetsPerBank int              `json:"sets_per_bank"`
+	Assoc       int              `json:"assoc"`
+	BlockSize   int              `json:"block_size"`
+	Frames      []persistedFrame `json:"frames"`
+}
+
+type persistedFrame struct {
+	Idx   int    `json:"idx"`
+	FH    string `json:"fh"` // base64 of the handle bytes
+	Block uint64 `json:"block"`
+	Size  uint32 `json:"size"`
+	LRU   uint64 `json:"lru"`
+}
+
+// SaveIndex snapshots the cache tags to disk so a future Cache over
+// the same directory starts warm. It fails if dirty frames remain:
+// flush or write back first.
+func (c *Cache) SaveIndex() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := persistedIndex{
+		Version:     1,
+		Banks:       c.cfg.Banks,
+		SetsPerBank: c.cfg.SetsPerBank,
+		Assoc:       c.cfg.Assoc,
+		BlockSize:   c.cfg.BlockSize,
+	}
+	for i := range c.frames {
+		fr := &c.frames[i]
+		if !fr.valid {
+			continue
+		}
+		if fr.dirty {
+			return fmt.Errorf("cache: SaveIndex with dirty frames; flush first")
+		}
+		idx.Frames = append(idx.Frames, persistedFrame{
+			Idx:   i,
+			FH:    base64.StdEncoding.EncodeToString([]byte(fr.id.FH)),
+			Block: fr.id.Block,
+			Size:  fr.size,
+			LRU:   fr.lru,
+		})
+	}
+	blob, err := json.Marshal(&idx)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.cfg.Dir, indexFileName+".tmp")
+	if err := os.WriteFile(tmp, blob, 0644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.cfg.Dir, indexFileName))
+}
+
+// LoadIndex restores tags previously written by SaveIndex. It is a
+// no-op if no snapshot exists, and fails if the snapshot's geometry
+// does not match the configuration (the bank layout would be
+// misinterpreted). Call it on a freshly-created Cache.
+func (c *Cache) LoadIndex() error {
+	blob, err := os.ReadFile(filepath.Join(c.cfg.Dir, indexFileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var idx persistedIndex
+	if err := json.Unmarshal(blob, &idx); err != nil {
+		return fmt.Errorf("cache: corrupt index: %w", err)
+	}
+	if idx.Version != 1 {
+		return fmt.Errorf("cache: unsupported index version %d", idx.Version)
+	}
+	if idx.Banks != c.cfg.Banks || idx.SetsPerBank != c.cfg.SetsPerBank ||
+		idx.Assoc != c.cfg.Assoc || idx.BlockSize != c.cfg.BlockSize {
+		return fmt.Errorf("cache: index geometry %d/%d/%d/%d does not match config %d/%d/%d/%d",
+			idx.Banks, idx.SetsPerBank, idx.Assoc, idx.BlockSize,
+			c.cfg.Banks, c.cfg.SetsPerBank, c.cfg.Assoc, c.cfg.BlockSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pf := range idx.Frames {
+		if pf.Idx < 0 || pf.Idx >= len(c.frames) {
+			return fmt.Errorf("cache: index frame %d out of range", pf.Idx)
+		}
+		fhBytes, err := base64.StdEncoding.DecodeString(pf.FH)
+		if err != nil {
+			return fmt.Errorf("cache: corrupt index handle: %w", err)
+		}
+		id := BlockID{FH: string(fhBytes), Block: pf.Block}
+		c.frames[pf.Idx] = frame{id: id, valid: true, size: pf.Size, lru: pf.LRU}
+		c.index[id] = pf.Idx
+		if pf.LRU > c.clock {
+			c.clock = pf.LRU
+		}
+	}
+	return nil
+}

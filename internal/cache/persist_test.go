@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestSaveLoadIndexWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.Dir = dir
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xAD}, 512)
+	for i := uint64(0); i < 8; i++ {
+		if err := c1.Put(fhA, i, payload, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	// A "restarted proxy": new Cache over the same directory.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		data, ok := c2.Get(fhA, i)
+		if !ok {
+			t.Fatalf("block %d cold after restart", i)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("block %d corrupted after restart", i)
+		}
+	}
+	if st := c2.Stats(); st.Hits != 8 {
+		t.Errorf("hits = %d", st.Hits)
+	}
+}
+
+func TestSaveIndexRefusesDirty(t *testing.T) {
+	c := newTestCache(t, smallConfig())
+	c.Put(fhA, 0, []byte("dirty"), true)
+	if err := c.SaveIndex(); err == nil {
+		t.Error("SaveIndex with dirty frames succeeded")
+	}
+}
+
+func TestLoadIndexNoSnapshot(t *testing.T) {
+	c := newTestCache(t, smallConfig())
+	if err := c.LoadIndex(); err != nil {
+		t.Errorf("LoadIndex without snapshot: %v", err)
+	}
+}
+
+func TestLoadIndexGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.Dir = dir
+	c1, _ := New(cfg)
+	c1.Put(fhA, 0, []byte("x"), false)
+	if err := c1.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	cfg2 := cfg
+	cfg2.BlockSize = 1024 // different frame layout
+	c2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.LoadIndex(); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestLoadIndexCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.Dir = dir
+	c1, _ := New(cfg)
+	c1.SaveIndex()
+	c1.Close()
+	// Corrupt the snapshot.
+	if err := writeFileInDir(dir, indexFileName, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := New(cfg)
+	defer c2.Close()
+	if err := c2.LoadIndex(); err == nil {
+		t.Error("corrupt index accepted")
+	}
+}
+
+func TestSaveLoadEvictionStateSurvives(t *testing.T) {
+	// LRU ordering survives the restart: the clock is restored so new
+	// insertions do not immediately evict recently-used frames.
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Banks: 1, SetsPerBank: 1, Assoc: 2, BlockSize: 64, Policy: WriteThrough}
+	c1, _ := New(cfg)
+	c1.Put(fhA, 0, []byte("old"), false)
+	c1.Put(fhA, 1, []byte("new"), false)
+	c1.Get(fhA, 1) // block 1 most recent
+	c1.SaveIndex()
+	c1.Close()
+
+	c2, _ := New(cfg)
+	defer c2.Close()
+	if err := c2.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c2.Put(fhA, 2, []byte("evictor"), false)
+	if _, ok := c2.Get(fhA, 1); !ok {
+		t.Error("most-recent block evicted after restart")
+	}
+	if _, ok := c2.Get(fhA, 0); ok {
+		t.Error("LRU block survived eviction after restart")
+	}
+}
+
+func writeFileInDir(dir, name string, data []byte) error {
+	return os.WriteFile(dir+"/"+name, data, 0644)
+}

@@ -1,0 +1,83 @@
+package clone
+
+import (
+	"fmt"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/vm"
+)
+
+// Migration implements the paper's future-work direction of
+// "distributed virtual file system support for efficient checkpointing
+// and migration of VM instances for load-balancing and fault-tolerant
+// execution". A running VM on one compute server is checkpointed — its
+// memory state written back through the source session — the source
+// proxy's dirty state is settled onto the image server, and the VM is
+// resumed on a different compute server through its own session and
+// proxy chain. Every mechanism involved (write-back caching, on-demand
+// block access, session consistency) already exists; migration is
+// middleware choreography on top.
+
+// MigrateOptions parameterize Migrate.
+type MigrateOptions struct {
+	// Machine is the running VM on the source compute server.
+	Machine *vm.VM
+	// Monitor is the source VM monitor that owns Machine.
+	Monitor *vm.Monitor
+	// MemState is the checkpoint: the monitor's RAM snapshot at
+	// suspend time.
+	MemState []byte
+	// SettleSource propagates the source proxy's dirty state to the
+	// image server (middleware calls the source proxy's WriteBack).
+	// Required: without it the destination could resume a stale VM.
+	SettleSource func() error
+}
+
+// MigrateResult reports the phases of a migration.
+type MigrateResult struct {
+	SuspendTime time.Duration // checkpoint write on the source
+	SettleTime  time.Duration // source proxy write-back
+	ResumeTime  time.Duration // instantiation on the destination
+	VM          *vm.VM        // the VM, now running on the destination
+}
+
+// Migrate suspends a running VM on its source compute server, settles
+// the source proxy, and resumes the VM on the destination session.
+func Migrate(dst *gvfs.Session, opts MigrateOptions) (*MigrateResult, error) {
+	if opts.Machine == nil || opts.Monitor == nil {
+		return nil, fmt.Errorf("clone: Migrate requires a running Machine and its Monitor")
+	}
+	if opts.SettleSource == nil {
+		return nil, fmt.Errorf("clone: Migrate requires SettleSource (the source proxy's WriteBack)")
+	}
+	res := &MigrateResult{}
+
+	// 1. Checkpoint on the source: write the memory state and release
+	// the monitor's hold on the state files.
+	t0 := time.Now()
+	if err := opts.Monitor.Suspend(opts.Machine, opts.MemState); err != nil {
+		return nil, fmt.Errorf("clone: migrate: suspend: %w", err)
+	}
+	opts.Machine.Close()
+	res.SuspendTime = time.Since(t0)
+
+	// 2. Settle: the middleware drives the source proxy's write-back
+	// so the image server holds the authoritative state.
+	t0 = time.Now()
+	if err := opts.SettleSource(); err != nil {
+		return nil, fmt.Errorf("clone: migrate: settle source: %w", err)
+	}
+	res.SettleTime = time.Since(t0)
+
+	// 3. Resume on the destination through its own proxy chain.
+	t0 = time.Now()
+	dstMonitor := vm.NewMonitor(dst)
+	resumed, err := dstMonitor.Resume(opts.Machine.Dir, opts.Machine.Name)
+	if err != nil {
+		return nil, fmt.Errorf("clone: migrate: destination resume: %w", err)
+	}
+	res.ResumeTime = time.Since(t0)
+	res.VM = resumed
+	return res, nil
+}

@@ -1,0 +1,162 @@
+package meta
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNames(t *testing.T) {
+	if got := NameFor("vm.vmss"); got != ".gvfsmeta.vm.vmss" {
+		t.Errorf("NameFor = %q", got)
+	}
+	if !IsMetaName(".gvfsmeta.vm.vmss") {
+		t.Error("IsMetaName false for meta name")
+	}
+	if IsMetaName("vm.vmss") || IsMetaName(".gvfsmeta.") {
+		t.Error("IsMetaName true for non-meta name")
+	}
+	if got := DataNameFor(".gvfsmeta.vm.vmss"); got != "vm.vmss" {
+		t.Errorf("DataNameFor = %q", got)
+	}
+	if got := DataNameFor("plain"); got != "" {
+		t.Errorf("DataNameFor(plain) = %q", got)
+	}
+}
+
+func TestGenerateZeroMap(t *testing.T) {
+	// 4 blocks of 4 bytes: zero, nonzero, zero, short zero tail.
+	data := []byte{
+		0, 0, 0, 0,
+		1, 0, 0, 0,
+		0, 0, 0, 0,
+		0, 0,
+	}
+	m := GenerateZeroMap(data, 4)
+	if m.FileSize != 14 || m.NumBlocks() != 4 {
+		t.Fatalf("size=%d blocks=%d", m.FileSize, m.NumBlocks())
+	}
+	want := []bool{true, false, true, true}
+	for i, w := range want {
+		if got := m.IsZeroBlock(uint64(i)); got != w {
+			t.Errorf("block %d zero = %v, want %v", i, got, w)
+		}
+	}
+	if m.ZeroBlockCount() != 3 {
+		t.Errorf("count = %d", m.ZeroBlockCount())
+	}
+}
+
+func TestZeroMapBeyondEnd(t *testing.T) {
+	m := GenerateZeroMap(make([]byte, 16), 4)
+	if m.IsZeroBlock(100) {
+		t.Error("block beyond file reported zero")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := ForWholeFile(append(make([]byte, 8192), []byte("nonzero")...), 4096)
+	blob, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FileSize != in.FileSize || out.BlockSize != in.BlockSize {
+		t.Errorf("got %+v", out)
+	}
+	if !bytes.Equal(out.ZeroMap, in.ZeroMap) {
+		t.Error("zero map mismatch")
+	}
+	if !out.WantsFileChannel() || !out.WantsCompression() {
+		t.Error("actions lost")
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"version":99}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := Decode([]byte(`{"version":1,"zero_map":"AA=="}`)); err == nil {
+		t.Error("zero map without block size accepted")
+	}
+}
+
+func TestWantsFileChannel(t *testing.T) {
+	m := &Meta{Actions: []Action{ActionCompress}}
+	if m.WantsFileChannel() {
+		t.Error("compress alone should not trigger file channel")
+	}
+	m.Actions = FileChannelActions()
+	if !m.WantsFileChannel() {
+		t.Error("canonical action list should trigger file channel")
+	}
+	m2 := &Meta{Actions: []Action{ActionRemoteCopy, ActionReadLocal}}
+	if !m2.WantsFileChannel() || m2.WantsCompression() {
+		t.Error("uncompressed channel misdetected")
+	}
+}
+
+func TestPaperZeroBlockRatio(t *testing.T) {
+	// The paper reports 60,452 of 65,750 reads filtered for a post-boot
+	// 512 MB memory state (~92% zero). Build a synthetic memstate with
+	// that ratio and verify the map captures it exactly.
+	const blockSize = 4096
+	const blocks = 1000
+	data := make([]byte, blocks*blockSize)
+	nonZero := 0
+	for b := 0; b < blocks; b++ {
+		if b%12 == 0 { // ~8.3% non-zero
+			data[b*blockSize+7] = 0xFF
+			nonZero++
+		}
+	}
+	m := GenerateZeroMap(data, blockSize)
+	if got := m.ZeroBlockCount(); got != uint64(blocks-nonZero) {
+		t.Errorf("zero blocks = %d, want %d", got, blocks-nonZero)
+	}
+}
+
+func TestQuickZeroMapMatchesScan(t *testing.T) {
+	f := func(data []byte, bsSeed uint8) bool {
+		bs := uint32(bsSeed%63) + 1
+		m := GenerateZeroMap(data, bs)
+		for block := uint64(0); block < m.NumBlocks(); block++ {
+			off := block * uint64(bs)
+			end := off + uint64(bs)
+			if end > uint64(len(data)) {
+				end = uint64(len(data))
+			}
+			if m.IsZeroBlock(block) != allZero(data[off:end]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		m := GenerateZeroMap(data, 16)
+		blob, err := m.Encode()
+		if err != nil {
+			return false
+		}
+		out, err := Decode(blob)
+		if err != nil {
+			return false
+		}
+		return out.FileSize == m.FileSize && out.ZeroBlockCount() == m.ZeroBlockCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package mountd implements the MOUNT version 3 protocol (RFC 1813
+// appendix I) used to obtain the root file handle of an NFS export.
+// Real NFS deployments run mountd beside nfsd; GVFS sessions start with
+// exactly this exchange before NFS traffic begins flowing through the
+// proxy chain.
+package mountd
+
+import (
+	"bytes"
+	"sync"
+
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/xdr"
+)
+
+// MOUNT v3 procedures.
+const (
+	ProcNull   = 0
+	ProcMnt    = 1
+	ProcDump   = 2
+	ProcUmnt   = 3
+	ProcExport = 5
+)
+
+// Mount status codes.
+const (
+	OK        uint32 = 0
+	ErrNoEnt  uint32 = 2
+	ErrAcces  uint32 = 13
+	ErrNotDir uint32 = 20
+	ErrInval  uint32 = 22
+)
+
+// Server answers MOUNT requests for a set of named exports.
+type Server struct {
+	mu      sync.RWMutex
+	exports map[string]nfs3.FH
+}
+
+// NewServer returns a Server with no exports.
+func NewServer() *Server { return &Server{exports: make(map[string]nfs3.FH)} }
+
+// Export registers dirpath as an export rooted at fh.
+func (s *Server) Export(dirpath string, fh nfs3.FH) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exports[dirpath] = fh
+}
+
+// HandleCall implements sunrpc.Handler.
+func (s *Server) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	switch c.Proc {
+	case ProcNull:
+		return nil, sunrpc.Success
+	case ProcMnt:
+		d := xdr.NewDecoder(bytes.NewReader(c.Args))
+		dirpath := d.String()
+		if d.Err() != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		s.mu.RLock()
+		fh, ok := s.exports[dirpath]
+		s.mu.RUnlock()
+		var buf bytes.Buffer
+		e := xdr.NewEncoder(&buf)
+		if !ok {
+			e.Uint32(ErrNoEnt)
+			return buf.Bytes(), sunrpc.Success
+		}
+		e.Uint32(OK)
+		e.Opaque(fh)
+		e.Uint32(1) // one auth flavor follows
+		e.Uint32(sunrpc.AuthUnix)
+		return buf.Bytes(), sunrpc.Success
+	case ProcUmnt, ProcDump:
+		return nil, sunrpc.Success
+	case ProcExport:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		var buf bytes.Buffer
+		e := xdr.NewEncoder(&buf)
+		for dirpath := range s.exports {
+			e.Bool(true)
+			e.String(dirpath)
+			e.Bool(false) // no group list
+		}
+		e.Bool(false)
+		return buf.Bytes(), sunrpc.Success
+	}
+	return nil, sunrpc.ProcUnavail
+}
+
+// Mount asks the MOUNT service reachable through rpc for the root
+// handle of dirpath.
+func Mount(rpc nfs3.Caller, cred sunrpc.OpaqueAuth, dirpath string) (nfs3.FH, error) {
+	var args bytes.Buffer
+	xdr.NewEncoder(&args).String(dirpath)
+	res, err := rpc.Call(nfs3.MountProgram, nfs3.MountVersion, ProcMnt, cred, args.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	status := d.Uint32()
+	if status != OK {
+		return nil, &nfs3.Error{Status: nfs3.Status(status), Op: "mount " + dirpath}
+	}
+	fh := nfs3.FH(d.Opaque())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return fh, nil
+}

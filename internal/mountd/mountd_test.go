@@ -1,0 +1,82 @@
+package mountd_test
+
+import (
+	"net"
+	"testing"
+
+	"gvfs/internal/memfs"
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+func startMountd(t *testing.T, exports map[string]nfs3.FH) *sunrpc.Client {
+	t.Helper()
+	srv := sunrpc.NewServer()
+	md := mountd.NewServer()
+	for p, fh := range exports {
+		md.Export(p, fh)
+	}
+	srv.Register(nfs3.MountProgram, nfs3.MountVersion, md)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); l.Close() })
+	c, err := sunrpc.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestMountKnownExport(t *testing.T) {
+	fs := memfs.New()
+	root, _ := fs.Root()
+	c := startMountd(t, map[string]nfs3.FH{"/export": root})
+	fh, err := mountd.Mount(c, sunrpc.AuthNoneCred, "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fh) != string(root) {
+		t.Errorf("fh = %x, want %x", fh, root)
+	}
+}
+
+func TestMountUnknown(t *testing.T) {
+	c := startMountd(t, nil)
+	if _, err := mountd.Mount(c, sunrpc.AuthNoneCred, "/nope"); err == nil {
+		t.Error("unknown export mounted")
+	}
+}
+
+func TestMultipleExports(t *testing.T) {
+	fs1, fs2 := memfs.New(), memfs.New()
+	r1, _ := fs1.Root()
+	fs2.MkdirAll("/sub")
+	r2, _ := fs2.LookupPath("/sub")
+	c := startMountd(t, map[string]nfs3.FH{"/a": r1, "/b": r2})
+	fhA, err := mountd.Mount(c, sunrpc.AuthNoneCred, "/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fhB, err := mountd.Mount(c, sunrpc.AuthNoneCred, "/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fhA) == string(fhB) {
+		t.Error("distinct exports returned the same handle")
+	}
+}
+
+func TestNullAndUmnt(t *testing.T) {
+	c := startMountd(t, nil)
+	if _, err := c.Call(nfs3.MountProgram, nfs3.MountVersion, mountd.ProcNull, sunrpc.AuthNoneCred, nil); err != nil {
+		t.Errorf("NULL: %v", err)
+	}
+	if _, err := c.Call(nfs3.MountProgram, nfs3.MountVersion, mountd.ProcUmnt, sunrpc.AuthNoneCred, nil); err != nil {
+		t.Errorf("UMNT: %v", err)
+	}
+}

@@ -1,0 +1,419 @@
+package nfs3
+
+import (
+	"bytes"
+	"fmt"
+
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/xdr"
+)
+
+// Caller abstracts the RPC transport under a Client. *sunrpc.Client
+// satisfies it; tests can substitute an in-process transport.
+type Caller interface {
+	Call(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte) ([]byte, error)
+}
+
+// Client issues NFSv3 calls with a fixed credential over a Caller. It
+// plays the role of the kernel NFS client in the paper's stack: the VM
+// monitor's file accesses become Client calls, which flow through the
+// GVFS proxy chain to the end server.
+type Client struct {
+	rpc  Caller
+	cred sunrpc.OpaqueAuth
+}
+
+// NewClient wraps rpc with credential cred. A zero OpaqueAuth means
+// AUTH_NONE.
+func NewClient(rpc Caller, cred sunrpc.OpaqueAuth) *Client {
+	return &Client{rpc: rpc, cred: cred}
+}
+
+// Cred returns the client's RPC credential.
+func (c *Client) Cred() sunrpc.OpaqueAuth { return c.cred }
+
+func (c *Client) call(proc uint32, args []byte) ([]byte, error) {
+	return c.rpc.Call(Program, Version, proc, c.cred, args)
+}
+
+// statusErr converts a non-OK status into an *Error.
+func statusErr(op string, st Status) error {
+	if st == OK {
+		return nil
+	}
+	return &Error{Status: st, Op: op}
+}
+
+// Null issues the NULL ping procedure.
+func (c *Client) Null() error {
+	_, err := c.call(ProcNull, nil)
+	return err
+}
+
+// GetAttr fetches attributes for fh.
+func (c *Client) GetAttr(fh FH) (Fattr, error) {
+	res, err := c.call(ProcGetattr, (&GetattrArgs{FH: fh}).Encode())
+	if err != nil {
+		return Fattr{}, err
+	}
+	r, err := DecodeGetattrRes(res)
+	if err != nil {
+		return Fattr{}, err
+	}
+	return r.Attr, statusErr("getattr", r.Status)
+}
+
+// SetAttr applies attribute changes to fh.
+func (c *Client) SetAttr(fh FH, attr SetAttr) (*Fattr, error) {
+	res, err := c.call(ProcSetattr, (&SetattrArgs{FH: fh, Attr: attr}).Encode())
+	if err != nil {
+		return nil, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	wcc := DecodeWccData(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return wcc.After, statusErr("setattr", st)
+}
+
+// Lookup resolves name in dir.
+func (c *Client) Lookup(dir FH, name string) (FH, *Fattr, error) {
+	res, err := c.call(ProcLookup, (&LookupArgs{Dir: dir, Name: name}).Encode())
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := DecodeLookupRes(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	if r.Status != OK {
+		return nil, nil, statusErr("lookup "+name, r.Status)
+	}
+	return r.Object, r.ObjAttr, nil
+}
+
+// Access checks access rights; returns the granted subset of want.
+func (c *Client) Access(fh FH, want uint32) (uint32, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, fh)
+	e.Uint32(want)
+	res, err := c.call(ProcAccess, buf.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return 0, statusErr("access", st)
+	}
+	granted := d.Uint32()
+	return granted, d.Err()
+}
+
+// ReadLink fetches the target of a symlink.
+func (c *Client) ReadLink(fh FH) (string, error) {
+	res, err := c.call(ProcReadlink, (&GetattrArgs{FH: fh}).Encode())
+	if err != nil {
+		return "", err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return "", statusErr("readlink", st)
+	}
+	target := d.String()
+	return target, d.Err()
+}
+
+// Read reads up to count bytes at off.
+func (c *Client) Read(fh FH, off uint64, count uint32) (data []byte, eof bool, err error) {
+	res, err := c.call(ProcRead, (&ReadArgs{FH: fh, Offset: off, Count: count}).Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := DecodeReadRes(res)
+	if err != nil {
+		return nil, false, err
+	}
+	if r.Status != OK {
+		return nil, false, statusErr("read", r.Status)
+	}
+	return r.Data, r.EOF, nil
+}
+
+// Write writes data at off with the given stability level, returning
+// the server's count and post-op attributes when available.
+func (c *Client) Write(fh FH, off uint64, data []byte, stable uint32) (uint32, *Fattr, error) {
+	args := WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: stable, Data: data}
+	res, err := c.call(ProcWrite, args.Encode())
+	if err != nil {
+		return 0, nil, err
+	}
+	r, err := DecodeWriteRes(res)
+	if err != nil {
+		return 0, nil, err
+	}
+	if r.Status != OK {
+		return 0, r.Wcc.After, statusErr("write", r.Status)
+	}
+	return r.Count, r.Wcc.After, nil
+}
+
+// Create makes a regular file in dir.
+func (c *Client) Create(dir FH, name string, attr SetAttr, guarded bool) (FH, *Fattr, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, dir)
+	e.String(name)
+	if guarded {
+		e.Uint32(CreateGuarded)
+	} else {
+		e.Uint32(CreateUnchecked)
+	}
+	attr.Encode(e)
+	return c.newObjectCall(ProcCreate, "create "+name, buf.Bytes())
+}
+
+// Mkdir makes a directory in dir.
+func (c *Client) Mkdir(dir FH, name string, attr SetAttr) (FH, *Fattr, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, dir)
+	e.String(name)
+	attr.Encode(e)
+	return c.newObjectCall(ProcMkdir, "mkdir "+name, buf.Bytes())
+}
+
+// Symlink makes a symbolic link dir/name -> target.
+func (c *Client) Symlink(dir FH, name, target string) (FH, *Fattr, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, dir)
+	e.String(name)
+	(&SetAttr{}).Encode(e)
+	e.String(target)
+	return c.newObjectCall(ProcSymlink, "symlink "+name, buf.Bytes())
+}
+
+func (c *Client) newObjectCall(proc uint32, op string, args []byte) (FH, *Fattr, error) {
+	res, err := c.call(proc, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	if st != OK {
+		return nil, nil, statusErr(op, st)
+	}
+	fh := DecodePostOpFH(d)
+	attr := DecodePostOpAttr(d)
+	DecodeWccData(d)
+	if err := d.Err(); err != nil {
+		return nil, nil, err
+	}
+	if fh == nil {
+		return nil, nil, fmt.Errorf("nfs3: %s: server returned no handle", op)
+	}
+	return fh, attr, nil
+}
+
+// Remove unlinks dir/name.
+func (c *Client) Remove(dir FH, name string) error {
+	return c.dirOpCall(ProcRemove, "remove "+name, dir, name)
+}
+
+// Rmdir removes the directory dir/name.
+func (c *Client) Rmdir(dir FH, name string) error {
+	return c.dirOpCall(ProcRmdir, "rmdir "+name, dir, name)
+}
+
+func (c *Client) dirOpCall(proc uint32, op string, dir FH, name string) error {
+	res, err := c.call(proc, (&LookupArgs{Dir: dir, Name: name}).Encode())
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodeWccData(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return statusErr(op, st)
+}
+
+// Rename moves fromDir/fromName to toDir/toName.
+func (c *Client) Rename(fromDir FH, fromName string, toDir FH, toName string) error {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, fromDir)
+	e.String(fromName)
+	EncodeFH(e, toDir)
+	e.String(toName)
+	res, err := c.call(ProcRename, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodeWccData(d)
+	DecodeWccData(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return statusErr("rename", st)
+}
+
+// ReadDir lists one batch of directory entries starting after cookie.
+func (c *Client) ReadDir(dir FH, cookie uint64, count uint32) ([]DirEntry, bool, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, dir)
+	e.Uint64(cookie)
+	var verf [8]byte
+	e.FixedOpaque(verf[:])
+	e.Uint32(count)
+	res, err := c.call(ProcReaddir, buf.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return nil, false, statusErr("readdir", st)
+	}
+	d.FixedOpaque(verf[:])
+	var entries []DirEntry
+	for d.Bool() {
+		ent := DirEntry{FileID: d.Uint64(), Name: d.String(), Cookie: d.Uint64()}
+		if d.Err() != nil {
+			return nil, false, d.Err()
+		}
+		entries = append(entries, ent)
+	}
+	eof := d.Bool()
+	return entries, eof, d.Err()
+}
+
+// ReadDirAll lists the complete contents of a directory.
+func (c *Client) ReadDirAll(dir FH) ([]DirEntry, error) {
+	var all []DirEntry
+	var cookie uint64
+	for {
+		batch, eof, err := c.ReadDir(dir, cookie, 8192)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, batch...)
+		if eof || len(batch) == 0 {
+			return all, nil
+		}
+		cookie = batch[len(batch)-1].Cookie
+	}
+}
+
+// FSStat reports filesystem usage for the filesystem containing fh.
+func (c *Client) FSStat(fh FH) (FSStatRes, error) {
+	res, err := c.call(ProcFSStat, (&GetattrArgs{FH: fh}).Encode())
+	if err != nil {
+		return FSStatRes{}, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return FSStatRes{}, statusErr("fsstat", st)
+	}
+	out := FSStatRes{
+		TotalBytes: d.Uint64(), FreeBytes: d.Uint64(), AvailBytes: d.Uint64(),
+		TotalFiles: d.Uint64(), FreeFiles: d.Uint64(), AvailFiles: d.Uint64(),
+		Invarsec: d.Uint32(),
+	}
+	return out, d.Err()
+}
+
+// FSInfo fetches the server's transfer-size limits.
+func (c *Client) FSInfo(fh FH) (FSInfoRes, error) {
+	res, err := c.call(ProcFSInfo, (&GetattrArgs{FH: fh}).Encode())
+	if err != nil {
+		return FSInfoRes{}, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return FSInfoRes{}, statusErr("fsinfo", st)
+	}
+	out := FSInfoRes{
+		RtMax: d.Uint32(), RtPref: d.Uint32(), RtMult: d.Uint32(),
+		WtMax: d.Uint32(), WtPref: d.Uint32(), WtMult: d.Uint32(),
+		DtPref:      d.Uint32(),
+		MaxFileSize: d.Uint64(),
+		TimeDelta:   Time{d.Uint32(), d.Uint32()},
+		Properties:  d.Uint32(),
+	}
+	return out, d.Err()
+}
+
+// Commit flushes unstable writes in [off, off+count) to stable storage.
+func (c *Client) Commit(fh FH, off uint64, count uint32) error {
+	res, err := c.call(ProcCommit, (&CommitArgs{FH: fh, Offset: off, Count: count}).Encode())
+	if err != nil {
+		return err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodeWccData(d)
+	if err := d.Err(); err != nil {
+		return err
+	}
+	return statusErr("commit", st)
+}
+
+// ReadDirPlus lists one batch of directory entries with attributes and
+// handles (READDIRPLUS), saving the per-entry LOOKUP round trips that
+// plain READDIR requires.
+func (c *Client) ReadDirPlus(dir FH, cookie uint64, maxCount uint32) ([]DirEntry, bool, error) {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, dir)
+	e.Uint64(cookie)
+	var verf [8]byte
+	e.FixedOpaque(verf[:])
+	e.Uint32(maxCount / 4) // dircount: name-data budget
+	e.Uint32(maxCount)     // maxcount: full reply budget
+	res, err := c.call(ProcReaddirplus, buf.Bytes())
+	if err != nil {
+		return nil, false, err
+	}
+	d := xdr.NewDecoder(bytes.NewReader(res))
+	st := Status(d.Uint32())
+	DecodePostOpAttr(d)
+	if st != OK {
+		return nil, false, statusErr("readdirplus", st)
+	}
+	d.FixedOpaque(verf[:])
+	var entries []DirEntry
+	for d.Bool() {
+		ent := DirEntry{FileID: d.Uint64(), Name: d.String(), Cookie: d.Uint64()}
+		ent.Attr = DecodePostOpAttr(d)
+		ent.Handle = DecodePostOpFH(d)
+		if d.Err() != nil {
+			return nil, false, d.Err()
+		}
+		entries = append(entries, ent)
+	}
+	eof := d.Bool()
+	return entries, eof, d.Err()
+}
+
+// RawCall issues an arbitrary NFS procedure with the client's
+// credential, for callers that marshal their own arguments.
+func (c *Client) RawCall(proc uint32, args []byte) ([]byte, error) {
+	return c.call(proc, args)
+}

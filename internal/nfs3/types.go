@@ -1,0 +1,490 @@
+// Package nfs3 implements the NFS version 3 protocol (RFC 1813) over
+// ONC RPC: wire types, a server that dispatches to a pluggable Backend,
+// and a client. This is the de-facto distributed file system standard
+// that GVFS virtualizes — the GVFS proxies forward, cache and rewrite
+// the RPC calls defined here without any modification to the client or
+// server endpoints, exactly as the paper requires.
+package nfs3
+
+import (
+	"fmt"
+
+	"gvfs/internal/xdr"
+)
+
+// RPC program numbers.
+const (
+	Program = 100003 // NFS
+	Version = 3
+
+	MountProgram = 100005 // MOUNT
+	MountVersion = 3
+)
+
+// NFSv3 procedure numbers (RFC 1813 §3).
+const (
+	ProcNull        = 0
+	ProcGetattr     = 1
+	ProcSetattr     = 2
+	ProcLookup      = 3
+	ProcAccess      = 4
+	ProcReadlink    = 5
+	ProcRead        = 6
+	ProcWrite       = 7
+	ProcCreate      = 8
+	ProcMkdir       = 9
+	ProcSymlink     = 10
+	ProcMknod       = 11
+	ProcRemove      = 12
+	ProcRmdir       = 13
+	ProcRename      = 14
+	ProcLink        = 15
+	ProcReaddir     = 16
+	ProcReaddirplus = 17
+	ProcFSStat      = 18
+	ProcFSInfo      = 19
+	ProcPathconf    = 20
+	ProcCommit      = 21
+)
+
+// ProcName returns the conventional name of an NFSv3 procedure, for
+// logging and metrics.
+func ProcName(proc uint32) string {
+	names := [...]string{
+		"NULL", "GETATTR", "SETATTR", "LOOKUP", "ACCESS", "READLINK",
+		"READ", "WRITE", "CREATE", "MKDIR", "SYMLINK", "MKNOD",
+		"REMOVE", "RMDIR", "RENAME", "LINK", "READDIR", "READDIRPLUS",
+		"FSSTAT", "FSINFO", "PATHCONF", "COMMIT",
+	}
+	if int(proc) < len(names) {
+		return names[proc]
+	}
+	return fmt.Sprintf("PROC%d", proc)
+}
+
+// Status is an NFSv3 status code (nfsstat3).
+type Status uint32
+
+// NFSv3 status codes (subset used by this implementation).
+const (
+	OK             Status = 0
+	ErrPerm        Status = 1
+	ErrNoEnt       Status = 2
+	ErrIO          Status = 5
+	ErrAcces       Status = 13
+	ErrExist       Status = 17
+	ErrNotDir      Status = 20
+	ErrIsDir       Status = 21
+	ErrInval       Status = 22
+	ErrFBig        Status = 27
+	ErrNoSpc       Status = 28
+	ErrRoFS        Status = 30
+	ErrNameTooLong Status = 63
+	ErrNotEmpty    Status = 66
+	ErrStale       Status = 70
+	ErrBadHandle   Status = 10001
+	ErrNotSupp     Status = 10004
+	ErrServerFault Status = 10006
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "NFS3_OK"
+	case ErrPerm:
+		return "NFS3ERR_PERM"
+	case ErrNoEnt:
+		return "NFS3ERR_NOENT"
+	case ErrIO:
+		return "NFS3ERR_IO"
+	case ErrAcces:
+		return "NFS3ERR_ACCES"
+	case ErrExist:
+		return "NFS3ERR_EXIST"
+	case ErrNotDir:
+		return "NFS3ERR_NOTDIR"
+	case ErrIsDir:
+		return "NFS3ERR_ISDIR"
+	case ErrInval:
+		return "NFS3ERR_INVAL"
+	case ErrFBig:
+		return "NFS3ERR_FBIG"
+	case ErrNoSpc:
+		return "NFS3ERR_NOSPC"
+	case ErrRoFS:
+		return "NFS3ERR_ROFS"
+	case ErrNameTooLong:
+		return "NFS3ERR_NAMETOOLONG"
+	case ErrNotEmpty:
+		return "NFS3ERR_NOTEMPTY"
+	case ErrStale:
+		return "NFS3ERR_STALE"
+	case ErrBadHandle:
+		return "NFS3ERR_BADHANDLE"
+	case ErrNotSupp:
+		return "NFS3ERR_NOTSUPP"
+	case ErrServerFault:
+		return "NFS3ERR_SERVERFAULT"
+	}
+	return fmt.Sprintf("NFS3ERR(%d)", uint32(s))
+}
+
+// Error is an NFSv3 protocol error carrying a Status. Backends return
+// *Error to select the status reported to clients; any other error maps
+// to NFS3ERR_IO.
+type Error struct {
+	Status Status
+	Op     string
+}
+
+func (e *Error) Error() string {
+	if e.Op != "" {
+		return "nfs3: " + e.Op + ": " + e.Status.String()
+	}
+	return "nfs3: " + e.Status.String()
+}
+
+// StatusOf extracts the NFS status from an error (OK for nil).
+func StatusOf(err error) Status {
+	if err == nil {
+		return OK
+	}
+	if e, ok := err.(*Error); ok {
+		return e.Status
+	}
+	return ErrIO
+}
+
+// FH is an NFSv3 file handle: opaque, up to 64 bytes.
+type FH []byte
+
+// MaxFHSize is the protocol's file handle size limit.
+const MaxFHSize = 64
+
+// Key returns the handle as a map key.
+func (fh FH) Key() string { return string(fh) }
+
+func (fh FH) String() string { return fmt.Sprintf("fh(%x)", []byte(fh)) }
+
+// FileType is an NFSv3 ftype3.
+type FileType uint32
+
+// File types.
+const (
+	TypeReg  FileType = 1
+	TypeDir  FileType = 2
+	TypeBlk  FileType = 3
+	TypeChr  FileType = 4
+	TypeLnk  FileType = 5
+	TypeSock FileType = 6
+	TypeFifo FileType = 7
+)
+
+// Time is an NFSv3 nfstime3.
+type Time struct {
+	Sec  uint32
+	Nsec uint32
+}
+
+// Less reports whether t is earlier than u.
+func (t Time) Less(u Time) bool {
+	return t.Sec < u.Sec || (t.Sec == u.Sec && t.Nsec < u.Nsec)
+}
+
+// Fattr is an NFSv3 fattr3: the full attributes of a file object.
+type Fattr struct {
+	Type                 FileType
+	Mode                 uint32
+	Nlink                uint32
+	UID                  uint32
+	GID                  uint32
+	Size                 uint64
+	Used                 uint64
+	RdevMajor, RdevMinor uint32
+	FSID                 uint64
+	FileID               uint64
+	Atime                Time
+	Mtime                Time
+	Ctime                Time
+}
+
+// Encode writes the fattr3 wire form.
+func (a *Fattr) Encode(e *xdr.Encoder) {
+	e.Uint32(uint32(a.Type))
+	e.Uint32(a.Mode)
+	e.Uint32(a.Nlink)
+	e.Uint32(a.UID)
+	e.Uint32(a.GID)
+	e.Uint64(a.Size)
+	e.Uint64(a.Used)
+	e.Uint32(a.RdevMajor)
+	e.Uint32(a.RdevMinor)
+	e.Uint64(a.FSID)
+	e.Uint64(a.FileID)
+	e.Uint32(a.Atime.Sec)
+	e.Uint32(a.Atime.Nsec)
+	e.Uint32(a.Mtime.Sec)
+	e.Uint32(a.Mtime.Nsec)
+	e.Uint32(a.Ctime.Sec)
+	e.Uint32(a.Ctime.Nsec)
+}
+
+// DecodeFattr reads the fattr3 wire form.
+func DecodeFattr(d *xdr.Decoder) Fattr {
+	var a Fattr
+	a.Type = FileType(d.Uint32())
+	a.Mode = d.Uint32()
+	a.Nlink = d.Uint32()
+	a.UID = d.Uint32()
+	a.GID = d.Uint32()
+	a.Size = d.Uint64()
+	a.Used = d.Uint64()
+	a.RdevMajor = d.Uint32()
+	a.RdevMinor = d.Uint32()
+	a.FSID = d.Uint64()
+	a.FileID = d.Uint64()
+	a.Atime = Time{d.Uint32(), d.Uint32()}
+	a.Mtime = Time{d.Uint32(), d.Uint32()}
+	a.Ctime = Time{d.Uint32(), d.Uint32()}
+	return a
+}
+
+// EncodePostOpAttr writes a post_op_attr (optional fattr3).
+func EncodePostOpAttr(e *xdr.Encoder, a *Fattr) {
+	if a == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	a.Encode(e)
+}
+
+// DecodePostOpAttr reads a post_op_attr.
+func DecodePostOpAttr(d *xdr.Decoder) *Fattr {
+	if !d.Bool() {
+		return nil
+	}
+	a := DecodeFattr(d)
+	return &a
+}
+
+// WccAttr is the pre-operation attribute subset (wcc_attr).
+type WccAttr struct {
+	Size  uint64
+	Mtime Time
+	Ctime Time
+}
+
+// EncodePreOpAttr writes a pre_op_attr.
+func EncodePreOpAttr(e *xdr.Encoder, a *WccAttr) {
+	if a == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Uint64(a.Size)
+	e.Uint32(a.Mtime.Sec)
+	e.Uint32(a.Mtime.Nsec)
+	e.Uint32(a.Ctime.Sec)
+	e.Uint32(a.Ctime.Nsec)
+}
+
+// DecodePreOpAttr reads a pre_op_attr.
+func DecodePreOpAttr(d *xdr.Decoder) *WccAttr {
+	if !d.Bool() {
+		return nil
+	}
+	return &WccAttr{
+		Size:  d.Uint64(),
+		Mtime: Time{d.Uint32(), d.Uint32()},
+		Ctime: Time{d.Uint32(), d.Uint32()},
+	}
+}
+
+// WccData is weak cache consistency data attached to modifying replies.
+type WccData struct {
+	Before *WccAttr
+	After  *Fattr
+}
+
+// Encode writes the wcc_data wire form.
+func (w *WccData) Encode(e *xdr.Encoder) {
+	EncodePreOpAttr(e, w.Before)
+	EncodePostOpAttr(e, w.After)
+}
+
+// DecodeWccData reads a wcc_data.
+func DecodeWccData(d *xdr.Decoder) WccData {
+	return WccData{Before: DecodePreOpAttr(d), After: DecodePostOpAttr(d)}
+}
+
+// TimeHow selects how SETATTR updates a timestamp (time_how).
+type TimeHow uint32
+
+// time_how values.
+const (
+	DontChange  TimeHow = 0
+	SetToServer TimeHow = 1
+	SetToClient TimeHow = 2
+)
+
+// SetAttr is an NFSv3 sattr3: the attributes a client can set.
+type SetAttr struct {
+	Mode *uint32
+	UID  *uint32
+	GID  *uint32
+	Size *uint64
+
+	AtimeHow TimeHow
+	Atime    Time // valid when AtimeHow == SetToClient
+	MtimeHow TimeHow
+	Mtime    Time
+}
+
+// Encode writes the sattr3 wire form.
+func (s *SetAttr) Encode(e *xdr.Encoder) {
+	encOptU32 := func(p *uint32) {
+		if p == nil {
+			e.Bool(false)
+		} else {
+			e.Bool(true)
+			e.Uint32(*p)
+		}
+	}
+	encOptU32(s.Mode)
+	encOptU32(s.UID)
+	encOptU32(s.GID)
+	if s.Size == nil {
+		e.Bool(false)
+	} else {
+		e.Bool(true)
+		e.Uint64(*s.Size)
+	}
+	e.Uint32(uint32(s.AtimeHow))
+	if s.AtimeHow == SetToClient {
+		e.Uint32(s.Atime.Sec)
+		e.Uint32(s.Atime.Nsec)
+	}
+	e.Uint32(uint32(s.MtimeHow))
+	if s.MtimeHow == SetToClient {
+		e.Uint32(s.Mtime.Sec)
+		e.Uint32(s.Mtime.Nsec)
+	}
+}
+
+// DecodeSetAttr reads the sattr3 wire form.
+func DecodeSetAttr(d *xdr.Decoder) SetAttr {
+	var s SetAttr
+	decOptU32 := func() *uint32 {
+		if !d.Bool() {
+			return nil
+		}
+		v := d.Uint32()
+		return &v
+	}
+	s.Mode = decOptU32()
+	s.UID = decOptU32()
+	s.GID = decOptU32()
+	if d.Bool() {
+		v := d.Uint64()
+		s.Size = &v
+	}
+	s.AtimeHow = TimeHow(d.Uint32())
+	if s.AtimeHow == SetToClient {
+		s.Atime = Time{d.Uint32(), d.Uint32()}
+	}
+	s.MtimeHow = TimeHow(d.Uint32())
+	if s.MtimeHow == SetToClient {
+		s.Mtime = Time{d.Uint32(), d.Uint32()}
+	}
+	return s
+}
+
+// ACCESS permission bits (RFC 1813 §3.3.4).
+const (
+	AccessRead    uint32 = 0x01
+	AccessLookup  uint32 = 0x02
+	AccessModify  uint32 = 0x04
+	AccessExtend  uint32 = 0x08
+	AccessDelete  uint32 = 0x10
+	AccessExecute uint32 = 0x20
+)
+
+// Write stability levels (stable_how).
+const (
+	Unstable uint32 = 0
+	DataSync uint32 = 1
+	FileSync uint32 = 2
+)
+
+// CreateMode values (createmode3).
+const (
+	CreateUnchecked uint32 = 0
+	CreateGuarded   uint32 = 1
+	CreateExclusive uint32 = 2
+)
+
+// DirEntry is one directory entry as returned by READDIR/READDIRPLUS.
+type DirEntry struct {
+	FileID uint64
+	Name   string
+	Cookie uint64
+	// Attr and Handle are populated by READDIRPLUS only.
+	Attr   *Fattr
+	Handle FH
+}
+
+// FSStatRes carries FSSTAT results (sizes in bytes, counts of files).
+type FSStatRes struct {
+	TotalBytes, FreeBytes, AvailBytes uint64
+	TotalFiles, FreeFiles, AvailFiles uint64
+	Invarsec                          uint32
+}
+
+// FSInfoRes carries FSINFO results: server transfer-size limits.
+type FSInfoRes struct {
+	RtMax, RtPref, RtMult uint32
+	WtMax, WtPref, WtMult uint32
+	DtPref                uint32
+	MaxFileSize           uint64
+	TimeDelta             Time
+	Properties            uint32
+}
+
+// DefaultFSInfo reports the transfer sizes this implementation prefers:
+// 32 KB maximum (the NFSv3-era protocol ceiling the paper cites) with
+// 8 KB preferred.
+func DefaultFSInfo() FSInfoRes {
+	return FSInfoRes{
+		RtMax: 32768, RtPref: 8192, RtMult: 512,
+		WtMax: 32768, WtPref: 8192, WtMult: 512,
+		DtPref:      8192,
+		MaxFileSize: 1 << 62,
+		TimeDelta:   Time{0, 1},
+		Properties:  0x0008 | 0x0010, // FSF_HOMOGENEOUS | FSF_CANSETTIME
+	}
+}
+
+// EncodeFH writes an nfs_fh3 (variable-length opaque handle).
+func EncodeFH(e *xdr.Encoder, fh FH) { e.Opaque(fh) }
+
+// DecodeFH reads an nfs_fh3.
+func DecodeFH(d *xdr.Decoder) FH { return FH(d.Opaque()) }
+
+// EncodePostOpFH writes a post_op_fh3.
+func EncodePostOpFH(e *xdr.Encoder, fh FH) {
+	if fh == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Opaque(fh)
+}
+
+// DecodePostOpFH reads a post_op_fh3.
+func DecodePostOpFH(d *xdr.Decoder) FH {
+	if !d.Bool() {
+		return nil
+	}
+	return FH(d.Opaque())
+}

@@ -1,0 +1,333 @@
+package nfs3
+
+import (
+	"bytes"
+	"errors"
+
+	"gvfs/internal/xdr"
+)
+
+// This file defines typed argument/result codecs for the procedures the
+// GVFS proxy interposes on. Server, client and proxy all share these so
+// that a byte sequence produced by one is always parseable by the others.
+
+// ErrShortReply reports a truncated or malformed XDR reply body.
+var ErrShortReply = errors.New("nfs3: malformed message")
+
+func finish(e *xdr.Encoder, buf *bytes.Buffer) []byte {
+	if e.Err() != nil {
+		// Encoding into a bytes.Buffer cannot fail; treat as a bug.
+		panic(e.Err())
+	}
+	return buf.Bytes()
+}
+
+// GetattrArgs are the arguments of GETATTR (and the common single-handle
+// argument shape shared by READLINK, FSSTAT, FSINFO and PATHCONF).
+type GetattrArgs struct {
+	FH FH
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *GetattrArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.FH)
+	return finish(e, &buf)
+}
+
+// DecodeGetattrArgs parses GETATTR-shaped arguments.
+func DecodeGetattrArgs(p []byte) (*GetattrArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &GetattrArgs{FH: DecodeFH(d)}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LookupArgs are the arguments of LOOKUP (diropargs3).
+type LookupArgs struct {
+	Dir  FH
+	Name string
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *LookupArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.Dir)
+	e.String(a.Name)
+	return finish(e, &buf)
+}
+
+// DecodeLookupArgs parses diropargs3.
+func DecodeLookupArgs(p []byte) (*LookupArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &LookupArgs{Dir: DecodeFH(d), Name: d.String()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// LookupRes is the LOOKUP result.
+type LookupRes struct {
+	Status  Status
+	Object  FH     // OK only
+	ObjAttr *Fattr // OK only
+	DirAttr *Fattr
+}
+
+// Encode returns the XDR form of the result.
+func (r *LookupRes) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		EncodeFH(e, r.Object)
+		EncodePostOpAttr(e, r.ObjAttr)
+	}
+	EncodePostOpAttr(e, r.DirAttr)
+	return finish(e, &buf)
+}
+
+// DecodeLookupRes parses a LOOKUP result.
+func DecodeLookupRes(p []byte) (*LookupRes, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	r := &LookupRes{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Object = DecodeFH(d)
+		r.ObjAttr = DecodePostOpAttr(d)
+	}
+	r.DirAttr = DecodePostOpAttr(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// GetattrRes is the GETATTR result.
+type GetattrRes struct {
+	Status Status
+	Attr   Fattr // OK only
+}
+
+// Encode returns the XDR form of the result.
+func (r *GetattrRes) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(r.Status))
+	if r.Status == OK {
+		r.Attr.Encode(e)
+	}
+	return finish(e, &buf)
+}
+
+// DecodeGetattrRes parses a GETATTR result.
+func DecodeGetattrRes(p []byte) (*GetattrRes, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	r := &GetattrRes{Status: Status(d.Uint32())}
+	if r.Status == OK {
+		r.Attr = DecodeFattr(d)
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ReadArgs are the READ arguments.
+type ReadArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *ReadArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.FH)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	return finish(e, &buf)
+}
+
+// DecodeReadArgs parses READ arguments.
+func DecodeReadArgs(p []byte) (*ReadArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &ReadArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ReadRes is the READ result.
+type ReadRes struct {
+	Status Status
+	Attr   *Fattr
+	Count  uint32 // OK only
+	EOF    bool   // OK only
+	Data   []byte // OK only
+}
+
+// Encode returns the XDR form of the result.
+func (r *ReadRes) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(r.Status))
+	EncodePostOpAttr(e, r.Attr)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Bool(r.EOF)
+		e.Opaque(r.Data)
+	}
+	return finish(e, &buf)
+}
+
+// DecodeReadRes parses a READ result.
+func DecodeReadRes(p []byte) (*ReadRes, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	r := &ReadRes{Status: Status(d.Uint32())}
+	r.Attr = DecodePostOpAttr(d)
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.EOF = d.Bool()
+		r.Data = d.Opaque()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// WriteArgs are the WRITE arguments.
+type WriteArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+	Stable uint32
+	Data   []byte
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *WriteArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.FH)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	e.Uint32(a.Stable)
+	e.Opaque(a.Data)
+	return finish(e, &buf)
+}
+
+// DecodeWriteArgs parses WRITE arguments.
+func DecodeWriteArgs(p []byte) (*WriteArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &WriteArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32(), Stable: d.Uint32()}
+	a.Data = d.Opaque()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// WriteRes is the WRITE result.
+type WriteRes struct {
+	Status    Status
+	Wcc       WccData
+	Count     uint32 // OK only
+	Committed uint32 // OK only
+	Verf      [8]byte
+}
+
+// Encode returns the XDR form of the result.
+func (r *WriteRes) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(r.Status))
+	r.Wcc.Encode(e)
+	if r.Status == OK {
+		e.Uint32(r.Count)
+		e.Uint32(r.Committed)
+		e.FixedOpaque(r.Verf[:])
+	}
+	return finish(e, &buf)
+}
+
+// DecodeWriteRes parses a WRITE result.
+func DecodeWriteRes(p []byte) (*WriteRes, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	r := &WriteRes{Status: Status(d.Uint32())}
+	r.Wcc = DecodeWccData(d)
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.Committed = d.Uint32()
+		d.FixedOpaque(r.Verf[:])
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SetattrArgs are the SETATTR arguments (guard unsupported: guard.check
+// is decoded and must be false).
+type SetattrArgs struct {
+	FH   FH
+	Attr SetAttr
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *SetattrArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.FH)
+	a.Attr.Encode(e)
+	e.Bool(false) // guard: no ctime check
+	return finish(e, &buf)
+}
+
+// DecodeSetattrArgs parses SETATTR arguments.
+func DecodeSetattrArgs(p []byte) (*SetattrArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &SetattrArgs{FH: DecodeFH(d), Attr: DecodeSetAttr(d)}
+	if d.Bool() { // guard present: consume ctime
+		d.Uint32()
+		d.Uint32()
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// CommitArgs are the COMMIT arguments.
+type CommitArgs struct {
+	FH     FH
+	Offset uint64
+	Count  uint32
+}
+
+// Encode returns the XDR form of the arguments.
+func (a *CommitArgs) Encode() []byte {
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	EncodeFH(e, a.FH)
+	e.Uint64(a.Offset)
+	e.Uint32(a.Count)
+	return finish(e, &buf)
+}
+
+// DecodeCommitArgs parses COMMIT arguments.
+func DecodeCommitArgs(p []byte) (*CommitArgs, error) {
+	d := xdr.NewDecoder(bytes.NewReader(p))
+	a := &CommitArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

@@ -1,0 +1,215 @@
+package nfs3
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"gvfs/internal/xdr"
+)
+
+func TestReadArgsRoundTrip(t *testing.T) {
+	in := ReadArgs{FH: FH{1, 2, 3, 4}, Offset: 1 << 33, Count: 8192}
+	out, err := DecodeReadArgs(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.FH, in.FH) || out.Offset != in.Offset || out.Count != in.Count {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestWriteArgsRoundTrip(t *testing.T) {
+	in := WriteArgs{FH: FH{9, 9}, Offset: 4096, Count: 5, Stable: FileSync, Data: []byte("hello")}
+	out, err := DecodeWriteArgs(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Data, in.Data) || out.Offset != in.Offset || out.Stable != in.Stable {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestReadResRoundTripOK(t *testing.T) {
+	attr := Fattr{Type: TypeReg, Size: 100, FileID: 42}
+	in := ReadRes{Status: OK, Attr: &attr, Count: 3, EOF: true, Data: []byte{7, 8, 9}}
+	out, err := DecodeReadRes(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != OK || !out.EOF || !bytes.Equal(out.Data, in.Data) {
+		t.Errorf("got %+v", out)
+	}
+	if out.Attr == nil || out.Attr.FileID != 42 {
+		t.Errorf("attr = %+v", out.Attr)
+	}
+}
+
+func TestReadResRoundTripError(t *testing.T) {
+	in := ReadRes{Status: ErrStale}
+	out, err := DecodeReadRes(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != ErrStale || out.Data != nil || out.Attr != nil {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestWriteResRoundTrip(t *testing.T) {
+	attr := Fattr{Size: 1 << 20}
+	in := WriteRes{Status: OK, Wcc: WccData{After: &attr}, Count: 8192, Committed: DataSync, Verf: WriteVerf}
+	out, err := DecodeWriteRes(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 8192 || out.Committed != DataSync || out.Verf != WriteVerf {
+		t.Errorf("got %+v", out)
+	}
+	if out.Wcc.After == nil || out.Wcc.After.Size != 1<<20 {
+		t.Errorf("wcc = %+v", out.Wcc)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	attr := Fattr{Type: TypeDir, FileID: 7}
+	in := LookupRes{Status: OK, Object: FH{5, 5, 5}, ObjAttr: &attr, DirAttr: nil}
+	out, err := DecodeLookupRes(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Object, in.Object) || out.ObjAttr.FileID != 7 || out.DirAttr != nil {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestLookupArgsRoundTrip(t *testing.T) {
+	in := LookupArgs{Dir: FH{1}, Name: "vm.vmdk"}
+	out, err := DecodeLookupArgs(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "vm.vmdk" || !bytes.Equal(out.Dir, in.Dir) {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestGetattrResRoundTrip(t *testing.T) {
+	in := GetattrRes{Status: OK, Attr: Fattr{Type: TypeReg, Mode: 0644, Size: 320 << 20, FileID: 3,
+		Atime: Time{1, 2}, Mtime: Time{3, 4}, Ctime: Time{5, 6}}}
+	out, err := DecodeGetattrRes(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != in {
+		t.Errorf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestSetattrArgsRoundTrip(t *testing.T) {
+	mode := uint32(0600)
+	size := uint64(1 << 30)
+	in := SetattrArgs{FH: FH{8}, Attr: SetAttr{Mode: &mode, Size: &size,
+		MtimeHow: SetToClient, Mtime: Time{100, 200}}}
+	out, err := DecodeSetattrArgs(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out.Attr.Mode != 0600 || *out.Attr.Size != 1<<30 {
+		t.Errorf("got %+v", out.Attr)
+	}
+	if out.Attr.MtimeHow != SetToClient || out.Attr.Mtime != (Time{100, 200}) {
+		t.Errorf("mtime: %+v", out.Attr)
+	}
+	if out.Attr.UID != nil || out.Attr.AtimeHow != DontChange {
+		t.Errorf("unexpected fields set: %+v", out.Attr)
+	}
+}
+
+func TestCommitArgsRoundTrip(t *testing.T) {
+	in := CommitArgs{FH: FH{1, 2}, Offset: 99, Count: 100}
+	out, err := DecodeCommitArgs(in.Encode())
+	if err != nil || *&out.Offset != 99 || out.Count != 100 {
+		t.Errorf("got %+v err=%v", out, err)
+	}
+}
+
+func TestFattrFullRoundTrip(t *testing.T) {
+	in := Fattr{
+		Type: TypeLnk, Mode: 0777, Nlink: 3, UID: 500, GID: 501,
+		Size: 123, Used: 456, RdevMajor: 8, RdevMinor: 1,
+		FSID: 0xdead, FileID: 0xbeef,
+		Atime: Time{10, 11}, Mtime: Time{12, 13}, Ctime: Time{14, 15},
+	}
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	in.Encode(e)
+	d := xdr.NewDecoder(&buf)
+	out := DecodeFattr(d)
+	if d.Err() != nil || out != in {
+		t.Errorf("got %+v err=%v", out, d.Err())
+	}
+}
+
+func TestQuickReadArgsRoundTrip(t *testing.T) {
+	f := func(fh []byte, off uint64, count uint32) bool {
+		if len(fh) > MaxFHSize {
+			fh = fh[:MaxFHSize]
+		}
+		in := ReadArgs{FH: fh, Offset: off, Count: count}
+		out, err := DecodeReadArgs(in.Encode())
+		return err == nil && bytes.Equal(out.FH, fh) && out.Offset == off && out.Count == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWriteArgsRoundTrip(t *testing.T) {
+	f := func(fh, data []byte, off uint64) bool {
+		if len(fh) > MaxFHSize {
+			fh = fh[:MaxFHSize]
+		}
+		in := WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: Unstable, Data: data}
+		out, err := DecodeWriteArgs(in.Encode())
+		return err == nil && bytes.Equal(out.Data, data) && out.Offset == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		OK:            "NFS3_OK",
+		ErrNoEnt:      "NFS3ERR_NOENT",
+		ErrStale:      "NFS3ERR_STALE",
+		Status(12345): "NFS3ERR(12345)",
+	}
+	for st, want := range cases {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+func TestProcNames(t *testing.T) {
+	if ProcName(ProcRead) != "READ" || ProcName(ProcWrite) != "WRITE" {
+		t.Error("basic proc names wrong")
+	}
+	if ProcName(99) != "PROC99" {
+		t.Errorf("unknown proc name = %q", ProcName(99))
+	}
+}
+
+func TestStatusOf(t *testing.T) {
+	if StatusOf(nil) != OK {
+		t.Error("nil should be OK")
+	}
+	if StatusOf(&Error{Status: ErrAcces}) != ErrAcces {
+		t.Error("typed error lost")
+	}
+	if StatusOf(bytes.ErrTooLarge) != ErrIO {
+		t.Error("foreign error should map to EIO")
+	}
+}

@@ -1,0 +1,133 @@
+// Package pagecache stands in for the kernel NFS client's memory
+// buffer cache. The paper's analysis hinges on its two limitations in
+// a WAN setting: limited storage capacity (capacity misses fall
+// through to the network) and write staging that is only short-term.
+// The GVFS proxy disk cache sits *behind* this cache and absorbs
+// exactly those misses.
+//
+// The cache is a strict-capacity LRU of (file handle, block) pages.
+package pagecache
+
+import (
+	"container/list"
+	"sync"
+
+	"gvfs/internal/nfs3"
+)
+
+type key struct {
+	fh    string
+	block uint64
+}
+
+type page struct {
+	key  key
+	data []byte
+}
+
+// Stats reports hit/miss counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+}
+
+// Cache is an LRU page cache with a fixed page budget.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are *page
+	pages    map[key]*list.Element
+	stats    Stats
+}
+
+// New returns a cache holding at most capacity pages. Zero capacity
+// disables caching entirely (every Get misses).
+func New(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[key]*list.Element),
+	}
+}
+
+// Capacity returns the page budget.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Get returns the cached page for (fh, block) if resident.
+func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.pages[key{fh.Key(), block}]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	p := el.Value.(*page)
+	out := make([]byte, len(p.data))
+	copy(out, p.data)
+	return out, true
+}
+
+// Put inserts or refreshes a page, evicting the LRU page if the cache
+// is full.
+func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte) {
+	if c.capacity == 0 {
+		return
+	}
+	k := key{fh.Key(), block}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.pages[k]; ok {
+		p := el.Value.(*page)
+		p.data = append(p.data[:0], data...)
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.pages, back.Value.(*page).key)
+		c.stats.Evictions++
+	}
+	p := &page{key: k, data: append([]byte{}, data...)}
+	c.pages[k] = c.lru.PushFront(p)
+}
+
+// InvalidateFile drops all pages of fh.
+func (c *Cache) InvalidateFile(fh nfs3.FH) {
+	fhKey := fh.Key()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*page).key.fh == fhKey {
+			c.lru.Remove(el)
+			delete(c.pages, el.Value.(*page).key)
+		}
+		el = next
+	}
+}
+
+// InvalidateAll empties the cache (unmount/remount between runs — the
+// paper's "cold cache" setup step).
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.pages = make(map[key]*list.Element)
+}

@@ -1,0 +1,177 @@
+package pagecache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"gvfs/internal/nfs3"
+)
+
+var fhA = nfs3.FH("handle-A")
+var fhB = nfs3.FH("handle-B")
+
+func TestPutGet(t *testing.T) {
+	c := New(4)
+	c.Put(fhA, 0, []byte("page zero"))
+	got, ok := c.Get(fhA, 0)
+	if !ok || string(got) != "page zero" {
+		t.Errorf("got %q ok=%v", got, ok)
+	}
+	if _, ok := c.Get(fhA, 1); ok {
+		t.Error("hit on absent page")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(fhA, 0, []byte("0"))
+	c.Put(fhA, 1, []byte("1"))
+	c.Get(fhA, 0) // 1 becomes LRU
+	c.Put(fhA, 2, []byte("2"))
+	if _, ok := c.Get(fhA, 1); ok {
+		t.Error("LRU page survived")
+	}
+	if _, ok := c.Get(fhA, 0); !ok {
+		t.Error("MRU page evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put(fhA, 0, []byte("x"))
+	if _, ok := c.Get(fhA, 0); ok {
+		t.Error("zero-capacity cache stored a page")
+	}
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	c := New(2)
+	c.Put(fhA, 0, []byte("v1"))
+	c.Put(fhA, 0, []byte("v2"))
+	got, _ := c.Get(fhA, 0)
+	if string(got) != "v2" {
+		t.Errorf("got %q", got)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	c := New(2)
+	c.Put(fhA, 0, []byte("orig"))
+	got, _ := c.Get(fhA, 0)
+	got[0] = 'X'
+	again, _ := c.Get(fhA, 0)
+	if string(again) != "orig" {
+		t.Error("caller mutation leaked into the cache")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	c := New(2)
+	buf := []byte("orig")
+	c.Put(fhA, 0, buf)
+	buf[0] = 'X'
+	got, _ := c.Get(fhA, 0)
+	if string(got) != "orig" {
+		t.Error("input slice aliasing leaked into the cache")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := New(8)
+	c.Put(fhA, 0, []byte("a0"))
+	c.Put(fhA, 1, []byte("a1"))
+	c.Put(fhB, 0, []byte("b0"))
+	c.InvalidateFile(fhA)
+	if _, ok := c.Get(fhA, 0); ok {
+		t.Error("fhA page survived")
+	}
+	if _, ok := c.Get(fhB, 0); !ok {
+		t.Error("fhB page wrongly dropped")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(8)
+	c.Put(fhA, 0, []byte("a"))
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := New(2)
+	c.Get(fhA, 0)
+	c.Put(fhA, 0, []byte("x"))
+	c.Get(fhA, 0)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fh := nfs3.FH(fmt.Sprintf("fh%d", g))
+			for i := uint64(0); i < 100; i++ {
+				data := []byte{byte(g), byte(i)}
+				c.Put(fh, i, data)
+				if got, ok := c.Get(fh, i); ok && !bytes.Equal(got, data) {
+					t.Errorf("corrupt page g=%d i=%d", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// Property: the cache never exceeds capacity and a hit always returns
+// the most recent Put.
+func TestQuickCapacityAndFreshness(t *testing.T) {
+	f := func(ops []struct {
+		Block uint8
+		Val   uint8
+	}) bool {
+		c := New(4)
+		model := map[uint64][]byte{}
+		for _, op := range ops {
+			block := uint64(op.Block % 16)
+			data := []byte{op.Val}
+			c.Put(fhA, block, data)
+			model[block] = data
+			if c.Len() > 4 {
+				return false
+			}
+			if got, ok := c.Get(fhA, block); !ok || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		for block, want := range model {
+			if got, ok := c.Get(fhA, block); ok && !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package proxy_test
+
+// Failure injection: the proxy chain must degrade cleanly when the
+// image server disappears — errors, not hangs or data loss.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/meta"
+	"gvfs/internal/stack"
+)
+
+func TestUpstreamDeathSurfacesErrors(t *testing.T) {
+	fs := memfs.New()
+	fs.WriteFile("/f", bytes.Repeat([]byte{1}, 64*1024))
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(), CacheConfig: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.ReadFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The image server dies mid-session.
+	server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.ReadFile("/g") // uncached: must reach upstream
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read of uncached file succeeded with dead upstream")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read hung after upstream death")
+	}
+}
+
+func TestWriteBackFailurePreservesDirtyData(t *testing.T) {
+	fs := memfs.New()
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(), CacheConfig: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	payload := bytes.Repeat([]byte{9}, 32*1024)
+	if err := sess.WriteFile("/out", payload); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBefore := node.BlockCache.DirtyCount()
+	if dirtyBefore == 0 {
+		t.Fatal("no dirty blocks absorbed")
+	}
+
+	server.Close()
+	if err := node.Proxy.WriteBack(); err == nil {
+		t.Fatal("WriteBack succeeded against a dead server")
+	}
+	// The dirty data must still be in the cache — nothing lost.
+	if got := node.BlockCache.DirtyCount(); got != dirtyBefore {
+		t.Errorf("dirty blocks %d -> %d after failed write-back", dirtyBefore, got)
+	}
+	// Reads of the absorbed data still succeed locally.
+	got, err := sess.ReadFile("/out")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("local read of dirty data after upstream death: %v", err)
+	}
+}
+
+func TestFileChannelFailureFallsBackToBlocks(t *testing.T) {
+	// If the file-channel service is unreachable, reads of a
+	// metadata-marked file must still succeed via block-based NFS.
+	fs := memfs.New()
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	const bs = 8192
+	state := bytes.Repeat([]byte{0x42}, 16*bs)
+	fs.WriteFile("/vm/mem.vmss", state)
+	m := metaForWholeFile(t, state, bs)
+	fs.WriteFile("/vm/.gvfsmeta.mem.vmss", m)
+
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: bs, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		CacheConfig:  &cfg,
+		FileCacheDir: t.TempDir(),
+		FileChanAddr: "127.0.0.1:1", // nothing listens here
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, err := sess.ReadFile("/vm/mem.vmss")
+	if err != nil || !bytes.Equal(got, state) {
+		t.Fatalf("fallback read failed: %v", err)
+	}
+	st := node.Proxy.Stats()
+	if st.FileChanFetch != 0 {
+		t.Error("fetch count nonzero despite unreachable channel")
+	}
+	if st.ReadMisses == 0 {
+		t.Error("no block-based reads despite fallback")
+	}
+}
+
+func metaForWholeFile(t *testing.T, data []byte, bs uint32) []byte {
+	t.Helper()
+	m := meta.ForWholeFile(data, bs)
+	blob, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}

@@ -1,0 +1,75 @@
+package proxy
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Idle write-back implements the paper's §3.2.3 persistent-VM
+// behaviour: "write-back caching can effectively hide the latencies of
+// write operations perceived by the user ... and submit the
+// modifications when the user is off-line or the session is idle."
+// When enabled, a background loop watches RPC activity; once the
+// session has been quiet for the configured period and dirty data
+// exists, the proxy propagates it upstream on its own.
+
+// idleState tracks activity for the idle writer.
+type idleState struct {
+	lastActivity atomic.Int64 // unix nanos of the last client RPC
+	stop         chan struct{}
+	stopped      atomic.Bool
+}
+
+// touch records client activity.
+func (s *idleState) touch() {
+	s.lastActivity.Store(time.Now().UnixNano())
+}
+
+// StartIdleWriteBack begins background propagation of dirty data after
+// every idle period of the given length. It returns a stop function;
+// calling it more than once is safe.
+func (p *Proxy) StartIdleWriteBack(idle time.Duration) (stop func()) {
+	s := &idleState{stop: make(chan struct{})}
+	s.touch()
+	p.mu.Lock()
+	p.idle = s
+	p.mu.Unlock()
+
+	go func() {
+		ticker := time.NewTicker(idle / 4)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-ticker.C:
+			}
+			last := time.Unix(0, s.lastActivity.Load())
+			if time.Since(last) < idle {
+				continue
+			}
+			if !p.hasDirtyData() {
+				continue
+			}
+			// Best-effort: failures leave the data dirty for the next
+			// tick (or an explicit middleware flush).
+			_ = p.WriteBack()
+		}
+	}()
+	return func() {
+		if s.stopped.CompareAndSwap(false, true) {
+			close(s.stop)
+		}
+	}
+}
+
+// hasDirtyData reports whether any cache holds unpropagated writes.
+func (p *Proxy) hasDirtyData() bool {
+	if p.cfg.BlockCache != nil && p.cfg.BlockCache.DirtyCount() > 0 {
+		return true
+	}
+	if p.cfg.FileCache != nil && len(p.cfg.FileCache.DirtyPaths()) > 0 {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,500 @@
+package proxy
+
+import (
+	"fmt"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/filechan"
+	"gvfs/internal/meta"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+// This file contains the READ/WRITE fast paths — the disk cache, zero
+// filtering and file-channel mechanisms — plus the middleware-facing
+// consistency entry points.
+
+// synthesizedAttr builds the post-op attribute the proxy attaches to
+// locally-satisfied replies.
+func (p *Proxy) synthesizedAttr(fh nfs3.FH) *nfs3.Fattr {
+	if sz, ok := p.sizeOf(fh); ok {
+		return &nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: sz, Used: sz}
+	}
+	return nil
+}
+
+func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeReadArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+
+	// Meta-data handling (paper §3.2.2): consult the file's meta-data
+	// on first access and act on it.
+	if !p.cfg.DisableMeta {
+		if ms := p.metaFor(args.FH); ms != nil && ms.m != nil {
+			if ms.m.WantsFileChannel() && p.cfg.FileCache != nil && p.cfg.FileChanDial != nil {
+				if err := p.ensureFetched(args.FH, ms); err == nil {
+					return p.readFromFileCache(args)
+				}
+				// Channel failure: fall through to block-based path.
+			} else if ms.m.HasZeroMap() && rangeIsZero(ms.m, args.Offset, args.Count) {
+				return p.zeroReply(args, ms.m)
+			}
+		}
+	}
+
+	// A file previously fetched whole stays served from the file cache.
+	if p.cfg.FileCache != nil {
+		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
+			return p.readFromFileCache(args)
+		}
+	}
+
+	if p.cfg.BlockCache == nil {
+		return p.forward(c)
+	}
+	bs := uint64(p.cfg.BlockCache.BlockSize())
+	if args.Offset%bs != 0 || uint64(args.Count) > bs {
+		// Unaligned read: ensure dirty state is visible upstream, then
+		// bypass the cache.
+		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
+			return nil, sunrpc.SystemErr
+		}
+		return p.forward(c)
+	}
+	block := args.Offset / bs
+	if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
+		p.count(func(s *Stats) { s.ReadHits++ })
+		p.maybePrefetch(args.FH, block)
+		return p.cachedReadReply(args, data)
+	}
+	// A prefetch of this block may already be in flight: join it
+	// rather than duplicating the WAN transfer.
+	if p.ra != nil && p.ra.waitFor(args.FH, block) {
+		if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
+			p.count(func(s *Stats) { s.ReadHits++ })
+			p.maybePrefetch(args.FH, block)
+			return p.cachedReadReply(args, data)
+		}
+	}
+	p.count(func(s *Stats) { s.ReadMisses++ })
+	res, stat := p.forward(c)
+	if stat != sunrpc.Success {
+		return res, stat
+	}
+	r, err := nfs3.DecodeReadRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return res, stat
+	}
+	if r.Attr != nil {
+		p.rememberSize(args.FH, r.Attr.Size)
+	}
+	// Only cache full-block requests so a frame always represents the
+	// block's prefix from its aligned start.
+	if uint64(args.Count) == bs && len(r.Data) > 0 {
+		if err := p.cfg.BlockCache.Put(args.FH, block, r.Data, false); err != nil {
+			return nil, sunrpc.SystemErr
+		}
+	}
+	p.maybePrefetch(args.FH, block)
+	return res, stat
+}
+
+// cachedReadReply serves a READ hit, trimming to the requested count
+// and to the known file size.
+func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, sunrpc.AcceptStat) {
+	data := blockData
+	if uint64(len(data)) > uint64(args.Count) {
+		data = data[:args.Count]
+	}
+	eof := len(blockData) < p.cfg.BlockCache.BlockSize()
+	if size, ok := p.sizeOf(args.FH); ok {
+		end := args.Offset + uint64(len(data))
+		if args.Offset >= size {
+			data = nil
+			eof = true
+		} else {
+			if end > size {
+				data = data[:size-args.Offset]
+				end = size
+			}
+			eof = end >= size
+		}
+	}
+	res := nfs3.ReadRes{
+		Status: nfs3.OK,
+		Attr:   p.synthesizedAttr(args.FH),
+		Count:  uint32(len(data)),
+		EOF:    eof,
+		Data:   data,
+	}
+	return res.Encode(), sunrpc.Success
+}
+
+// rangeIsZero reports whether [off, off+count) is covered by all-zero
+// blocks of the meta-data map.
+func rangeIsZero(m *meta.Meta, off uint64, count uint32) bool {
+	if count == 0 {
+		return false
+	}
+	bs := uint64(m.BlockSize)
+	end := off + uint64(count)
+	if end > m.FileSize {
+		end = m.FileSize
+	}
+	if off >= end {
+		return true // fully past EOF: trivially zero-satisfiable
+	}
+	for b := off / bs; b <= (end-1)/bs; b++ {
+		if !m.IsZeroBlock(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// zeroReply satisfies a read of all-zero blocks locally — the paper's
+// zero filtering for memory-state files.
+func (p *Proxy) zeroReply(args *nfs3.ReadArgs, m *meta.Meta) ([]byte, sunrpc.AcceptStat) {
+	p.count(func(s *Stats) { s.ZeroFiltered++ })
+	size := m.FileSize
+	var data []byte
+	eof := true
+	if args.Offset < size {
+		end := args.Offset + uint64(args.Count)
+		if end > size {
+			end = size
+		}
+		data = make([]byte, end-args.Offset)
+		eof = end >= size
+	}
+	attr := &nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: size, Used: size}
+	res := nfs3.ReadRes{Status: nfs3.OK, Attr: attr, Count: uint32(len(data)), EOF: eof, Data: data}
+	return res.Encode(), sunrpc.Success
+}
+
+// readFromFileCache serves a READ from the whole-file cache.
+func (p *Proxy) readFromFileCache(args *nfs3.ReadArgs) ([]byte, sunrpc.AcceptStat) {
+	info, ok := p.pathOf(args.FH)
+	if !ok {
+		return nil, sunrpc.SystemErr
+	}
+	data, eof, err := p.cfg.FileCache.ReadAt(info.full, args.Offset, args.Count)
+	if err != nil {
+		res := nfs3.ReadRes{Status: nfs3.ErrIO}
+		return res.Encode(), sunrpc.Success
+	}
+	p.count(func(s *Stats) { s.FileChanReads++ })
+	var attr *nfs3.Fattr
+	if sz, ok := p.cfg.FileCache.Size(info.full); ok {
+		attr = &nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: sz, Used: sz}
+	}
+	res := nfs3.ReadRes{Status: nfs3.OK, Attr: attr, Count: uint32(len(data)), EOF: eof, Data: data}
+	return res.Encode(), sunrpc.Success
+}
+
+func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeWriteArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+
+	// Writes to a file resident in the file cache stay local; the
+	// file-based channel uploads them at flush time.
+	if p.cfg.FileCache != nil {
+		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
+			if err := p.cfg.FileCache.WriteAt(info.full, args.Offset, args.Data); err != nil {
+				return nil, sunrpc.SystemErr
+			}
+			p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
+			p.count(func(s *Stats) { s.WritesAbsorbed++ })
+			return p.absorbedWriteReply(args), sunrpc.Success
+		}
+	}
+
+	if p.cfg.BlockCache == nil || p.cfg.WritePolicy != cache.WriteBack {
+		return p.writeThrough(c, args)
+	}
+
+	bs := uint64(p.cfg.BlockCache.BlockSize())
+	if args.Offset%bs != 0 || uint64(len(args.Data)) > bs {
+		// Unaligned: push dirty state upstream first, then forward.
+		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
+			return nil, sunrpc.SystemErr
+		}
+		return p.writeThrough(c, args)
+	}
+
+	block := args.Offset / bs
+	merged, err := p.mergeBlock(args.FH, block, bs, args.Data)
+	if err != nil {
+		return p.writeThrough(c, args)
+	}
+	if err := p.cfg.BlockCache.Put(args.FH, block, merged, true); err != nil {
+		return nil, sunrpc.SystemErr
+	}
+	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
+	p.count(func(s *Stats) { s.WritesAbsorbed++ })
+	return p.absorbedWriteReply(args), sunrpc.Success
+}
+
+// mergeBlock combines newly written data (always at the block's start,
+// since callers check alignment) with any existing block content so the
+// cached frame remains a faithful prefix of the block.
+func (p *Proxy) mergeBlock(fh nfs3.FH, block, bs uint64, data []byte) ([]byte, error) {
+	if uint64(len(data)) == bs {
+		return data, nil
+	}
+	if existing, ok := p.cfg.BlockCache.Get(fh, block); ok {
+		if len(existing) <= len(data) {
+			return data, nil
+		}
+		merged := make([]byte, len(existing))
+		copy(merged, existing)
+		copy(merged, data)
+		return merged, nil
+	}
+	size, known := p.sizeOf(fh)
+	blockStart := block * bs
+	if !known || size <= blockStart+uint64(len(data)) {
+		// Writing the current tail of the file: the partial block is
+		// the whole block content.
+		return data, nil
+	}
+	// The block has bytes beyond the write that we don't hold:
+	// read-modify-write from upstream.
+	rargs := nfs3.ReadArgs{FH: fh, Offset: blockStart, Count: uint32(bs)}
+	res, err := p.call(nfs3.ProcRead, rargs.Encode())
+	if err != nil {
+		return nil, err
+	}
+	r, err := nfs3.DecodeReadRes(res)
+	if err != nil {
+		return nil, err
+	}
+	if r.Status != nfs3.OK {
+		return nil, &nfs3.Error{Status: r.Status, Op: "read-modify-write"}
+	}
+	if len(r.Data) <= len(data) {
+		return data, nil
+	}
+	merged := make([]byte, len(r.Data))
+	copy(merged, r.Data)
+	copy(merged, data)
+	return merged, nil
+}
+
+// absorbedWriteReply fabricates the WRITE reply for data held by the
+// write-back cache. The proxy reports FILE_SYNC: under the session
+// consistency model the proxy is the authority for this data until the
+// middleware flushes it.
+func (p *Proxy) absorbedWriteReply(args *nfs3.WriteArgs) []byte {
+	res := nfs3.WriteRes{
+		Status:    nfs3.OK,
+		Wcc:       nfs3.WccData{After: p.synthesizedAttr(args.FH)},
+		Count:     uint32(len(args.Data)),
+		Committed: nfs3.FileSync,
+		Verf:      nfs3.WriteVerf,
+	}
+	return res.Encode()
+}
+
+// writeThrough forwards a write and keeps the block cache coherent.
+func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs) ([]byte, sunrpc.AcceptStat) {
+	res, stat := p.forward(c)
+	p.count(func(s *Stats) { s.WritesForwarded++ })
+	if stat != sunrpc.Success {
+		return res, stat
+	}
+	r, err := nfs3.DecodeWriteRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return res, stat
+	}
+	if r.Wcc.After != nil {
+		p.rememberSize(args.FH, r.Wcc.After.Size)
+	}
+	if p.cfg.BlockCache != nil {
+		bs := uint64(p.cfg.BlockCache.BlockSize())
+		if p.cfg.BlockCache.Config().ReadOnly {
+			// Shared read-only caches hold golden (immutable) data;
+			// a write through this proxy only drops the stale frame.
+			if err := p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs); err != nil {
+				return nil, sunrpc.SystemErr
+			}
+		} else if args.Offset%bs == 0 && uint64(len(args.Data)) == bs {
+			if err := p.cfg.BlockCache.Put(args.FH, args.Offset/bs, args.Data, false); err != nil {
+				return nil, sunrpc.SystemErr
+			}
+		} else {
+			// Partial overlap: drop any stale frame.
+			if err := p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs); err != nil {
+				return nil, sunrpc.SystemErr
+			}
+		}
+	}
+	return res, stat
+}
+
+// --- meta-data machinery ---
+
+// metaFor returns the (lazily initialized) meta-data state for fh.
+func (p *Proxy) metaFor(fh nfs3.FH) *metaState {
+	key := fh.Key()
+	p.mu.Lock()
+	ms, ok := p.metas[key]
+	if !ok {
+		ms = &metaState{}
+		p.metas[key] = ms
+	}
+	p.mu.Unlock()
+
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.checked {
+		return ms
+	}
+	ms.checked = true
+	info, ok := p.pathOf(fh)
+	if !ok || info.parent == "" || meta.IsMetaName(info.name) {
+		return ms
+	}
+	largs := nfs3.LookupArgs{Dir: nfs3.FH(info.parent), Name: meta.NameFor(info.name)}
+	res, err := p.call(nfs3.ProcLookup, largs.Encode())
+	if err != nil {
+		return ms
+	}
+	r, err := nfs3.DecodeLookupRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return ms
+	}
+	var size uint64 = 1 << 20
+	if r.ObjAttr != nil {
+		size = r.ObjAttr.Size
+	}
+	blob, err := p.readAllUpstream(r.Object, size)
+	if err != nil {
+		return ms
+	}
+	m, err := meta.Decode(blob)
+	if err != nil {
+		return ms
+	}
+	ms.m = m
+	return ms
+}
+
+// readAllUpstream fetches an entire (small) file block by block.
+func (p *Proxy) readAllUpstream(fh nfs3.FH, sizeHint uint64) ([]byte, error) {
+	const chunk = 8192
+	out := make([]byte, 0, sizeHint)
+	var off uint64
+	for {
+		args := nfs3.ReadArgs{FH: fh, Offset: off, Count: chunk}
+		res, err := p.call(nfs3.ProcRead, args.Encode())
+		if err != nil {
+			return nil, err
+		}
+		r, err := nfs3.DecodeReadRes(res)
+		if err != nil {
+			return nil, err
+		}
+		if r.Status != nfs3.OK {
+			return nil, &nfs3.Error{Status: r.Status, Op: "meta read"}
+		}
+		out = append(out, r.Data...)
+		off += uint64(len(r.Data))
+		if r.EOF || len(r.Data) == 0 {
+			return out, nil
+		}
+		if off > 64<<20 {
+			return nil, fmt.Errorf("proxy: meta-data file unreasonably large")
+		}
+	}
+}
+
+// ensureFetched runs the file-based data channel once per file:
+// compress on the server, remote copy, uncompress into the file cache.
+func (p *Proxy) ensureFetched(fh nfs3.FH, ms *metaState) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.fetched {
+		return nil
+	}
+	info, ok := p.pathOf(fh)
+	if !ok {
+		return fmt.Errorf("proxy: no path known for %s", fh)
+	}
+	if p.cfg.FileCache.Has(info.full) {
+		// A previous session (or clone) already pulled this file.
+		ms.fetched = true
+		if sz, ok := p.cfg.FileCache.Size(info.full); ok {
+			p.bumpSize(fh, sz)
+		}
+		return nil
+	}
+	conn, err := p.cfg.FileChanDial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	data, err := filechan.Fetch(conn, info.full, ms.m.WantsCompression())
+	if err != nil {
+		return err
+	}
+	if err := p.cfg.FileCache.Store(info.full, data); err != nil {
+		return err
+	}
+	p.rememberSize(fh, uint64(len(data)))
+	p.count(func(s *Stats) { s.FileChanFetch++ })
+	ms.fetched = true
+	return nil
+}
+
+// --- middleware-driven consistency (paper §3.2.1) ---
+
+// WriteBack propagates all dirty state upstream while keeping it
+// cached. The gvfsproxy daemon binds this to SIGUSR1.
+func (p *Proxy) WriteBack() error {
+	if p.cfg.BlockCache != nil {
+		if err := p.cfg.BlockCache.WriteBackAll(); err != nil {
+			return err
+		}
+	}
+	return p.flushFileCache()
+}
+
+// Flush propagates all dirty state and invalidates every cache, ending
+// the session's ownership of the data. The gvfsproxy daemon binds this
+// to SIGUSR2.
+func (p *Proxy) Flush() error {
+	if p.cfg.BlockCache != nil {
+		if err := p.cfg.BlockCache.Flush(); err != nil {
+			return err
+		}
+	}
+	if err := p.flushFileCache(); err != nil {
+		return err
+	}
+	if p.cfg.FileCache != nil {
+		p.cfg.FileCache.InvalidateAll()
+	}
+	p.mu.Lock()
+	p.metas = make(map[string]*metaState)
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Proxy) flushFileCache() error {
+	if p.cfg.FileCache == nil || p.cfg.FileChanDial == nil {
+		return nil
+	}
+	return p.cfg.FileCache.Flush(func(path string, data []byte) error {
+		conn, err := p.cfg.FileChanDial()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		return filechan.Put(conn, path, data, true)
+	})
+}

@@ -1,0 +1,504 @@
+// Package proxy implements the GVFS user-level file system proxy — the
+// paper's core contribution. A proxy receives NFS RPC calls (acting as
+// a server) and satisfies them from its caches or forwards them to the
+// next hop (acting as a client), which may be another proxy or the end
+// NFS server. Proxies therefore cascade into multi-level hierarchies:
+// client-side proxy with disk cache, optional LAN second-level proxy,
+// and server-side proxy performing identity mapping.
+//
+// Per the paper, the proxy provides:
+//
+//   - a client-side, proxy-managed disk cache at NFS RPC granularity
+//     with write-through or write-back policies (§3.2.1);
+//   - meta-data handling: zero-block filtering for memory-state files
+//     and the compress/remote-copy/uncompress/read-locally file channel
+//     feeding a file-based cache (§3.2.2);
+//   - cross-domain identity mapping via logical user accounts at the
+//     server side;
+//   - middleware-driven consistency: WriteBack and Flush entry points
+//     that the gvfsproxy daemon binds to O/S signals.
+//
+// The proxy is transparent: unmodified NFS clients and servers sit at
+// the ends of the chain, and applications (VM monitors) are unaware of
+// the interposition.
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"path"
+	"sync"
+
+	"gvfs/internal/auth"
+	"gvfs/internal/cache"
+	"gvfs/internal/filecache"
+	"gvfs/internal/meta"
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/xdr"
+)
+
+// Config assembles a proxy. Only Upstream is mandatory; everything
+// else enables an optional paper mechanism.
+type Config struct {
+	// Upstream is the RPC transport to the next hop.
+	Upstream nfs3.Caller
+
+	// Mapper, when set, rewrites AUTH_UNIX credentials to short-lived
+	// local identities (server-side proxy role).
+	Mapper *auth.Mapper
+
+	// BlockCache, when set, caches blocks at NFS RPC granularity.
+	BlockCache *cache.Cache
+
+	// WritePolicy selects write-through or write-back handling of
+	// WRITE calls when BlockCache is set.
+	WritePolicy cache.Policy
+
+	// FileCache and FileChanDial together enable meta-data-driven
+	// whole-file transfers: FileChanDial opens a connection to the
+	// image server's file-channel service.
+	FileCache    *filecache.Cache
+	FileChanDial func() (net.Conn, error)
+
+	// DisableMeta turns off meta-data lookups even when a file cache
+	// is configured (for ablation experiments).
+	DisableMeta bool
+
+	// ReadAhead, when positive, prefetches up to this many blocks into
+	// the disk cache after a sequential access run is detected (the
+	// paper's future-work pre-fetching direction). Requires BlockCache.
+	ReadAhead int
+}
+
+// Stats counts proxy activity.
+type Stats struct {
+	Calls           uint64
+	Forwarded       uint64
+	ReadHits        uint64 // block reads served from the disk cache
+	ReadMisses      uint64
+	ZeroFiltered    uint64 // reads satisfied from the zero-block map
+	FileChanReads   uint64 // reads served from the file cache
+	FileChanFetch   uint64 // whole-file channel transfers performed
+	WritesAbsorbed  uint64 // writes held by write-back caching
+	WritesForwarded uint64
+	Prefetched      uint64 // blocks pulled in by sequential read-ahead
+}
+
+type pathInfo struct {
+	parent string // parent fh key ("" for root)
+	name   string
+	full   string // full path from export root
+}
+
+// metaState tracks per-file meta-data handling.
+type metaState struct {
+	mu      sync.Mutex
+	checked bool
+	m       *meta.Meta // nil after check = no meta-data
+	fetched bool       // whole file resident in the file cache
+}
+
+// Proxy is a GVFS proxy. It implements sunrpc.Handler for both the NFS
+// and MOUNT programs; register it for both on a sunrpc.Server.
+type Proxy struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	paths    map[string]pathInfo // fh key -> location
+	sizes    map[string]uint64   // fh key -> best-known size
+	metas    map[string]*metaState
+	lastCred sunrpc.OpaqueAuth // most recent client credential
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	ra   *readAhead // nil unless Config.ReadAhead > 0
+	idle *idleState // nil unless StartIdleWriteBack was called
+}
+
+// New returns a Proxy for cfg. If a write-back block cache is
+// supplied, its write-back function is wired to upstream WRITE calls.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Upstream == nil {
+		return nil, fmt.Errorf("proxy: Config.Upstream is required")
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		paths: make(map[string]pathInfo),
+		sizes: make(map[string]uint64),
+		metas: make(map[string]*metaState),
+	}
+	if cfg.ReadAhead > 0 && cfg.BlockCache != nil {
+		p.ra = newReadAhead()
+	}
+	if cfg.BlockCache != nil && !cfg.BlockCache.Config().ReadOnly {
+		cfg.BlockCache.SetWriteBackFunc(func(fh nfs3.FH, off uint64, data []byte) error {
+			return p.upstreamWrite(fh, off, data)
+		})
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (p *Proxy) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
+	return p.stats
+}
+
+func (p *Proxy) count(f func(*Stats)) {
+	p.statsMu.Lock()
+	f(&p.stats)
+	p.statsMu.Unlock()
+}
+
+// upstreamCred maps the caller's credential for the next hop.
+func (p *Proxy) upstreamCred(cred sunrpc.OpaqueAuth) (sunrpc.OpaqueAuth, error) {
+	if p.cfg.Mapper == nil {
+		return cred, nil
+	}
+	out, _, err := p.cfg.Mapper.Rewrite(cred)
+	return out, err
+}
+
+// sessionCred is the credential used for proxy-initiated calls
+// (write-back, meta-data reads). The proxy remembers the most recent
+// client credential for this purpose.
+var defaultCred = sunrpc.UnixCred{MachineName: "gvfs-proxy", UID: 0, GID: 0}.Encode()
+
+func (p *Proxy) proxyCred() sunrpc.OpaqueAuth {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.lastCred.Body != nil || p.lastCred.Flavor != 0 {
+		return p.lastCred
+	}
+	return defaultCred
+}
+
+func (p *Proxy) rememberCred(cred sunrpc.OpaqueAuth) {
+	p.mu.Lock()
+	p.lastCred = cred
+	p.mu.Unlock()
+}
+
+// HandleCall implements sunrpc.Handler.
+func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	p.count(func(s *Stats) { s.Calls++ })
+	p.rememberCred(c.Cred)
+	p.mu.RLock()
+	idle := p.idle
+	p.mu.RUnlock()
+	if idle != nil {
+		idle.touch()
+	}
+	switch c.Prog {
+	case nfs3.MountProgram:
+		return p.handleMount(c)
+	case nfs3.Program:
+		return p.handleNFS(c)
+	}
+	return nil, sunrpc.ProgUnavail
+}
+
+func (p *Proxy) handleMount(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	res, stat := p.forward(c)
+	if stat != sunrpc.Success || c.Proc != mountd.ProcMnt {
+		return res, stat
+	}
+	// Learn the export root's path so fh->path resolution can work.
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	dirpath := d.String()
+	if d.Err() != nil {
+		return res, stat
+	}
+	rd := xdr.NewDecoder(bytes.NewReader(res))
+	if rd.Uint32() == mountd.OK {
+		fh := nfs3.FH(rd.Opaque())
+		if rd.Err() == nil {
+			p.mu.Lock()
+			p.paths[fh.Key()] = pathInfo{full: path.Clean(dirpath)}
+			p.mu.Unlock()
+		}
+	}
+	return res, stat
+}
+
+func (p *Proxy) handleNFS(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	switch c.Proc {
+	case nfs3.ProcLookup:
+		return p.handleLookup(c)
+	case nfs3.ProcGetattr:
+		return p.handleGetattr(c)
+	case nfs3.ProcRead:
+		return p.handleRead(c)
+	case nfs3.ProcWrite:
+		return p.handleWrite(c)
+	case nfs3.ProcCommit:
+		return p.handleCommit(c)
+	case nfs3.ProcSetattr:
+		return p.handleSetattr(c)
+	case nfs3.ProcCreate, nfs3.ProcMkdir, nfs3.ProcSymlink:
+		return p.handleNewObject(c)
+	case nfs3.ProcRemove, nfs3.ProcRename:
+		return p.handleNamespaceChange(c)
+	}
+	return p.forward(c)
+}
+
+// forward relays a call upstream unchanged except for credentials.
+func (p *Proxy) forward(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	cred, err := p.upstreamCred(c.Cred)
+	if err != nil {
+		return nil, sunrpc.SystemErr
+	}
+	p.count(func(s *Stats) { s.Forwarded++ })
+	res, err := p.cfg.Upstream.Call(c.Prog, c.Vers, c.Proc, cred, c.Args)
+	if err != nil {
+		if rpcErr, ok := err.(*sunrpc.RPCError); ok {
+			return nil, rpcErr.Stat
+		}
+		return nil, sunrpc.SystemErr
+	}
+	return res, sunrpc.Success
+}
+
+// call issues a proxy-initiated upstream NFS call.
+func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
+	cred, err := p.upstreamCred(p.proxyCred())
+	if err != nil {
+		return nil, err
+	}
+	return p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, proc, cred, args)
+}
+
+// upstreamWrite propagates one block to the next hop with FileSync
+// stability; used for write-back of dirty cache frames.
+func (p *Proxy) upstreamWrite(fh nfs3.FH, off uint64, data []byte) error {
+	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
+	res, err := p.call(nfs3.ProcWrite, args.Encode())
+	if err != nil {
+		return err
+	}
+	r, err := nfs3.DecodeWriteRes(res)
+	if err != nil {
+		return err
+	}
+	if r.Status != nfs3.OK {
+		return &nfs3.Error{Status: r.Status, Op: "write-back"}
+	}
+	return nil
+}
+
+// --- path and size tracking ---
+
+func (p *Proxy) rememberPath(obj nfs3.FH, dir nfs3.FH, name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dirInfo, ok := p.paths[dir.Key()]
+	if !ok {
+		return
+	}
+	p.paths[obj.Key()] = pathInfo{
+		parent: dir.Key(),
+		name:   name,
+		full:   path.Join(dirInfo.full, name),
+	}
+}
+
+func (p *Proxy) pathOf(fh nfs3.FH) (pathInfo, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	info, ok := p.paths[fh.Key()]
+	return info, ok
+}
+
+func (p *Proxy) rememberSize(fh nfs3.FH, size uint64) {
+	p.mu.Lock()
+	p.sizes[fh.Key()] = size
+	p.mu.Unlock()
+}
+
+// bumpSize raises the shadow size to at least size.
+func (p *Proxy) bumpSize(fh nfs3.FH, size uint64) {
+	p.mu.Lock()
+	if size > p.sizes[fh.Key()] {
+		p.sizes[fh.Key()] = size
+	}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) sizeOf(fh nfs3.FH) (uint64, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	sz, ok := p.sizes[fh.Key()]
+	return sz, ok
+}
+
+// --- procedure handlers ---
+
+func (p *Proxy) handleLookup(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeLookupArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	res, stat := p.forward(c)
+	if stat != sunrpc.Success {
+		return res, stat
+	}
+	r, err := nfs3.DecodeLookupRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return res, stat
+	}
+	p.rememberPath(r.Object, args.Dir, args.Name)
+	if r.ObjAttr != nil {
+		// Patch the reported size if we hold absorbed writes beyond it.
+		if shadow, ok := p.sizeOf(r.Object); ok && shadow > r.ObjAttr.Size {
+			r.ObjAttr.Size = shadow
+			r.ObjAttr.Used = shadow
+			return r.Encode(), sunrpc.Success
+		}
+		p.rememberSize(r.Object, r.ObjAttr.Size)
+	}
+	return res, stat
+}
+
+func (p *Proxy) handleGetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeGetattrArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	res, stat := p.forward(c)
+	if stat != sunrpc.Success {
+		// Upstream unreachable: during a session the proxy owns the
+		// file's dirty state, so attributes it can synthesize from its
+		// shadow size remain authoritative (session consistency).
+		if attr := p.synthesizedAttr(args.FH); attr != nil {
+			r := nfs3.GetattrRes{Status: nfs3.OK, Attr: *attr}
+			return r.Encode(), sunrpc.Success
+		}
+		return res, stat
+	}
+	r, err := nfs3.DecodeGetattrRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return res, stat
+	}
+	if shadow, ok := p.sizeOf(args.FH); ok && shadow > r.Attr.Size {
+		r.Attr.Size = shadow
+		r.Attr.Used = shadow
+		return r.Encode(), sunrpc.Success
+	}
+	p.rememberSize(args.FH, r.Attr.Size)
+	return res, stat
+}
+
+func (p *Proxy) handleNewObject(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	// CREATE, MKDIR and SYMLINK all start with diropargs-compatible
+	// (dir, name) and reply with post_op_fh3 + post_op_attr.
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	dir := nfs3.DecodeFH(d)
+	name := d.String()
+	if d.Err() != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	res, stat := p.forward(c)
+	if stat != sunrpc.Success {
+		return res, stat
+	}
+	rd := xdr.NewDecoder(bytes.NewReader(res))
+	if nfs3.Status(rd.Uint32()) == nfs3.OK {
+		obj := nfs3.DecodePostOpFH(rd)
+		attr := nfs3.DecodePostOpAttr(rd)
+		if rd.Err() == nil && obj != nil {
+			p.rememberPath(obj, dir, name)
+			if attr != nil {
+				p.rememberSize(obj, attr.Size)
+			}
+		}
+	}
+	return res, stat
+}
+
+func (p *Proxy) handleNamespaceChange(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	// REMOVE and RENAME invalidate cached state for the affected file.
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	dir := nfs3.DecodeFH(d)
+	name := d.String()
+	if d.Err() != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	if fh, ok := p.childFH(dir, name); ok {
+		if p.cfg.BlockCache != nil {
+			if err := p.cfg.BlockCache.InvalidateFile(fh); err != nil {
+				return nil, sunrpc.SystemErr
+			}
+		}
+		if info, ok := p.pathOf(fh); ok && p.cfg.FileCache != nil {
+			p.cfg.FileCache.Invalidate(info.full)
+		}
+		p.mu.Lock()
+		delete(p.sizes, fh.Key())
+		delete(p.metas, fh.Key())
+		p.mu.Unlock()
+		if p.ra != nil {
+			p.ra.forget(fh)
+		}
+	}
+	return p.forward(c)
+}
+
+// childFH finds the handle previously observed for dir/name.
+func (p *Proxy) childFH(dir nfs3.FH, name string) (nfs3.FH, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	dirKey := dir.Key()
+	for fhKey, info := range p.paths {
+		if info.parent == dirKey && info.name == name {
+			return nfs3.FH(fhKey), true
+		}
+	}
+	return nil, false
+}
+
+func (p *Proxy) handleSetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeSetattrArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	if args.Attr.Size != nil && p.cfg.BlockCache != nil {
+		// Truncation: push dirty state out, then drop cached blocks.
+		if err := p.cfg.BlockCache.InvalidateFile(args.FH); err != nil {
+			return nil, sunrpc.SystemErr
+		}
+	}
+	res, stat := p.forward(c)
+	if stat == sunrpc.Success && args.Attr.Size != nil {
+		p.rememberSize(args.FH, *args.Attr.Size)
+	}
+	return res, stat
+}
+
+func (p *Proxy) handleCommit(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	if p.cfg.BlockCache != nil && p.cfg.WritePolicy == cache.WriteBack {
+		// Under session consistency the proxy owns dirty data until
+		// the middleware says otherwise; acknowledge the commit.
+		args, err := nfs3.DecodeCommitArgs(c.Args)
+		if err != nil {
+			return nil, sunrpc.GarbageArgs
+		}
+		var buf bytes.Buffer
+		e := xdr.NewEncoder(&buf)
+		e.Uint32(uint32(nfs3.OK))
+		wcc := nfs3.WccData{}
+		if sz, ok := p.sizeOf(args.FH); ok {
+			attr := nfs3.Fattr{Type: nfs3.TypeReg, Size: sz, Used: sz, Nlink: 1}
+			wcc.After = &attr
+		}
+		wcc.Encode(e)
+		e.FixedOpaque(nfs3.WriteVerf[:])
+		return buf.Bytes(), sunrpc.Success
+	}
+	return p.forward(c)
+}

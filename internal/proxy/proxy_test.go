@@ -1,0 +1,880 @@
+package proxy_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/meta"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/stack"
+	"gvfs/internal/sunrpc"
+
+	gvfs "gvfs"
+)
+
+// env is a full test deployment: image server, one client proxy, and a
+// mounted session.
+type env struct {
+	fs      *memfs.FS
+	server  *stack.ImageServer
+	proxyN  *stack.Node
+	session *gvfs.Session
+}
+
+type envOptions struct {
+	policy      cache.Policy
+	noCache     bool
+	fileCache   bool
+	disableMeta bool
+	pages       int
+}
+
+func newEnv(t testing.TB, o envOptions) *env {
+	t.Helper()
+	fs := memfs.New()
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Close)
+
+	popts := stack.ProxyOptions{UpstreamAddr: server.ProxyAddr()}
+	if !o.noCache {
+		cfg := cache.Config{
+			Dir: t.TempDir(), Banks: 16, SetsPerBank: 16, Assoc: 4,
+			BlockSize: 8192, Policy: o.policy,
+		}
+		popts.CacheConfig = &cfg
+	}
+	if o.fileCache {
+		popts.FileCacheDir = t.TempDir()
+		popts.FileChanAddr = server.FileChanAddr()
+	}
+	popts.DisableMeta = o.disableMeta
+	proxyN, err := stack.StartProxy(popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxyN.Close)
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{
+		Addr:           proxyN.Addr,
+		Export:         "/",
+		Cred:           sunrpc.UnixCred{UID: 500, GID: 500, MachineName: "compute1"}.Encode(),
+		PageCachePages: o.pages,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return &env{fs: fs, server: server, proxyN: proxyN, session: sess}
+}
+
+func TestReadThroughProxyChain(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte("GridVM"), 10000)
+	e.fs.WriteFile("/images/vm.vmdk", payload)
+
+	got, err := e.session.ReadFile("/images/vm.vmdk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("read through chain: %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestProxyCacheHitsOnRereadAfterPageCacheDrop(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack, pages: 4})
+	payload := bytes.Repeat([]byte{0x5a}, 64*1024)
+	e.fs.WriteFile("/vm.vmdk", payload)
+
+	if _, err := e.session.ReadFile("/vm.vmdk"); err != nil {
+		t.Fatal(err)
+	}
+	before := e.proxyN.Proxy.Stats()
+	if before.ReadMisses == 0 {
+		t.Fatal("first read should miss in the proxy cache")
+	}
+
+	// Drop the client memory cache: re-reads must hit the proxy disk
+	// cache, not the server.
+	e.session.DropCaches()
+	if _, err := e.session.ReadFile("/vm.vmdk"); err != nil {
+		t.Fatal(err)
+	}
+	after := e.proxyN.Proxy.Stats()
+	if after.ReadHits == 0 {
+		t.Error("re-read produced no proxy cache hits")
+	}
+	if after.ReadMisses != before.ReadMisses {
+		t.Errorf("re-read missed in proxy cache: %d -> %d", before.ReadMisses, after.ReadMisses)
+	}
+}
+
+func TestWriteBackAbsorbsWrites(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte{7}, 32*1024)
+	if err := e.session.WriteFile("/out.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	st := e.proxyN.Proxy.Stats()
+	if st.WritesAbsorbed == 0 {
+		t.Fatal("no writes absorbed under write-back")
+	}
+	// Server must NOT have the data yet.
+	if data, err := e.fs.ReadFile("/out.dat"); err == nil && bytes.Equal(data, payload) {
+		t.Fatal("write-back leaked data to server before flush")
+	}
+	// Reads through the same proxy see the absorbed data.
+	got, err := e.session.ReadFile("/out.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read-your-writes failed: err=%v", err)
+	}
+	// Middleware write-back propagates it.
+	if err := e.proxyN.Proxy.WriteBack(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.fs.ReadFile("/out.dat")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("server data after WriteBack: err=%v len=%d", err, len(data))
+	}
+}
+
+func TestWriteThroughPropagatesImmediately(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteThrough})
+	payload := bytes.Repeat([]byte{9}, 16*1024)
+	if err := e.session.WriteFile("/wt.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.fs.ReadFile("/wt.dat")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("write-through did not reach server: err=%v", err)
+	}
+}
+
+func TestFlushPropagatesAndInvalidates(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte{3}, 24*1024)
+	if err := e.session.WriteFile("/f.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.proxyN.Proxy.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.fs.ReadFile("/f.dat")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("flush did not propagate: err=%v", err)
+	}
+	// After flush the proxy cache is cold again.
+	e.session.DropCaches()
+	before := e.proxyN.Proxy.Stats()
+	if _, err := e.session.ReadFile("/f.dat"); err != nil {
+		t.Fatal(err)
+	}
+	after := e.proxyN.Proxy.Stats()
+	if after.ReadMisses == before.ReadMisses {
+		t.Error("proxy cache unexpectedly warm after flush")
+	}
+}
+
+func TestGetattrSeesAbsorbedSize(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := make([]byte, 20000)
+	if err := e.session.WriteFile("/grow.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := e.session.Stat("/grow.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Size != 20000 {
+		t.Errorf("stat size = %d, want 20000 (absorbed writes visible)", attr.Size)
+	}
+}
+
+func TestZeroBlockFiltering(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	// A "memory state" that is mostly zero.
+	const bs = 8192
+	state := make([]byte, 64*bs)
+	copy(state[5*bs:], bytes.Repeat([]byte{0xAB}, bs)) // one non-zero block
+	e.fs.WriteFile("/vm/mem.vmss", state)
+
+	m := meta.GenerateZeroMap(state, bs)
+	blob, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.fs.WriteFile("/vm/"+meta.NameFor("mem.vmss"), blob)
+
+	got, err := e.session.ReadFile("/vm/mem.vmss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, state) {
+		t.Fatal("zero-filtered read corrupted data")
+	}
+	st := e.proxyN.Proxy.Stats()
+	if st.ZeroFiltered != 63 {
+		t.Errorf("zero-filtered reads = %d, want 63", st.ZeroFiltered)
+	}
+}
+
+func TestFileChannelFetch(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack, fileCache: true})
+	const bs = 8192
+	state := make([]byte, 32*bs)
+	for i := 0; i < len(state); i += 7 {
+		state[i] = byte(i)
+	}
+	e.fs.WriteFile("/vm/mem.vmss", state)
+	m := meta.ForWholeFile(state, bs)
+	blob, _ := m.Encode()
+	e.fs.WriteFile("/vm/"+meta.NameFor("mem.vmss"), blob)
+
+	got, err := e.session.ReadFile("/vm/mem.vmss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, state) {
+		t.Fatal("file-channel read corrupted data")
+	}
+	st := e.proxyN.Proxy.Stats()
+	if st.FileChanFetch != 1 {
+		t.Errorf("file channel fetches = %d, want 1", st.FileChanFetch)
+	}
+	if st.FileChanReads == 0 {
+		t.Error("no reads served from the file cache")
+	}
+	// Re-read after dropping the client cache: still served locally,
+	// with no second fetch.
+	e.session.DropCaches()
+	if _, err := e.session.ReadFile("/vm/mem.vmss"); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := e.proxyN.Proxy.Stats(); st2.FileChanFetch != 1 {
+		t.Errorf("re-read refetched the file: %d fetches", st2.FileChanFetch)
+	}
+}
+
+func TestDisableMetaIgnoresMetadata(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack, fileCache: true, disableMeta: true})
+	const bs = 8192
+	state := make([]byte, 16*bs)
+	e.fs.WriteFile("/vm/mem.vmss", state)
+	m := meta.ForWholeFile(state, bs)
+	blob, _ := m.Encode()
+	e.fs.WriteFile("/vm/"+meta.NameFor("mem.vmss"), blob)
+
+	if _, err := e.session.ReadFile("/vm/mem.vmss"); err != nil {
+		t.Fatal(err)
+	}
+	st := e.proxyN.Proxy.Stats()
+	if st.FileChanFetch != 0 || st.ZeroFiltered != 0 {
+		t.Errorf("metadata acted on despite DisableMeta: %+v", st)
+	}
+}
+
+func TestIdentityMappingAtServerProxy(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	if err := e.session.WriteFile("/id.dat", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.proxyN.Proxy.WriteBack(); err != nil {
+		t.Fatal(err)
+	}
+	// The server-side proxy must have allocated a short-lived identity
+	// for the session's grid user.
+	if live := e.server.Allocator.Live(); live == 0 {
+		t.Error("no logical user account allocated at the server proxy")
+	}
+	if _, ok := e.server.Allocator.Lookup("uid500@compute1"); !ok {
+		t.Error("expected identity for uid500@compute1")
+	}
+}
+
+func TestRemoveInvalidatesCaches(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte{1}, 16*1024)
+	e.fs.WriteFile("/gone.dat", payload)
+	if _, err := e.session.ReadFile("/gone.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.session.Remove("/gone.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.session.ReadFile("/gone.dat"); err == nil {
+		t.Error("read of removed file succeeded")
+	}
+}
+
+func TestTruncateThroughProxy(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte{0xEE}, 20000)
+	if err := e.session.WriteFile("/t.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.session.Open("/t.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	e.session.DropCaches()
+	got, err := e.session.ReadFile("/t.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Errorf("size after truncate = %d, want 100", len(got))
+	}
+}
+
+func TestOverwriteVisibleThroughCache(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	e.fs.WriteFile("/o.dat", bytes.Repeat([]byte{1}, 8192))
+	if _, err := e.session.ReadFile("/o.dat"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.session.Open("/o.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newData := bytes.Repeat([]byte{2}, 8192)
+	if _, err := f.WriteAt(newData, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	e.session.DropCaches()
+	got, err := e.session.ReadFile("/o.dat")
+	if err != nil || !bytes.Equal(got, newData) {
+		t.Errorf("overwrite invisible: err=%v", err)
+	}
+}
+
+func TestPartialBlockWriteMerging(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	// Server has a full block; client writes a small prefix; the block
+	// read back must merge old and new.
+	orig := bytes.Repeat([]byte{0xCC}, 8192)
+	e.fs.WriteFile("/m.dat", orig)
+	f, err := e.session.Open("/m.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HDR!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	e.session.DropCaches()
+	got, err := e.session.ReadFile("/m.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("HDR!"), orig[4:]...)
+	if !bytes.Equal(got, want) {
+		t.Error("partial write clobbered block remainder")
+	}
+	// And the merge must survive flush to the server.
+	if err := e.proxyN.Proxy.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := e.fs.ReadFile("/m.dat")
+	if !bytes.Equal(data, want) {
+		t.Error("server data wrong after flush of merged block")
+	}
+}
+
+func TestCascadedProxies(t *testing.T) {
+	// Two proxy levels (the paper's LAN second-level cache): client
+	// proxy -> LAN proxy -> server proxy -> NFS server.
+	fs := memfs.New()
+	payload := bytes.Repeat([]byte{0x42}, 64*1024)
+	fs.WriteFile("/vm.vmdk", payload)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	lanCfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 16, Assoc: 4, BlockSize: 8192, Policy: cache.WriteThrough}
+	lanProxy, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		CacheConfig:  &lanCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lanProxy.Close()
+
+	cliCfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 16, Assoc: 4, BlockSize: 8192, Policy: cache.WriteBack}
+	cliProxy, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: lanProxy.Addr,
+		CacheConfig:  &cliCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliProxy.Close()
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: cliProxy.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	got, err := sess.ReadFile("/vm.vmdk")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("cascaded read failed: err=%v", err)
+	}
+	// Both levels saw the traffic.
+	if lanProxy.Proxy.Stats().ReadMisses == 0 {
+		t.Error("LAN proxy saw no read misses")
+	}
+	if cliProxy.Proxy.Stats().ReadMisses == 0 {
+		t.Error("client proxy saw no read misses")
+	}
+}
+
+func TestConcurrentSessionsThroughOneProxy(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	for i := 0; i < 4; i++ {
+		e.fs.WriteFile(fmt.Sprintf("/f%d", i), bytes.Repeat([]byte{byte(i)}, 32*1024))
+	}
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			data, err := e.session.ReadFile(fmt.Sprintf("/f%d", i))
+			if err == nil && !bytes.Equal(data, bytes.Repeat([]byte{byte(i)}, 32*1024)) {
+				err = fmt.Errorf("data mismatch for f%d", i)
+			}
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestNoCacheProxyPureForwarding(t *testing.T) {
+	e := newEnv(t, envOptions{noCache: true})
+	payload := bytes.Repeat([]byte{0x11}, 32*1024)
+	e.fs.WriteFile("/p.dat", payload)
+	got, err := e.session.ReadFile("/p.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("forwarding proxy read failed: %v", err)
+	}
+	if err := e.session.WriteFile("/q.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.fs.ReadFile("/q.dat")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Error("forwarding proxy write did not reach server")
+	}
+	st := e.proxyN.Proxy.Stats()
+	if st.ReadHits != 0 || st.WritesAbsorbed != 0 {
+		t.Errorf("cache activity on cacheless proxy: %+v", st)
+	}
+}
+
+func TestStatusErrorsPropagate(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	if _, err := e.session.Open("/does/not/exist"); nfs3.StatusOf(err) != nfs3.ErrNoEnt {
+		t.Errorf("err = %v, want NOENT", err)
+	}
+}
+
+func TestReadAheadPrefetchesSequential(t *testing.T) {
+	fs := memfs.New()
+	payload := bytes.Repeat([]byte{0x77}, 512*1024)
+	fs.WriteFile("/seq.bin", payload)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 16, SetsPerBank: 16, Assoc: 4,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		CacheConfig:  &cfg,
+		ReadAhead:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	got, err := sess.ReadFile("/seq.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("sequential read through read-ahead proxy: %v", err)
+	}
+	st := node.Proxy.Stats()
+	if st.Prefetched == 0 {
+		t.Error("no blocks prefetched on a fully sequential scan")
+	}
+	// Prefetching must never corrupt: re-read after dropping client
+	// caches and verify again.
+	sess.DropCaches()
+	got, err = sess.ReadFile("/seq.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("re-read after prefetch: %v", err)
+	}
+}
+
+func TestReadAheadDoesNotCorruptWrites(t *testing.T) {
+	// Interleave sequential reads with writes to nearby blocks: the
+	// dirty data must win over racing prefetches.
+	fs := memfs.New()
+	payload := bytes.Repeat([]byte{0x11}, 256*1024)
+	fs.WriteFile("/rw.bin", payload)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 16, SetsPerBank: 16, Assoc: 4,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		CacheConfig:  &cfg,
+		ReadAhead:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	f, err := sess.Open("/rw.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8192)
+	patch := bytes.Repeat([]byte{0xFF}, 8192)
+	for block := 0; block < 32; block++ {
+		off := int64(block) * 8192
+		if _, err := f.ReadAt(buf, off); err != nil {
+			t.Fatal(err)
+		}
+		if block%4 == 0 {
+			if _, err := f.WriteAt(patch, off); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := node.Proxy.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := fs.ReadFile("/rw.bin")
+	for block := 0; block < 32; block++ {
+		want := byte(0x11)
+		if block%4 == 0 {
+			want = 0xFF
+		}
+		if data[block*8192] != want {
+			t.Fatalf("block %d = %#x, want %#x", block, data[block*8192], want)
+		}
+	}
+}
+
+func TestProxyWarmRestartWithPersistedIndex(t *testing.T) {
+	fs := memfs.New()
+	payload := bytes.Repeat([]byte{0x3C}, 128*1024)
+	fs.WriteFile("/warm.bin", payload)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	cacheDir := t.TempDir()
+	cfg := cache.Config{Dir: cacheDir, Banks: 16, SetsPerBank: 16, Assoc: 4,
+		BlockSize: 8192, Policy: cache.WriteBack}
+
+	// First proxy lifetime: read everything, save the index.
+	node1, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(), CacheConfig: &cfg, PersistIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess1, err := gvfs.Mount(gvfs.SessionConfig{Addr: node1.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess1.ReadFile("/warm.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := node1.Proxy.WriteBack(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node1.BlockCache.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	sess1.Close()
+	node1.Close()
+
+	// Second lifetime over the same directory: reads hit immediately.
+	node2, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(), CacheConfig: &cfg, PersistIndex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Close()
+	sess2, err := gvfs.Mount(gvfs.SessionConfig{Addr: node2.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	got, err := sess2.ReadFile("/warm.bin")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read after restart: %v", err)
+	}
+	st := node2.Proxy.Stats()
+	if st.ReadHits == 0 {
+		t.Error("no cache hits after warm restart")
+	}
+	if st.ReadMisses != 0 {
+		t.Errorf("%d misses after warm restart, want 0", st.ReadMisses)
+	}
+}
+
+func TestCascadedWriteConsistency(t *testing.T) {
+	// Writes absorbed by a first-level write-back proxy must reach the
+	// end server through a second-level (write-through) proxy when the
+	// middleware settles the session.
+	fs := memfs.New()
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	lanCfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteThrough}
+	lanProxy, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(), CacheConfig: &lanCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lanProxy.Close()
+
+	cliCfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	cliProxy, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: lanProxy.Addr, CacheConfig: &cliCfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliProxy.Close()
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: cliProxy.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	payload := bytes.Repeat([]byte{0xBE}, 40*1024)
+	if err := sess.WriteFile("/cascade.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := fs.ReadFile("/cascade.dat"); bytes.Equal(data, payload) {
+		t.Fatal("data reached server before flush")
+	}
+	if err := cliProxy.Proxy.WriteBack(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs.ReadFile("/cascade.dat")
+	if err != nil || !bytes.Equal(data, payload) {
+		t.Fatalf("data wrong after cascaded write-back: %v", err)
+	}
+	// The middle (write-through) proxy now also has the fresh blocks
+	// cached: a cold client re-read must not produce stale data.
+	sess2, err := gvfs.Mount(gvfs.SessionConfig{Addr: lanProxy.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	got, err := sess2.ReadFile("/cascade.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("stale data at LAN level: %v", err)
+	}
+}
+
+func TestTwoSessionsShareProxyState(t *testing.T) {
+	// Two sessions on the same compute server (e.g. middleware and VM
+	// monitor) see each other's absorbed writes through the shared
+	// client proxy — the paper's session owns the data at the proxy.
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	payload := bytes.Repeat([]byte{0x66}, 24*1024)
+	if err := e.session.WriteFile("/shared.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := gvfs.Mount(gvfs.SessionConfig{Addr: e.proxyN.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess2.Close()
+	got, err := sess2.ReadFile("/shared.dat")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("second session missed absorbed writes: %v", err)
+	}
+}
+
+func TestIdleWriteBackPropagates(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	stop := e.proxyN.Proxy.StartIdleWriteBack(300 * time.Millisecond)
+	defer stop()
+	payload := bytes.Repeat([]byte{0x77}, 16*1024)
+	if err := e.session.WriteFile("/idle.dat", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Without any explicit flush, the idle writer must settle the
+	// session within a few idle periods.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := e.fs.ReadFile("/idle.dat"); err == nil && bytes.Equal(data, payload) {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("idle write-back never propagated the session's data")
+}
+
+func TestIdleWriteBackStop(t *testing.T) {
+	e := newEnv(t, envOptions{policy: cache.WriteBack})
+	stop := e.proxyN.Proxy.StartIdleWriteBack(100 * time.Millisecond)
+	stop()
+	stop() // double-stop must be safe
+	if err := e.session.WriteFile("/kept.dat", []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if _, err := e.fs.ReadFile("/kept.dat"); err == nil {
+		if data, _ := e.fs.ReadFile("/kept.dat"); len(data) > 0 {
+			t.Error("stopped idle writer still propagated data")
+		}
+	}
+}
+
+func TestSharedReadOnlyCache(t *testing.T) {
+	// Two proxies (two compute sessions on one host) share a single
+	// read-only disk cache: the second proxy hits on blocks the first
+	// one fetched (paper §3.2.1 shared read-only caches).
+	fs := memfs.New()
+	payload := bytes.Repeat([]byte{0xC0}, 64*1024)
+	fs.WriteFile("/golden.vmdk", payload)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteThrough, ReadOnly: true}
+	shared, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Close()
+
+	mkProxy := func() (*stack.Node, *gvfs.Session) {
+		node, err := stack.StartProxy(stack.ProxyOptions{
+			UpstreamAddr:     server.ProxyAddr(),
+			SharedBlockCache: shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sess.Close() })
+		return node, sess
+	}
+
+	nodeA, sessA := mkProxy()
+	if _, err := sessA.ReadFile("/golden.vmdk"); err != nil {
+		t.Fatal(err)
+	}
+	if st := nodeA.Proxy.Stats(); st.ReadMisses == 0 {
+		t.Fatal("first proxy should miss")
+	}
+
+	nodeB, sessB := mkProxy()
+	got, err := sessB.ReadFile("/golden.vmdk")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("second proxy read: %v", err)
+	}
+	st := nodeB.Proxy.Stats()
+	if st.ReadHits == 0 {
+		t.Error("second proxy got no hits from the shared cache")
+	}
+	if st.ReadMisses != 0 {
+		t.Errorf("second proxy missed %d blocks despite shared cache", st.ReadMisses)
+	}
+
+	// Writes through a read-only shared cache pass through and drop
+	// the stale frames.
+	patch := bytes.Repeat([]byte{0xFF}, 8192)
+	f, err := sessB.Open("/golden.vmdk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(patch, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, _ := fs.ReadFile("/golden.vmdk")
+	if !bytes.Equal(data[:8192], patch) {
+		t.Error("write did not pass through to the server")
+	}
+	sessA.DropCaches()
+	fresh, err := sessA.ReadFile("/golden.vmdk")
+	if err != nil || !bytes.Equal(fresh[:8192], patch) {
+		t.Error("stale block served from shared cache after write")
+	}
+}
+
+func TestSharedCacheMustBeReadOnly(t *testing.T) {
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 2, SetsPerBank: 2, Assoc: 2, BlockSize: 512}
+	writable, err := cache.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writable.Close()
+	fs := memfs.New()
+	node, err := stack.StartNFSServer(fs, stack.NFSServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if _, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr:     node.Addr,
+		SharedBlockCache: writable,
+	}); err == nil {
+		t.Error("writable shared cache accepted")
+	}
+}

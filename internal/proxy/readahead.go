@@ -1,0 +1,211 @@
+package proxy
+
+import (
+	"sync"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/nfs3"
+)
+
+// Read-ahead implements one of the paper's stated future-work
+// directions: "dynamic profiling of application data access behavior
+// to support pre-fetching ... in a selective manner". The proxy
+// profiles per-file access at RPC granularity; once it observes a
+// sequential run of block reads it prefetches a window of following
+// blocks into the disk cache concurrently, overlapping many WAN round
+// trips. Demand reads that race an in-flight prefetch of the same
+// block wait for it instead of duplicating the transfer.
+
+// raMinStreak is how many sequential reads trigger prefetching.
+const raMinStreak = 2
+
+// raConcurrency bounds simultaneous prefetch RPCs per proxy.
+const raConcurrency = 16
+
+// raState is the per-file sequential-access profile.
+type raState struct {
+	lastBlock uint64
+	seen      bool
+	streak    int
+	nextWant  uint64 // first block not yet scheduled for prefetch
+}
+
+type readAhead struct {
+	mu       sync.Mutex
+	files    map[string]*raState
+	inflight map[cache.BlockID]chan struct{}
+	sem      chan struct{}
+}
+
+func newReadAhead() *readAhead {
+	return &readAhead{
+		files:    make(map[string]*raState),
+		inflight: make(map[cache.BlockID]chan struct{}),
+		sem:      make(chan struct{}, raConcurrency),
+	}
+}
+
+// observe records a read of block and returns the window of blocks to
+// prefetch now (nil when the pattern is not sequential enough).
+func (ra *readAhead) observe(fh nfs3.FH, block uint64, window int) []uint64 {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	st, ok := ra.files[fh.Key()]
+	if !ok {
+		st = &raState{}
+		ra.files[fh.Key()] = st
+	}
+	switch {
+	case st.seen && block == st.lastBlock+1:
+		st.streak++
+	case st.seen && block == st.lastBlock:
+		// repeated read of the same block: neutral
+	default:
+		st.streak = 0
+		st.nextWant = 0
+	}
+	st.lastBlock = block
+	st.seen = true
+	if st.streak < raMinStreak {
+		return nil
+	}
+	start := block + 1
+	if st.nextWant > start {
+		start = st.nextWant
+	}
+	end := block + 1 + uint64(window)
+	if start >= end {
+		return nil
+	}
+	var out []uint64
+	for b := start; b < end; b++ {
+		out = append(out, b)
+	}
+	st.nextWant = end
+	return out
+}
+
+// begin registers an in-flight prefetch for id, returning false if one
+// is already running.
+func (ra *readAhead) begin(id cache.BlockID) bool {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	if _, busy := ra.inflight[id]; busy {
+		return false
+	}
+	ra.inflight[id] = make(chan struct{})
+	return true
+}
+
+// finish completes the in-flight prefetch for id, waking waiters.
+func (ra *readAhead) finish(id cache.BlockID) {
+	ra.mu.Lock()
+	ch := ra.inflight[id]
+	delete(ra.inflight, id)
+	ra.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// waitFor blocks until any in-flight prefetch of (fh, block) finishes.
+// It reports whether there was one to wait for.
+func (ra *readAhead) waitFor(fh nfs3.FH, block uint64) bool {
+	id := cache.BlockID{FH: fh.Key(), Block: block}
+	ra.mu.Lock()
+	ch, ok := ra.inflight[id]
+	ra.mu.Unlock()
+	if !ok {
+		return false
+	}
+	<-ch
+	return true
+}
+
+// forget drops profiling state for a file (remove/rename).
+func (ra *readAhead) forget(fh nfs3.FH) {
+	ra.mu.Lock()
+	delete(ra.files, fh.Key())
+	ra.mu.Unlock()
+}
+
+// maybePrefetch schedules asynchronous prefetches of the blocks after
+// block when the file's access pattern warrants it.
+func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
+	if p.ra == nil {
+		return
+	}
+	targets := p.ra.observe(fh, block, p.cfg.ReadAhead)
+	if len(targets) == 0 {
+		return
+	}
+	size, sizeKnown := p.sizeOf(fh)
+	bs := uint64(p.cfg.BlockCache.BlockSize())
+	for _, b := range targets {
+		if sizeKnown && b*bs >= size {
+			break
+		}
+		if cached, _ := p.cfg.BlockCache.Peek(fh, b); cached {
+			continue
+		}
+		id := cache.BlockID{FH: fh.Key(), Block: b}
+		if !p.ra.begin(id) {
+			continue
+		}
+		// Never block the demand path on prefetch capacity.
+		select {
+		case p.ra.sem <- struct{}{}:
+		default:
+			p.ra.finish(id)
+			p.ra.rewind(fh, b)
+			return
+		}
+		go func(b uint64, id cache.BlockID) {
+			defer func() {
+				<-p.ra.sem
+				p.ra.finish(id)
+			}()
+			p.prefetchBlock(fh, b, bs)
+		}(b, id)
+	}
+}
+
+// prefetchBlock pulls one block into the disk cache. Errors are
+// swallowed: prefetching is best-effort and the demand path remains
+// correct without it.
+func (p *Proxy) prefetchBlock(fh nfs3.FH, block, bs uint64) {
+	args := nfs3.ReadArgs{FH: fh, Offset: block * bs, Count: uint32(bs)}
+	res, err := p.call(nfs3.ProcRead, args.Encode())
+	if err != nil {
+		return
+	}
+	r, err := nfs3.DecodeReadRes(res)
+	if err != nil || r.Status != nfs3.OK {
+		return
+	}
+	if r.Attr != nil {
+		p.rememberSize(fh, r.Attr.Size)
+	}
+	if len(r.Data) == 0 {
+		return
+	}
+	// A block dirtied by a racing demand write must win.
+	if cached, dirty := p.cfg.BlockCache.Peek(fh, block); cached && dirty {
+		return
+	}
+	if err := p.cfg.BlockCache.Put(fh, block, r.Data, false); err != nil {
+		return
+	}
+	p.count(func(s *Stats) { s.Prefetched++ })
+}
+
+// rewind lowers a file's scheduled-prefetch watermark after capacity
+// forced some of the window to be skipped, so the blocks are retried
+// on the next observation.
+func (ra *readAhead) rewind(fh nfs3.FH, to uint64) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	if st, ok := ra.files[fh.Key()]; ok && st.nextWant > to {
+		st.nextWant = to
+	}
+}

@@ -1,0 +1,292 @@
+// Package simnet emulates wide-area and local-area network links on
+// top of real loopback connections. It stands in for the paper's
+// physical networks: the 100 Mbit/s campus Ethernet between compute
+// and LAN image servers, and the Abilene path between the University
+// of Florida and Northwestern University for the WAN image server.
+//
+// A Link applies one-way propagation delay and token-bucket bandwidth
+// shaping to every byte that crosses it, and accounts traffic so
+// experiments can report wire bytes alongside wall time. Shaping is
+// enforced with real sleeps, so measured wall-clock durations include
+// the same latency·RPC-count and bytes/bandwidth terms that dominate
+// the paper's results.
+package simnet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Profile describes a link's characteristics.
+type Profile struct {
+	// Name labels the profile in reports ("LAN", "WAN", ...).
+	Name string
+	// RTT is the round-trip propagation delay; each direction of a
+	// Link adds RTT/2 to the delivery time of every byte.
+	RTT time.Duration
+	// Bandwidth is the link rate in bytes per second (0 = unlimited).
+	Bandwidth float64
+	// Scale divides both RTT and per-byte cost, letting full-size
+	// experiments run quickly while preserving every ratio. Zero or
+	// one means unscaled.
+	Scale float64
+}
+
+func (p Profile) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// OneWayDelay returns the effective one-way propagation delay.
+func (p Profile) OneWayDelay() time.Duration {
+	return time.Duration(float64(p.RTT) / 2 / p.scale())
+}
+
+// TransmitTime returns the serialization time for n bytes.
+func (p Profile) TransmitTime(n int) time.Duration {
+	if p.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / (p.Bandwidth * p.scale()) * float64(time.Second))
+}
+
+// Local is an unconstrained profile (same-host disk-backed access).
+func Local() Profile { return Profile{Name: "Local"} }
+
+// LAN models the paper's 100 Mbit/s campus Ethernet.
+func LAN() Profile {
+	return Profile{Name: "LAN", RTT: 200 * time.Microsecond, Bandwidth: 12.5e6}
+}
+
+// WAN models the Abilene path used in the paper, calibrated so that
+// full-image SCP (~1.9 GB in 1127 s) and block-by-block NFS reads of a
+// 320 MB memory state (~2060 s at 8 KB per 30 ms round trip) match the
+// reported baselines.
+func WAN() Profile {
+	return Profile{Name: "WAN", RTT: 30 * time.Millisecond, Bandwidth: 1.75e6}
+}
+
+// Stats accumulates traffic counters for one direction of a link.
+type Stats struct {
+	Bytes    atomic.Uint64
+	Messages atomic.Uint64
+}
+
+// LinkStats reports both directions of a link.
+type LinkStats struct {
+	Sent, Received uint64
+}
+
+// shaper meters bytes through a token bucket at the profile rate and
+// computes each message's delivery time (serialization plus
+// propagation). One shaper per direction serializes concurrent
+// writers, modelling a shared physical link — this is what makes eight
+// parallel clonings contend for the image server's uplink in the WAN-P
+// experiment.
+type shaper struct {
+	p  Profile
+	mu sync.Mutex
+	// nextFree is when the link is next idle (token-bucket horizon).
+	nextFree time.Time
+}
+
+// schedule accounts n bytes on the link. It returns how long the
+// sender must stall for serialization back-pressure and the absolute
+// time at which the bytes arrive at the far end. Senders do NOT wait
+// out the propagation delay — messages pipeline on the wire, as on a
+// real network.
+func (s *shaper) schedule(n int) (stall time.Duration, deliverAt time.Time) {
+	now := time.Now()
+	if s.p.RTT == 0 && s.p.Bandwidth <= 0 {
+		return 0, now
+	}
+	tx := s.p.TransmitTime(n)
+	s.mu.Lock()
+	if s.nextFree.Before(now) {
+		s.nextFree = now
+	}
+	s.nextFree = s.nextFree.Add(tx)
+	deliverAt = s.nextFree.Add(s.p.OneWayDelay())
+	stall = s.nextFree.Sub(now)
+	s.mu.Unlock()
+	return stall, deliverAt
+}
+
+// delivery is one in-flight message.
+type delivery struct {
+	data []byte
+	at   time.Time
+}
+
+// Conn wraps a net.Conn with link emulation. Writes stall only for
+// serialization (bandwidth back-pressure); a delivery goroutine
+// forwards each message to the underlying connection once its
+// propagation delay has elapsed, so independent messages pipeline.
+type Conn struct {
+	net.Conn
+	out   *shaper
+	stats *Stats
+
+	mu     sync.Mutex
+	ch     chan delivery
+	closed bool
+	werr   error
+}
+
+func newConn(raw net.Conn, out *shaper, stats *Stats) *Conn {
+	c := &Conn{Conn: raw, out: out, stats: stats, ch: make(chan delivery, 1024)}
+	go c.deliverLoop()
+	return c
+}
+
+func (c *Conn) deliverLoop() {
+	for d := range c.ch {
+		if wait := time.Until(d.at); wait > 0 {
+			time.Sleep(wait)
+		}
+		if _, err := c.Conn.Write(d.data); err != nil {
+			c.mu.Lock()
+			if c.werr == nil {
+				c.werr = err
+			}
+			c.mu.Unlock()
+			// Drain the rest so writers never block forever.
+			for range c.ch {
+			}
+			return
+		}
+	}
+}
+
+// Write shapes and forwards p. The data is copied; delivery happens
+// asynchronously after the link's propagation delay.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if c.werr != nil {
+		err := c.werr
+		c.mu.Unlock()
+		return 0, err
+	}
+	c.mu.Unlock()
+	stall, at := c.out.schedule(len(p))
+	c.stats.Bytes.Add(uint64(len(p)))
+	c.stats.Messages.Add(1)
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	if stall > 0 {
+		time.Sleep(stall)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	c.ch <- delivery{data: buf, at: at}
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+// Close stops deliveries and closes the underlying connection. Any
+// messages still "on the wire" are dropped, as when a host fails.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
+	return c.Conn.Close()
+}
+
+// Link emulates a bidirectional network path. Both directions share
+// the profile but have independent token buckets, as with full-duplex
+// links.
+type Link struct {
+	p         Profile
+	up, down  shaper // up: client→server, down: server→client
+	upStats   Stats
+	downStats Stats
+}
+
+// NewLink returns a Link with the given profile.
+func NewLink(p Profile) *Link {
+	return &Link{p: p, up: shaper{p: p}, down: shaper{p: p}}
+}
+
+// Profile returns the link's profile.
+func (l *Link) Profile() Profile { return l.p }
+
+// Stats returns cumulative traffic counts: bytes sent client→server
+// and server→client.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{Sent: l.upStats.Bytes.Load(), Received: l.downStats.Bytes.Load()}
+}
+
+// ResetStats zeroes the traffic counters.
+func (l *Link) ResetStats() {
+	l.upStats.Bytes.Store(0)
+	l.upStats.Messages.Store(0)
+	l.downStats.Bytes.Store(0)
+	l.downStats.Messages.Store(0)
+}
+
+// ClientConn wraps the client side of conn: writes traverse the uplink.
+func (l *Link) ClientConn(conn net.Conn) net.Conn {
+	return newConn(conn, &l.up, &l.upStats)
+}
+
+// ServerConn wraps the server side of conn: writes traverse the downlink.
+func (l *Link) ServerConn(conn net.Conn) net.Conn {
+	return newConn(conn, &l.down, &l.downStats)
+}
+
+// Listener wraps an accept loop so that every accepted connection is
+// shaped by the link's downlink (server writes).
+type Listener struct {
+	net.Listener
+	link *Link
+}
+
+// Listen starts a TCP listener on addr whose accepted connections are
+// shaped by link.
+func Listen(addr string, link *Link) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{Listener: l, link: link}, nil
+}
+
+// Accept returns the next shaped connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.link.ServerConn(conn), nil
+}
+
+// Dial connects to addr and shapes the client side with link.
+func Dial(addr string, link *Link) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return link.ClientConn(conn), nil
+}
+
+// Pipe returns an in-process connection pair shaped by link: cli's
+// writes traverse the uplink, srv's the downlink. It avoids TCP
+// overhead in unit tests.
+func Pipe(link *Link) (cli, srv net.Conn) {
+	a, b := net.Pipe()
+	return link.ClientConn(a), link.ServerConn(b)
+}

@@ -1,0 +1,465 @@
+// Package stack assembles complete GVFS deployments: an image server
+// (userspace NFS + MOUNT + file-channel services), a chain of GVFS
+// proxies, and the network links between them. It exists so that
+// tests, examples and the benchmark harness all build the paper's
+// topologies — compute server, optional LAN cache server, image
+// server across a WAN — from the same, well-tested wiring.
+package stack
+
+import (
+	"time"
+
+	"fmt"
+	"net"
+
+	"gvfs/internal/auth"
+	"gvfs/internal/cache"
+	"gvfs/internal/filecache"
+	"gvfs/internal/filechan"
+	"gvfs/internal/memfs"
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/proxy"
+	"gvfs/internal/simnet"
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/tunnel"
+)
+
+// Node is one running RPC endpoint (server or proxy).
+type Node struct {
+	Addr       string
+	Proxy      *proxy.Proxy // nil for end servers
+	BlockCache *cache.Cache // nil unless the proxy has a disk cache
+	rpcSrv     *sunrpc.Server
+	listener   net.Listener
+	extra      []func() // additional cleanup
+}
+
+// Close stops the node.
+func (n *Node) Close() {
+	if n.rpcSrv != nil {
+		n.rpcSrv.Close()
+	}
+	if n.listener != nil {
+		n.listener.Close()
+	}
+	for _, f := range n.extra {
+		f()
+	}
+}
+
+// listen opens a loopback listener, optionally shaped by link and
+// wrapped in a tunnel responder with key.
+func listen(link *simnet.Link, key []byte) (net.Listener, error) {
+	return ListenOn("127.0.0.1:0", link, key)
+}
+
+// ListenOn opens a listener on addr, optionally shaped by link and
+// wrapped in a tunnel responder with key. Exported for the daemons.
+func ListenOn(addr string, link *simnet.Link, key []byte) (net.Listener, error) {
+	var l net.Listener
+	var err error
+	if link != nil {
+		l, err = simnet.Listen(addr, link)
+	} else {
+		l, err = net.Listen("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if key != nil {
+		l = &tunnelListener{Listener: l, key: key}
+	}
+	return l, nil
+}
+
+// tunnelListener upgrades accepted connections to tunnel endpoints.
+type tunnelListener struct {
+	net.Listener
+	key []byte
+}
+
+func (t *tunnelListener) Accept() (net.Conn, error) {
+	for {
+		raw, err := t.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		// A failed or stalled handshake (wrong key, port scan) must
+		// not take the service down: bound it and keep accepting.
+		raw.SetDeadline(time.Now().Add(10 * time.Second))
+		conn, err := tunnel.Server(raw, t.key)
+		if err != nil {
+			raw.Close()
+			continue
+		}
+		raw.SetDeadline(time.Time{})
+		return conn, nil
+	}
+}
+
+// Dialer returns a dial function to addr, optionally shaped by link
+// and upgraded to a tunnel initiator with key.
+func Dialer(addr string, link *simnet.Link, key []byte) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		var conn net.Conn
+		var err error
+		if link != nil {
+			conn, err = simnet.Dial(addr, link)
+		} else {
+			conn, err = net.Dial("tcp", addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if key != nil {
+			tc, err := tunnel.Client(conn, key)
+			if err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return tc, nil
+		}
+		return conn, nil
+	}
+}
+
+// NFSServerOptions configure StartNFSServer.
+type NFSServerOptions struct {
+	// Exports lists MOUNT dirpaths all mapped to the backend root
+	// (default: "/").
+	Exports []string
+	// ListenLink shapes the listener (for proxy-less baselines that
+	// mount the end server across the WAN directly).
+	ListenLink *simnet.Link
+	// ListenKey upgrades accepted connections to tunnel endpoints.
+	ListenKey []byte
+}
+
+// StartNFSServer runs a userspace NFS+MOUNT server for backend.
+func StartNFSServer(backend nfs3.Backend, opts NFSServerOptions) (*Node, error) {
+	root, err := backend.Root()
+	if err != nil {
+		return nil, err
+	}
+	srv := sunrpc.NewServer()
+	srv.Register(nfs3.Program, nfs3.Version, nfs3.NewServer(backend))
+	md := mountd.NewServer()
+	exports := opts.Exports
+	if len(exports) == 0 {
+		exports = []string{"/"}
+	}
+	for _, e := range exports {
+		md.Export(e, root)
+	}
+	srv.Register(nfs3.MountProgram, nfs3.MountVersion, md)
+	l, err := listen(opts.ListenLink, opts.ListenKey)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(l)
+	return &Node{Addr: l.Addr().String(), rpcSrv: srv, listener: l}, nil
+}
+
+// StartFileChanServer runs a file-channel service for store.
+func StartFileChanServer(store filechan.FileStore, link *simnet.Link, key []byte) (*Node, error) {
+	l, err := listen(link, key)
+	if err != nil {
+		return nil, err
+	}
+	srv := filechan.NewServer(store)
+	go srv.Serve(l)
+	return &Node{Addr: l.Addr().String(), listener: l, extra: []func(){srv.Close}}, nil
+}
+
+// ProxyOptions configure StartProxy.
+type ProxyOptions struct {
+	// UpstreamAddr is the next hop's RPC address.
+	UpstreamAddr string
+	// UpstreamLink shapes the upstream connection.
+	UpstreamLink *simnet.Link
+	// UpstreamKey tunnels the upstream connection.
+	UpstreamKey []byte
+
+	// ListenLink / ListenKey shape and protect this proxy's listener.
+	ListenLink *simnet.Link
+	ListenKey  []byte
+
+	// Mapper enables identity mapping (server-side proxy role).
+	Mapper *auth.Mapper
+
+	// CacheConfig enables the block-based disk cache (Dir required).
+	CacheConfig *cache.Config
+
+	// SharedBlockCache lets several proxies serve from one disk cache
+	// — the paper's shared read-only cache mode. The cache must be
+	// configured ReadOnly; writes bypass it. Mutually exclusive with
+	// CacheConfig.
+	SharedBlockCache *cache.Cache
+
+	// FileCacheDir enables the file-based cache; FileChanAddr (plus
+	// optional link and key) reaches the image server's file channel.
+	FileCacheDir string
+	FileChanAddr string
+	FileChanLink *simnet.Link
+	FileChanKey  []byte
+
+	// DisableMeta turns meta-data handling off (ablations).
+	DisableMeta bool
+
+	// ReadAhead enables sequential prefetching of this many blocks at
+	// the proxy (requires CacheConfig).
+	ReadAhead int
+
+	// PersistIndex reloads a saved cache-tag snapshot from the cache
+	// directory at startup, so a restarted proxy resumes with a warm
+	// disk cache. Pair with Cache.SaveIndex at shutdown.
+	PersistIndex bool
+
+	// IdleWriteBack, when positive, starts the proxy's idle writer:
+	// dirty session data is propagated automatically once the session
+	// has been quiet this long (paper §3.2.3).
+	IdleWriteBack time.Duration
+}
+
+// StartProxy runs a GVFS proxy node.
+func StartProxy(opts ProxyOptions) (*Node, error) {
+	dial := Dialer(opts.UpstreamAddr, opts.UpstreamLink, opts.UpstreamKey)
+	conn, err := dial()
+	if err != nil {
+		return nil, fmt.Errorf("stack: proxy upstream dial: %w", err)
+	}
+	upstream := sunrpc.NewClient(conn)
+
+	cfg := proxy.Config{
+		Upstream:    upstream,
+		Mapper:      opts.Mapper,
+		DisableMeta: opts.DisableMeta,
+		ReadAhead:   opts.ReadAhead,
+	}
+	var cleanup []func()
+	cleanup = append(cleanup, func() { upstream.Close() })
+
+	var blockCache *cache.Cache
+	if opts.SharedBlockCache != nil {
+		if opts.CacheConfig != nil {
+			upstream.Close()
+			return nil, fmt.Errorf("stack: SharedBlockCache and CacheConfig are mutually exclusive")
+		}
+		if !opts.SharedBlockCache.Config().ReadOnly {
+			upstream.Close()
+			return nil, fmt.Errorf("stack: a shared block cache must be ReadOnly")
+		}
+		blockCache = opts.SharedBlockCache
+		cfg.BlockCache = blockCache
+		cfg.WritePolicy = cache.WriteThrough
+		// Shared caches are not closed with the node: their owner is
+		// whoever created them.
+	}
+	if opts.CacheConfig != nil {
+		blockCache, err = cache.New(*opts.CacheConfig)
+		if err != nil {
+			upstream.Close()
+			return nil, err
+		}
+		if opts.PersistIndex {
+			if err := blockCache.LoadIndex(); err != nil {
+				blockCache.Close()
+				upstream.Close()
+				return nil, fmt.Errorf("stack: reload cache index: %w", err)
+			}
+		}
+		cfg.BlockCache = blockCache
+		cfg.WritePolicy = opts.CacheConfig.Policy
+		cleanup = append(cleanup, func() { blockCache.Close() })
+	}
+	if opts.FileCacheDir != "" {
+		fc, err := filecache.New(opts.FileCacheDir)
+		if err != nil {
+			upstream.Close()
+			return nil, err
+		}
+		cfg.FileCache = fc
+		if opts.FileChanAddr != "" {
+			cfg.FileChanDial = Dialer(opts.FileChanAddr, opts.FileChanLink, opts.FileChanKey)
+		}
+	}
+
+	p, err := proxy.New(cfg)
+	if err != nil {
+		upstream.Close()
+		return nil, err
+	}
+	srv := sunrpc.NewServer()
+	srv.Register(nfs3.Program, nfs3.Version, p)
+	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)
+	l, err := listen(opts.ListenLink, opts.ListenKey)
+	if err != nil {
+		upstream.Close()
+		return nil, err
+	}
+	if opts.IdleWriteBack > 0 {
+		stopIdle := p.StartIdleWriteBack(opts.IdleWriteBack)
+		cleanup = append(cleanup, stopIdle)
+	}
+	go srv.Serve(l)
+	return &Node{Addr: l.Addr().String(), Proxy: p, BlockCache: blockCache,
+		rpcSrv: srv, listener: l, extra: cleanup}, nil
+}
+
+// ImageServer bundles the services running on a paper "image server":
+// the NFS/MOUNT server, the server-side GVFS proxy with identity
+// mapping, and the file-channel service. The proxy and file channel
+// listen across the given link (the WAN or LAN path to this server);
+// the NFS server itself is only reachable locally, through the proxy.
+type ImageServer struct {
+	FS        *memfs.FS
+	NFS       *Node
+	Proxy     *Node
+	FileChan  *Node
+	Key       []byte // tunnel session key for this server's services
+	Allocator *auth.Allocator
+}
+
+// Close stops all services.
+func (s *ImageServer) Close() {
+	if s.Proxy != nil {
+		s.Proxy.Close()
+	}
+	if s.FileChan != nil {
+		s.FileChan.Close()
+	}
+	if s.NFS != nil {
+		s.NFS.Close()
+	}
+}
+
+// ProxyAddr is the address sessions and downstream proxies connect to.
+func (s *ImageServer) ProxyAddr() string { return s.Proxy.Addr }
+
+// FileChanAddr is the file-channel service address.
+func (s *ImageServer) FileChanAddr() string { return s.FileChan.Addr }
+
+// ImageServerOptions configure StartImageServer.
+type ImageServerOptions struct {
+	// Link is the network path to this server (nil = local).
+	Link *simnet.Link
+	// Encrypt enables tunnels on the proxy and file-channel services.
+	Encrypt bool
+	// IdentityBase/IdentityCount configure the logical account pool.
+	IdentityBase, IdentityCount uint32
+}
+
+// StartImageServer assembles a full image server around fs.
+func StartImageServer(fs *memfs.FS, opts ImageServerOptions) (*ImageServer, error) {
+	nfsNode, err := StartNFSServer(fs, NFSServerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var key []byte
+	if opts.Encrypt {
+		key, err = tunnel.NewKey()
+		if err != nil {
+			nfsNode.Close()
+			return nil, err
+		}
+	}
+	base, count := opts.IdentityBase, opts.IdentityCount
+	if count == 0 {
+		base, count = 60000, 1000
+	}
+	alloc := auth.NewAllocator(base, count, identityTTL)
+	proxyNode, err := StartProxy(ProxyOptions{
+		UpstreamAddr: nfsNode.Addr,
+		ListenLink:   opts.Link,
+		ListenKey:    key,
+		Mapper:       auth.NewMapper(alloc),
+	})
+	if err != nil {
+		nfsNode.Close()
+		return nil, err
+	}
+	fcNode, err := StartFileChanServer(fs, opts.Link, key)
+	if err != nil {
+		proxyNode.Close()
+		nfsNode.Close()
+		return nil, err
+	}
+	return &ImageServer{
+		FS:        fs,
+		NFS:       nfsNode,
+		Proxy:     proxyNode,
+		FileChan:  fcNode,
+		Key:       key,
+		Allocator: alloc,
+	}, nil
+}
+
+// identityTTL is the short-lived identity lifetime used by image
+// servers (renewed on use, so it only needs to exceed call gaps).
+const identityTTL = 30 * time.Minute
+
+// relayStore is a caching filechan.FileStore: reads are served from a
+// local file cache, fetched (compressed) from the upstream file
+// channel on miss; writes pass through. It gives a LAN cache server
+// the file-based half of the paper's second-level heterogeneous cache.
+type relayStore struct {
+	dial  func() (net.Conn, error)
+	cache *filecache.Cache
+}
+
+// ReadFile implements filechan.FileStore.
+func (r *relayStore) ReadFile(path string) ([]byte, error) {
+	if r.cache.Has(path) {
+		return r.cache.Contents(path)
+	}
+	conn, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	data, err := filechan.Fetch(conn, path, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.cache.Store(path, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// WriteFile implements filechan.FileStore (write-through upload).
+func (r *relayStore) WriteFile(path string, data []byte) error {
+	conn, err := r.dial()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := filechan.Put(conn, path, data, true); err != nil {
+		return err
+	}
+	return r.cache.Store(path, data)
+}
+
+// StartFileChanRelay runs a caching file-channel relay: downstream
+// clients fetch from it across listenLink; misses are pulled from the
+// upstream file channel through upstreamDial. This is the second-level
+// file cache of the paper's WAN-S3 scenario.
+func StartFileChanRelay(upstreamDial func() (net.Conn, error), cacheDir string,
+	listenLink *simnet.Link, listenKey []byte) (*Node, error) {
+	fc, err := filecache.New(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	store := &relayStore{dial: upstreamDial, cache: fc}
+	l, err := listen(listenLink, listenKey)
+	if err != nil {
+		return nil, err
+	}
+	srv := filechan.NewServer(store)
+	go srv.Serve(l)
+	return &Node{Addr: l.Addr().String(), listener: l, extra: []func(){srv.Close}}, nil
+}
+
+// AddCleanup registers fn to run when the node is closed.
+func (n *Node) AddCleanup(fn func()) { n.extra = append(n.extra, fn) }

@@ -1,0 +1,518 @@
+// Package sunrpc implements the ONC RPC version 2 protocol (RFC 5531)
+// over stream transports with record marking (RFC 5531 §11). It provides
+// a concurrent Client that multiplexes calls over one connection using
+// XID matching, and a Server that dispatches registered programs.
+//
+// Only the features NFSv3 and MOUNT need are implemented: AUTH_NONE and
+// AUTH_UNIX credential flavors, accepted replies with the standard
+// accept states, and TCP-style record marking. This is the transport
+// that the GVFS proxies interpose on: a proxy is simultaneously a
+// sunrpc.Server (towards the client) and a sunrpc.Client (towards the
+// next hop).
+package sunrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"gvfs/internal/xdr"
+)
+
+// RPC message constants from RFC 5531.
+const (
+	rpcVersion = 2
+
+	msgCall  = 0
+	msgReply = 1
+
+	replyAccepted = 0
+	replyDenied   = 1
+)
+
+// AcceptStat is the status of an accepted RPC reply.
+type AcceptStat uint32
+
+// Accept states (RFC 5531 §9).
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "SUCCESS"
+	case ProgUnavail:
+		return "PROG_UNAVAIL"
+	case ProgMismatch:
+		return "PROG_MISMATCH"
+	case ProcUnavail:
+		return "PROC_UNAVAIL"
+	case GarbageArgs:
+		return "GARBAGE_ARGS"
+	case SystemErr:
+		return "SYSTEM_ERR"
+	}
+	return fmt.Sprintf("AcceptStat(%d)", uint32(s))
+}
+
+// Auth flavors.
+const (
+	AuthNone uint32 = 0
+	AuthUnix uint32 = 1
+)
+
+// OpaqueAuth is an RPC authenticator: a flavor and opaque body.
+type OpaqueAuth struct {
+	Flavor uint32
+	Body   []byte
+}
+
+// AuthNoneCred is the empty AUTH_NONE credential.
+var AuthNoneCred = OpaqueAuth{Flavor: AuthNone}
+
+// UnixCred is the AUTH_UNIX credential body (RFC 5531 appendix A).
+type UnixCred struct {
+	Stamp       uint32
+	MachineName string
+	UID, GID    uint32
+	GIDs        []uint32
+}
+
+// Encode serializes the credential into an OpaqueAuth.
+func (c UnixCred) Encode() OpaqueAuth {
+	var b sliceWriter
+	e := xdr.NewEncoder(&b)
+	e.Uint32(c.Stamp)
+	e.String(c.MachineName)
+	e.Uint32(c.UID)
+	e.Uint32(c.GID)
+	e.Uint32(uint32(len(c.GIDs)))
+	for _, g := range c.GIDs {
+		e.Uint32(g)
+	}
+	return OpaqueAuth{Flavor: AuthUnix, Body: b}
+}
+
+// DecodeUnixCred parses an AUTH_UNIX opaque body.
+func DecodeUnixCred(a OpaqueAuth) (UnixCred, error) {
+	if a.Flavor != AuthUnix {
+		return UnixCred{}, fmt.Errorf("sunrpc: flavor %d is not AUTH_UNIX", a.Flavor)
+	}
+	d := xdr.NewDecoder(bytesReader(a.Body))
+	var c UnixCred
+	c.Stamp = d.Uint32()
+	c.MachineName = d.String()
+	c.UID = d.Uint32()
+	c.GID = d.Uint32()
+	n := d.Uint32()
+	if n > 16 {
+		return UnixCred{}, errors.New("sunrpc: too many groups in AUTH_UNIX cred")
+	}
+	for i := uint32(0); i < n; i++ {
+		c.GIDs = append(c.GIDs, d.Uint32())
+	}
+	if err := d.Err(); err != nil {
+		return UnixCred{}, fmt.Errorf("sunrpc: bad AUTH_UNIX cred: %w", err)
+	}
+	return c, nil
+}
+
+// sliceWriter is a minimal append-based io.Writer.
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+func bytesReader(p []byte) io.Reader { return &byteSliceReader{p: p} }
+
+type byteSliceReader struct{ p []byte }
+
+func (r *byteSliceReader) Read(out []byte) (int, error) {
+	if len(r.p) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(out, r.p)
+	r.p = r.p[n:]
+	return n, nil
+}
+
+// maxRecord bounds a single RPC record. NFSv3 transfers are capped at
+// 32 KB of payload; 1 MiB leaves ample room for headers and READDIR
+// replies.
+const maxRecord = 1 << 20
+
+// writeRecord writes one record-marked RPC message. Header and payload
+// go out in a single Write so the message crosses emulated links (and
+// tunnel framing) as one unit, costing one propagation delay.
+func writeRecord(w io.Writer, payload []byte) error {
+	msg := make([]byte, 4+len(payload))
+	// Last-fragment bit set: we always send whole messages as one fragment.
+	binary.BigEndian.PutUint32(msg[:4], uint32(len(payload))|0x80000000)
+	copy(msg[4:], payload)
+	_, err := w.Write(msg)
+	return err
+}
+
+// readRecord reads one record-marked RPC message, reassembling fragments.
+func readRecord(r io.Reader) ([]byte, error) {
+	var rec []byte
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		last := n&0x80000000 != 0
+		n &^= 0x80000000
+		if n > maxRecord || len(rec)+int(n) > maxRecord {
+			return nil, fmt.Errorf("sunrpc: record too large (%d bytes)", n)
+		}
+		frag := make([]byte, n)
+		if _, err := io.ReadFull(r, frag); err != nil {
+			return nil, err
+		}
+		rec = append(rec, frag...)
+		if last {
+			return rec, nil
+		}
+	}
+}
+
+func encodeAuth(e *xdr.Encoder, a OpaqueAuth) {
+	e.Uint32(a.Flavor)
+	e.Opaque(a.Body)
+}
+
+func decodeAuth(d *xdr.Decoder) OpaqueAuth {
+	return OpaqueAuth{Flavor: d.Uint32(), Body: d.Opaque()}
+}
+
+// marshalCall builds the wire form of a CALL message.
+func marshalCall(xid, prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) []byte {
+	var b sliceWriter
+	e := xdr.NewEncoder(&b)
+	e.Uint32(xid)
+	e.Uint32(msgCall)
+	e.Uint32(rpcVersion)
+	e.Uint32(prog)
+	e.Uint32(vers)
+	e.Uint32(proc)
+	encodeAuth(e, cred)
+	encodeAuth(e, verf)
+	b = append(b, args...)
+	return b
+}
+
+// marshalAcceptedReply builds the wire form of an accepted REPLY.
+func marshalAcceptedReply(xid uint32, stat AcceptStat, results []byte) []byte {
+	var b sliceWriter
+	e := xdr.NewEncoder(&b)
+	e.Uint32(xid)
+	e.Uint32(msgReply)
+	e.Uint32(replyAccepted)
+	encodeAuth(e, AuthNoneCred) // verifier
+	e.Uint32(uint32(stat))
+	b = append(b, results...)
+	return b
+}
+
+// Call describes a received RPC call as seen by a Server handler.
+type Call struct {
+	XID        uint32
+	Prog, Vers uint32
+	Proc       uint32
+	Cred       OpaqueAuth
+	Verf       OpaqueAuth
+	Args       []byte // raw XDR-encoded procedure arguments
+	RemoteAddr net.Addr
+}
+
+// Handler processes calls for one (program, version). Results must be
+// the raw XDR-encoded reply body; stat reports the RPC accept state.
+// Handlers are invoked concurrently.
+type Handler interface {
+	HandleCall(c *Call) (results []byte, stat AcceptStat)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(c *Call) ([]byte, AcceptStat)
+
+// HandleCall calls f(c).
+func (f HandlerFunc) HandleCall(c *Call) ([]byte, AcceptStat) { return f(c) }
+
+type progVers struct{ prog, vers uint32 }
+
+// Server serves ONC RPC programs on a stream listener.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[progVers]Handler
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer returns an empty Server; register programs before serving.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[progVers]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register installs h as the handler for (prog, vers).
+func (s *Server) Register(prog, vers uint32, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[progVers{prog, vers}] = h
+}
+
+// Serve accepts connections from l until l is closed or Close is called.
+// It always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close terminates all active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = make(map[net.Conn]struct{})
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var wmu sync.Mutex // serializes record writes from concurrent handlers
+	for {
+		rec, err := readRecord(conn)
+		if err != nil {
+			return
+		}
+		call, err := parseCall(rec)
+		if err != nil {
+			return // malformed stream: drop connection
+		}
+		call.RemoteAddr = conn.RemoteAddr()
+		s.mu.Lock()
+		h, ok := s.handlers[progVers{call.Prog, call.Vers}]
+		s.mu.Unlock()
+		go func() {
+			var results []byte
+			stat := ProgUnavail
+			if ok {
+				results, stat = h.HandleCall(call)
+			}
+			reply := marshalAcceptedReply(call.XID, stat, results)
+			wmu.Lock()
+			err := writeRecord(conn, reply)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func parseCall(rec []byte) (*Call, error) {
+	d := xdr.NewDecoder(bytesReader(rec))
+	c := &Call{}
+	c.XID = d.Uint32()
+	if mt := d.Uint32(); mt != msgCall {
+		return nil, fmt.Errorf("sunrpc: unexpected message type %d", mt)
+	}
+	if rv := d.Uint32(); rv != rpcVersion {
+		return nil, fmt.Errorf("sunrpc: unsupported RPC version %d", rv)
+	}
+	c.Prog = d.Uint32()
+	c.Vers = d.Uint32()
+	c.Proc = d.Uint32()
+	c.Cred = decodeAuth(d)
+	c.Verf = decodeAuth(d)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	// Header length: everything consumed so far. Recompute to slice args.
+	hdrLen := 4*6 + 8 + len(c.Cred.Body) + padTo4(len(c.Cred.Body)) +
+		8 + len(c.Verf.Body) + padTo4(len(c.Verf.Body))
+	c.Args = rec[hdrLen:]
+	return c, nil
+}
+
+func padTo4(n int) int {
+	if r := n % 4; r != 0 {
+		return 4 - r
+	}
+	return 0
+}
+
+// ErrClientClosed is returned by Call after the client is closed or its
+// connection fails.
+var ErrClientClosed = errors.New("sunrpc: client closed")
+
+// RPCError reports a non-SUCCESS accept state from the server.
+type RPCError struct {
+	Stat AcceptStat
+}
+
+func (e *RPCError) Error() string { return "sunrpc: call failed: " + e.Stat.String() }
+
+// Client issues RPC calls over a single stream connection. It is safe
+// for concurrent use: calls are multiplexed by XID.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	nextXID uint32
+	pending map[uint32]chan clientReply
+	err     error
+}
+
+type clientReply struct {
+	stat    AcceptStat
+	results []byte
+	err     error
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		nextXID: 1,
+		pending: make(map[uint32]chan clientReply),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to addr over TCP and returns a Client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	for {
+		rec, err := readRecord(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClientClosed, err))
+			return
+		}
+		d := xdr.NewDecoder(bytesReader(rec))
+		xid := d.Uint32()
+		mt := d.Uint32()
+		rstat := d.Uint32()
+		if d.Err() != nil || mt != msgReply {
+			c.fail(errors.New("sunrpc: malformed reply"))
+			return
+		}
+		var rep clientReply
+		if rstat == replyDenied {
+			rep.err = errors.New("sunrpc: call denied by server")
+		} else {
+			verf := decodeAuth(d)
+			_ = verf
+			rep.stat = AcceptStat(d.Uint32())
+			if err := d.Err(); err != nil {
+				c.fail(err)
+				return
+			}
+			hdrLen := 4*3 + 8 + len(verf.Body) + padTo4(len(verf.Body)) + 4
+			rep.results = rec[hdrLen:]
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[xid]
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		if ok {
+			ch <- rep
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for xid, ch := range c.pending {
+		ch <- clientReply{err: err}
+		delete(c.pending, xid)
+	}
+}
+
+// Call issues one RPC and waits for its reply. On a non-SUCCESS accept
+// state it returns an *RPCError.
+func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	xid := c.nextXID
+	c.nextXID++
+	ch := make(chan clientReply, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	msg := marshalCall(xid, prog, vers, proc, cred, AuthNoneCred, args)
+	c.wmu.Lock()
+	err := writeRecord(c.conn, msg)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClientClosed, err)
+	}
+
+	rep := <-ch
+	if rep.err != nil {
+		return nil, rep.err
+	}
+	if rep.stat != Success {
+		return nil, &RPCError{Stat: rep.stat}
+	}
+	return rep.results, nil
+}

@@ -1,0 +1,231 @@
+// Package workload reproduces the I/O structure of the paper's three
+// application benchmarks — SPECseis96, the LaTeX interactive document
+// benchmark, and the Red Hat 2.4.18 kernel compilation — as drivers of
+// VM virtual-disk traffic. Inside a paper VM these applications issue
+// file I/O that the guest OS turns into block reads/writes on the
+// .vmdk file over NFS; GuestFS performs the same translation here, so
+// the proxy chain sees the same traffic shape: large sequential trace
+// writes (SPECseis phase 1), repeated reads of program binaries with
+// small patch/output writes (LaTeX), and wide reads of a source tree
+// with many object writes (kernel compilation).
+//
+// All sizes and compute times take the paper's full-scale values,
+// divided by a configurable Scale so experiments complete quickly
+// while preserving every ratio.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DiskFile is the VM virtual disk interface GuestFS drives; *gvfs.File
+// implements it.
+type DiskFile interface {
+	io.ReaderAt
+	io.WriterAt
+}
+
+type extent struct {
+	off  uint64
+	size uint64
+}
+
+// GuestFS maps guest files onto extents of the VM's virtual disk,
+// modelling the guest filesystem's layout: preinstalled software (the
+// benchmark binaries and datasets baked into the golden image) lives
+// in the low region of the disk; files the benchmark writes land in a
+// scratch region above it.
+type GuestFS struct {
+	disk      DiskFile
+	blockSize uint64
+
+	mu         sync.Mutex
+	installed  map[string]extent
+	written    map[string]extent
+	installAt  uint64
+	scratchAt  uint64
+	scratchTop uint64
+
+	bytesRead    uint64
+	bytesWritten uint64
+}
+
+// FileSpec declares one preinstalled guest file.
+type FileSpec struct {
+	Name string
+	Size uint64
+}
+
+// NewGuestFS lays out a guest filesystem on disk. diskSize bounds the
+// scratch region; installed files are allocated from the front of the
+// disk in the order given.
+func NewGuestFS(disk DiskFile, diskSize uint64, blockSize uint32, installed []FileSpec) (*GuestFS, error) {
+	g := &GuestFS{
+		disk:       disk,
+		blockSize:  uint64(blockSize),
+		installed:  make(map[string]extent),
+		written:    make(map[string]extent),
+		scratchTop: diskSize,
+	}
+	for _, f := range installed {
+		g.installed[f.Name] = extent{off: g.installAt, size: f.Size}
+		g.installAt += align(f.Size, g.blockSize)
+	}
+	// Scratch begins at the installed high-water mark, block aligned.
+	g.scratchAt = align(g.installAt, g.blockSize)
+	if g.scratchAt >= diskSize {
+		return nil, fmt.Errorf("workload: installed files (%d bytes) exceed disk size %d", g.installAt, diskSize)
+	}
+	return g, nil
+}
+
+func align(n, bs uint64) uint64 {
+	if r := n % bs; r != 0 {
+		return n + bs - r
+	}
+	return n
+}
+
+// BytesRead returns the total bytes read through the guest.
+func (g *GuestFS) BytesRead() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bytesRead
+}
+
+// BytesWritten returns the total bytes written through the guest.
+func (g *GuestFS) BytesWritten() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bytesWritten
+}
+
+func (g *GuestFS) lookup(name string) (extent, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.written[name]; ok {
+		return e, true
+	}
+	e, ok := g.installed[name]
+	return e, ok
+}
+
+// ReadFile reads the whole guest file in block-size chunks, returning
+// the byte count.
+func (g *GuestFS) ReadFile(name string) (uint64, error) {
+	e, ok := g.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("workload: guest file %q does not exist", name)
+	}
+	return g.readExtent(e)
+}
+
+// ReadFileRange reads count bytes starting at off within the file.
+func (g *GuestFS) ReadFileRange(name string, off, count uint64) (uint64, error) {
+	e, ok := g.lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("workload: guest file %q does not exist", name)
+	}
+	if off >= e.size {
+		return 0, nil
+	}
+	if off+count > e.size {
+		count = e.size - off
+	}
+	return g.readExtent(extent{off: e.off + off, size: count})
+}
+
+func (g *GuestFS) readExtent(e extent) (uint64, error) {
+	buf := make([]byte, g.blockSize)
+	var done uint64
+	for done < e.size {
+		n := g.blockSize
+		if e.size-done < n {
+			n = e.size - done
+		}
+		if _, err := g.disk.ReadAt(buf[:n], int64(e.off+done)); err != nil && err != io.EOF {
+			return done, err
+		}
+		done += n
+	}
+	g.mu.Lock()
+	g.bytesRead += done
+	g.mu.Unlock()
+	return done, nil
+}
+
+var fillPattern = func() []byte {
+	p := make([]byte, 8192)
+	for i := range p {
+		p[i] = byte(i*131 + 17)
+	}
+	return p
+}()
+
+// WriteFile creates or overwrites a guest file of the given size,
+// writing deterministic content block by block.
+func (g *GuestFS) WriteFile(name string, size uint64) error {
+	g.mu.Lock()
+	e, ok := g.written[name]
+	if !ok || e.size < size {
+		// Allocate a fresh (or larger) extent in the scratch region.
+		e = extent{off: g.scratchAt, size: size}
+		needed := align(size, g.blockSize)
+		if g.scratchAt+needed > g.scratchTop {
+			g.mu.Unlock()
+			return fmt.Errorf("workload: guest disk full writing %q (%d bytes)", name, size)
+		}
+		g.scratchAt += needed
+	} else {
+		e.size = size
+	}
+	g.written[name] = e
+	g.mu.Unlock()
+	return g.writeExtent(extent{off: e.off, size: size})
+}
+
+// PatchFile overwrites count bytes at off within an existing file —
+// the LaTeX benchmark's per-iteration "patch" of one input.
+func (g *GuestFS) PatchFile(name string, off, count uint64) error {
+	e, ok := g.lookup(name)
+	if !ok {
+		return fmt.Errorf("workload: guest file %q does not exist", name)
+	}
+	if off+count > e.size {
+		return fmt.Errorf("workload: patch beyond %q", name)
+	}
+	return g.writeExtent(extent{off: e.off + off, size: count})
+}
+
+func (g *GuestFS) writeExtent(e extent) error {
+	var done uint64
+	for done < e.size {
+		n := g.blockSize
+		if e.size-done < n {
+			n = e.size - done
+		}
+		chunk := fillPattern
+		if uint64(len(chunk)) > n {
+			chunk = chunk[:n]
+		}
+		for uint64(len(chunk)) < n {
+			chunk = append(chunk, fillPattern...)
+		}
+		if _, err := g.disk.WriteAt(chunk[:n], int64(e.off+done)); err != nil {
+			return err
+		}
+		done += n
+	}
+	g.mu.Lock()
+	g.bytesWritten += done
+	g.mu.Unlock()
+	return nil
+}
+
+// FileSize reports the size of a guest file.
+func (g *GuestFS) FileSize(name string) (uint64, bool) {
+	e, ok := g.lookup(name)
+	return e.size, ok
+}

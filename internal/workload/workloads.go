@@ -1,0 +1,325 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params tune a workload run.
+type Params struct {
+	// Scale divides all data sizes and compute times (default 1 =
+	// paper scale). Ratios between scenarios are scale-invariant.
+	Scale float64
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+// ScaledSize scales a paper-scale byte count by 1/Scale (exported for
+// harness code that sizes ad-hoc transfers consistently).
+func (p Params) ScaledSize(bytes uint64) uint64 { return p.size(bytes) }
+
+// size scales a paper-scale byte count.
+func (p Params) size(bytes uint64) uint64 {
+	s := uint64(float64(bytes) / p.scale())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// compute sleeps for a paper-scale CPU time, scaled down. It stands in
+// for the benchmark's computation phases (the VM's CPU work does not
+// touch the distributed file system, so a scaled delay preserves the
+// compute/I/O ratio).
+func (p Params) compute(d time.Duration) {
+	time.Sleep(time.Duration(float64(d) / p.scale()))
+}
+
+// PhaseResult is the measured duration of one workload phase.
+type PhaseResult struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Report is the outcome of one workload run.
+type Report struct {
+	Workload string
+	Phases   []PhaseResult
+	Total    time.Duration
+}
+
+// Phase returns the duration of the named phase.
+func (r *Report) Phase(name string) time.Duration {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Duration
+		}
+	}
+	return 0
+}
+
+// runPhases executes named phases, timing each.
+func runPhases(workload string, phases []struct {
+	name string
+	fn   func() error
+}) (*Report, error) {
+	rep := &Report{Workload: workload}
+	start := time.Now()
+	for _, ph := range phases {
+		t0 := time.Now()
+		if err := ph.fn(); err != nil {
+			return rep, fmt.Errorf("%s/%s: %w", workload, ph.name, err)
+		}
+		rep.Phases = append(rep.Phases, PhaseResult{Name: ph.name, Duration: time.Since(t0)})
+	}
+	rep.Total = time.Since(start)
+	return rep, nil
+}
+
+// --- SPECseis96 ---
+
+// SPECseisInstall returns the preinstalled guest files the SPECseis
+// benchmark needs (binary + seismic input dataset).
+func SPECseisInstall(p Params) []FileSpec {
+	return []FileSpec{
+		{Name: "bin/specseis", Size: p.size(8 << 20)},
+		{Name: "data/seis.input", Size: p.size(16 << 20)},
+	}
+}
+
+// SPECseis models the SPEC high-performance group seismic benchmark in
+// sequential mode with the small dataset: four phases where phase 1
+// generates a large trace file on disk (I/O intensive) and phase 4
+// performs intensive seismic processing (compute intensive).
+func SPECseis(g *GuestFS, p Params) (*Report, error) {
+	const (
+		traceSize   = 112 << 20
+		interimSize = 20 << 20
+		resultSize  = 4 << 20
+	)
+	return runPhases("SPECseis", []struct {
+		name string
+		fn   func() error
+	}{
+		{"phase1", func() error {
+			// Data generation: read the input set, write the trace.
+			if _, err := g.ReadFile("bin/specseis"); err != nil {
+				return err
+			}
+			if _, err := g.ReadFile("data/seis.input"); err != nil {
+				return err
+			}
+			p.compute(45 * time.Second)
+			return g.WriteFile("work/seis.trace", p.size(traceSize))
+		}},
+		{"phase2", func() error {
+			if _, err := g.ReadFile("work/seis.trace"); err != nil {
+				return err
+			}
+			p.compute(110 * time.Second)
+			return g.WriteFile("work/seis.stack", p.size(interimSize))
+		}},
+		{"phase3", func() error {
+			if _, err := g.ReadFile("work/seis.trace"); err != nil {
+				return err
+			}
+			if _, err := g.ReadFile("work/seis.stack"); err != nil {
+				return err
+			}
+			p.compute(110 * time.Second)
+			return g.WriteFile("work/seis.migr", p.size(interimSize))
+		}},
+		{"phase4", func() error {
+			// Seismic processing: compute-dominated.
+			if _, err := g.ReadFile("work/seis.migr"); err != nil {
+				return err
+			}
+			p.compute(480 * time.Second)
+			return g.WriteFile("work/seis.result", p.size(resultSize))
+		}},
+	})
+}
+
+// --- LaTeX interactive document benchmark ---
+
+// LaTeXIterations is the paper's iteration count.
+const LaTeXIterations = 20
+
+// LaTeXInstall returns the preinstalled files: the TeX distribution
+// (binaries, fonts, packages) and the 190-page document's sources.
+func LaTeXInstall(p Params) []FileSpec {
+	specs := []FileSpec{
+		{Name: "bin/texdist", Size: p.size(40 << 20)},
+		{Name: "lib/fonts", Size: p.size(12 << 20)},
+	}
+	for i := 0; i < 20; i++ {
+		specs = append(specs, FileSpec{
+			Name: fmt.Sprintf("doc/chapter%02d.tex", i),
+			Size: p.size(100 << 10),
+		})
+	}
+	return specs
+}
+
+// LaTeX models the interactive document-processing session: 20
+// iterations of latex+bibtex+dvipdf over a 190-page document, patching
+// a different version of one input file each iteration.
+func LaTeX(g *GuestFS, p Params) (*Report, error) {
+	var phases []struct {
+		name string
+		fn   func() error
+	}
+	for i := 0; i < LaTeXIterations; i++ {
+		iter := i
+		phases = append(phases, struct {
+			name string
+			fn   func() error
+		}{fmt.Sprintf("iter%02d", iter+1), func() error {
+			// "patch" generates a different version of one input.
+			target := fmt.Sprintf("doc/chapter%02d.tex", iter%20)
+			if sz, ok := g.FileSize(target); ok && sz > 0 {
+				if err := g.PatchFile(target, 0, sz/2+1); err != nil {
+					return err
+				}
+			}
+			// latex/bibtex/dvipdf read the TeX distribution and all
+			// document sources...
+			if _, err := g.ReadFile("bin/texdist"); err != nil {
+				return err
+			}
+			if _, err := g.ReadFile("lib/fonts"); err != nil {
+				return err
+			}
+			for j := 0; j < 20; j++ {
+				if _, err := g.ReadFile(fmt.Sprintf("doc/chapter%02d.tex", j)); err != nil {
+					return err
+				}
+			}
+			// ...compute...
+			p.compute(11 * time.Second)
+			// ...and write the .aux/.dvi/.pdf outputs.
+			if err := g.WriteFile("doc/main.aux", p.size(256<<10)); err != nil {
+				return err
+			}
+			if err := g.WriteFile("doc/main.dvi", p.size(700<<10)); err != nil {
+				return err
+			}
+			return g.WriteFile("doc/main.pdf", p.size(900<<10))
+		}})
+	}
+	return runPhases("LaTeX", phases)
+}
+
+// FirstIteration returns the first iteration's duration of a LaTeX
+// report (the paper's startup-latency metric).
+func FirstIteration(r *Report) time.Duration {
+	if len(r.Phases) == 0 {
+		return 0
+	}
+	return r.Phases[0].Duration
+}
+
+// MeanOfRest returns the mean of iterations 2..n (the paper's
+// steady-state interactive response-time metric).
+func MeanOfRest(r *Report) time.Duration {
+	if len(r.Phases) < 2 {
+		return 0
+	}
+	var sum time.Duration
+	for _, ph := range r.Phases[1:] {
+		sum += ph.Duration
+	}
+	return sum / time.Duration(len(r.Phases)-1)
+}
+
+// --- Kernel compilation ---
+
+// KernelSourceFiles is the number of modelled source files.
+const KernelSourceFiles = 64
+
+// KernelInstall returns the preinstalled Red Hat 2.4.18 source tree:
+// headers plus source shards (modelled as 64 extents of a 160 MB
+// tree, preserving many-file access without per-file RPC storms the
+// paper's NFS clients would also batch).
+func KernelInstall(p Params) []FileSpec {
+	specs := []FileSpec{
+		{Name: "usr/bin/toolchain", Size: p.size(24 << 20)},
+		{Name: "linux/include", Size: p.size(24 << 20)},
+	}
+	for i := 0; i < KernelSourceFiles; i++ {
+		specs = append(specs, FileSpec{
+			Name: fmt.Sprintf("linux/src%02d.c", i),
+			Size: p.size(136 << 20 / KernelSourceFiles),
+		})
+	}
+	return specs
+}
+
+// KernelCompile models one full build: "make dep", "make bzImage",
+// "make modules", "make modules_install" — substantial reads and
+// writes over a large number of files. Run it twice against the same
+// session for the paper's cold/warm comparison.
+func KernelCompile(g *GuestFS, p Params) (*Report, error) {
+	readSources := func(fraction float64) error {
+		n := int(float64(KernelSourceFiles) * fraction)
+		for i := 0; i < n; i++ {
+			if _, err := g.ReadFile(fmt.Sprintf("linux/src%02d.c", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runPhases("KernelCompile", []struct {
+		name string
+		fn   func() error
+	}{
+		{"make dep", func() error {
+			if _, err := g.ReadFile("usr/bin/toolchain"); err != nil {
+				return err
+			}
+			if _, err := g.ReadFile("linux/include"); err != nil {
+				return err
+			}
+			if err := readSources(1.0); err != nil {
+				return err
+			}
+			p.compute(120 * time.Second)
+			return g.WriteFile("linux/.depend", p.size(2<<20))
+		}},
+		{"make bzImage", func() error {
+			if _, err := g.ReadFile("linux/include"); err != nil {
+				return err
+			}
+			if err := readSources(0.4); err != nil {
+				return err
+			}
+			p.compute(900 * time.Second)
+			if err := g.WriteFile("linux/objs.core", p.size(12<<20)); err != nil {
+				return err
+			}
+			return g.WriteFile("linux/bzImage", p.size(2<<20))
+		}},
+		{"make modules", func() error {
+			if _, err := g.ReadFile("linux/include"); err != nil {
+				return err
+			}
+			if err := readSources(1.0); err != nil {
+				return err
+			}
+			p.compute(1500 * time.Second)
+			return g.WriteFile("linux/objs.modules", p.size(30<<20))
+		}},
+		{"make modules_install", func() error {
+			if _, err := g.ReadFile("linux/objs.modules"); err != nil {
+				return err
+			}
+			p.compute(60 * time.Second)
+			return g.WriteFile("lib/modules.installed", p.size(30<<20))
+		}},
+	})
+}

@@ -1,0 +1,167 @@
+// Package xdr implements the External Data Representation standard
+// (RFC 4506) used by ONC RPC and NFS. It provides a streaming Encoder
+// and Decoder for the primitive types the NFSv3 and MOUNT protocols
+// need: 32/64-bit integers, booleans, opaque byte arrays (fixed and
+// variable length) and strings. All quantities are big-endian and
+// padded to 4-byte boundaries as the standard requires.
+package xdr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrLimit is returned when a variable-length item declares a size
+// larger than the decoder's configured maximum. It guards against
+// corrupt or hostile peers asking us to allocate unbounded memory.
+var ErrLimit = errors.New("xdr: variable-length item exceeds limit")
+
+// DefaultMaxSize bounds variable-length opaques and strings accepted
+// by a Decoder unless overridden with SetMaxSize. 1 MiB comfortably
+// exceeds the 32 KB NFSv3 transfer-size ceiling plus headers.
+const DefaultMaxSize = 1 << 20
+
+var pad [4]byte
+
+// Encoder writes XDR-encoded values to an underlying io.Writer.
+type Encoder struct {
+	w   io.Writer
+	buf [8]byte
+	err error
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Err returns the first error encountered while encoding, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+// Uint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) Uint32(v uint32) {
+	binary.BigEndian.PutUint32(e.buf[:4], v)
+	e.write(e.buf[:4])
+}
+
+// Int32 encodes a 32-bit signed integer.
+func (e *Encoder) Int32(v int32) { e.Uint32(uint32(v)) }
+
+// Uint64 encodes a 64-bit unsigned integer (XDR "unsigned hyper").
+func (e *Encoder) Uint64(v uint64) {
+	binary.BigEndian.PutUint64(e.buf[:8], v)
+	e.write(e.buf[:8])
+}
+
+// Int64 encodes a 64-bit signed integer (XDR "hyper").
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Bool encodes a boolean as a 32-bit 0/1.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Uint32(1)
+	} else {
+		e.Uint32(0)
+	}
+}
+
+// Opaque encodes a variable-length opaque: length prefix, bytes, padding.
+func (e *Encoder) Opaque(p []byte) {
+	e.Uint32(uint32(len(p)))
+	e.FixedOpaque(p)
+}
+
+// FixedOpaque encodes bytes without a length prefix, padded to 4 bytes.
+func (e *Encoder) FixedOpaque(p []byte) {
+	e.write(p)
+	if n := len(p) % 4; n != 0 {
+		e.write(pad[:4-n])
+	}
+}
+
+// String encodes an XDR string (identical wire format to Opaque).
+func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
+
+// Decoder reads XDR-encoded values from an underlying io.Reader.
+type Decoder struct {
+	r   io.Reader
+	buf [8]byte
+	max uint32
+	err error
+}
+
+// NewDecoder returns a Decoder reading from r with DefaultMaxSize.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r, max: DefaultMaxSize} }
+
+// SetMaxSize overrides the maximum accepted variable-length item size.
+func (d *Decoder) SetMaxSize(n uint32) { d.max = n }
+
+// Err returns the first error encountered while decoding, if any.
+func (d *Decoder) Err() error { return d.err }
+
+func (d *Decoder) read(p []byte) {
+	if d.err != nil {
+		return
+	}
+	_, d.err = io.ReadFull(d.r, p)
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() uint32 {
+	d.read(d.buf[:4])
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(d.buf[:4])
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
+
+// Uint64 decodes a 64-bit unsigned integer.
+func (d *Decoder) Uint64() uint64 {
+	d.read(d.buf[:8])
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(d.buf[:8])
+}
+
+// Int64 decodes a 64-bit signed integer.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Bool decodes a boolean.
+func (d *Decoder) Bool() bool { return d.Uint32() != 0 }
+
+// Opaque decodes a variable-length opaque into a fresh slice.
+func (d *Decoder) Opaque() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > d.max {
+		d.err = fmt.Errorf("%w: %d > %d", ErrLimit, n, d.max)
+		return nil
+	}
+	p := make([]byte, n)
+	d.FixedOpaque(p)
+	return p
+}
+
+// FixedOpaque decodes len(p) bytes plus padding into p.
+func (d *Decoder) FixedOpaque(p []byte) {
+	d.read(p)
+	if n := len(p) % 4; n != 0 {
+		d.read(d.buf[:4-n])
+	}
+}
+
+// String decodes an XDR string.
+func (d *Decoder) String() string { return string(d.Opaque()) }

@@ -1,0 +1,199 @@
+package xdr
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	for _, v := range []uint32{0, 1, 0xffffffff, 0x12345678} {
+		e.Uint32(v)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	d := NewDecoder(&buf)
+	for _, want := range []uint32{0, 1, 0xffffffff, 0x12345678} {
+		if got := d.Uint32(); got != want {
+			t.Errorf("Uint32 = %#x, want %#x", got, want)
+		}
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestUint32BigEndianWire(t *testing.T) {
+	var buf bytes.Buffer
+	NewEncoder(&buf).Uint32(0x01020304)
+	want := []byte{1, 2, 3, 4}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("wire = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		p := bytes.Repeat([]byte{0xab}, n)
+		e.Opaque(p)
+		if err := e.Err(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantLen := 4 + n
+		if rem := n % 4; rem != 0 {
+			wantLen += 4 - rem
+		}
+		if buf.Len() != wantLen {
+			t.Errorf("n=%d: wire length %d, want %d", n, buf.Len(), wantLen)
+		}
+		d := NewDecoder(&buf)
+		got := d.Opaque()
+		if d.Err() != nil {
+			t.Fatalf("n=%d decode: %v", n, d.Err())
+		}
+		if !bytes.Equal(got, p) {
+			t.Errorf("n=%d: got %v want %v", n, got, p)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.String("hello, 世界")
+	e.String("")
+	d := NewDecoder(&buf)
+	if got := d.String(); got != "hello, 世界" {
+		t.Errorf("got %q", got)
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("got %q, want empty", got)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Bool(true)
+	e.Bool(false)
+	d := NewDecoder(&buf)
+	if !d.Bool() {
+		t.Error("want true")
+	}
+	if d.Bool() {
+		t.Error("want false")
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Int64(-1)
+	e.Int64(1 << 40)
+	d := NewDecoder(&buf)
+	if got := d.Int64(); got != -1 {
+		t.Errorf("got %d", got)
+	}
+	if got := d.Int64(); got != 1<<40 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestDecoderLimit(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.Opaque(make([]byte, 100))
+	d := NewDecoder(&buf)
+	d.SetMaxSize(99)
+	if got := d.Opaque(); got != nil {
+		t.Errorf("expected nil, got %d bytes", len(got))
+	}
+	if d.Err() == nil {
+		t.Error("expected error for oversized opaque")
+	}
+}
+
+func TestDecoderShortInput(t *testing.T) {
+	d := NewDecoder(bytes.NewReader([]byte{0, 0}))
+	d.Uint32()
+	if d.Err() == nil {
+		t.Error("expected error on short input")
+	}
+}
+
+func TestErrorSticky(t *testing.T) {
+	d := NewDecoder(bytes.NewReader(nil))
+	d.Uint32()
+	first := d.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	d.Uint64()
+	if d.Err() != first {
+		t.Error("error should be sticky")
+	}
+	if first != io.EOF && first != io.ErrUnexpectedEOF {
+		t.Errorf("unexpected error %v", first)
+	}
+}
+
+func TestQuickOpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Opaque(p)
+		if e.Err() != nil {
+			return false
+		}
+		d := NewDecoder(&buf)
+		got := d.Opaque()
+		return d.Err() == nil && bytes.Equal(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMixedRoundTrip(t *testing.T) {
+	f := func(a uint32, b int64, c string, d bool) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		e.Uint32(a)
+		e.Int64(b)
+		e.String(c)
+		e.Bool(d)
+		if e.Err() != nil {
+			return false
+		}
+		dec := NewDecoder(&buf)
+		return dec.Uint32() == a && dec.Int64() == b && dec.String() == c &&
+			dec.Bool() == d && dec.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedOpaqueRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	e.FixedOpaque([]byte{1, 2, 3, 4, 5})
+	if buf.Len() != 8 {
+		t.Errorf("padded length = %d, want 8", buf.Len())
+	}
+	d := NewDecoder(&buf)
+	p := make([]byte, 5)
+	d.FixedOpaque(p)
+	if d.Err() != nil || !bytes.Equal(p, []byte{1, 2, 3, 4, 5}) {
+		t.Errorf("got %v err %v", p, d.Err())
+	}
+}
