@@ -50,6 +50,11 @@ func main() {
 	persist := flag.Bool("persist-index", true, "reload/save the disk cache index across restarts")
 	idle := flag.Duration("idle-writeback", 0, "write dirty data back after this idle period (0 = only on signals)")
 	statsEvery := flag.Duration("stats", 0, "print proxy statistics at this interval (0 = off)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline on upstream RPCs (0 = wait forever)")
+	maxRetries := flag.Int("max-retries", 0, "retransmission attempts for idempotent upstream calls (0 = no retries)")
+	degraded := flag.Bool("degraded-reads", false, "serve cached data while the upstream is unreachable")
+	failThreshold := flag.Int("failure-threshold", 0, "consecutive upstream failures that open the circuit breaker (0 = default)")
+	probeEvery := flag.Duration("probe-interval", 0, "recovery probe period while the breaker is open (0 = default)")
 	flag.Parse()
 
 	if *upstream == "" {
@@ -77,11 +82,16 @@ func main() {
 	}
 
 	opts := stack.ProxyOptions{
-		UpstreamAddr:  *upstream,
-		UpstreamKey:   key,
-		ReadAhead:     *readAhead,
-		PersistIndex:  *persist,
-		IdleWriteBack: *idle,
+		UpstreamAddr:        *upstream,
+		UpstreamKey:         key,
+		ReadAhead:           *readAhead,
+		PersistIndex:        *persist,
+		IdleWriteBack:       *idle,
+		UpstreamCallTimeout: *callTimeout,
+		UpstreamMaxRetries:  *maxRetries,
+		DegradedReads:       *degraded,
+		FailureThreshold:    *failThreshold,
+		ProbeInterval:       *probeEvery,
 	}
 	if *cacheDir != "" {
 		cfg := cache.Config{
@@ -120,6 +130,10 @@ func main() {
 				log.Printf("gvfsproxy: calls=%d hits=%d misses=%d zero=%d filechan=%d/%d absorbed=%d prefetched=%d",
 					st.Calls, st.ReadHits, st.ReadMisses, st.ZeroFiltered,
 					st.FileChanReads, st.FileChanFetch, st.WritesAbsorbed, st.Prefetched)
+				log.Printf("gvfsproxy: retries=%d reconnects=%d timeouts=%d breaker=%d fastfail=%d probes=%d replays=%d degraded-reads=%d degraded=%v",
+					st.Retries, st.Reconnects, st.Timeouts, st.BreakerOpens,
+					st.BreakerFastFails, st.Probes, st.Replays, st.DegradedReads,
+					node.Proxy.Degraded())
 			}
 		}()
 	}

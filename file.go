@@ -21,6 +21,7 @@ type File struct {
 	mu     sync.Mutex
 	pos    int64
 	size   uint64
+	dirty  bool // written since the last successful Sync
 	closed bool
 }
 
@@ -37,12 +38,24 @@ func (f *File) Size() uint64 {
 	return f.size
 }
 
-// Close releases the handle. Data safety is governed by the session's
-// consistency model (see Sync and the proxy Flush/WriteBack controls).
+// Close releases the handle, committing written data first so the
+// caller learns about propagation failures instead of losing them.
+// Close is idempotent: the commit happens once, and a second Close
+// returns nil. Durability beyond the first hop is governed by the
+// session's consistency model (see the proxy Flush/WriteBack controls).
 func (f *File) Close() error {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
 	f.closed = true
+	dirty := f.dirty
+	f.dirty = false
+	f.mu.Unlock()
+	if dirty {
+		return f.s.nfs.Commit(f.fh, 0, 0)
+	}
 	return nil
 }
 
@@ -166,6 +179,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if end := uint64(off) + uint64(total); end > f.size {
 		f.size = end
 	}
+	f.dirty = true
 	f.mu.Unlock()
 	return total, nil
 }
@@ -257,5 +271,11 @@ func (f *File) Truncate(size uint64) error {
 // policy this returns quickly: the session consistency model defers
 // real propagation to the middleware's WriteBack/Flush.
 func (f *File) Sync() error {
-	return f.s.nfs.Commit(f.fh, 0, 0)
+	if err := f.s.nfs.Commit(f.fh, 0, 0); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.dirty = false
+	f.mu.Unlock()
+	return nil
 }

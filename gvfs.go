@@ -27,6 +27,7 @@ import (
 	"path"
 	"strings"
 	"sync"
+	"time"
 
 	"gvfs/internal/mountd"
 	"gvfs/internal/nfs3"
@@ -56,6 +57,13 @@ type SessionConfig struct {
 	PageCachePages int
 	// BlockSize is the NFS read/write transfer size (default 8 KB).
 	BlockSize uint32
+	// CallTimeout bounds each RPC issued by the session (per-call
+	// deadline). Zero means no deadline.
+	CallTimeout time.Duration
+	// MaxRetries enables transparent reconnection (with exponential
+	// backoff) and retransmission of idempotent NFS calls after a
+	// connection failure. Zero disables retries.
+	MaxRetries int
 }
 
 // Session is a mounted GVFS file system.
@@ -83,17 +91,29 @@ func Mount(cfg SessionConfig) (*Session, error) {
 	if cfg.BlockSize > 32768 {
 		return nil, fmt.Errorf("gvfs: block size %d exceeds the NFSv3 32 KB limit", cfg.BlockSize)
 	}
-	var conn net.Conn
-	var err error
-	if cfg.Dial != nil {
-		conn, err = cfg.Dial()
-	} else {
-		conn, err = net.Dial("tcp", cfg.Addr)
+	dial := cfg.Dial
+	if dial == nil {
+		addr := cfg.Addr
+		dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
+	conn, err := dial()
 	if err != nil {
 		return nil, fmt.Errorf("gvfs: dial: %w", err)
 	}
-	rpc := sunrpc.NewClient(conn)
+	var rpc *sunrpc.Client
+	if cfg.CallTimeout > 0 || cfg.MaxRetries > 0 {
+		opts := sunrpc.ClientOptions{
+			CallTimeout: cfg.CallTimeout,
+			MaxRetries:  cfg.MaxRetries,
+			Idempotent:  nfs3.RetrySafe,
+		}
+		if cfg.MaxRetries > 0 {
+			opts.Redial = dial
+		}
+		rpc = sunrpc.NewClientWithOptions(conn, opts)
+	} else {
+		rpc = sunrpc.NewClient(conn)
+	}
 	export := cfg.Export
 	if export == "" {
 		export = "/"
@@ -338,19 +358,27 @@ func (s *Session) ReadFile(p string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return f.ReadAll()
+	data, err := f.ReadAll()
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
-// WriteFile creates p with the given contents.
+// WriteFile creates p with the given contents. The close-time commit
+// error is reported: a nil return means the data reached (at least)
+// the first-hop proxy's cache.
 func (s *Session) WriteFile(p string, data []byte) error {
 	f, err := s.Create(p)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if _, err := f.WriteAt(data, 0); err != nil {
-		return err
+	_, err = f.WriteAt(data, 0)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
-	return nil
+	return err
 }

@@ -1,0 +1,38 @@
+package nfs3
+
+// IsIdempotent reports whether an NFSv3 procedure can be safely
+// retransmitted: repeating the call with the same arguments yields the
+// same result and no additional side effects. This is the classic NFS
+// retry rule — reads and attribute queries retransmit freely; anything
+// that creates, removes or mutates state must not be blindly replayed
+// (a retried REMOVE can turn success into ENOENT, a retried CREATE
+// into EEXIST).
+//
+// WRITE is deliberately excluded even though overwriting the same
+// bytes twice is idempotent in isolation: the GVFS proxy absorbs
+// writes into its write-back cache and replays them itself, so
+// transport-level retransmission is unnecessary and would race with
+// interleaved writes to the same range.
+func IsIdempotent(proc uint32) bool {
+	switch proc {
+	case ProcNull, ProcGetattr, ProcLookup, ProcAccess, ProcReadlink,
+		ProcRead, ProcReaddir, ProcReaddirplus,
+		ProcFSStat, ProcFSInfo, ProcPathconf:
+		return true
+	}
+	return false
+}
+
+// RetrySafe classifies (program, procedure) pairs for transport-level
+// retransmission: NFS procedures by IsIdempotent, and every MOUNT
+// procedure (MNT/UMNT repeat harmlessly). Use it as the Idempotent
+// hook of a sunrpc client carrying NFS traffic.
+func RetrySafe(prog, vers, proc uint32) bool {
+	switch prog {
+	case Program:
+		return IsIdempotent(proc)
+	case MountProgram:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,286 @@
+package proxy_test
+
+// Chaos suite: a session mounted through a two-level proxy chain over
+// simnet, with faults injected mid-read, mid-write and mid-flush. The
+// invariants under test are the robustness contract of the RPC
+// substrate and the proxy breaker: no hangs, no lost acknowledged
+// writes, bounded error latency, and correct data after recovery.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+)
+
+// chaosPattern builds deterministic, position-dependent content so a
+// misplaced or stale block shows up as a comparison failure.
+func chaosPattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7+13) ^ byte(i>>8) ^ seed
+	}
+	return b
+}
+
+// startChaosChain mounts a session through a two-level chain:
+// session -> client proxy (write-back disk cache) -> wan link ->
+// server-side proxy -> NFS server over fs. Faults are injected on wan.
+func startChaosChain(t *testing.T, fs *memfs.FS, wan *simnet.Link,
+	opts stack.ProxyOptions) (*stack.ImageServer, *stack.Node, *gvfs.Session) {
+	t.Helper()
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{Link: wan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(server.Close)
+	opts.UpstreamAddr = server.ProxyAddr()
+	opts.UpstreamLink = wan
+	if opts.CacheConfig == nil {
+		cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+			BlockSize: 8192, Policy: cache.WriteBack}
+		opts.CacheConfig = &cfg
+	}
+	node, err := stack.StartProxy(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return server, node, sess
+}
+
+func TestChaosLossAndFlapWholeFileRead(t *testing.T) {
+	fs := memfs.New()
+	img := chaosPattern(256*1024, 1)
+	fs.WriteFile("/img", img)
+	wan := simnet.NewLink(simnet.Local())
+	_, node, sess := startChaosChain(t, fs, wan, stack.ProxyOptions{
+		UpstreamCallTimeout: 250 * time.Millisecond,
+		UpstreamMaxRetries:  8,
+	})
+
+	// Seeded 5% message loss on the WAN for the whole transfer, plus
+	// one connection kill mid-read.
+	wan.SetLoss(0.05, 42)
+	type result struct {
+		data []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		data, err := sess.ReadFile("/img")
+		done <- result{data, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	wan.Flap(1, 5*time.Millisecond)
+
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("read under loss+flap: %v", r.err)
+		}
+		if !bytes.Equal(r.data, img) {
+			t.Fatalf("read returned %d bytes, corrupt or truncated (want %d)",
+				len(r.data), len(img))
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("whole-file read hung under loss + flap")
+	}
+	st := node.Proxy.Stats()
+	if st.Reconnects == 0 {
+		t.Errorf("stats = %+v, want at least one reconnect after the flap", st)
+	}
+	if wan.DroppedMessages() == 0 {
+		t.Error("loss injection dropped nothing — test exercised no faults")
+	}
+}
+
+func TestChaosPartitionDegradedModeAndReplay(t *testing.T) {
+	fs := memfs.New()
+	img := chaosPattern(64*1024, 2)
+	fs.WriteFile("/img", img)
+	wan := simnet.NewLink(simnet.Local())
+	_, node, sess := startChaosChain(t, fs, wan, stack.ProxyOptions{
+		UpstreamCallTimeout: 150 * time.Millisecond,
+		UpstreamMaxRetries:  2,
+		DegradedReads:       true,
+		FailureThreshold:    1,
+		ProbeInterval:       50 * time.Millisecond,
+	})
+
+	// Warm the cache and absorb a write while the WAN is healthy.
+	if got, err := sess.ReadFile("/img"); err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("warm read: %v", err)
+	}
+	part1 := chaosPattern(16*1024, 3)
+	if err := sess.WriteFile("/out", part1); err != nil {
+		t.Fatal(err)
+	}
+	if node.BlockCache.DirtyCount() == 0 {
+		t.Fatal("write not absorbed into the write-back cache")
+	}
+
+	// Partition the WAN: established connections die, new dials fail.
+	wan.Partition()
+	wan.Drop()
+	sess.DropCaches() // force name resolution back through the proxy
+
+	// Cached data stays readable (degraded read-only mode), including
+	// LOOKUP/GETATTR synthesized from the proxy's shadow state.
+	if got, err := sess.ReadFile("/img"); err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("degraded read of cached file: %v", err)
+	}
+	if !node.Proxy.Degraded() {
+		t.Error("proxy not in degraded mode during partition")
+	}
+
+	// Writes against absorbed state keep being acknowledged.
+	f, err := sess.Open("/out")
+	if err != nil {
+		t.Fatalf("degraded open: %v", err)
+	}
+	part2 := chaosPattern(16*1024, 4)
+	if _, err := f.WriteAt(part2, int64(len(part1))); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("degraded close: %v", err)
+	}
+
+	// Uncached access fails fast: bounded error latency, never a hang.
+	start := time.Now()
+	if _, err := sess.ReadFile("/nope"); err == nil {
+		t.Error("read of unknown file succeeded during partition")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("degraded error took %v, want fast failure", d)
+	}
+	st := node.Proxy.Stats()
+	if st.BreakerOpens == 0 {
+		t.Error("circuit breaker never opened")
+	}
+	if st.BreakerFastFails == 0 {
+		t.Error("no fast-fails recorded while partitioned")
+	}
+	if st.DegradedReads == 0 {
+		t.Error("no degraded reads recorded")
+	}
+
+	// Heal: probes must close the breaker and replay every acknowledged
+	// write; the origin must converge to the exact session content.
+	wan.Heal()
+	want := append(append([]byte{}, part1...), part2...)
+	wantSum := sha256.Sum256(want)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if got, err := fs.ReadFile("/out"); err == nil && sha256.Sum256(got) == wantSum {
+			break
+		}
+		if time.Now().After(deadline) {
+			got, _ := fs.ReadFile("/out")
+			t.Fatalf("acknowledged writes not replayed within 15s (origin has %d bytes, want %d)",
+				len(got), len(want))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if node.Proxy.Degraded() {
+		t.Error("proxy still degraded after heal + probe")
+	}
+	st = node.Proxy.Stats()
+	if st.Probes == 0 || st.Replays == 0 {
+		t.Errorf("recovery stats = %+v, want probes and replays > 0", st)
+	}
+}
+
+func TestChaosStallMidReadRecovers(t *testing.T) {
+	fs := memfs.New()
+	img := chaosPattern(128*1024, 5)
+	fs.WriteFile("/img", img)
+	wan := simnet.NewLink(simnet.Local())
+	_, _, sess := startChaosChain(t, fs, wan, stack.ProxyOptions{
+		UpstreamCallTimeout: 150 * time.Millisecond,
+		UpstreamMaxRetries:  8,
+	})
+
+	// Freeze the WAN, then start the read so its first RPCs are caught
+	// by the stall: they must ride timeouts and retransmission instead
+	// of hanging, and complete once the link thaws.
+	const stall = 400 * time.Millisecond
+	wan.Stall(stall)
+	start := time.Now()
+	done := make(chan struct{})
+	var data []byte
+	var rerr error
+	go func() {
+		data, rerr = sess.ReadFile("/img")
+		close(done)
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("read hung across a WAN stall")
+	}
+	if rerr != nil {
+		t.Fatalf("read across stall: %v", rerr)
+	}
+	if !bytes.Equal(data, img) {
+		t.Fatal("read across stall returned wrong content")
+	}
+	if d := time.Since(start); d < stall-50*time.Millisecond {
+		t.Errorf("read finished in %v — the %v stall never took effect", d, stall)
+	}
+}
+
+func TestChaosFlapMidFlushNoLostWrites(t *testing.T) {
+	fs := memfs.New()
+	wan := simnet.NewLink(simnet.Local())
+	_, node, sess := startChaosChain(t, fs, wan, stack.ProxyOptions{
+		UpstreamCallTimeout: 500 * time.Millisecond,
+		UpstreamMaxRetries:  4,
+	})
+	payload := chaosPattern(64*1024, 6)
+	if err := sess.WriteFile("/disk", payload); err != nil {
+		t.Fatal(err)
+	}
+	if node.BlockCache.DirtyCount() == 0 {
+		t.Fatal("no dirty blocks absorbed")
+	}
+
+	// Slow the WAN so the flush is in flight when the link flaps.
+	wan.Stall(100 * time.Millisecond)
+	flushErr := make(chan error, 1)
+	go func() { flushErr <- node.Proxy.WriteBack() }()
+	wan.Flap(2, 5*time.Millisecond)
+
+	err := <-flushErr
+	for i := 0; err != nil && i < 10; i++ {
+		// A failed flush must keep every dirty block for the retry:
+		// acknowledged data is never dropped on error.
+		if node.BlockCache.DirtyCount() == 0 {
+			t.Fatal("flush failed but dirty blocks were discarded")
+		}
+		err = node.Proxy.WriteBack()
+	}
+	if err != nil {
+		t.Fatalf("write-back never succeeded after flaps: %v", err)
+	}
+	got, err := fs.ReadFile("/disk")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("origin content wrong after flush through flaps: %v", err)
+	}
+	if node.BlockCache.DirtyCount() != 0 {
+		t.Error("dirty blocks remain after successful write-back")
+	}
+}

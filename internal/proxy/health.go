@@ -1,0 +1,169 @@
+package proxy
+
+// Upstream health tracking: a circuit breaker that moves the proxy into
+// a degraded, serve-from-cache mode when the next hop is unreachable,
+// probes for recovery, and replays acknowledged (write-back) state once
+// the upstream returns. Session semantics make this sound: during a
+// session the proxy owns the file's dirty state, so cached reads and
+// absorbed writes remain authoritative while the WAN is down.
+
+import (
+	"sync"
+	"time"
+
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+const (
+	defaultFailureThreshold = 3
+	defaultProbeInterval    = time.Second
+)
+
+// health is the upstream circuit breaker. The breaker opens after
+// `threshold` consecutive transport failures; while open, forwarded
+// calls fail fast (bounded error latency) and cached data keeps being
+// served. A probe loop issues NFS NULL upstream until it answers, then
+// closes the breaker and triggers a write-back replay.
+type health struct {
+	p         *Proxy
+	threshold int
+	interval  time.Duration
+
+	mu      sync.Mutex
+	open    bool
+	fails   int
+	probing bool
+}
+
+func newHealth(p *Proxy, threshold int, interval time.Duration) *health {
+	if threshold <= 0 {
+		threshold = defaultFailureThreshold
+	}
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	return &health{p: p, threshold: threshold, interval: interval}
+}
+
+// isOpen reports whether the breaker is open (upstream considered dead).
+func (h *health) isOpen() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.open
+}
+
+// success records an upstream response (any RPC-level verdict counts:
+// the transport works).
+func (h *health) success() {
+	h.mu.Lock()
+	h.fails = 0
+	h.mu.Unlock()
+}
+
+// failure records a transport-level upstream failure and opens the
+// breaker at the threshold.
+func (h *health) failure() {
+	h.mu.Lock()
+	h.fails++
+	trip := !h.open && h.fails >= h.threshold
+	if trip {
+		h.open = true
+		if !h.probing {
+			h.probing = true
+			go h.probeLoop()
+		}
+	}
+	h.mu.Unlock()
+	if trip {
+		h.p.count(func(s *Stats) { s.BreakerOpens++ })
+	}
+}
+
+// probeLoop pings the upstream until it answers or the proxy shuts
+// down, then closes the breaker and replays dirty state.
+func (h *health) probeLoop() {
+	for {
+		select {
+		case <-h.p.done:
+			h.mu.Lock()
+			h.probing = false
+			h.mu.Unlock()
+			return
+		case <-time.After(h.interval):
+		}
+		h.p.count(func(s *Stats) { s.Probes++ })
+		if h.p.probeUpstream() == nil {
+			h.mu.Lock()
+			h.open = false
+			h.fails = 0
+			h.probing = false
+			h.mu.Unlock()
+			go h.p.replayAfterRecovery()
+			return
+		}
+	}
+}
+
+// isTransportErr distinguishes connection-level failures (timeouts,
+// resets, exhausted retries) from an upstream that answered with an
+// RPC-level error — the latter proves the path is alive.
+func isTransportErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	_, isRPC := err.(*sunrpc.RPCError)
+	return !isRPC
+}
+
+// observeUpstream feeds a forwarded call's outcome into the breaker.
+func (p *Proxy) observeUpstream(err error) {
+	if p.health == nil {
+		return
+	}
+	if isTransportErr(err) {
+		p.health.failure()
+	} else {
+		p.health.success()
+	}
+}
+
+// degraded reports whether the proxy is currently in degraded
+// (serve-from-cache) mode.
+func (p *Proxy) degraded() bool {
+	return p.health != nil && p.health.isOpen()
+}
+
+// Degraded reports whether the proxy is in degraded mode (upstream
+// considered unreachable; cached data served under session semantics).
+func (p *Proxy) Degraded() bool { return p.degraded() }
+
+// probeUpstream issues a minimal upstream call to test the path.
+func (p *Proxy) probeUpstream() error {
+	_, err := p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, nfs3.ProcNull,
+		defaultCred, nil)
+	if isTransportErr(err) {
+		return err
+	}
+	return nil
+}
+
+// replayAfterRecovery pushes every write acknowledged during (or
+// before) the outage back upstream. Failures re-open the breaker via
+// the regular accounting on upstreamWrite, so replay is retried on the
+// next recovery.
+func (p *Proxy) replayAfterRecovery() {
+	p.count(func(s *Stats) { s.Replays++ })
+	if p.cfg.BlockCache != nil && !p.cfg.BlockCache.Config().ReadOnly {
+		if err := p.cfg.BlockCache.WriteBackAll(); err != nil {
+			return
+		}
+	}
+	p.flushFileCache()
+}
+
+// Shutdown stops background health probing. Idempotent; the stack layer
+// runs it when the proxy's node closes.
+func (p *Proxy) Shutdown() {
+	p.closeOnce.Do(func() { close(p.done) })
+}

@@ -104,6 +104,9 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 // cachedReadReply serves a READ hit, trimming to the requested count
 // and to the known file size.
 func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, sunrpc.AcceptStat) {
+	if p.degraded() {
+		p.count(func(s *Stats) { s.DegradedReads++ })
+	}
 	data := blockData
 	if uint64(len(data)) > uint64(args.Count) {
 		data = data[:args.Count]
@@ -186,6 +189,9 @@ func (p *Proxy) readFromFileCache(args *nfs3.ReadArgs) ([]byte, sunrpc.AcceptSta
 		return res.Encode(), sunrpc.Success
 	}
 	p.count(func(s *Stats) { s.FileChanReads++ })
+	if p.degraded() {
+		p.count(func(s *Stats) { s.DegradedReads++ })
+	}
 	var attr *nfs3.Fattr
 	if sz, ok := p.cfg.FileCache.Size(info.full); ok {
 		attr = &nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: sz, Used: sz}

@@ -29,6 +29,7 @@ import (
 	"net"
 	"path"
 	"sync"
+	"time"
 
 	"gvfs/internal/auth"
 	"gvfs/internal/cache"
@@ -71,6 +72,20 @@ type Config struct {
 	// the disk cache after a sequential access run is detected (the
 	// paper's future-work pre-fetching direction). Requires BlockCache.
 	ReadAhead int
+
+	// DegradedReads enables serve-from-cache degraded mode: while the
+	// upstream circuit breaker is open, cached reads keep working and
+	// LOOKUP/GETATTR are synthesized from shadow state. Setting it (or
+	// either knob below) activates upstream health tracking.
+	DegradedReads bool
+
+	// FailureThreshold is the number of consecutive upstream transport
+	// failures that opens the circuit breaker (default 3).
+	FailureThreshold int
+
+	// ProbeInterval is the recovery-probe period while the breaker is
+	// open (default 1s).
+	ProbeInterval time.Duration
 }
 
 // Stats counts proxy activity.
@@ -85,6 +100,16 @@ type Stats struct {
 	WritesAbsorbed  uint64 // writes held by write-back caching
 	WritesForwarded uint64
 	Prefetched      uint64 // blocks pulled in by sequential read-ahead
+
+	// Fault-tolerance counters.
+	Retries          uint64 // upstream RPC retransmissions (transport)
+	Reconnects       uint64 // upstream transport reconnects
+	Timeouts         uint64 // upstream per-call deadline expirations
+	BreakerOpens     uint64 // times the upstream breaker tripped open
+	BreakerFastFails uint64 // calls failed fast while the breaker was open
+	Probes           uint64 // recovery probes sent while open
+	Replays          uint64 // post-recovery write-back replays triggered
+	DegradedReads    uint64 // reads served from cache while degraded
 }
 
 type pathInfo struct {
@@ -117,6 +142,10 @@ type Proxy struct {
 
 	ra   *readAhead // nil unless Config.ReadAhead > 0
 	idle *idleState // nil unless StartIdleWriteBack was called
+
+	health    *health // nil unless health tracking is enabled
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // New returns a Proxy for cfg. If a write-back block cache is
@@ -130,9 +159,13 @@ func New(cfg Config) (*Proxy, error) {
 		paths: make(map[string]pathInfo),
 		sizes: make(map[string]uint64),
 		metas: make(map[string]*metaState),
+		done:  make(chan struct{}),
 	}
 	if cfg.ReadAhead > 0 && cfg.BlockCache != nil {
 		p.ra = newReadAhead()
+	}
+	if cfg.DegradedReads || cfg.FailureThreshold > 0 || cfg.ProbeInterval > 0 {
+		p.health = newHealth(p, cfg.FailureThreshold, cfg.ProbeInterval)
 	}
 	if cfg.BlockCache != nil && !cfg.BlockCache.Config().ReadOnly {
 		cfg.BlockCache.SetWriteBackFunc(func(fh nfs3.FH, off uint64, data []byte) error {
@@ -142,11 +175,17 @@ func New(cfg Config) (*Proxy, error) {
 	return p, nil
 }
 
-// Stats returns a snapshot of the proxy counters.
+// Stats returns a snapshot of the proxy counters, merging in transport
+// counters when the upstream caller exposes them.
 func (p *Proxy) Stats() Stats {
 	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return p.stats
+	s := p.stats
+	p.statsMu.Unlock()
+	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
+		t := up.TransportStats()
+		s.Retries, s.Reconnects, s.Timeouts = t.Retries, t.Reconnects, t.Timeouts
+	}
+	return s
 }
 
 func (p *Proxy) count(f func(*Stats)) {
@@ -248,14 +287,25 @@ func (p *Proxy) handleNFS(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	return p.forward(c)
 }
 
+// errUpstreamDown is returned by proxy-initiated calls that fail fast
+// while the circuit breaker is open.
+var errUpstreamDown = fmt.Errorf("proxy: upstream unavailable (circuit breaker open)")
+
 // forward relays a call upstream unchanged except for credentials.
+// While the circuit breaker is open the call fails fast: degraded mode
+// guarantees bounded error latency instead of hanging on a dead WAN.
 func (p *Proxy) forward(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	cred, err := p.upstreamCred(c.Cred)
 	if err != nil {
 		return nil, sunrpc.SystemErr
 	}
+	if p.degraded() {
+		p.count(func(s *Stats) { s.BreakerFastFails++ })
+		return nil, sunrpc.SystemErr
+	}
 	p.count(func(s *Stats) { s.Forwarded++ })
 	res, err := p.cfg.Upstream.Call(c.Prog, c.Vers, c.Proc, cred, c.Args)
+	p.observeUpstream(err)
 	if err != nil {
 		if rpcErr, ok := err.(*sunrpc.RPCError); ok {
 			return nil, rpcErr.Stat
@@ -271,7 +321,13 @@ func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, proc, cred, args)
+	if p.degraded() {
+		p.count(func(s *Stats) { s.BreakerFastFails++ })
+		return nil, errUpstreamDown
+	}
+	res, err := p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, proc, cred, args)
+	p.observeUpstream(err)
+	return res, err
 }
 
 // upstreamWrite propagates one block to the next hop with FileSync
@@ -346,6 +402,16 @@ func (p *Proxy) handleLookup(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	}
 	res, stat := p.forward(c)
 	if stat != sunrpc.Success {
+		// Degraded mode: resolve names the session has already seen from
+		// the proxy's own path map so cached files stay reachable.
+		if p.degraded() && p.cfg.DegradedReads {
+			if fh, ok := p.childFH(args.Dir, args.Name); ok {
+				if attr := p.synthesizedAttr(fh); attr != nil {
+					r := nfs3.LookupRes{Status: nfs3.OK, Object: fh, ObjAttr: attr}
+					return r.Encode(), sunrpc.Success
+				}
+			}
+		}
 		return res, stat
 	}
 	r, err := nfs3.DecodeLookupRes(res)

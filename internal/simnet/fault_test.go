@@ -1,0 +1,199 @@
+package simnet
+
+// Fault-injection API tests: determinism of seeded loss, partition
+// semantics, stalls, and connection kills.
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestSeededLossIsDeterministic(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		l := NewLink(Local())
+		l.SetLoss(0.5, seed)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = l.loseMessage()
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical loss patterns")
+	}
+}
+
+func TestLossRateZeroDropsNothing(t *testing.T) {
+	l := NewLink(Local())
+	l.SetLoss(0.9, 1)
+	l.SetLoss(0, 0) // disable again
+	for i := 0; i < 100; i++ {
+		if l.loseMessage() {
+			t.Fatal("message lost with loss disabled")
+		}
+	}
+}
+
+func TestPartitionBlackholesAndHeals(t *testing.T) {
+	link := NewLink(Local())
+	cli, srv := Pipe(link)
+	defer cli.Close()
+	defer srv.Close()
+
+	link.Partition()
+	if _, err := cli.Write([]byte("lost")); err != nil {
+		t.Fatalf("write during partition should appear to succeed: %v", err)
+	}
+	buf := make([]byte, 16)
+	srv.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := srv.Read(buf); err == nil {
+		t.Fatalf("read got %d bytes through a partition", n)
+	}
+	if link.DroppedMessages() == 0 {
+		t.Error("partition loss not accounted")
+	}
+
+	link.Heal()
+	srv.SetReadDeadline(time.Now().Add(2 * time.Second))
+	go cli.Write([]byte("through"))
+	n, err := srv.Read(buf)
+	if err != nil || string(buf[:n]) != "through" {
+		t.Fatalf("read after heal = %q, %v", buf[:n], err)
+	}
+}
+
+func TestPartitionBlocksDial(t *testing.T) {
+	link := NewLink(Local())
+	l, err := Listen("127.0.0.1:0", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	link.Partition()
+	if _, err := Dial(l.Addr().String(), link); err == nil {
+		t.Error("Dial succeeded through a partition")
+	}
+	link.Heal()
+	c, err := Dial(l.Addr().String(), link)
+	if err != nil {
+		t.Fatalf("Dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestStallDelaysDelivery(t *testing.T) {
+	link := NewLink(Local())
+	cli, srv := Pipe(link)
+	defer cli.Close()
+	defer srv.Close()
+
+	const stall = 300 * time.Millisecond
+	link.Stall(stall)
+	start := time.Now()
+	go cli.Write([]byte("delayed"))
+	buf := make([]byte, 16)
+	srv.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := srv.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < stall-50*time.Millisecond {
+		t.Errorf("message arrived after %v despite a %v stall", d, stall)
+	}
+}
+
+func TestDropKillsEstablishedConns(t *testing.T) {
+	link := NewLink(Local())
+	cli, srv := Pipe(link)
+	defer cli.Close()
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := srv.Read(buf)
+		done <- err
+	}()
+	link.Drop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read returned data from a dropped connection")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("read still blocked after Drop")
+	}
+	if _, err := cli.Write([]byte("x")); err == nil {
+		t.Error("write on a dropped connection succeeded")
+	}
+}
+
+func TestFlapAllowsReconnect(t *testing.T) {
+	link := NewLink(Local())
+	l, err := Listen("127.0.0.1:0", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				buf := make([]byte, 16)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n])
+				}
+			}(c)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		c, err := Dial(l.Addr().String(), link)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if _, err := c.Write([]byte("ping")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		buf := make([]byte, 4)
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(buf); err != nil {
+			t.Fatalf("echo %d: %v", i, err)
+		}
+		link.Flap(1, time.Millisecond) // kills this conn; next dial works
+		buf2 := make([]byte, 1)
+		c.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := c.Read(buf2); err == nil {
+			t.Fatalf("conn %d survived a flap", i)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 package simnet
 
 import (
+	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -130,6 +132,7 @@ type Conn struct {
 	net.Conn
 	out   *shaper
 	stats *Stats
+	link  *Link // for fault injection; nil only in tests
 
 	mu     sync.Mutex
 	ch     chan delivery
@@ -137,8 +140,11 @@ type Conn struct {
 	werr   error
 }
 
-func newConn(raw net.Conn, out *shaper, stats *Stats) *Conn {
-	c := &Conn{Conn: raw, out: out, stats: stats, ch: make(chan delivery, 1024)}
+func newConn(raw net.Conn, out *shaper, stats *Stats, link *Link) *Conn {
+	c := &Conn{Conn: raw, out: out, stats: stats, link: link, ch: make(chan delivery, 1024)}
+	if link != nil {
+		link.addConn(c)
+	}
 	go c.deliverLoop()
 	return c
 }
@@ -147,6 +153,13 @@ func (c *Conn) deliverLoop() {
 	for d := range c.ch {
 		if wait := time.Until(d.at); wait > 0 {
 			time.Sleep(wait)
+		}
+		if c.link != nil {
+			// A stall injected after this message was scheduled still
+			// freezes it on the wire until the stall lifts.
+			if wait := time.Until(c.link.stallDeadline()); wait > 0 {
+				time.Sleep(wait)
+			}
 		}
 		if _, err := c.Conn.Write(d.data); err != nil {
 			c.mu.Lock()
@@ -176,7 +189,20 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	c.mu.Unlock()
+	if c.link != nil && c.link.loseMessage() {
+		// Lost on the wire: the sender sees a normal local write (as
+		// with a real TCP segment dropped past the NIC); the far end
+		// simply never receives it.
+		c.stats.Bytes.Add(uint64(len(p)))
+		c.stats.Messages.Add(1)
+		return len(p), nil
+	}
 	stall, at := c.out.schedule(len(p))
+	if c.link != nil {
+		if until := c.link.stallDeadline(); at.Before(until) {
+			at = until
+		}
+	}
 	c.stats.Bytes.Add(uint64(len(p)))
 	c.stats.Messages.Add(1)
 	buf := make([]byte, len(p))
@@ -203,23 +229,151 @@ func (c *Conn) Close() error {
 		close(c.ch)
 	}
 	c.mu.Unlock()
+	if c.link != nil {
+		c.link.removeConn(c)
+	}
 	return c.Conn.Close()
 }
 
 // Link emulates a bidirectional network path. Both directions share
 // the profile but have independent token buckets, as with full-duplex
-// links.
+// links. Fault injection — message loss, stalls, partitions and
+// connection kills — applies to both directions; see Drop, Stall,
+// Partition and SetLoss.
 type Link struct {
 	p         Profile
 	up, down  shaper // up: client→server, down: server→client
 	upStats   Stats
 	downStats Stats
+
+	dropped atomic.Uint64 // messages lost to faults
+
+	fmu         sync.Mutex
+	partitioned bool
+	stallUntil  time.Time
+	lossRate    float64
+	rng         *rand.Rand // nil until SetLoss; seeded for determinism
+	conns       map[*Conn]struct{}
 }
 
 // NewLink returns a Link with the given profile.
 func NewLink(p Profile) *Link {
-	return &Link{p: p, up: shaper{p: p}, down: shaper{p: p}}
+	return &Link{p: p, up: shaper{p: p}, down: shaper{p: p},
+		conns: make(map[*Conn]struct{})}
 }
+
+// --- fault injection -------------------------------------------------
+//
+// These model the WAN failure modes a long-lived GVFS session must
+// survive: flapping TCP connections (Drop/Flap), routing stalls
+// (Stall), hard partitions (Partition/Heal) and random message loss
+// (SetLoss). All methods are safe for concurrent use with traffic.
+
+func (l *Link) addConn(c *Conn) {
+	l.fmu.Lock()
+	l.conns[c] = struct{}{}
+	l.fmu.Unlock()
+}
+
+func (l *Link) removeConn(c *Conn) {
+	l.fmu.Lock()
+	delete(l.conns, c)
+	l.fmu.Unlock()
+}
+
+// Drop kills every connection currently traversing the link, as when a
+// NAT entry expires or a stateful middlebox reboots. New connections
+// (and redials) succeed immediately.
+func (l *Link) Drop() {
+	l.fmu.Lock()
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.fmu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Flap kills all connections n times, gap apart — a flapping path.
+// It blocks for n*gap; run it from a goroutine to flap mid-transfer.
+func (l *Link) Flap(n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		l.Drop()
+		time.Sleep(gap)
+	}
+}
+
+// Stall freezes delivery in both directions for d: messages written
+// (or still on the wire) during the stall arrive only after it lifts.
+// Connections stay up — the paper's long-haul path hiccup.
+func (l *Link) Stall(d time.Duration) {
+	l.fmu.Lock()
+	if until := time.Now().Add(d); until.After(l.stallUntil) {
+		l.stallUntil = until
+	}
+	l.fmu.Unlock()
+}
+
+func (l *Link) stallDeadline() time.Time {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.stallUntil
+}
+
+// Partition black-holes the link: every message in either direction is
+// silently lost and new Dials through the link fail, while established
+// connections stay "up" from the endpoints' perspective — exactly the
+// failure a per-call deadline exists to detect. Heal ends it.
+func (l *Link) Partition() {
+	l.fmu.Lock()
+	l.partitioned = true
+	l.fmu.Unlock()
+}
+
+// Heal ends a partition.
+func (l *Link) Heal() {
+	l.fmu.Lock()
+	l.partitioned = false
+	l.fmu.Unlock()
+}
+
+// Partitioned reports whether the link is currently partitioned.
+func (l *Link) Partitioned() bool {
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	return l.partitioned
+}
+
+// SetLoss drops each message crossing the link with probability rate,
+// using a deterministic seeded source so chaos runs are reproducible.
+// Rate 0 disables loss.
+func (l *Link) SetLoss(rate float64, seed int64) {
+	l.fmu.Lock()
+	l.lossRate = rate
+	if rate > 0 {
+		l.rng = rand.New(rand.NewSource(seed))
+	} else {
+		l.rng = nil
+	}
+	l.fmu.Unlock()
+}
+
+// loseMessage decides the fate of one message under the current faults.
+func (l *Link) loseMessage() bool {
+	l.fmu.Lock()
+	lost := l.partitioned || (l.rng != nil && l.rng.Float64() < l.lossRate)
+	l.fmu.Unlock()
+	if lost {
+		l.dropped.Add(1)
+	}
+	return lost
+}
+
+// DroppedMessages returns the number of messages lost to injected
+// faults (loss and partitions; messages cut off by Drop not included).
+func (l *Link) DroppedMessages() uint64 { return l.dropped.Load() }
 
 // Profile returns the link's profile.
 func (l *Link) Profile() Profile { return l.p }
@@ -240,12 +394,12 @@ func (l *Link) ResetStats() {
 
 // ClientConn wraps the client side of conn: writes traverse the uplink.
 func (l *Link) ClientConn(conn net.Conn) net.Conn {
-	return newConn(conn, &l.up, &l.upStats)
+	return newConn(conn, &l.up, &l.upStats, l)
 }
 
 // ServerConn wraps the server side of conn: writes traverse the downlink.
 func (l *Link) ServerConn(conn net.Conn) net.Conn {
-	return newConn(conn, &l.down, &l.downStats)
+	return newConn(conn, &l.down, &l.downStats, l)
 }
 
 // Listener wraps an accept loop so that every accepted connection is
@@ -274,8 +428,20 @@ func (l *Listener) Accept() (net.Conn, error) {
 	return l.link.ServerConn(conn), nil
 }
 
+// Dial connects to addr and shapes the client side with link. While
+// the link is partitioned, dialing fails as a real SYN would.
+func (l *Link) checkDial() error {
+	if l.Partitioned() {
+		return fmt.Errorf("simnet: %s link partitioned", l.p.Name)
+	}
+	return nil
+}
+
 // Dial connects to addr and shapes the client side with link.
 func Dial(addr string, link *Link) (net.Conn, error) {
+	if err := link.checkDial(); err != nil {
+		return nil, err
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err

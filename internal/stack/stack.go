@@ -220,6 +220,22 @@ type ProxyOptions struct {
 	// dirty session data is propagated automatically once the session
 	// has been quiet this long (paper §3.2.3).
 	IdleWriteBack time.Duration
+
+	// UpstreamCallTimeout bounds each upstream RPC (per-call deadline).
+	UpstreamCallTimeout time.Duration
+
+	// UpstreamMaxRetries enables transparent upstream reconnection with
+	// exponential backoff and XID-preserving retransmission of
+	// idempotent NFS calls (nfs3.RetrySafe). 0 disables retries.
+	UpstreamMaxRetries int
+
+	// DegradedReads serves cached data while the upstream is down; see
+	// proxy.Config.DegradedReads.
+	DegradedReads bool
+	// FailureThreshold and ProbeInterval tune the upstream circuit
+	// breaker (proxy.Config fields of the same names).
+	FailureThreshold int
+	ProbeInterval    time.Duration
 }
 
 // StartProxy runs a GVFS proxy node.
@@ -229,13 +245,29 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stack: proxy upstream dial: %w", err)
 	}
-	upstream := sunrpc.NewClient(conn)
+	var upstream *sunrpc.Client
+	if opts.UpstreamCallTimeout > 0 || opts.UpstreamMaxRetries > 0 {
+		copts := sunrpc.ClientOptions{
+			CallTimeout: opts.UpstreamCallTimeout,
+			MaxRetries:  opts.UpstreamMaxRetries,
+			Idempotent:  nfs3.RetrySafe,
+		}
+		if opts.UpstreamMaxRetries > 0 {
+			copts.Redial = dial
+		}
+		upstream = sunrpc.NewClientWithOptions(conn, copts)
+	} else {
+		upstream = sunrpc.NewClient(conn)
+	}
 
 	cfg := proxy.Config{
-		Upstream:    upstream,
-		Mapper:      opts.Mapper,
-		DisableMeta: opts.DisableMeta,
-		ReadAhead:   opts.ReadAhead,
+		Upstream:         upstream,
+		Mapper:           opts.Mapper,
+		DisableMeta:      opts.DisableMeta,
+		ReadAhead:        opts.ReadAhead,
+		DegradedReads:    opts.DegradedReads,
+		FailureThreshold: opts.FailureThreshold,
+		ProbeInterval:    opts.ProbeInterval,
 	}
 	var cleanup []func()
 	cleanup = append(cleanup, func() { upstream.Close() })
@@ -290,6 +322,7 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		upstream.Close()
 		return nil, err
 	}
+	cleanup = append(cleanup, p.Shutdown)
 	srv := sunrpc.NewServer()
 	srv.Register(nfs3.Program, nfs3.Version, p)
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)

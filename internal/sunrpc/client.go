@@ -1,0 +1,458 @@
+package sunrpc
+
+// Fault-tolerant RPC client: per-call deadlines, transparent reconnect
+// with exponential backoff and jitter, and XID-based retransmission of
+// idempotent calls. A WAN session (the paper's Abilene path) stalls,
+// flaps and drops; the NFS session layered on this client must absorb
+// those transients instead of dying with the first TCP connection.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvfs/internal/xdr"
+)
+
+// ErrClientClosed is returned by Call after the client is closed or its
+// connection fails (with no reconnect configured).
+var ErrClientClosed = errors.New("sunrpc: client closed")
+
+// ErrCallTimeout reports that a call's per-call deadline expired before
+// a reply arrived.
+var ErrCallTimeout = errors.New("sunrpc: call timed out")
+
+// ErrRetriesExhausted is the terminal error after every retransmission
+// attempt of an idempotent call has failed.
+var ErrRetriesExhausted = errors.New("sunrpc: retries exhausted")
+
+// RPCError reports a non-SUCCESS accept state from the server.
+type RPCError struct {
+	Stat AcceptStat
+}
+
+func (e *RPCError) Error() string { return "sunrpc: call failed: " + e.Stat.String() }
+
+// ClientOptions tune the client's fault-tolerance behavior. The zero
+// value reproduces the plain single-connection client: no deadline, no
+// reconnect, no retransmission.
+type ClientOptions struct {
+	// CallTimeout bounds each call attempt. While a call is in flight
+	// the connection carries a matching write deadline, and the reply
+	// wait is cut off after this duration. Zero means wait forever.
+	CallTimeout time.Duration
+
+	// Redial re-establishes the transport after a connection failure.
+	// When nil the client is single-shot: a dead connection fails all
+	// current and future calls, as before.
+	Redial func() (net.Conn, error)
+
+	// MaxRetries is the number of retransmission attempts after the
+	// first try (default 8 when retries are enabled at all).
+	MaxRetries int
+
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// attempts (defaults 20ms and 2s). Each wait is jittered to half
+	// its nominal value at minimum.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// Idempotent reports whether a procedure is safe to retransmit
+	// after an ambiguous failure (the call may have executed). Calls
+	// for which it returns false are retried only when the failure
+	// provably precedes transmission (e.g. a failed dial). Nil means
+	// nothing is idempotent.
+	Idempotent func(prog, vers, proc uint32) bool
+}
+
+const (
+	defaultMaxRetries  = 8
+	defaultBackoffBase = 20 * time.Millisecond
+	defaultBackoffMax  = 2 * time.Second
+)
+
+// TransportStats counts client fault-handling activity.
+type TransportStats struct {
+	Retries    uint64 // retransmission attempts (beyond first tries)
+	Reconnects uint64 // successful redials
+	Timeouts   uint64 // per-call deadline expiries
+}
+
+// Client issues RPC calls over a stream connection. It is safe for
+// concurrent use: calls are multiplexed by XID. With ClientOptions it
+// survives connection failures by reconnecting and retransmitting
+// idempotent calls under their original XIDs.
+type Client struct {
+	opts ClientOptions
+
+	wmu sync.Mutex // serializes record writes
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals redial completion
+	conn    net.Conn   // nil while down
+	gen     int        // bumped per established connection
+	dialing bool
+	closed  bool
+	lastErr error // last transport error, for the no-redial path
+	nextXID uint32
+	pending map[uint32]chan clientReply
+	done    chan struct{}
+
+	retries    atomic.Uint64
+	reconnects atomic.Uint64
+	timeouts   atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+type clientReply struct {
+	stat    AcceptStat
+	results []byte
+	err     error
+	// transport marks err as a connection-level failure (the call may
+	// be retransmitted) rather than a server verdict.
+	transport bool
+}
+
+// NewClient wraps an established connection with default (no-retry)
+// options.
+func NewClient(conn net.Conn) *Client {
+	return NewClientWithOptions(conn, ClientOptions{})
+}
+
+// NewClientWithOptions wraps an established connection.
+func NewClientWithOptions(conn net.Conn, opts ClientOptions) *Client {
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = defaultMaxRetries
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = defaultBackoffBase
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = defaultBackoffMax
+	}
+	c := &Client{
+		opts:    opts,
+		conn:    conn,
+		gen:     1,
+		nextXID: 1,
+		pending: make(map[uint32]chan clientReply),
+		done:    make(chan struct{}),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	go c.readLoop(conn, 1)
+	return c
+}
+
+// Dial connects to addr over TCP and returns a Client.
+func Dial(addr string) (*Client, error) {
+	return DialWithOptions(addr, ClientOptions{})
+}
+
+// DialWithOptions connects to addr over TCP with the given options.
+// Set opts.Redial to enable reconnection; it is not defaulted here.
+func DialWithOptions(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientWithOptions(conn, opts), nil
+}
+
+// Close tears down the connection; outstanding calls fail and no
+// reconnect is attempted. Idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	conn := c.conn
+	c.conn = nil
+	c.failPendingLocked(ErrClientClosed)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// TransportStats returns a snapshot of the fault-handling counters.
+func (c *Client) TransportStats() TransportStats {
+	return TransportStats{
+		Retries:    c.retries.Load(),
+		Reconnects: c.reconnects.Load(),
+		Timeouts:   c.timeouts.Load(),
+	}
+}
+
+// failPendingLocked pushes err to every pending call without removing
+// the registrations: a retransmitting call keeps its XID so a reply on
+// a later connection still matches.
+func (c *Client) failPendingLocked(err error) {
+	for _, ch := range c.pending {
+		select {
+		case ch <- clientReply{err: err, transport: true}:
+		default:
+		}
+	}
+}
+
+// connDown records the death of a specific connection generation. A
+// stale generation's error (late readLoop exit after a reconnect) is
+// ignored.
+func (c *Client) connDown(gen int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+	c.lastErr = fmt.Errorf("%w: %v", ErrClientClosed, err)
+	c.failPendingLocked(c.lastErr)
+}
+
+func (c *Client) readLoop(conn net.Conn, gen int) {
+	for {
+		rec, err := readRecord(conn)
+		if err != nil {
+			c.connDown(gen, err)
+			return
+		}
+		d := xdr.NewDecoder(bytesReader(rec))
+		xid := d.Uint32()
+		mt := d.Uint32()
+		rstat := d.Uint32()
+		if d.Err() != nil || mt != msgReply {
+			c.connDown(gen, errors.New("malformed reply"))
+			return
+		}
+		var rep clientReply
+		if rstat == replyDenied {
+			rep.err = errors.New("sunrpc: call denied by server")
+		} else {
+			verf := decodeAuth(d)
+			rep.stat = AcceptStat(d.Uint32())
+			if err := d.Err(); err != nil {
+				c.connDown(gen, err)
+				return
+			}
+			hdrLen := 4*3 + 8 + len(verf.Body) + padTo4(len(verf.Body)) + 4
+			rep.results = rec[hdrLen:]
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[xid]
+		c.mu.Unlock()
+		if ok {
+			// Non-blocking: a duplicate reply (retransmission answered
+			// twice) is dropped rather than wedging the read loop.
+			select {
+			case ch <- rep:
+			default:
+			}
+		}
+	}
+}
+
+// ensureConn returns a live connection, redialing if configured. The
+// caller is responsible for backoff between attempts.
+func (c *Client) ensureConn() (net.Conn, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, 0, ErrClientClosed
+		}
+		if c.conn != nil {
+			return c.conn, c.gen, nil
+		}
+		if c.opts.Redial == nil {
+			err := c.lastErr
+			if err == nil {
+				err = ErrClientClosed
+			}
+			return nil, 0, err
+		}
+		if c.dialing {
+			c.cond.Wait()
+			continue
+		}
+		c.dialing = true
+		c.mu.Unlock()
+		conn, err := c.opts.Redial()
+		c.mu.Lock()
+		c.dialing = false
+		c.cond.Broadcast()
+		if err != nil {
+			c.lastErr = fmt.Errorf("%w: redial: %v", ErrClientClosed, err)
+			return nil, 0, err
+		}
+		if c.closed {
+			conn.Close()
+			return nil, 0, ErrClientClosed
+		}
+		c.gen++
+		c.conn = conn
+		c.reconnects.Add(1)
+		go c.readLoop(conn, c.gen)
+		return c.conn, c.gen, nil
+	}
+}
+
+// backoff sleeps the jittered exponential delay for the given retry
+// ordinal, aborting early if the client closes.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.BackoffBase << uint(attempt)
+	if d > c.opts.BackoffMax || d <= 0 {
+		d = c.opts.BackoffMax
+	}
+	// Jitter to [d/2, d] so parallel retransmitters decorrelate.
+	c.rngMu.Lock()
+	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.rngMu.Unlock()
+	select {
+	case <-time.After(d):
+	case <-c.done:
+	}
+}
+
+// retriesEnabled reports whether the retry loop applies at all.
+func (c *Client) retriesEnabled() bool {
+	return c.opts.Redial != nil || c.opts.CallTimeout > 0
+}
+
+// Call issues one RPC and waits for its reply. On a non-SUCCESS accept
+// state it returns an *RPCError. With retry options set, transport
+// failures of idempotent calls are retransmitted (same XID) across
+// reconnects until MaxRetries is exhausted, then reported as
+// ErrRetriesExhausted wrapping the last cause.
+func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	xid := c.nextXID
+	c.nextXID++
+	ch := make(chan clientReply, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+	}()
+
+	msg := marshalCall(xid, prog, vers, proc, cred, AuthNoneCred, args)
+	idempotent := c.opts.Idempotent != nil && c.opts.Idempotent(prog, vers, proc)
+	attempts := 1
+	if c.retriesEnabled() {
+		attempts = 1 + c.opts.MaxRetries
+	}
+
+	var lastErr error
+	timedOutGen := -1 // connection generation already charged one timeout
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.backoff(attempt - 1)
+			// A reply may have landed during the backoff (the call was
+			// merely delayed): complete with it. A buffered transport
+			// error from the previous attempt is stale — discard it so
+			// it is not mistaken for this attempt's outcome.
+			select {
+			case rep := <-ch:
+				if rep.err == nil {
+					if rep.stat != Success {
+						return nil, &RPCError{Stat: rep.stat}
+					}
+					return rep.results, nil
+				}
+			default:
+			}
+		}
+		conn, gen, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, ErrClientClosed) && c.opts.Redial == nil {
+				return nil, err
+			}
+			// Nothing was transmitted: safe to retry regardless of
+			// idempotence.
+			lastErr = err
+			continue
+		}
+
+		c.wmu.Lock()
+		if c.opts.CallTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(c.opts.CallTimeout))
+		}
+		werr := writeRecord(conn, msg)
+		if c.opts.CallTimeout > 0 {
+			conn.SetWriteDeadline(time.Time{})
+		}
+		c.wmu.Unlock()
+		if werr != nil {
+			c.connDown(gen, werr)
+			lastErr = fmt.Errorf("%w: %v", ErrClientClosed, werr)
+			if !idempotent || c.opts.Redial == nil {
+				return nil, lastErr
+			}
+			continue
+		}
+
+		var timeout <-chan time.Time
+		var timer *time.Timer
+		if c.opts.CallTimeout > 0 {
+			timer = time.NewTimer(c.opts.CallTimeout)
+			timeout = timer.C
+		}
+		select {
+		case rep := <-ch:
+			if timer != nil {
+				timer.Stop()
+			}
+			if rep.err != nil {
+				lastErr = rep.err
+				if rep.transport && idempotent && c.opts.Redial != nil {
+					continue
+				}
+				return nil, rep.err
+			}
+			if rep.stat != Success {
+				return nil, &RPCError{Stat: rep.stat}
+			}
+			return rep.results, nil
+		case <-timeout:
+			c.timeouts.Add(1)
+			lastErr = fmt.Errorf("%w after %v (xid %d, prog %d proc %d)",
+				ErrCallTimeout, c.opts.CallTimeout, xid, prog, proc)
+			if !idempotent {
+				return nil, lastErr
+			}
+			// Retransmit under the same XID: if the original call (or
+			// its reply) was merely delayed, the late reply still
+			// completes this call. A second expiry on the same
+			// connection suggests a wedged or desynchronized stream —
+			// sever it so the next attempt starts on a fresh one.
+			if c.opts.Redial != nil {
+				if gen == timedOutGen {
+					c.connDown(gen, lastErr)
+				} else {
+					timedOutGen = gen
+				}
+			}
+			continue
+		}
+	}
+	return nil, fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}

@@ -255,17 +255,19 @@ type progVers struct{ prog, vers uint32 }
 
 // Server serves ONC RPC programs on a stream listener.
 type Server struct {
-	mu       sync.Mutex
-	handlers map[progVers]Handler
-	conns    map[net.Conn]struct{}
-	closed   bool
+	mu        sync.Mutex
+	handlers  map[progVers]Handler
+	conns     map[net.Conn]struct{}
+	listeners map[net.Listener]struct{}
+	closed    bool
 }
 
 // NewServer returns an empty Server; register programs before serving.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[progVers]Handler),
-		conns:    make(map[net.Conn]struct{}),
+		handlers:  make(map[progVers]Handler),
+		conns:     make(map[net.Conn]struct{}),
+		listeners: make(map[net.Listener]struct{}),
 	}
 }
 
@@ -277,8 +279,22 @@ func (s *Server) Register(prog, vers uint32, h Handler) {
 }
 
 // Serve accepts connections from l until l is closed or Close is called.
-// It always returns a non-nil error (net.ErrClosed after Close).
+// It always returns a non-nil error (net.ErrClosed after Close). The
+// listener is adopted: Close closes it, so Serve cannot keep accepting
+// (or stay blocked in Accept) on a closed server.
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -286,6 +302,8 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		s.mu.Lock()
 		if s.closed {
+			// Close ran between Accept returning and this registration:
+			// the connection must not outlive the server.
 			s.mu.Unlock()
 			conn.Close()
 			return net.ErrClosed
@@ -296,15 +314,28 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close terminates all active connections.
+// Close terminates all active connections and adopted listeners. It is
+// idempotent and safe to call concurrently with Serve.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.closed = true
-	for c := range s.conns {
+	conns := s.conns
+	s.conns = make(map[net.Conn]struct{})
+	listeners := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		listeners = append(listeners, l)
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for c := range conns {
 		c.Close()
 	}
-	s.conns = make(map[net.Conn]struct{})
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -377,142 +408,6 @@ func padTo4(n int) int {
 	return 0
 }
 
-// ErrClientClosed is returned by Call after the client is closed or its
-// connection fails.
-var ErrClientClosed = errors.New("sunrpc: client closed")
-
-// RPCError reports a non-SUCCESS accept state from the server.
-type RPCError struct {
-	Stat AcceptStat
-}
-
-func (e *RPCError) Error() string { return "sunrpc: call failed: " + e.Stat.String() }
-
-// Client issues RPC calls over a single stream connection. It is safe
-// for concurrent use: calls are multiplexed by XID.
-type Client struct {
-	conn net.Conn
-
-	wmu sync.Mutex // serializes writes
-
-	mu      sync.Mutex
-	nextXID uint32
-	pending map[uint32]chan clientReply
-	err     error
-}
-
-type clientReply struct {
-	stat    AcceptStat
-	results []byte
-	err     error
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	c := &Client{
-		conn:    conn,
-		nextXID: 1,
-		pending: make(map[uint32]chan clientReply),
-	}
-	go c.readLoop()
-	return c
-}
-
-// Dial connects to addr over TCP and returns a Client.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return NewClient(conn), nil
-}
-
-// Close tears down the connection; outstanding calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) readLoop() {
-	for {
-		rec, err := readRecord(c.conn)
-		if err != nil {
-			c.fail(fmt.Errorf("%w: %v", ErrClientClosed, err))
-			return
-		}
-		d := xdr.NewDecoder(bytesReader(rec))
-		xid := d.Uint32()
-		mt := d.Uint32()
-		rstat := d.Uint32()
-		if d.Err() != nil || mt != msgReply {
-			c.fail(errors.New("sunrpc: malformed reply"))
-			return
-		}
-		var rep clientReply
-		if rstat == replyDenied {
-			rep.err = errors.New("sunrpc: call denied by server")
-		} else {
-			verf := decodeAuth(d)
-			_ = verf
-			rep.stat = AcceptStat(d.Uint32())
-			if err := d.Err(); err != nil {
-				c.fail(err)
-				return
-			}
-			hdrLen := 4*3 + 8 + len(verf.Body) + padTo4(len(verf.Body)) + 4
-			rep.results = rec[hdrLen:]
-		}
-		c.mu.Lock()
-		ch, ok := c.pending[xid]
-		delete(c.pending, xid)
-		c.mu.Unlock()
-		if ok {
-			ch <- rep
-		}
-	}
-}
-
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err == nil {
-		c.err = err
-	}
-	for xid, ch := range c.pending {
-		ch <- clientReply{err: err}
-		delete(c.pending, xid)
-	}
-}
-
-// Call issues one RPC and waits for its reply. On a non-SUCCESS accept
-// state it returns an *RPCError.
-func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]byte, error) {
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		return nil, err
-	}
-	xid := c.nextXID
-	c.nextXID++
-	ch := make(chan clientReply, 1)
-	c.pending[xid] = ch
-	c.mu.Unlock()
-
-	msg := marshalCall(xid, prog, vers, proc, cred, AuthNoneCred, args)
-	c.wmu.Lock()
-	err := writeRecord(c.conn, msg)
-	c.wmu.Unlock()
-	if err != nil {
-		c.mu.Lock()
-		delete(c.pending, xid)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrClientClosed, err)
-	}
-
-	rep := <-ch
-	if rep.err != nil {
-		return nil, rep.err
-	}
-	if rep.stat != Success {
-		return nil, &RPCError{Stat: rep.stat}
-	}
-	return rep.results, nil
-}
+// The Client implementation (per-call deadlines, reconnect with
+// backoff, XID-based retransmission of idempotent calls) lives in
+// client.go.

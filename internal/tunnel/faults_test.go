@@ -1,0 +1,65 @@
+package tunnel_test
+
+// Mid-stream connection death on a tunneled hop must surface as an
+// error at the session, never a hang — the encrypted mirror of the
+// proxy package's TestUpstreamDeathSurfacesErrors.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/stack"
+)
+
+func TestTunneledUpstreamDeathSurfacesErrors(t *testing.T) {
+	fs := memfs.New()
+	fs.WriteFile("/f", bytes.Repeat([]byte{1}, 64*1024))
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{Encrypt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.Key == nil {
+		t.Fatal("no tunnel key generated")
+	}
+	cfg := cache.Config{Dir: t.TempDir(), Banks: 8, SetsPerBank: 8, Assoc: 2,
+		BlockSize: 8192, Policy: cache.WriteBack}
+	node, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		UpstreamKey:  server.Key,
+		CacheConfig:  &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.ReadFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The image server dies mid-session, taking the tunnel's far end
+	// with it.
+	server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.ReadFile("/g") // uncached: must reach upstream
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read of uncached file succeeded through a dead tunnel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("read hung after tunneled upstream death")
+	}
+}
