@@ -8,7 +8,8 @@
 //	gvfsbench -experiment all -scale 64
 //	gvfsbench -experiment fig4 -scale 16 -v
 //
-// Experiments: fig3, fig4, fig5, fig6, table1, zerofilter, all.
+// Experiments: fig3, fig4, fig5, fig6, table1, zerofilter,
+// concurrency, all.
 // Data sizes and compute times are the paper's divided by -scale;
 // network latency and bandwidth always use the paper's calibrated
 // values, so measured seconds × scale estimate paper-scale seconds.
@@ -27,14 +28,15 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	results := flag.String("results", "", "directory receiving BENCH_*.json reports")
 	flag.Parse()
 
-	o := bench.Options{Scale: *scale, Verbose: *verbose, NoEncrypt: *noEncrypt}
+	o := bench.Options{Scale: *scale, Verbose: *verbose, NoEncrypt: *noEncrypt, ResultsDir: *results}
 	runners := map[string]func() (*bench.Table, error){
 		"fig3":                 o.RunFig3,
 		"fig4":                 o.RunFig4,
@@ -43,13 +45,14 @@ func main() {
 		"table1":               o.RunTable1,
 		"zerofilter":           o.RunZeroFilter,
 		"persistent":           o.RunPersistentVM,
+		"concurrency":          o.RunConcurrency,
 		"ablation-writepolicy": o.RunAblationWritePolicy,
 		"ablation-metadata":    o.RunAblationMetadata,
 		"ablation-geometry":    o.RunAblationCacheGeometry,
 		"ablation-tunnel":      o.RunAblationTunnel,
 		"ablation-readahead":   o.RunAblationReadAhead,
 	}
-	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent",
+	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead"}
 
 	var selected []string

@@ -43,6 +43,7 @@ func main() {
 	sets := flag.Int("cache-sets", 128, "sets per bank")
 	assoc := flag.Int("cache-assoc", 16, "cache associativity")
 	blockSize := flag.Int("cache-block", 8192, "cache block size (<= 32768)")
+	stripes := flag.Int("cache-stripes", 0, "cache lock stripes (0 = default 64; 1 = single global lock)")
 	policyName := flag.String("policy", "write-back", "write policy: write-back | write-through")
 	fileCacheDir := flag.String("filecache-dir", "", "file cache directory (enables meta-data handling)")
 	fileChan := flag.String("filechan", "", "image server file-channel address")
@@ -97,6 +98,7 @@ func main() {
 		cfg := cache.Config{
 			Dir: *cacheDir, Banks: *banks, SetsPerBank: *sets,
 			Assoc: *assoc, BlockSize: *blockSize, Policy: policy,
+			Stripes: *stripes,
 		}
 		opts.CacheConfig = &cfg
 	}

@@ -53,6 +53,7 @@ func (f *File) Close() error {
 	dirty := f.dirty
 	f.dirty = false
 	f.mu.Unlock()
+	f.s.untrackFile(f)
 	if dirty {
 		return f.s.nfs.Commit(f.fh, 0, 0)
 	}

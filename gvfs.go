@@ -75,7 +75,8 @@ type Session struct {
 	pages *pagecache.Cache
 
 	mu       sync.Mutex
-	dentries map[string]dentry // path -> fh/attr cache
+	dentries map[string]dentry  // path -> fh/attr cache
+	files    map[*File]struct{} // files open in this session
 }
 
 type dentry struct {
@@ -130,11 +131,48 @@ func Mount(cfg SessionConfig) (*Session, error) {
 		bs:       cfg.BlockSize,
 		pages:    pagecache.New(cfg.PageCachePages),
 		dentries: make(map[string]dentry),
+		files:    make(map[*File]struct{}),
 	}, nil
 }
 
-// Close tears down the session's connection.
-func (s *Session) Close() error { return s.rpc.Close() }
+// Close commits the dirty state of any files still open in this
+// session, then tears down the connection. File.Close reports commit
+// failures for explicitly closed files; Close extends the same
+// guarantee to files the application left open, so an acknowledged
+// write is never silently dropped at session teardown. The first
+// commit error (then any transport-close error) is returned.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	open := make([]*File, 0, len(s.files))
+	for f := range s.files {
+		open = append(open, f)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, f := range open {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.rpc.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// trackFile registers an open file so Session.Close can settle it.
+func (s *Session) trackFile(f *File) {
+	s.mu.Lock()
+	s.files[f] = struct{}{}
+	s.mu.Unlock()
+}
+
+// untrackFile removes a closed file from the registry.
+func (s *Session) untrackFile(f *File) {
+	s.mu.Lock()
+	delete(s.files, f)
+	s.mu.Unlock()
+}
 
 // Root returns the export root handle.
 func (s *Session) Root() nfs3.FH { return s.root }
@@ -330,7 +368,9 @@ func (s *Session) Open(p string) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &File{s: s, fh: fh, path: path.Clean("/" + p), size: attr.Size}, nil
+	f := &File{s: s, fh: fh, path: path.Clean("/" + p), size: attr.Size}
+	s.trackFile(f)
+	return f, nil
 }
 
 // Create creates (or truncates) a file and opens it.
@@ -346,10 +386,12 @@ func (s *Session) Create(p string) (*File, error) {
 	}
 	s.pages.InvalidateFile(fh)
 	clean := path.Clean("/" + p)
+	f := &File{s: s, fh: fh, path: clean}
 	s.mu.Lock()
 	s.dentries[clean] = dentry{fh: fh, ftyp: nfs3.TypeReg}
+	s.files[f] = struct{}{}
 	s.mu.Unlock()
-	return &File{s: s, fh: fh, path: clean}, nil
+	return f, nil
 }
 
 // ReadFile reads the whole file at p.

@@ -1,0 +1,344 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/proxy"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+	"gvfs/internal/sunrpc"
+)
+
+// The concurrency experiment measures what lock striping buys: N
+// parallel clients hammer one proxy whose upstream sits behind a
+// WAN-class latency link. The workload is read-mostly with enough
+// dirty writes that evictions constantly push write-backs over the
+// slow link. Under the pre-striping single mutex those write-backs
+// happen inside the cache's only critical section, so every client
+// stalls behind every eviction; with striping plus frame pinning the
+// RPCs overlap and only the affected frame waits.
+
+const (
+	concBlockSize   = 4096
+	concReadBlocks  = 128 // warmed, resident working set (2 per set)
+	concWriteBlocks = 512 // 8 candidates per 4-way set: writes keep evicting dirty victims
+)
+
+// concurrencyRun is one (mode, clients) measurement in the JSON report.
+type concurrencyRun struct {
+	Mode       string  `json:"mode"` // "baseline" (1 stripe, serial I/O) or "striped"
+	Clients    int     `json:"clients"`
+	Stripes    int     `json:"stripes"`
+	Ops        int     `json:"ops"`
+	Reads      int     `json:"reads"`
+	Writes     int     `json:"writes"`
+	ReadBytes  int64   `json:"read_bytes"`
+	Seconds    float64 `json:"seconds"`
+	ReadMBps   float64 `json:"aggregate_read_mb_per_s"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Hits       uint64  `json:"cache_hits"`
+	Misses     uint64  `json:"cache_misses"`
+	Evictions  uint64  `json:"cache_evictions"`
+	WriteBacks uint64  `json:"cache_write_backs"`
+}
+
+type concurrencyReport struct {
+	Experiment    string           `json:"experiment"`
+	Scale         float64          `json:"scale"`
+	BlockSize     int              `json:"block_size"`
+	RTT           string           `json:"upstream_rtt"`
+	Runs          []concurrencyRun `json:"runs"`
+	Speedup8      float64          `json:"speedup_8_clients"`
+	LatencyRatio1 float64          `json:"latency_ratio_1_client"`
+}
+
+// proxyCaller drives a Proxy in-process as an nfs3.Caller, the way a
+// dispatcher thread would hand decoded calls to the handler.
+type proxyCaller struct{ p *proxy.Proxy }
+
+func (c proxyCaller) Call(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte) ([]byte, error) {
+	res, stat := c.p.HandleCall(&sunrpc.Call{Prog: prog, Vers: vers, Proc: proc, Cred: cred, Args: args})
+	if stat != sunrpc.Success {
+		return nil, fmt.Errorf("proxy: accept stat %v", stat)
+	}
+	return res, nil
+}
+
+// concurrencyOps returns the total operation count, split across all
+// clients of a run so every mode does identical work.
+func (o Options) concurrencyOps() int {
+	ops := int(8 * 2400 / o.scale())
+	if ops < 64 {
+		ops = 64
+	}
+	return ops
+}
+
+// runConcurrencyOne deploys server + proxy with the requested cache
+// locking mode and times totalOps operations split over clients.
+func (o Options) runConcurrencyOne(mode string, clients, totalOps int) (concurrencyRun, error) {
+	run := concurrencyRun{Mode: mode, Clients: clients}
+
+	fs := memfs.New()
+	pattern := func(n int, seed byte) []byte {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = seed + byte(i%251)
+		}
+		return buf
+	}
+	if err := fs.WriteFile("/read.img", pattern(concReadBlocks*concBlockSize, 1)); err != nil {
+		return run, err
+	}
+	if err := fs.WriteFile("/write.img", pattern(concWriteBlocks*concBlockSize, 7)); err != nil {
+		return run, err
+	}
+	node, err := stack.StartNFSServer(fs, stack.NFSServerOptions{})
+	if err != nil {
+		return run, err
+	}
+	defer node.Close()
+
+	// WAN-class latency, unlimited bandwidth: the experiment isolates
+	// lock-hold time around blocking RPCs, not link serialization.
+	link := simnet.NewLink(simnet.Profile{Name: "conc-wan", RTT: 10 * time.Millisecond})
+	conn, err := stack.Dialer(node.Addr, link, nil)()
+	if err != nil {
+		return run, err
+	}
+	up := sunrpc.NewClient(conn)
+	defer up.Close()
+
+	dir, err := os.MkdirTemp(o.WorkDir, "gvfs-conc-")
+	if err != nil {
+		return run, err
+	}
+	defer os.RemoveAll(dir)
+	// Geometry: 256 frames over 64 sets, smaller than the combined
+	// working set so insertions keep evicting dirty victims.
+	ccfg := cache.Config{
+		Dir: dir, Banks: 4, SetsPerBank: 16, Assoc: 4,
+		BlockSize: concBlockSize, Policy: cache.WriteBack,
+		FlushConcurrency: 8,
+	}
+	// 64 sets → the default stripe count covers every set with its own
+	// lock; the baseline collapses to the pre-striping single mutex.
+	run.Stripes = ccfg.Banks * ccfg.SetsPerBank
+	if mode == "baseline" {
+		ccfg.Stripes = 1
+		ccfg.SerialIO = true
+		run.Stripes = 1
+	}
+	bc, err := cache.New(ccfg)
+	if err != nil {
+		return run, err
+	}
+	defer bc.Close()
+
+	p, err := proxy.New(proxy.Config{
+		Upstream:    up,
+		BlockCache:  bc,
+		WritePolicy: cache.WriteBack,
+		DisableMeta: true,
+	})
+	if err != nil {
+		return run, err
+	}
+	defer p.Shutdown()
+
+	caller := proxyCaller{p}
+	cred := benchCred()
+	root, err := mountd.Mount(caller, cred, "/")
+	if err != nil {
+		return run, err
+	}
+	nc := nfs3.NewClient(caller, cred)
+	readFH, _, err := nc.Lookup(root, "read.img")
+	if err != nil {
+		return run, err
+	}
+	writeFH, _, err := nc.Lookup(root, "write.img")
+	if err != nil {
+		return run, err
+	}
+
+	// Bring the cache to the measured steady state before timing.
+	// First dirty the whole write range: the cache fills to capacity
+	// with dirty frames, so every later insertion must write back a
+	// victim over the slow link. Then warm the read set; reads stay
+	// hot under LRU, leaving each set split between resident read
+	// blocks and dirty write blocks.
+	if err := concParallelFor(16, concWriteBlocks, func(b int) error {
+		_, _, werr := nc.Write(writeFH, uint64(b)*concBlockSize, pattern(concBlockSize, byte(b)), nfs3.Unstable)
+		return werr
+	}); err != nil {
+		return run, err
+	}
+	if err := concParallelFor(16, concReadBlocks, func(b int) error {
+		_, _, rerr := nc.Read(readFH, uint64(b)*concBlockSize, concBlockSize)
+		return rerr
+	}); err != nil {
+		return run, err
+	}
+
+	before := bc.Stats()
+	var readBytes atomic.Int64
+	var reads, writes atomic.Int64
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		ops := totalOps / clients
+		if c == 0 {
+			ops += totalOps % clients
+		}
+		wg.Add(1)
+		go func(id, ops int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + int64(clients)))
+			for i := 0; i < ops; i++ {
+				if rng.Intn(4) == 0 {
+					b := uint64(rng.Intn(concWriteBlocks))
+					data := pattern(concBlockSize, byte(id+i))
+					if _, _, err := nc.Write(writeFH, b*concBlockSize, data, nfs3.Unstable); err != nil {
+						errs <- fmt.Errorf("client %d write: %w", id, err)
+						return
+					}
+					writes.Add(1)
+				} else {
+					b := uint64(rng.Intn(concReadBlocks))
+					data, _, err := nc.Read(readFH, b*concBlockSize, concBlockSize)
+					if err != nil {
+						errs <- fmt.Errorf("client %d read: %w", id, err)
+						return
+					}
+					readBytes.Add(int64(len(data)))
+					reads.Add(1)
+				}
+			}
+		}(c, ops)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return run, err
+	default:
+	}
+	// Settle outside the timed window so every mode ends clean.
+	if err := p.WriteBack(); err != nil {
+		return run, err
+	}
+
+	after := bc.Stats()
+	run.Ops = totalOps
+	run.Reads = int(reads.Load())
+	run.Writes = int(writes.Load())
+	run.ReadBytes = readBytes.Load()
+	run.Seconds = elapsed.Seconds()
+	run.ReadMBps = float64(run.ReadBytes) / 1e6 / elapsed.Seconds()
+	run.NsPerOp = float64(elapsed.Nanoseconds()) / float64(totalOps)
+	run.Hits = after.Hits - before.Hits
+	run.Misses = after.Misses - before.Misses
+	run.Evictions = after.Evictions - before.Evictions
+	run.WriteBacks = after.WriteBacks - before.WriteBacks
+	o.logf("concurrency %s/%d clients: %.3fs, %.1f MB/s read, %d evictions",
+		mode, clients, run.Seconds, run.ReadMBps, run.Evictions)
+	return run, nil
+}
+
+// concParallelFor runs f(0..n-1) over at most workers goroutines and
+// returns the first error.
+func concParallelFor(workers, n int, f func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := f(i); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// RunConcurrency compares the striped cache against the single-mutex
+// baseline at 1 and 8 parallel clients, and writes
+// BENCH_concurrency.json when a results directory is configured.
+func (o Options) RunConcurrency() (*Table, error) {
+	totalOps := o.concurrencyOps()
+	clientCounts := []int{1, 8}
+	modes := []string{"baseline", "striped"}
+
+	report := concurrencyReport{
+		Experiment: "concurrency",
+		Scale:      o.scale(),
+		BlockSize:  concBlockSize,
+		RTT:        (10 * time.Millisecond).String(),
+	}
+	table := &Table{
+		ID:      "concurrency",
+		Title:   "Parallel clients vs one proxy: single-mutex baseline vs striped cache",
+		Scale:   o.scale(),
+		Columns: modes,
+	}
+	runs := make(map[string]concurrencyRun)
+	for _, clients := range clientCounts {
+		durs := make([]time.Duration, 0, len(modes))
+		for _, mode := range modes {
+			run, err := o.runConcurrencyOne(mode, clients, totalOps)
+			if err != nil {
+				return nil, fmt.Errorf("concurrency %s/%d: %w", mode, clients, err)
+			}
+			report.Runs = append(report.Runs, run)
+			runs[fmt.Sprintf("%s/%d", mode, clients)] = run
+			durs = append(durs, time.Duration(run.Seconds*float64(time.Second)))
+		}
+		table.AddRow(fmt.Sprintf("%d client(s)", clients), durs...)
+	}
+
+	b8, s8 := runs["baseline/8"], runs["striped/8"]
+	if b8.ReadMBps > 0 {
+		report.Speedup8 = s8.ReadMBps / b8.ReadMBps
+	}
+	b1, s1 := runs["baseline/1"], runs["striped/1"]
+	if b1.NsPerOp > 0 {
+		report.LatencyRatio1 = s1.NsPerOp / b1.NsPerOp
+	}
+	table.AddNote(fmt.Sprintf("aggregate read throughput at 8 clients: striped %.1f MB/s vs baseline %.1f MB/s (%.2fx)",
+		s8.ReadMBps, b8.ReadMBps, report.Speedup8))
+	table.AddNote(fmt.Sprintf("single-client latency ratio striped/baseline: %.3f", report.LatencyRatio1))
+
+	if err := o.writeResults("BENCH_concurrency.json", report); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

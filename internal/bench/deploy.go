@@ -1,8 +1,10 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	gvfs "gvfs"
@@ -35,6 +37,25 @@ type Options struct {
 	// Encrypt runs inter-proxy traffic through tunnels (default true,
 	// as in the paper's SSH-forwarded deployments).
 	NoEncrypt bool
+	// ResultsDir, when set, receives machine-readable BENCH_*.json
+	// reports from experiments that emit them.
+	ResultsDir string
+}
+
+// writeResults stores a JSON report under ResultsDir; it is a no-op
+// when no results directory is configured.
+func (o Options) writeResults(name string, v any) error {
+	if o.ResultsDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.ResultsDir, 0o755); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(o.ResultsDir, name), append(blob, '\n'), 0o644)
 }
 
 func (o Options) scale() float64 {

@@ -14,6 +14,19 @@
 // Under write-back, dirty frames are retained locally and propagated
 // either on eviction or when the middleware triggers WriteBack/Flush —
 // the session-based consistency model of the paper.
+//
+// # Concurrency model
+//
+// Sets are independent by construction, so the cache is lock-striped:
+// sets are spread round-robin over Config.Stripes stripes, each with
+// its own mutex, index shard, LRU clock and statistics shard. Frame
+// data I/O (bank-file ReadAt/WriteAt and eviction write-back RPCs)
+// happens *outside* the stripe lock under a per-frame pin protocol:
+// readers take a shared pin, writers and evictors an exclusive pin, so
+// traffic on other frames — even in the same stripe — proceeds while a
+// frame's disk or WAN I/O is in flight. Bank file handles are opened
+// once and published through atomic pointers; *os.File ReadAt/WriteAt
+// are safe for concurrent use (pread/pwrite).
 package cache
 
 import (
@@ -22,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"gvfs/internal/nfs3"
 )
@@ -69,6 +83,16 @@ type Config struct {
 	// propagated in a pipeline rather than one blocking RPC at a
 	// time, as a kernel client's asynchronous flusher would.
 	FlushConcurrency int
+	// Stripes is the number of lock stripes the sets are spread over
+	// (default 64, capped at the total set count). 1 gives a single
+	// global lock, the pre-striping structure.
+	Stripes int
+	// SerialIO holds the stripe lock across frame data I/O (bank-file
+	// reads/writes and eviction write-backs) instead of pinning the
+	// frame and releasing the lock. It reproduces the original
+	// single-critical-section behavior; only baseline benchmarking
+	// should set it.
+	SerialIO bool
 }
 
 // DefaultConfig mirrors the experimental setup of the paper: 512 banks,
@@ -107,6 +131,12 @@ func (c *Config) fill() error {
 	if c.FlushConcurrency <= 0 {
 		c.FlushConcurrency = 8
 	}
+	if c.Stripes <= 0 {
+		c.Stripes = 64
+	}
+	if total := c.Banks * c.SetsPerBank; c.Stripes > total {
+		c.Stripes = total
+	}
 	return nil
 }
 
@@ -121,16 +151,24 @@ type BlockID struct {
 	Block uint64 // block number = offset / BlockSize
 }
 
-// frame is one cache frame's in-memory tag.
+// frame is one cache frame's in-memory tag. All fields are protected
+// by the owning stripe's mutex; frame *data* in the bank file is
+// protected by the pin protocol (pins/excl).
 type frame struct {
 	id    BlockID
 	valid bool
 	dirty bool
 	size  uint32 // valid bytes in the frame (tail blocks may be short)
 	lru   uint64
-	// epoch counts dirtying writes to this frame; concurrent flushes
-	// use it to avoid clearing a dirty bit set after their snapshot.
-	epoch uint64
+	// pins counts shared (reader/flusher) pins; excl marks an
+	// exclusive (writer/evictor) pin. Frame I/O — bank-file reads and
+	// writes, and write-back RPCs — happens only while pinned, with
+	// the stripe lock released. Holding a pin across the write-back
+	// RPC totally orders propagations of a block: an eviction's
+	// exclusive pin cannot overlap a flush's shared pin, so a stale
+	// in-flight WRITE can never land after a newer one.
+	pins int32
+	excl bool
 }
 
 // Stats reports cache effectiveness counters.
@@ -144,21 +182,42 @@ type Stats struct {
 	WriteBacks uint64
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Insertions += o.Insertions
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+}
+
 // WriteBackFunc propagates one dirty block to the next level. The data
 // slice must not be retained.
 type WriteBackFunc func(fh nfs3.FH, offset uint64, data []byte) error
 
+// stripe is one lock stripe: a group of sets sharing a mutex, an index
+// shard, an LRU clock and a statistics shard.
+type stripe struct {
+	mu    sync.Mutex
+	cond  *sync.Cond // signals pin releases and fill completions
+	index map[BlockID]int
+	clock uint64
+	stats Stats
+}
+
 // Cache is a proxy-managed disk cache. All methods are safe for
-// concurrent use.
+// concurrent use; operations on distinct stripes never contend, and
+// frame data I/O proceeds outside the stripe locks.
 type Cache struct {
-	cfg    Config
-	mu     sync.Mutex
-	frames []frame // Banks*SetsPerBank*Assoc entries
-	index  map[BlockID]int
-	banks  []*os.File
-	clock  uint64
-	stats  Stats
-	wb     WriteBackFunc
+	cfg     Config
+	frames  []frame
+	stripes []stripe
+
+	banksMu sync.Mutex // serializes bank-file opens and Close
+	banks   []atomic.Pointer[os.File]
+	closed  atomic.Bool
+
+	wbMu sync.RWMutex
+	wb   WriteBackFunc
 }
 
 // New creates (or reuses) the bank directory and returns an empty
@@ -171,26 +230,32 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	n := cfg.Banks * cfg.SetsPerBank * cfg.Assoc
-	return &Cache{
-		cfg:    cfg,
-		frames: make([]frame, n),
-		index:  make(map[BlockID]int),
-		banks:  make([]*os.File, cfg.Banks),
-	}, nil
+	c := &Cache{
+		cfg:     cfg,
+		frames:  make([]frame, n),
+		stripes: make([]stripe, cfg.Stripes),
+		banks:   make([]atomic.Pointer[os.File], cfg.Banks),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.index = make(map[BlockID]int)
+		s.cond = sync.NewCond(&s.mu)
+	}
+	return c, nil
 }
 
 // Close releases bank file descriptors. Dirty data is NOT flushed;
 // call Flush first if the session requires it.
 func (c *Cache) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.banksMu.Lock()
+	defer c.banksMu.Unlock()
+	c.closed.Store(true)
 	var first error
-	for i, f := range c.banks {
-		if f != nil {
+	for i := range c.banks {
+		if f := c.banks[i].Swap(nil); f != nil {
 			if err := f.Close(); err != nil && first == nil {
 				first = err
 			}
-			c.banks[i] = nil
 		}
 	}
 	return first
@@ -203,16 +268,28 @@ func (c *Cache) Config() Config { return c.cfg }
 // frames on eviction and flush. Required before any write-back
 // insertion can evict safely.
 func (c *Cache) SetWriteBackFunc(fn WriteBackFunc) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.wbMu.Lock()
 	c.wb = fn
+	c.wbMu.Unlock()
 }
 
-// Stats returns a snapshot of the counters.
+func (c *Cache) writeBackFn() WriteBackFunc {
+	c.wbMu.RLock()
+	defer c.wbMu.RUnlock()
+	return c.wb
+}
+
+// Stats returns a snapshot of the counters, merged across the
+// per-stripe shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // BlockSize returns the frame size in bytes.
@@ -226,6 +303,21 @@ func (c *Cache) setOf(id BlockID) int {
 	base := h.Sum64()
 	totalSets := uint64(c.cfg.Banks * c.cfg.SetsPerBank)
 	return int((base + id.Block) % totalSets)
+}
+
+// stripeOfSet maps a set to its lock stripe. Consecutive sets land on
+// different stripes, so a file's sequential blocks spread across locks.
+func (c *Cache) stripeOfSet(set int) *stripe {
+	return &c.stripes[set%len(c.stripes)]
+}
+
+func (c *Cache) stripeFor(id BlockID) *stripe {
+	return c.stripeOfSet(c.setOf(id))
+}
+
+// stripeOfFrame maps a frame index to its owning stripe.
+func (c *Cache) stripeOfFrame(idx int) *stripe {
+	return c.stripeOfSet(idx / c.cfg.Assoc)
 }
 
 // frameRange returns the frame index range [lo, hi) of a set.
@@ -242,16 +334,26 @@ func (c *Cache) bankOf(frameIdx int) (bank int, off int64) {
 	return bank, off
 }
 
+// bankFile returns the (lazily opened) bank file. The fast path is a
+// single atomic load; opens are serialized by banksMu.
 func (c *Cache) bankFile(bank int) (*os.File, error) {
-	if c.banks[bank] != nil {
-		return c.banks[bank], nil
+	if f := c.banks[bank].Load(); f != nil {
+		return f, nil
+	}
+	c.banksMu.Lock()
+	defer c.banksMu.Unlock()
+	if f := c.banks[bank].Load(); f != nil {
+		return f, nil
+	}
+	if c.closed.Load() {
+		return nil, fmt.Errorf("cache: closed")
 	}
 	name := filepath.Join(c.cfg.Dir, fmt.Sprintf("bank%04d", bank))
 	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0644)
 	if err != nil {
 		return nil, err
 	}
-	c.banks[bank] = f
+	c.banks[bank].Store(f)
 	return f, nil
 }
 
@@ -278,28 +380,84 @@ func (c *Cache) writeFrame(idx int, data []byte) error {
 	return err
 }
 
+// --- frame pin protocol (callers hold the stripe lock) ---
+
+// pinShared takes a reader pin, waiting out any exclusive holder.
+// After it returns the caller must revalidate the frame's identity:
+// the frame may have been replaced while waiting.
+func (s *stripe) pinShared(fr *frame) {
+	for fr.excl {
+		s.cond.Wait()
+	}
+	fr.pins++
+}
+
+func (s *stripe) unpinShared(fr *frame) {
+	fr.pins--
+	if fr.pins == 0 {
+		s.cond.Broadcast()
+	}
+}
+
+// pinExcl takes the exclusive pin, waiting for all pins to drain. As
+// with pinShared, the caller revalidates after any potential wait.
+func (s *stripe) pinExcl(fr *frame) {
+	for fr.excl || fr.pins > 0 {
+		s.cond.Wait()
+	}
+	fr.excl = true
+}
+
+func (s *stripe) unpinExcl(fr *frame) {
+	fr.excl = false
+	s.cond.Broadcast()
+}
+
 // Get returns the cached block if present. The boolean reports a hit.
+// The frame is pinned shared and read outside the stripe lock, so
+// concurrent traffic on other frames proceeds during the bank I/O.
 func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
 	id := BlockID{FH: fh.Key(), Block: block}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	idx, ok := c.index[id]
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	idx, ok := s.index[id]
 	if !ok {
-		c.stats.Misses++
+		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
 	fr := &c.frames[idx]
-	data, err := c.readFrame(idx, fr.size)
-	if err != nil {
-		// Bank I/O failure: treat as miss and drop the frame.
-		delete(c.index, id)
-		fr.valid = false
-		c.stats.Misses++
+	s.pinShared(fr)
+	if !fr.valid || fr.id != id {
+		// Replaced (or a failed fill) while we waited for the pin.
+		s.unpinShared(fr)
+		s.stats.Misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	c.clock++
-	fr.lru = c.clock
-	c.stats.Hits++
+	size := fr.size
+	s.clock++
+	fr.lru = s.clock
+	if !c.cfg.SerialIO {
+		s.mu.Unlock()
+	}
+	data, err := c.readFrame(idx, size)
+	if !c.cfg.SerialIO {
+		s.mu.Lock()
+	}
+	s.unpinShared(fr)
+	if err != nil {
+		// Bank I/O failure: treat as miss and drop the frame.
+		if fr.valid && fr.id == id {
+			delete(s.index, id)
+			fr.valid = false
+		}
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.stats.Hits++
+	s.mu.Unlock()
 	return data, true
 }
 
@@ -307,20 +465,25 @@ func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
 // touching LRU state or counters.
 func (c *Cache) Peek(fh nfs3.FH, block uint64) (cached, dirty bool) {
 	id := BlockID{FH: fh.Key(), Block: block}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	idx, ok := c.index[id]
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.index[id]
 	if !ok {
 		return false, false
 	}
-	return true, c.frames[idx].dirty
+	fr := &c.frames[idx]
+	if !fr.valid || fr.id != id {
+		return false, false
+	}
+	return true, fr.dirty
 }
 
 // Put inserts or updates a block. dirty marks the frame for later
 // write-back (callers must only set it under the WriteBack policy).
 // If inserting requires evicting a dirty victim, the victim is
-// propagated through the WriteBackFunc first; its error aborts the
-// insertion.
+// propagated through the WriteBackFunc first (with the stripe lock
+// released during the RPC); its error aborts the insertion.
 func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 	if len(data) > c.cfg.BlockSize {
 		return fmt.Errorf("cache: block of %d bytes exceeds frame size %d", len(data), c.cfg.BlockSize)
@@ -329,76 +492,148 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 		return fmt.Errorf("cache: dirty insertion into read-only cache")
 	}
 	id := BlockID{FH: fh.Key(), Block: block}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	// Update in place on re-insertion.
-	if idx, ok := c.index[id]; ok {
-		if err := c.writeFrame(idx, data); err != nil {
-			return err
-		}
-		fr := &c.frames[idx]
-		fr.size = uint32(len(data))
-		fr.dirty = fr.dirty || dirty
-		if dirty {
-			fr.epoch++
-		}
-		c.clock++
-		fr.lru = c.clock
-		return nil
-	}
-
-	set := c.setOf(id)
-	lo, hi := c.frameRange(set)
-	victim := -1
-	var oldest uint64 = ^uint64(0)
-	for i := lo; i < hi; i++ {
-		fr := &c.frames[i]
-		if !fr.valid {
-			victim = i
-			break
-		}
-		if fr.lru < oldest {
-			oldest = fr.lru
-			victim = i
-		}
-	}
-	fr := &c.frames[victim]
-	if fr.valid {
-		if fr.dirty {
-			if err := c.writeBackLocked(victim); err != nil {
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	for {
+		// Update in place on re-insertion.
+		if idx, ok := s.index[id]; ok {
+			fr := &c.frames[idx]
+			s.pinExcl(fr)
+			if !fr.valid || fr.id != id {
+				// Replaced while waiting; re-evaluate from the index.
+				s.unpinExcl(fr)
+				continue
+			}
+			err := c.frameWrite(s, idx, data)
+			if err != nil {
+				// Frame content is now unknown: drop it.
+				delete(s.index, id)
+				fr.valid = false
+				s.unpinExcl(fr)
+				s.mu.Unlock()
 				return err
 			}
+			fr.size = uint32(len(data))
+			fr.dirty = fr.dirty || dirty
+			s.clock++
+			fr.lru = s.clock
+			s.unpinExcl(fr)
+			s.mu.Unlock()
+			return nil
 		}
-		delete(c.index, fr.id)
-		c.stats.Evictions++
+
+		// Insert: pick an unpinned victim in the set.
+		set := c.setOf(id)
+		lo, hi := c.frameRange(set)
+		victim := -1
+		var oldest uint64 = ^uint64(0)
+		for i := lo; i < hi; i++ {
+			fr := &c.frames[i]
+			if fr.excl || fr.pins > 0 {
+				continue
+			}
+			if !fr.valid {
+				victim = i
+				break
+			}
+			if fr.lru < oldest {
+				oldest = fr.lru
+				victim = i
+			}
+		}
+		if victim < 0 {
+			// Every frame of the set is pinned; wait for a release and
+			// re-evaluate (our block may even have been inserted by a
+			// racing Put).
+			s.cond.Wait()
+			continue
+		}
+		fr := &c.frames[victim]
+		fr.excl = true // immediate: the victim is unpinned
+
+		if fr.valid && fr.dirty {
+			if err := c.writeBackFrame(s, victim); err != nil {
+				s.unpinExcl(fr)
+				s.mu.Unlock()
+				return err
+			}
+			// The lock may have been released during the write-back; a
+			// racing Put may have inserted our block meanwhile.
+			if _, ok := s.index[id]; ok {
+				s.unpinExcl(fr)
+				continue
+			}
+		}
+		if fr.valid {
+			delete(s.index, fr.id)
+			s.stats.Evictions++
+		}
+		// Claim the frame and publish the mapping before the data
+		// write: readers that find it wait on the exclusive pin and
+		// revalidate, so they never observe a half-filled frame.
+		fr.id = id
+		fr.valid = false
+		fr.dirty = false
+		s.index[id] = victim
+		if err := c.frameWrite(s, victim, data); err != nil {
+			delete(s.index, id)
+			s.unpinExcl(fr)
+			s.mu.Unlock()
+			return err
+		}
+		s.clock++
+		fr.valid = true
+		fr.size = uint32(len(data))
+		fr.dirty = dirty
+		fr.lru = s.clock
+		s.stats.Insertions++
+		s.unpinExcl(fr)
+		s.mu.Unlock()
+		return nil
 	}
-	if err := c.writeFrame(victim, data); err != nil {
-		return err
-	}
-	c.clock++
-	epoch := fr.epoch + 1
-	*fr = frame{id: id, valid: true, dirty: dirty, size: uint32(len(data)), lru: c.clock, epoch: epoch}
-	c.index[id] = victim
-	c.stats.Insertions++
-	return nil
 }
 
-// writeBackLocked propagates one dirty frame. Caller holds c.mu.
-func (c *Cache) writeBackLocked(idx int) error {
+// frameWrite writes data into a frame the caller holds exclusively
+// pinned, releasing the stripe lock around the bank I/O (unless
+// SerialIO). It returns with the lock held.
+func (c *Cache) frameWrite(s *stripe, idx int, data []byte) error {
+	if c.cfg.SerialIO {
+		return c.writeFrame(idx, data)
+	}
+	s.mu.Unlock()
+	err := c.writeFrame(idx, data)
+	s.mu.Lock()
+	return err
+}
+
+// writeBackFrame propagates one dirty frame the caller holds
+// exclusively pinned, releasing the stripe lock around the bank read
+// and the write-back RPC (unless SerialIO). On success the frame is
+// marked clean. It returns with the lock held.
+func (c *Cache) writeBackFrame(s *stripe, idx int) error {
 	fr := &c.frames[idx]
-	if c.wb == nil {
+	wb := c.writeBackFn()
+	if wb == nil {
 		return fmt.Errorf("cache: dirty eviction with no write-back function installed")
 	}
-	data, err := c.readFrame(idx, fr.size)
+	id, size := fr.id, fr.size
+	if !c.cfg.SerialIO {
+		s.mu.Unlock()
+	}
+	data, err := c.readFrame(idx, size)
+	if err == nil {
+		err = wb(nfs3.FH(id.FH), id.Block*uint64(c.cfg.BlockSize), data)
+	}
+	if !c.cfg.SerialIO {
+		s.mu.Lock()
+	}
 	if err != nil {
 		return err
 	}
-	if err := c.wb(nfs3.FH(fr.id.FH), fr.id.Block*uint64(c.cfg.BlockSize), data); err != nil {
-		return err
-	}
+	// The exclusive pin kept writers away, so the propagated bytes are
+	// the frame's current content.
 	fr.dirty = false
-	c.stats.WriteBacks++
+	s.stats.WriteBacks++
 	return nil
 }
 
@@ -406,91 +641,115 @@ func (c *Cache) writeBackLocked(idx int) error {
 // proxy has independently propagated it).
 func (c *Cache) MarkClean(fh nfs3.FH, block uint64) {
 	id := BlockID{FH: fh.Key(), Block: block}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if idx, ok := c.index[id]; ok {
-		c.frames[idx].dirty = false
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.index[id]; ok {
+		if fr := &c.frames[idx]; fr.valid && fr.id == id {
+			fr.dirty = false
+		}
 	}
 }
 
 // DirtyCount returns the number of dirty frames.
 func (c *Cache) DirtyCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for i := range c.frames {
-		if c.frames[i].valid && c.frames[i].dirty {
-			n++
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for _, idx := range s.index {
+			if c.frames[idx].valid && c.frames[idx].dirty {
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
-// dirtySnapshot is one dirty frame captured for pipelined write-back.
-type dirtySnapshot struct {
-	idx   int
-	id    BlockID
-	data  []byte
-	epoch uint64
-}
-
-// snapshotDirty captures the dirty frames of fileKey ("" = all files)
-// under the lock, reading their data from the bank files.
-func (c *Cache) snapshotDirty(fileKey string) ([]dirtySnapshot, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []dirtySnapshot
-	for i := range c.frames {
-		fr := &c.frames[i]
-		if !fr.valid || !fr.dirty {
-			continue
+// dirtyIDs collects the dirty blocks of fileKey ("" = all files), one
+// consistent snapshot per stripe.
+func (c *Cache) dirtyIDs(fileKey string) []BlockID {
+	var out []BlockID
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for id, idx := range s.index {
+			fr := &c.frames[idx]
+			if !fr.valid || !fr.dirty || fr.id != id {
+				continue
+			}
+			if fileKey != "" && id.FH != fileKey {
+				continue
+			}
+			out = append(out, id)
 		}
-		if fileKey != "" && fr.id.FH != fileKey {
-			continue
-		}
-		data, err := c.readFrame(i, fr.size)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, dirtySnapshot{idx: i, id: fr.id, data: data, epoch: fr.epoch})
+		s.mu.Unlock()
 	}
-	return out, nil
+	return out
 }
 
-// propagate pushes snapshots through the WriteBackFunc with bounded
-// concurrency, clearing dirty bits for frames unchanged since the
-// snapshot.
-func (c *Cache) propagate(snaps []dirtySnapshot) error {
-	c.mu.Lock()
-	wb := c.wb
-	c.mu.Unlock()
+// flushBlock propagates one dirty block, holding a shared pin on the
+// frame for the read AND the write-back RPC. The pin excludes writers
+// and evictors for the whole round trip, so the propagated bytes are
+// the frame's content at completion time and the dirty bit can be
+// cleared unconditionally on success; it also totally orders
+// write-backs of a block (a racing eviction's exclusive pin waits),
+// so a stale WRITE never lands after a newer one. A block already
+// clean or gone (settled by a racing eviction or flush) is a no-op.
+func (c *Cache) flushBlock(id BlockID, wb WriteBackFunc) error {
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	idx, found := s.index[id]
+	if !found {
+		s.mu.Unlock()
+		return nil
+	}
+	fr := &c.frames[idx]
+	s.pinShared(fr)
+	if !fr.valid || fr.id != id || !fr.dirty {
+		s.unpinShared(fr)
+		s.mu.Unlock()
+		return nil
+	}
+	size := fr.size
+	s.mu.Unlock()
+	data, err := c.readFrame(idx, size)
+	if err == nil {
+		err = wb(nfs3.FH(id.FH), id.Block*uint64(c.cfg.BlockSize), data)
+	}
+	s.mu.Lock()
+	if err == nil {
+		fr.dirty = false
+		s.stats.WriteBacks++
+	}
+	s.unpinShared(fr)
+	s.mu.Unlock()
+	return err
+}
+
+// propagate pushes the dirty blocks through the WriteBackFunc with
+// bounded concurrency. Failed blocks stay dirty; the first error is
+// returned after all in-flight propagations settle.
+func (c *Cache) propagate(ids []BlockID) error {
+	wb := c.writeBackFn()
 	if wb == nil {
-		if len(snaps) == 0 {
+		if len(ids) == 0 {
 			return nil
 		}
 		return fmt.Errorf("cache: flush with no write-back function installed")
 	}
 	sem := make(chan struct{}, c.cfg.FlushConcurrency)
-	errs := make(chan error, len(snaps))
-	for _, snap := range snaps {
+	errs := make(chan error, len(ids))
+	for _, id := range ids {
 		sem <- struct{}{}
-		go func(snap dirtySnapshot) {
+		go func(id BlockID) {
 			defer func() { <-sem }()
-			err := wb(nfs3.FH(snap.id.FH), snap.id.Block*uint64(c.cfg.BlockSize), snap.data)
-			if err == nil {
-				c.mu.Lock()
-				if idx, ok := c.index[snap.id]; ok && idx == snap.idx &&
-					c.frames[idx].epoch == snap.epoch {
-					c.frames[idx].dirty = false
-				}
-				c.stats.WriteBacks++
-				c.mu.Unlock()
-			}
-			errs <- err
-		}(snap)
+			errs <- c.flushBlock(id, wb)
+		}(id)
 	}
 	var first error
-	for range snaps {
+	for range ids {
 		if err := <-errs; err != nil && first == nil {
 			first = err
 		}
@@ -501,13 +760,10 @@ func (c *Cache) propagate(snaps []dirtySnapshot) error {
 // WriteBackAll propagates every dirty frame through the WriteBackFunc,
 // leaving the data cached but clean. This is the middleware's
 // "write back" signal (SIGUSR1 on the proxy daemon). Propagation is
-// pipelined with Config.FlushConcurrency in-flight blocks.
+// pipelined with Config.FlushConcurrency in-flight blocks; the dirty
+// set is snapshotted stripe by stripe, not stop-the-world.
 func (c *Cache) WriteBackAll() error {
-	snaps, err := c.snapshotDirty("")
-	if err != nil {
-		return err
-	}
-	return c.propagate(snaps)
+	return c.propagate(c.dirtyIDs(""))
 }
 
 // Flush propagates all dirty frames and invalidates the entire cache —
@@ -517,39 +773,60 @@ func (c *Cache) Flush() error {
 	if err := c.WriteBackAll(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := range c.frames {
-		if c.frames[i].dirty {
-			// Re-dirtied during propagation: the caller must settle
-			// the session before flushing.
-			return fmt.Errorf("cache: frame dirtied during flush")
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for _, idx := range s.index {
+			if fr := &c.frames[idx]; fr.valid && fr.dirty {
+				// Re-dirtied during propagation: the caller must settle
+				// the session before flushing.
+				s.mu.Unlock()
+				return fmt.Errorf("cache: frame dirtied during flush")
+			}
 		}
+		for id, idx := range s.index {
+			fr := &c.frames[idx]
+			// Wait out in-flight I/O on the frame before resetting it.
+			s.pinExcl(fr)
+			if fr.id == id {
+				c.resetFrame(fr)
+			}
+			s.unpinExcl(fr)
+			delete(s.index, id)
+		}
+		s.mu.Unlock()
 	}
-	for i := range c.frames {
-		c.frames[i] = frame{}
-	}
-	c.index = make(map[BlockID]int)
 	return nil
+}
+
+// resetFrame clears a frame's tag.
+func (c *Cache) resetFrame(fr *frame) {
+	fr.id = BlockID{}
+	fr.valid = false
+	fr.dirty = false
+	fr.size = 0
+	fr.lru = 0
 }
 
 // InvalidateFile drops all frames belonging to fh. Dirty frames are
 // written back first.
 func (c *Cache) InvalidateFile(fh nfs3.FH) error {
 	key := fh.Key()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for id, idx := range c.index {
-		if id.FH != key {
-			continue
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		var ids []BlockID
+		s.mu.Lock()
+		for id := range s.index {
+			if id.FH == key {
+				ids = append(ids, id)
+			}
 		}
-		if c.frames[idx].dirty {
-			if err := c.writeBackLocked(idx); err != nil {
+		s.mu.Unlock()
+		for _, id := range ids {
+			if err := c.invalidateID(id); err != nil {
 				return err
 			}
 		}
-		c.frames[idx] = frame{}
-		delete(c.index, id)
 	}
 	return nil
 }
@@ -558,43 +835,59 @@ func (c *Cache) InvalidateFile(fh nfs3.FH) error {
 // cached and clean. Used by the proxy before it must forward an
 // operation that bypasses the cache for that file.
 func (c *Cache) WriteBackFile(fh nfs3.FH) error {
-	snaps, err := c.snapshotDirty(fh.Key())
-	if err != nil {
-		return err
-	}
-	return c.propagate(snaps)
+	return c.propagate(c.dirtyIDs(fh.Key()))
 }
 
 // InvalidateBlock drops one frame if present. A dirty frame is written
 // back first.
 func (c *Cache) InvalidateBlock(fh nfs3.FH, block uint64) error {
-	id := BlockID{FH: fh.Key(), Block: block}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	idx, ok := c.index[id]
-	if !ok {
+	return c.invalidateID(BlockID{FH: fh.Key(), Block: block})
+}
+
+func (c *Cache) invalidateID(id BlockID) error {
+	s := c.stripeFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		idx, ok := s.index[id]
+		if !ok {
+			return nil
+		}
+		fr := &c.frames[idx]
+		s.pinExcl(fr)
+		if !fr.valid || fr.id != id {
+			s.unpinExcl(fr)
+			continue // replaced while waiting; re-evaluate
+		}
+		if fr.dirty {
+			if err := c.writeBackFrame(s, idx); err != nil {
+				s.unpinExcl(fr)
+				return err
+			}
+		}
+		c.resetFrame(fr)
+		delete(s.index, id)
+		s.unpinExcl(fr)
 		return nil
 	}
-	if c.frames[idx].dirty {
-		if err := c.writeBackLocked(idx); err != nil {
-			return err
-		}
-	}
-	c.frames[idx] = frame{}
-	delete(c.index, id)
-	return nil
 }
 
 // DirtyBlocks returns the IDs of all dirty frames (for inspection and
 // tests).
 func (c *Cache) DirtyBlocks() []BlockID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []BlockID
-	for i := range c.frames {
-		if c.frames[i].valid && c.frames[i].dirty {
-			out = append(out, c.frames[i].id)
-		}
+	return c.dirtyIDs("")
+}
+
+// lockAll acquires every stripe lock in order, for the rare operations
+// that need a globally consistent view (index persistence).
+func (c *Cache) lockAll() {
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
 	}
-	return out
+}
+
+func (c *Cache) unlockAll() {
+	for i := range c.stripes {
+		c.stripes[i].mu.Unlock()
+	}
 }

@@ -43,10 +43,11 @@ type persistedFrame struct {
 
 // SaveIndex snapshots the cache tags to disk so a future Cache over
 // the same directory starts warm. It fails if dirty frames remain:
-// flush or write back first.
+// flush or write back first. All stripe locks are held for the scan,
+// giving one globally consistent snapshot.
 func (c *Cache) SaveIndex() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	idx := persistedIndex{
 		Version:     1,
 		Banks:       c.cfg.Banks,
@@ -61,6 +62,11 @@ func (c *Cache) SaveIndex() error {
 		}
 		if fr.dirty {
 			return fmt.Errorf("cache: SaveIndex with dirty frames; flush first")
+		}
+		if fr.excl {
+			// Mid-update: its bank data is being rewritten outside the
+			// lock, so the tag may not describe the bytes on disk yet.
+			continue
 		}
 		idx.Frames = append(idx.Frames, persistedFrame{
 			Idx:   i,
@@ -106,8 +112,8 @@ func (c *Cache) LoadIndex() error {
 			idx.Banks, idx.SetsPerBank, idx.Assoc, idx.BlockSize,
 			c.cfg.Banks, c.cfg.SetsPerBank, c.cfg.Assoc, c.cfg.BlockSize)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lockAll()
+	defer c.unlockAll()
 	for _, pf := range idx.Frames {
 		if pf.Idx < 0 || pf.Idx >= len(c.frames) {
 			return fmt.Errorf("cache: index frame %d out of range", pf.Idx)
@@ -118,9 +124,10 @@ func (c *Cache) LoadIndex() error {
 		}
 		id := BlockID{FH: string(fhBytes), Block: pf.Block}
 		c.frames[pf.Idx] = frame{id: id, valid: true, size: pf.Size, lru: pf.LRU}
-		c.index[id] = pf.Idx
-		if pf.LRU > c.clock {
-			c.clock = pf.LRU
+		s := c.stripeOfFrame(pf.Idx)
+		s.index[id] = pf.Idx
+		if pf.LRU > s.clock {
+			s.clock = pf.LRU
 		}
 	}
 	return nil

@@ -76,7 +76,7 @@ func (h *health) failure() {
 	}
 	h.mu.Unlock()
 	if trip {
-		h.p.count(func(s *Stats) { s.BreakerOpens++ })
+		h.p.stats.breakerOpens.Add(1)
 	}
 }
 
@@ -92,7 +92,7 @@ func (h *health) probeLoop() {
 			return
 		case <-time.After(h.interval):
 		}
-		h.p.count(func(s *Stats) { s.Probes++ })
+		h.p.stats.probes.Add(1)
 		if h.p.probeUpstream() == nil {
 			h.mu.Lock()
 			h.open = false
@@ -153,7 +153,7 @@ func (p *Proxy) probeUpstream() error {
 // the regular accounting on upstreamWrite, so replay is retried on the
 // next recovery.
 func (p *Proxy) replayAfterRecovery() {
-	p.count(func(s *Stats) { s.Replays++ })
+	p.stats.replays.Add(1)
 	if p.cfg.BlockCache != nil && !p.cfg.BlockCache.Config().ReadOnly {
 		if err := p.cfg.BlockCache.WriteBackAll(); err != nil {
 			return

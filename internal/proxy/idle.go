@@ -31,9 +31,7 @@ func (s *idleState) touch() {
 func (p *Proxy) StartIdleWriteBack(idle time.Duration) (stop func()) {
 	s := &idleState{stop: make(chan struct{})}
 	s.touch()
-	p.mu.Lock()
-	p.idle = s
-	p.mu.Unlock()
+	p.idle.Store(s)
 
 	go func() {
 		ticker := time.NewTicker(idle / 4)

@@ -65,7 +65,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	}
 	block := args.Offset / bs
 	if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
-		p.count(func(s *Stats) { s.ReadHits++ })
+		p.stats.readHits.Add(1)
 		p.maybePrefetch(args.FH, block)
 		return p.cachedReadReply(args, data)
 	}
@@ -73,12 +73,12 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	// rather than duplicating the WAN transfer.
 	if p.ra != nil && p.ra.waitFor(args.FH, block) {
 		if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
-			p.count(func(s *Stats) { s.ReadHits++ })
+			p.stats.readHits.Add(1)
 			p.maybePrefetch(args.FH, block)
 			return p.cachedReadReply(args, data)
 		}
 	}
-	p.count(func(s *Stats) { s.ReadMisses++ })
+	p.stats.readMisses.Add(1)
 	res, stat := p.forward(c)
 	if stat != sunrpc.Success {
 		return res, stat
@@ -105,7 +105,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 // and to the known file size.
 func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, sunrpc.AcceptStat) {
 	if p.degraded() {
-		p.count(func(s *Stats) { s.DegradedReads++ })
+		p.stats.degradedReads.Add(1)
 	}
 	data := blockData
 	if uint64(len(data)) > uint64(args.Count) {
@@ -160,7 +160,7 @@ func rangeIsZero(m *meta.Meta, off uint64, count uint32) bool {
 // zeroReply satisfies a read of all-zero blocks locally — the paper's
 // zero filtering for memory-state files.
 func (p *Proxy) zeroReply(args *nfs3.ReadArgs, m *meta.Meta) ([]byte, sunrpc.AcceptStat) {
-	p.count(func(s *Stats) { s.ZeroFiltered++ })
+	p.stats.zeroFiltered.Add(1)
 	size := m.FileSize
 	var data []byte
 	eof := true
@@ -188,9 +188,9 @@ func (p *Proxy) readFromFileCache(args *nfs3.ReadArgs) ([]byte, sunrpc.AcceptSta
 		res := nfs3.ReadRes{Status: nfs3.ErrIO}
 		return res.Encode(), sunrpc.Success
 	}
-	p.count(func(s *Stats) { s.FileChanReads++ })
+	p.stats.fileChanReads.Add(1)
 	if p.degraded() {
-		p.count(func(s *Stats) { s.DegradedReads++ })
+		p.stats.degradedReads.Add(1)
 	}
 	var attr *nfs3.Fattr
 	if sz, ok := p.cfg.FileCache.Size(info.full); ok {
@@ -214,7 +214,7 @@ func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 				return nil, sunrpc.SystemErr
 			}
 			p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
-			p.count(func(s *Stats) { s.WritesAbsorbed++ })
+			p.stats.writesAbsorbed.Add(1)
 			return p.absorbedWriteReply(args), sunrpc.Success
 		}
 	}
@@ -241,7 +241,7 @@ func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		return nil, sunrpc.SystemErr
 	}
 	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
-	p.count(func(s *Stats) { s.WritesAbsorbed++ })
+	p.stats.writesAbsorbed.Add(1)
 	return p.absorbedWriteReply(args), sunrpc.Success
 }
 
@@ -309,7 +309,7 @@ func (p *Proxy) absorbedWriteReply(args *nfs3.WriteArgs) []byte {
 // writeThrough forwards a write and keeps the block cache coherent.
 func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs) ([]byte, sunrpc.AcceptStat) {
 	res, stat := p.forward(c)
-	p.count(func(s *Stats) { s.WritesForwarded++ })
+	p.stats.writesForwarded.Add(1)
 	if stat != sunrpc.Success {
 		return res, stat
 	}
@@ -452,7 +452,7 @@ func (p *Proxy) ensureFetched(fh nfs3.FH, ms *metaState) error {
 		return err
 	}
 	p.rememberSize(fh, uint64(len(data)))
-	p.count(func(s *Stats) { s.FileChanFetch++ })
+	p.stats.fileChanFetch.Add(1)
 	ms.fetched = true
 	return nil
 }
@@ -488,6 +488,9 @@ func (p *Proxy) Flush() error {
 	p.mu.Lock()
 	p.metas = make(map[string]*metaState)
 	p.mu.Unlock()
+	if p.ra != nil {
+		p.ra.reset()
+	}
 	return nil
 }
 

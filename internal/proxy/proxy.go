@@ -29,6 +29,7 @@ import (
 	"net"
 	"path"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gvfs/internal/auth"
@@ -88,6 +89,27 @@ type Config struct {
 	ProbeInterval time.Duration
 }
 
+// counters holds the proxy's activity counters as atomics, so the RPC
+// hot path never takes a lock to account for itself. Stats() folds
+// them into the exported Stats snapshot.
+type counters struct {
+	calls            atomic.Uint64
+	forwarded        atomic.Uint64
+	readHits         atomic.Uint64
+	readMisses       atomic.Uint64
+	zeroFiltered     atomic.Uint64
+	fileChanReads    atomic.Uint64
+	fileChanFetch    atomic.Uint64
+	writesAbsorbed   atomic.Uint64
+	writesForwarded  atomic.Uint64
+	prefetched       atomic.Uint64
+	breakerOpens     atomic.Uint64
+	breakerFastFails atomic.Uint64
+	probes           atomic.Uint64
+	replays          atomic.Uint64
+	degradedReads    atomic.Uint64
+}
+
 // Stats counts proxy activity.
 type Stats struct {
 	Calls           uint64
@@ -131,17 +153,18 @@ type metaState struct {
 type Proxy struct {
 	cfg Config
 
-	mu       sync.RWMutex
-	paths    map[string]pathInfo // fh key -> location
-	sizes    map[string]uint64   // fh key -> best-known size
-	metas    map[string]*metaState
+	mu    sync.RWMutex
+	paths map[string]pathInfo // fh key -> location
+	sizes map[string]uint64   // fh key -> best-known size
+	metas map[string]*metaState
+
+	credMu   sync.RWMutex
 	lastCred sunrpc.OpaqueAuth // most recent client credential
 
-	statsMu sync.Mutex
-	stats   Stats
+	stats counters
 
-	ra   *readAhead // nil unless Config.ReadAhead > 0
-	idle *idleState // nil unless StartIdleWriteBack was called
+	ra   *readAhead                // nil unless Config.ReadAhead > 0
+	idle atomic.Pointer[idleState] // nil unless StartIdleWriteBack was called
 
 	health    *health // nil unless health tracking is enabled
 	done      chan struct{}
@@ -178,20 +201,29 @@ func New(cfg Config) (*Proxy, error) {
 // Stats returns a snapshot of the proxy counters, merging in transport
 // counters when the upstream caller exposes them.
 func (p *Proxy) Stats() Stats {
-	p.statsMu.Lock()
-	s := p.stats
-	p.statsMu.Unlock()
+	c := &p.stats
+	s := Stats{
+		Calls:            c.calls.Load(),
+		Forwarded:        c.forwarded.Load(),
+		ReadHits:         c.readHits.Load(),
+		ReadMisses:       c.readMisses.Load(),
+		ZeroFiltered:     c.zeroFiltered.Load(),
+		FileChanReads:    c.fileChanReads.Load(),
+		FileChanFetch:    c.fileChanFetch.Load(),
+		WritesAbsorbed:   c.writesAbsorbed.Load(),
+		WritesForwarded:  c.writesForwarded.Load(),
+		Prefetched:       c.prefetched.Load(),
+		BreakerOpens:     c.breakerOpens.Load(),
+		BreakerFastFails: c.breakerFastFails.Load(),
+		Probes:           c.probes.Load(),
+		Replays:          c.replays.Load(),
+		DegradedReads:    c.degradedReads.Load(),
+	}
 	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
 		t := up.TransportStats()
 		s.Retries, s.Reconnects, s.Timeouts = t.Retries, t.Reconnects, t.Timeouts
 	}
 	return s
-}
-
-func (p *Proxy) count(f func(*Stats)) {
-	p.statsMu.Lock()
-	f(&p.stats)
-	p.statsMu.Unlock()
 }
 
 // upstreamCred maps the caller's credential for the next hop.
@@ -209,28 +241,34 @@ func (p *Proxy) upstreamCred(cred sunrpc.OpaqueAuth) (sunrpc.OpaqueAuth, error) 
 var defaultCred = sunrpc.UnixCred{MachineName: "gvfs-proxy", UID: 0, GID: 0}.Encode()
 
 func (p *Proxy) proxyCred() sunrpc.OpaqueAuth {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	p.credMu.RLock()
+	defer p.credMu.RUnlock()
 	if p.lastCred.Body != nil || p.lastCred.Flavor != 0 {
 		return p.lastCred
 	}
 	return defaultCred
 }
 
+// rememberCred records the most recent client credential. Nearly every
+// call repeats the previous credential, so the fast path is a
+// read-lock comparison; the write lock is taken only on change.
 func (p *Proxy) rememberCred(cred sunrpc.OpaqueAuth) {
-	p.mu.Lock()
+	p.credMu.RLock()
+	same := p.lastCred.Flavor == cred.Flavor && bytes.Equal(p.lastCred.Body, cred.Body)
+	p.credMu.RUnlock()
+	if same {
+		return
+	}
+	p.credMu.Lock()
 	p.lastCred = cred
-	p.mu.Unlock()
+	p.credMu.Unlock()
 }
 
 // HandleCall implements sunrpc.Handler.
 func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
-	p.count(func(s *Stats) { s.Calls++ })
+	p.stats.calls.Add(1)
 	p.rememberCred(c.Cred)
-	p.mu.RLock()
-	idle := p.idle
-	p.mu.RUnlock()
-	if idle != nil {
+	if idle := p.idle.Load(); idle != nil {
 		idle.touch()
 	}
 	switch c.Prog {
@@ -300,10 +338,10 @@ func (p *Proxy) forward(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		return nil, sunrpc.SystemErr
 	}
 	if p.degraded() {
-		p.count(func(s *Stats) { s.BreakerFastFails++ })
+		p.stats.breakerFastFails.Add(1)
 		return nil, sunrpc.SystemErr
 	}
-	p.count(func(s *Stats) { s.Forwarded++ })
+	p.stats.forwarded.Add(1)
 	res, err := p.cfg.Upstream.Call(c.Prog, c.Vers, c.Proc, cred, c.Args)
 	p.observeUpstream(err)
 	if err != nil {
@@ -322,7 +360,7 @@ func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
 		return nil, err
 	}
 	if p.degraded() {
-		p.count(func(s *Stats) { s.BreakerFastFails++ })
+		p.stats.breakerFastFails.Add(1)
 		return nil, errUpstreamDown
 	}
 	res, err := p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, proc, cred, args)
@@ -537,6 +575,9 @@ func (p *Proxy) handleSetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		// Truncation: push dirty state out, then drop cached blocks.
 		if err := p.cfg.BlockCache.InvalidateFile(args.FH); err != nil {
 			return nil, sunrpc.SystemErr
+		}
+		if p.ra != nil {
+			p.ra.forget(args.FH)
 		}
 	}
 	res, stat := p.forward(c)

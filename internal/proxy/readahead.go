@@ -22,17 +22,28 @@ const raMinStreak = 2
 // raConcurrency bounds simultaneous prefetch RPCs per proxy.
 const raConcurrency = 16
 
+// raMaxFiles caps the per-file profile map. A proxy serving a large
+// namespace would otherwise accumulate one profile per file handle it
+// ever saw read; past the cap, the least-recently-observed profile is
+// evicted (losing only a prefetch hint, never correctness).
+const raMaxFiles = 1024
+
 // raState is the per-file sequential-access profile.
 type raState struct {
 	lastBlock uint64
 	seen      bool
 	streak    int
 	nextWant  uint64 // first block not yet scheduled for prefetch
+	touched   uint64 // ra.tick value of the last observation
 }
 
 type readAhead struct {
-	mu       sync.Mutex
-	files    map[string]*raState
+	mu    sync.Mutex
+	files map[string]*raState
+	tick  uint64 // observation counter ordering profile recency
+	// inflight tracks running prefetches. Entries are self-cleaning —
+	// finish() always deletes and closes — so reset() must NOT clear
+	// it: waiters in waitFor block on the entry's channel.
 	inflight map[cache.BlockID]chan struct{}
 	sem      chan struct{}
 }
@@ -52,9 +63,14 @@ func (ra *readAhead) observe(fh nfs3.FH, block uint64, window int) []uint64 {
 	defer ra.mu.Unlock()
 	st, ok := ra.files[fh.Key()]
 	if !ok {
+		if len(ra.files) >= raMaxFiles {
+			ra.evictOldestLocked()
+		}
 		st = &raState{}
 		ra.files[fh.Key()] = st
 	}
+	ra.tick++
+	st.touched = ra.tick
 	switch {
 	case st.seen && block == st.lastBlock+1:
 		st.streak++
@@ -122,11 +138,43 @@ func (ra *readAhead) waitFor(fh nfs3.FH, block uint64) bool {
 	return true
 }
 
-// forget drops profiling state for a file (remove/rename).
+// forget drops profiling state for a file (remove/rename/invalidate).
 func (ra *readAhead) forget(fh nfs3.FH) {
 	ra.mu.Lock()
 	delete(ra.files, fh.Key())
 	ra.mu.Unlock()
+}
+
+// reset drops every per-file profile (cache flush). In-flight prefetch
+// tracking is left alone: those entries are removed by finish() and
+// waiters depend on their channels being closed.
+func (ra *readAhead) reset() {
+	ra.mu.Lock()
+	ra.files = make(map[string]*raState)
+	ra.mu.Unlock()
+}
+
+// evictOldestLocked removes the least-recently-observed profile; the
+// caller holds ra.mu.
+func (ra *readAhead) evictOldestLocked() {
+	var oldestKey string
+	var oldest uint64 = ^uint64(0)
+	for k, st := range ra.files {
+		if st.touched < oldest {
+			oldest = st.touched
+			oldestKey = k
+		}
+	}
+	if oldestKey != "" {
+		delete(ra.files, oldestKey)
+	}
+}
+
+// profileCount reports how many per-file profiles are resident (tests).
+func (ra *readAhead) profileCount() int {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return len(ra.files)
 }
 
 // maybePrefetch schedules asynchronous prefetches of the blocks after
@@ -196,7 +244,7 @@ func (p *Proxy) prefetchBlock(fh nfs3.FH, block, bs uint64) {
 	if err := p.cfg.BlockCache.Put(fh, block, r.Data, false); err != nil {
 		return
 	}
-	p.count(func(s *Stats) { s.Prefetched++ })
+	p.stats.prefetched.Add(1)
 }
 
 // rewind lowers a file's scheduled-prefetch watermark after capacity

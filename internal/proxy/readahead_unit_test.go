@@ -1,0 +1,106 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+// Regression tests for the read-ahead state leak: per-file profiles
+// used to accumulate forever (one per file handle ever read) and
+// survived cache flushes.
+
+func fhN(i int) nfs3.FH {
+	return nfs3.FH(fmt.Sprintf("fh-%06d", i))
+}
+
+func TestReadAheadProfileMapCapped(t *testing.T) {
+	ra := newReadAhead()
+	for i := 0; i < raMaxFiles+100; i++ {
+		ra.observe(fhN(i), 0, 4)
+	}
+	if n := ra.profileCount(); n > raMaxFiles {
+		t.Fatalf("profile map grew to %d entries, cap is %d", n, raMaxFiles)
+	}
+	// The newest profile survives; the oldest was evicted.
+	ra.mu.Lock()
+	_, newest := ra.files[fhN(raMaxFiles+99).Key()]
+	_, oldest := ra.files[fhN(0).Key()]
+	ra.mu.Unlock()
+	if !newest {
+		t.Error("most recent profile was evicted")
+	}
+	if oldest {
+		t.Error("least recent profile survived past the cap")
+	}
+}
+
+func TestReadAheadResetClearsProfilesNotInflight(t *testing.T) {
+	ra := newReadAhead()
+	for i := 0; i < 10; i++ {
+		ra.observe(fhN(i), 0, 4)
+	}
+	// An in-flight prefetch that a demand read could be waiting on.
+	id := cache.BlockID{FH: fhN(0).Key(), Block: 7}
+	if !ra.begin(id) {
+		t.Fatal("begin refused with nothing in flight")
+	}
+
+	ra.reset()
+	if n := ra.profileCount(); n != 0 {
+		t.Fatalf("reset left %d profiles", n)
+	}
+	// Reset must NOT clear in-flight tracking: waiters block on the
+	// entry's channel and only finish() may remove and close it.
+	ra.mu.Lock()
+	ch, ok := ra.inflight[id]
+	ra.mu.Unlock()
+	if !ok {
+		t.Fatal("reset cleared in-flight tracking; waiters would be orphaned")
+	}
+	ra.finish(id)
+	select {
+	case <-ch:
+	default:
+		t.Error("finish did not close the in-flight channel")
+	}
+	if ra.waitFor(fhN(0), 7) {
+		t.Error("finished prefetch still registered as in flight")
+	}
+}
+
+func TestFlushResetsReadAheadProfiles(t *testing.T) {
+	bc, err := cache.New(cache.Config{
+		Dir: t.TempDir(), Banks: 2, SetsPerBank: 4, Assoc: 2, BlockSize: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	p, err := New(Config{
+		Upstream:   stubCaller{},
+		BlockCache: bc,
+		ReadAhead:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.ra.observe(fhN(i), 0, 4)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.ra.profileCount(); n != 0 {
+		t.Fatalf("flush left %d read-ahead profiles", n)
+	}
+}
+
+type stubCaller struct{}
+
+func (stubCaller) Call(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte) ([]byte, error) {
+	return nil, fmt.Errorf("stub upstream")
+}

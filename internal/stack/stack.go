@@ -189,6 +189,8 @@ type ProxyOptions struct {
 	Mapper *auth.Mapper
 
 	// CacheConfig enables the block-based disk cache (Dir required).
+	// All fields pass through verbatim, including the concurrency
+	// knobs Stripes and SerialIO (see cache.Config).
 	CacheConfig *cache.Config
 
 	// SharedBlockCache lets several proxies serve from one disk cache

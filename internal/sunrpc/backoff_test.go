@@ -1,0 +1,58 @@
+package sunrpc
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression test for the shared-RNG race: the client used to seed one
+// *rand.Rand consulted from every retransmission path, and concurrent
+// backoffs raced on its internal state. Run under -race (the CI
+// default) this test fails on the old implementation.
+func TestBackoffConcurrentCallersNoRace(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	c := NewClientWithOptions(c1, ClientOptions{
+		BackoffBase: time.Microsecond,
+		BackoffMax:  8 * time.Microsecond,
+	})
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for attempt := 0; attempt < 32; attempt++ {
+				c.backoff(attempt % 6)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// The jitter contract: backoff delays stay within [base/2, max] so
+// parallel retransmitters decorrelate without exceeding the cap.
+func TestBackoffJitterBounds(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	base := 2 * time.Millisecond
+	max := 8 * time.Millisecond
+	c := NewClientWithOptions(c1, ClientOptions{BackoffBase: base, BackoffMax: max})
+	defer c.Close()
+
+	for attempt := 0; attempt < 8; attempt++ {
+		start := time.Now()
+		c.backoff(attempt)
+		elapsed := time.Since(start)
+		if elapsed < base/2 {
+			t.Errorf("attempt %d: backoff %v shorter than base/2 %v", attempt, elapsed, base/2)
+		}
+		// Generous ceiling: the nominal max plus scheduling slop.
+		if elapsed > max+500*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v far exceeds max %v", attempt, elapsed, max)
+		}
+	}
+}

@@ -105,9 +105,6 @@ type Client struct {
 	retries    atomic.Uint64
 	reconnects atomic.Uint64
 	timeouts   atomic.Uint64
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
 }
 
 type clientReply struct {
@@ -143,7 +140,6 @@ func NewClientWithOptions(conn net.Conn, opts ClientOptions) *Client {
 		nextXID: 1,
 		pending: make(map[uint32]chan clientReply),
 		done:    make(chan struct{}),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.readLoop(conn, 1)
@@ -316,10 +312,11 @@ func (c *Client) backoff(attempt int) {
 	if d > c.opts.BackoffMax || d <= 0 {
 		d = c.opts.BackoffMax
 	}
-	// Jitter to [d/2, d] so parallel retransmitters decorrelate.
-	c.rngMu.Lock()
-	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	c.rngMu.Unlock()
+	// Jitter to [d/2, d] so parallel retransmitters decorrelate. The
+	// package-level rand source is safe for concurrent use, unlike a
+	// per-client *rand.Rand, which concurrent backoff paths would race
+	// on.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 	select {
 	case <-time.After(d):
 	case <-c.done:
