@@ -25,6 +25,7 @@ import (
 	"gvfs/internal/auth"
 	"gvfs/internal/filechan"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/osfs"
 	"gvfs/internal/proxy"
 	"gvfs/internal/stack"
@@ -42,6 +43,8 @@ func main() {
 	idBase := flag.Uint("identity-base", 60000, "first UID of the logical account pool")
 	idCount := flag.Uint("identity-count", 1000, "size of the logical account pool")
 	idTTL := flag.Duration("identity-ttl", 30*time.Minute, "lifetime of short-lived identities")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /traces and /debug on this address (empty = off)")
+	traceRing := flag.Int("trace-ring", 0, "keep the last N request traces for /traces (0 = tracing off)")
 	flag.Parse()
 
 	if *genkey {
@@ -77,12 +80,31 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvfsd: dial upstream: %v", err)
 	}
+	var tracer *obs.Tracer
+	if *traceRing > 0 {
+		tracer = obs.NewTracer(*traceRing)
+	}
 	p, err := proxy.New(proxy.Config{
 		Upstream: sunrpc.NewClient(conn),
 		Mapper:   auth.NewMapper(alloc),
+		Tracer:   tracer,
 	})
 	if err != nil {
 		log.Fatalf("gvfsd: %v", err)
+	}
+	if *metricsAddr != "" {
+		reg := p.MetricsRegistry()
+		reg.CounterFunc("gvfs_tunnel_tx_bytes_total",
+			"Plaintext bytes sent through tunnels.",
+			func() uint64 { return tunnel.ReadStats().TxBytes })
+		reg.CounterFunc("gvfs_tunnel_rx_bytes_total",
+			"Plaintext bytes received through tunnels.",
+			func() uint64 { return tunnel.ReadStats().RxBytes })
+		ml, err := obs.Serve(*metricsAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("gvfsd: metrics: %v", err)
+		}
+		fmt.Printf("gvfsd: metrics on http://%s/metrics\n", ml.Addr())
 	}
 	srv := sunrpc.NewServer()
 	srv.Register(nfs3.Program, nfs3.Version, p)

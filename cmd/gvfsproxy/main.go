@@ -11,11 +11,16 @@
 //	SIGUSR1  write back all dirty cached data (keep it cached)
 //	SIGUSR2  flush: write back and invalidate all caches
 //
+// With -metrics the proxy serves its unified observability surface
+// over HTTP: Prometheus exposition at /metrics, the request-trace ring
+// at /traces, and the Go runtime debug endpoints under /debug.
+//
 // Usage:
 //
 //	gvfsproxy -listen 127.0.0.1:8049 -upstream imageserver:7049 \
 //	          -cache-dir /var/cache/gvfs -policy write-back \
-//	          -filechan imageserver:7050 -keyfile session.key
+//	          -filechan imageserver:7050 -keyfile session.key \
+//	          -metrics 127.0.0.1:9049 -trace-ring 1024
 package main
 
 import (
@@ -27,95 +32,28 @@ import (
 	"syscall"
 	"time"
 
-	"gvfs/internal/cache"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/stack"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/tunnel"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8049", "listen address for local NFS clients")
-	upstream := flag.String("upstream", "", "next hop (gvfsd or another gvfsproxy)")
-	keyfile := flag.String("keyfile", "", "32-byte session key for the upstream tunnel")
-	cacheDir := flag.String("cache-dir", "", "block cache directory (empty = no disk cache)")
-	banks := flag.Int("cache-banks", 512, "number of cache banks")
-	sets := flag.Int("cache-sets", 128, "sets per bank")
-	assoc := flag.Int("cache-assoc", 16, "cache associativity")
-	blockSize := flag.Int("cache-block", 8192, "cache block size (<= 32768)")
-	stripes := flag.Int("cache-stripes", 0, "cache lock stripes (0 = default 64; 1 = single global lock)")
-	policyName := flag.String("policy", "write-back", "write policy: write-back | write-through")
-	fileCacheDir := flag.String("filecache-dir", "", "file cache directory (enables meta-data handling)")
-	fileChan := flag.String("filechan", "", "image server file-channel address")
-	readAhead := flag.Int("readahead", 0, "sequential read-ahead window in blocks (0 = off)")
-	persist := flag.Bool("persist-index", true, "reload/save the disk cache index across restarts")
-	idle := flag.Duration("idle-writeback", 0, "write dirty data back after this idle period (0 = only on signals)")
-	statsEvery := flag.Duration("stats", 0, "print proxy statistics at this interval (0 = off)")
-	callTimeout := flag.Duration("call-timeout", 0, "per-call deadline on upstream RPCs (0 = wait forever)")
-	maxRetries := flag.Int("max-retries", 0, "retransmission attempts for idempotent upstream calls (0 = no retries)")
-	degraded := flag.Bool("degraded-reads", false, "serve cached data while the upstream is unreachable")
-	failThreshold := flag.Int("failure-threshold", 0, "consecutive upstream failures that open the circuit breaker (0 = default)")
-	probeEvery := flag.Duration("probe-interval", 0, "recovery probe period while the breaker is open (0 = default)")
+	flags := stack.BindProxyFlags(flag.CommandLine)
 	flag.Parse()
 
-	if *upstream == "" {
-		log.Fatal("gvfsproxy: -upstream is required")
+	opts, err := flags.Options()
+	if err != nil {
+		log.Fatalf("gvfsproxy: %v", err)
 	}
-	var key []byte
-	if *keyfile != "" {
-		var err error
-		key, err = os.ReadFile(*keyfile)
-		if err != nil {
-			log.Fatalf("gvfsproxy: %v", err)
-		}
-		if len(key) != tunnel.KeySize {
-			log.Fatalf("gvfsproxy: key must be %d bytes", tunnel.KeySize)
-		}
-	}
-	var policy cache.Policy
-	switch *policyName {
-	case "write-back":
-		policy = cache.WriteBack
-	case "write-through":
-		policy = cache.WriteThrough
-	default:
-		log.Fatalf("gvfsproxy: unknown policy %q", *policyName)
-	}
-
-	opts := stack.ProxyOptions{
-		UpstreamAddr:        *upstream,
-		UpstreamKey:         key,
-		ReadAhead:           *readAhead,
-		PersistIndex:        *persist,
-		IdleWriteBack:       *idle,
-		UpstreamCallTimeout: *callTimeout,
-		UpstreamMaxRetries:  *maxRetries,
-		DegradedReads:       *degraded,
-		FailureThreshold:    *failThreshold,
-		ProbeInterval:       *probeEvery,
-	}
-	if *cacheDir != "" {
-		cfg := cache.Config{
-			Dir: *cacheDir, Banks: *banks, SetsPerBank: *sets,
-			Assoc: *assoc, BlockSize: *blockSize, Policy: policy,
-			Stripes: *stripes,
-		}
-		opts.CacheConfig = &cfg
-	}
-	if *fileCacheDir != "" {
-		opts.FileCacheDir = *fileCacheDir
-		opts.FileChanAddr = *fileChan
-		opts.FileChanKey = key
-	}
-
-	// Build via stack but with an explicit listen address.
 	node, err := stack.StartProxy(opts)
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
 	}
 	// StartProxy listens on an ephemeral port; re-serve on the
 	// requested address as well.
-	l, err := stack.ListenOn(*listen, nil, nil)
+	l, err := stack.ListenOn(flags.Listen, nil, nil)
 	if err != nil {
 		log.Fatalf("gvfsproxy: listen: %v", err)
 	}
@@ -123,11 +61,39 @@ func main() {
 	srv.Register(nfs3.Program, nfs3.Version, node.Proxy)
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, node.Proxy)
 	fmt.Printf("gvfsproxy: %s -> %s (cache: %v, policy: %s)\n",
-		l.Addr(), *upstream, *cacheDir != "", policy)
+		l.Addr(), flags.Upstream, flags.CacheDir != "", flags.Policy)
 
-	if *statsEvery > 0 {
+	// registerBridges in the proxy covers its own subsystems; the
+	// tunnel's process-wide totals are bridged here, where the daemon
+	// knows one registry serves the whole process.
+	node.Metrics.CounterFunc("gvfs_tunnel_tx_bytes_total",
+		"Plaintext bytes sent through tunnels.",
+		func() uint64 { return tunnel.ReadStats().TxBytes })
+	node.Metrics.CounterFunc("gvfs_tunnel_rx_bytes_total",
+		"Plaintext bytes received through tunnels.",
+		func() uint64 { return tunnel.ReadStats().RxBytes })
+	if flags.MetricsAddr != "" {
+		ml, err := obs.Serve(flags.MetricsAddr, node.Metrics, node.Tracer)
+		if err != nil {
+			log.Fatalf("gvfsproxy: metrics: %v", err)
+		}
+		fmt.Printf("gvfsproxy: metrics on http://%s/metrics\n", ml.Addr())
+	}
+
+	// done is closed exactly once, when the daemon begins shutting
+	// down, so the periodic stats goroutine exits with it instead of
+	// ticking forever (time.Tick can never be stopped).
+	done := make(chan struct{})
+	if flags.StatsEvery > 0 {
 		go func() {
-			for range time.Tick(*statsEvery) {
+			tick := time.NewTicker(flags.StatsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+				}
 				st := node.Proxy.Stats()
 				log.Printf("gvfsproxy: calls=%d hits=%d misses=%d zero=%d filechan=%d/%d absorbed=%d prefetched=%d",
 					st.Calls, st.ReadHits, st.ReadMisses, st.ZeroFiltered,
@@ -157,19 +123,33 @@ func main() {
 				}
 			case syscall.SIGINT, syscall.SIGTERM:
 				// Graceful shutdown: settle the session, snapshot the
-				// cache index so the next start is warm.
+				// cache index so the next start is warm, and stop the
+				// stats printer before the server goes away.
 				fmt.Println("gvfsproxy: shutting down")
+				close(done)
 				if err := node.Proxy.WriteBack(); err != nil {
 					log.Printf("gvfsproxy: write-back: %v", err)
 				}
-				if *persist && node.BlockCache != nil {
+				if flags.PersistIndex && node.BlockCache != nil {
 					if err := node.BlockCache.SaveIndex(); err != nil {
 						log.Printf("gvfsproxy: save index: %v", err)
 					}
 				}
-				os.Exit(0)
+				srv.Close()
+				l.Close()
+				return
 			}
 		}
 	}()
-	log.Fatal(srv.Serve(l))
+	err = srv.Serve(l)
+	// Serve returns when the listener closes — during signal-driven
+	// shutdown that is the normal exit, not an error.
+	select {
+	case <-done:
+	default:
+		close(done)
+		if err != nil {
+			log.Fatalf("gvfsproxy: serve: %v", err)
+		}
+	}
 }

@@ -1,0 +1,52 @@
+// Command promlint validates Prometheus text exposition — the CI guard
+// that a live proxy's /metrics endpoint serves well-formed output. It
+// reads from -url (any http endpoint) or standard input and exits
+// non-zero on the first malformed line.
+//
+// Usage:
+//
+//	promlint -url http://127.0.0.1:9049/metrics
+//	gvfsproxy ... | promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gvfs/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this endpoint (empty = read stdin)")
+	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *url != "" {
+		client := &http.Client{Timeout: *timeout}
+		resp, err2 := client.Get(*url)
+		if err2 != nil {
+			log.Fatalf("promlint: %v", err2)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("promlint: %s returned status %d", *url, resp.StatusCode)
+		}
+		data, err = io.ReadAll(resp.Body)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		log.Fatalf("promlint: read: %v", err)
+	}
+	if err := obs.Lint(data); err != nil {
+		log.Fatalf("promlint: %v", err)
+	}
+	fmt.Printf("promlint: ok (%d bytes)\n", len(data))
+}

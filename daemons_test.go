@@ -8,16 +8,20 @@ package gvfs_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	gvfs "gvfs"
 	"gvfs/internal/memfs"
+	"gvfs/internal/obs"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/vm"
 )
@@ -110,6 +114,7 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	gvfsdAddr := freePort(t)
 	filechanAddr := freePort(t)
 	proxyAddr := freePort(t)
+	metricsAddr := freePort(t)
 	keyFile := filepath.Join(t.TempDir(), "session.key")
 
 	// Generate a session key.
@@ -135,8 +140,10 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		"-listen", proxyAddr, "-upstream", gvfsdAddr,
 		"-cache-dir", cacheDir, "-cache-banks", "8", "-cache-sets", "8",
 		"-filecache-dir", fileCacheDir, "-filechan", filechanAddr,
-		"-keyfile", keyFile, "-readahead", "4")
+		"-keyfile", keyFile, "-readahead", "4",
+		"-metrics", metricsAddr, "-trace-ring", "256")
 	waitListening(t, proxyAddr)
+	waitListening(t, metricsAddr)
 
 	// Clone through the running chain with the vmclone tool.
 	cloneCmd := exec.Command(filepath.Join(binDir, "vmclone"),
@@ -185,4 +192,36 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		t.Errorf("clone dir entries = %d, want config + disk link", len(entries))
 	}
 	fmt.Fprintf(os.Stderr, "daemons e2e: clone dir has %d entries\n", len(entries))
+
+	// The live proxy's observability endpoint: /metrics must pass the
+	// exposition linter and carry the per-procedure histograms the
+	// workload above populated; /traces serves the request ring.
+	scrape := func(path string) string {
+		resp, err := http.Get("http://" + metricsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d err %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+	metrics := scrape("/metrics")
+	if err := obs.Lint([]byte(metrics)); err != nil {
+		t.Errorf("live /metrics failed lint: %v", err)
+	}
+	for _, want := range []string{
+		`gvfs_proxy_rpc_duration_seconds_bucket{proc="READ"`,
+		"gvfs_proxy_calls_total",
+		"gvfs_blockcache_hits_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("live /metrics missing %s", want)
+		}
+	}
+	if traces := scrape("/traces"); !strings.Contains(traces, `"spans"`) {
+		t.Errorf("live /traces has no spans: %.200s", traces)
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"gvfs/internal/nfs3"
 )
@@ -86,6 +87,11 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 		blockStart := cur - cur%bs
 		block := uint64(blockStart) / uint64(bs)
 
+		// Only pay for time.Now() when session metrics are enabled.
+		var blockStartTime time.Time
+		if f.s.readDur != nil {
+			blockStartTime = time.Now()
+		}
 		data, hit := f.s.pages.Get(f.fh, block)
 		eof := false
 		if !hit {
@@ -97,7 +103,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 			if len(data) > 0 {
 				f.s.pages.Put(f.fh, block, data)
 			}
+			f.s.observeRead("miss", blockStartTime)
 		} else {
+			f.s.observeRead("hit", blockStartTime)
 			// A page cached while it was the (short) tail of the file
 			// goes stale when later writes extend the file past it:
 			// the missing bytes are zero-fill holes. Extend the view

@@ -31,6 +31,7 @@ import (
 
 	"gvfs/internal/mountd"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/pagecache"
 	"gvfs/internal/sunrpc"
 )
@@ -64,6 +65,11 @@ type SessionConfig struct {
 	// backoff) and retransmission of idempotent NFS calls after a
 	// connection failure. Zero disables retries.
 	MaxRetries int
+	// Metrics, when set, is the obs registry the session publishes its
+	// page-cache instruments into — pass the same registry used by a
+	// proxy and obs.Snapshot() covers the whole chain. Nil disables
+	// session metrics (and their time.Now() calls on the read path).
+	Metrics *obs.Registry
 }
 
 // Session is a mounted GVFS file system.
@@ -73,6 +79,11 @@ type Session struct {
 	root  nfs3.FH
 	bs    uint32
 	pages *pagecache.Cache
+
+	// metrics is nil unless SessionConfig.Metrics was set; readDur
+	// holds the pre-resolved per-outcome page-read histograms.
+	metrics *obs.Registry
+	readDur map[string]*obs.Histogram
 
 	mu       sync.Mutex
 	dentries map[string]dentry  // path -> fh/attr cache
@@ -124,7 +135,7 @@ func Mount(cfg SessionConfig) (*Session, error) {
 		rpc.Close()
 		return nil, fmt.Errorf("gvfs: mount %s: %w", export, err)
 	}
-	return &Session{
+	s := &Session{
 		rpc:      rpc,
 		nfs:      nfs3.NewClient(rpc, cfg.Cred),
 		root:     root,
@@ -132,8 +143,43 @@ func Mount(cfg SessionConfig) (*Session, error) {
 		pages:    pagecache.New(cfg.PageCachePages),
 		dentries: make(map[string]dentry),
 		files:    make(map[*File]struct{}),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
+	return s, nil
 }
+
+// registerMetrics publishes the session's buffer-cache instruments:
+// collection-time bridges over the page cache's own counters, plus a
+// per-outcome latency histogram observed on every block read.
+func (s *Session) registerMetrics(reg *obs.Registry) {
+	s.metrics = reg
+	pages := s.pages
+	reg.CounterFunc("gvfs_pagecache_hits_total", "Buffer-cache page hits.",
+		func() uint64 { return pages.Stats().Hits })
+	reg.CounterFunc("gvfs_pagecache_misses_total", "Buffer-cache page misses.",
+		func() uint64 { return pages.Stats().Misses })
+	reg.CounterFunc("gvfs_pagecache_evictions_total", "Buffer-cache page evictions.",
+		func() uint64 { return pages.Stats().Evictions })
+	hv := reg.HistogramVec("gvfs_pagecache_read_duration_seconds",
+		"Per-block session read latency by buffer-cache outcome.", nil, "outcome")
+	s.readDur = map[string]*obs.Histogram{
+		"hit":  hv.With("hit"),
+		"miss": hv.With("miss"),
+	}
+}
+
+// observeRead records one block read when session metrics are enabled.
+func (s *Session) observeRead(outcome string, start time.Time) {
+	if h, ok := s.readDur[outcome]; ok {
+		h.ObserveSince(start)
+	}
+}
+
+// Metrics returns the registry the session publishes into, or nil when
+// metrics were not enabled at Mount time.
+func (s *Session) Metrics() *obs.Registry { return s.metrics }
 
 // Close commits the dirty state of any files still open in this
 // session, then tears down the connection. File.Close reports commit
@@ -184,6 +230,9 @@ func (s *Session) NFS() *nfs3.Client { return s.nfs }
 func (s *Session) BlockSize() uint32 { return s.bs }
 
 // PageCacheStats reports buffer-cache effectiveness.
+//
+// Deprecated: the unified stats surface is SessionConfig.Metrics +
+// obs.Snapshot(); this accessor remains for existing callers.
 func (s *Session) PageCacheStats() pagecache.Stats { return s.pages.Stats() }
 
 // DropCaches empties the in-memory buffer cache — the equivalent of

@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/obs"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+)
+
+// The trace experiment demonstrates the unified observability layer on
+// the paper's WAN topology: a session (buffer cache) over a
+// disk-caching client proxy over the image server's mapping proxy,
+// every hop tracing. Each RPC allocated a trace at the client proxy is
+// propagated to the server proxy through the verifier header
+// extension, so the report can break one request's latency down by
+// layer — page cache, block cache hit/miss, upstream RPC at hop 0, and
+// the forwarded call at hop 1 — and prove chain-wide propagation by
+// intersecting the two rings' trace IDs.
+
+const traceRingCap = 4096
+
+// traceLayerStat aggregates all spans with one (hop, layer, outcome).
+type traceLayerStat struct {
+	Hop     uint32  `json:"hop"`
+	Layer   string  `json:"layer"`
+	Outcome string  `json:"outcome"`
+	Count   int     `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MeanUs  float64 `json:"mean_us"`
+}
+
+// tracePass is one workload pass with its session-level timing.
+type tracePass struct {
+	Name    string  `json:"name"`
+	Bytes   int     `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+}
+
+type traceReport struct {
+	Experiment string `json:"experiment"`
+	Scale      float64 `json:"scale"`
+	RTT        string  `json:"upstream_rtt"`
+	BlockSize  int     `json:"block_size"`
+
+	Passes []tracePass      `json:"passes"`
+	Layers []traceLayerStat `json:"layers"`
+
+	// Page-cache latency from the session registry (hit vs miss), the
+	// layer above the proxy chain.
+	PageCacheHitMeanUs  float64 `json:"pagecache_hit_mean_us"`
+	PageCacheMissMeanUs float64 `json:"pagecache_miss_mean_us"`
+
+	// Propagation proof: traces recorded at both hops.
+	ClientTraces     int `json:"client_traces"`
+	ServerTraces     int `json:"server_traces"`
+	PropagatedTraces int `json:"propagated_traces"`
+}
+
+// aggregateSpans folds every trace's spans into per-(hop,layer,outcome)
+// stats, sorted for stable output.
+func aggregateSpans(traces ...[]obs.Trace) []traceLayerStat {
+	type key struct {
+		hop            uint32
+		layer, outcome string
+	}
+	acc := make(map[key]*traceLayerStat)
+	for _, ring := range traces {
+		for _, tr := range ring {
+			for _, sp := range tr.Spans {
+				k := key{tr.Hop, sp.Layer, sp.Outcome}
+				st, ok := acc[k]
+				if !ok {
+					st = &traceLayerStat{Hop: tr.Hop, Layer: sp.Layer, Outcome: sp.Outcome}
+					acc[k] = st
+				}
+				st.Count++
+				st.TotalMs += float64(sp.DurNs) / 1e6
+			}
+		}
+	}
+	out := make([]traceLayerStat, 0, len(acc))
+	for _, st := range acc {
+		if st.Count > 0 {
+			st.MeanUs = st.TotalMs * 1e3 / float64(st.Count)
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Hop != b.Hop {
+			return a.Hop < b.Hop
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		return a.Outcome < b.Outcome
+	})
+	return out
+}
+
+// histMean extracts a histogram's mean from a snapshot, in µs.
+func histMeanUs(snap obs.Snapshot, sample string) float64 {
+	if h, ok := snap.Histograms[sample]; ok {
+		return h.Mean() * 1e6
+	}
+	return 0
+}
+
+// RunTrace assembles the traced 2-level chain, runs cold/warm/re-read
+// and write passes, and writes the per-layer latency breakdown to
+// BENCH_trace.json.
+func (o Options) RunTrace() (*Table, error) {
+	blocks := int(2048 / o.scale())
+	if blocks < 16 {
+		blocks = 16
+	}
+	const bs = 8192
+	img := make([]byte, blocks*bs)
+	for i := range img {
+		img[i] = byte(i % 251)
+	}
+	fs := memfs.New()
+	if err := fs.WriteFile("/vm.img", img); err != nil {
+		return nil, err
+	}
+
+	wan := linkFor(WAN)
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{
+		Link:      wan,
+		Encrypt:   !o.NoEncrypt,
+		TraceRing: traceRingCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer server.Close()
+
+	// One registry covers the whole client side: session page cache
+	// and client proxy publish into it together.
+	reg := obs.NewRegistry()
+	cacheDir, err := os.MkdirTemp(o.WorkDir, "tracecache")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cacheDir)
+	ccfg := o.cacheConfig(cacheDir, cache.WriteBack)
+	client, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		UpstreamLink: wan,
+		UpstreamKey:  server.Key,
+		CacheConfig:  &ccfg,
+		Metrics:      reg,
+		TraceRing:    traceRingCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{
+		Addr:           client.Addr,
+		Export:         "/",
+		Cred:           benchCred(),
+		PageCachePages: o.pagePages(),
+		Metrics:        reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	report := traceReport{
+		Experiment: "trace",
+		Scale:      o.scale(),
+		RTT:        simnet.WAN().RTT.String(),
+		BlockSize:  bs,
+	}
+	pass := func(name string, fn func() (int, error)) error {
+		t0 := time.Now()
+		n, err := fn()
+		if err != nil {
+			return fmt.Errorf("trace pass %s: %w", name, err)
+		}
+		report.Passes = append(report.Passes, tracePass{
+			Name: name, Bytes: n, Seconds: time.Since(t0).Seconds(),
+		})
+		o.logf("trace: %s: %d bytes in %.3fs", name, n, time.Since(t0).Seconds())
+		return nil
+	}
+	readAll := func() (int, error) {
+		data, err := sess.ReadFile("/vm.img")
+		return len(data), err
+	}
+
+	// Cold: every layer misses; blocks cross the WAN once.
+	if err := pass("cold_read", readAll); err != nil {
+		return nil, err
+	}
+	// Warm proxy: the session's buffer cache is dropped, so reads
+	// reach the proxy and hit its disk cache.
+	sess.DropCaches()
+	if err := pass("proxy_warm_read", readAll); err != nil {
+		return nil, err
+	}
+	// Warm session: straight from the buffer cache, no RPCs at all.
+	if err := pass("pagecache_warm_read", readAll); err != nil {
+		return nil, err
+	}
+	// Writes: absorbed by the proxy's write-back cache.
+	if err := pass("write", func() (int, error) {
+		f, err := sess.Open("/vm.img")
+		if err != nil {
+			return 0, err
+		}
+		n, err := f.WriteAt(img[:len(img)/4], 0)
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return n, err
+	}); err != nil {
+		return nil, err
+	}
+
+	clientTraces := client.Tracer.Traces()
+	serverTraces := server.Proxy.Tracer.Traces()
+	report.Layers = aggregateSpans(clientTraces, serverTraces)
+	report.ClientTraces = len(clientTraces)
+	report.ServerTraces = len(serverTraces)
+	upstreamIDs := make(map[uint64]bool, len(serverTraces))
+	for _, tr := range serverTraces {
+		upstreamIDs[tr.ID] = true
+	}
+	for _, tr := range clientTraces {
+		if upstreamIDs[tr.ID] {
+			report.PropagatedTraces++
+		}
+	}
+
+	snap := reg.Snapshot()
+	report.PageCacheHitMeanUs = histMeanUs(snap, `gvfs_pagecache_read_duration_seconds{outcome="hit"}`)
+	report.PageCacheMissMeanUs = histMeanUs(snap, `gvfs_pagecache_read_duration_seconds{outcome="miss"}`)
+
+	table := &Table{
+		ID:      "trace",
+		Title:   "Chain-wide request tracing: per-layer latency over the WAN topology",
+		Scale:   o.scale(),
+		Columns: []string{"seconds"},
+	}
+	for _, p := range report.Passes {
+		table.AddRow(p.Name, time.Duration(p.Seconds*float64(time.Second)))
+	}
+	table.AddNote(fmt.Sprintf("page cache mean: hit %.1fµs, miss %.1fµs",
+		report.PageCacheHitMeanUs, report.PageCacheMissMeanUs))
+	for _, st := range report.Layers {
+		table.AddNote(fmt.Sprintf("hop %d %-11s %-7s count=%-5d mean=%.1fµs",
+			st.Hop, st.Layer, st.Outcome, st.Count, st.MeanUs))
+	}
+	table.AddNote(fmt.Sprintf("traces: client=%d server=%d propagated=%d",
+		report.ClientTraces, report.ServerTraces, report.PropagatedTraces))
+
+	if err := o.writeResults("BENCH_trace.json", report); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

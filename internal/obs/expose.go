@@ -1,0 +1,244 @@
+package obs
+
+// Prometheus text exposition, the linter the CI smoke job uses to
+// reject malformed output, and the HTTP endpoint bundling /metrics,
+// expvar and pprof.
+
+import (
+	"bufio"
+	"bytes"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sorted by
+// name, samples by label values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ch := range f.sortedChildren() {
+			switch f.kind {
+			case KindCounter:
+				v := ch.c.Value()
+				if ch.cf != nil {
+					v = ch.cf()
+				}
+				fmt.Fprintf(bw, "%s %d\n", sampleName(f.name, f.labels, ch.vals), v)
+			case KindGauge:
+				v := ch.g.Value()
+				if ch.gf != nil {
+					v = ch.gf()
+				}
+				fmt.Fprintf(bw, "%s %s\n", sampleName(f.name, f.labels, ch.vals), formatFloat(v))
+			case KindHistogram:
+				hv := ch.h.snapshot()
+				labels := append(append([]string(nil), f.labels...), "le")
+				for _, b := range hv.Buckets {
+					vals := append(append([]string(nil), ch.vals...), formatLE(b.LE))
+					fmt.Fprintf(bw, "%s %d\n", sampleName(f.name+"_bucket", labels, vals), b.Count)
+				}
+				fmt.Fprintf(bw, "%s %s\n", sampleName(f.name+"_sum", f.labels, ch.vals), formatFloat(hv.Sum))
+				fmt.Fprintf(bw, "%s %d\n", sampleName(f.name+"_count", f.labels, ch.vals), hv.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return formatFloat(v)
+}
+
+// Lint checks Prometheus text exposition output for structural
+// validity: every sample parses, belongs to a TYPE-declared family of
+// a known type, and histogram series use the _bucket/_sum/_count
+// naming with an le label on buckets. It is deliberately strict enough
+// to catch the failure modes a hand-rolled encoder can produce.
+func Lint(data []byte) error {
+	types := make(map[string]string)
+	var samples int
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: TYPE without a type: %q", lineNo, line)
+				}
+				typ := strings.TrimSpace(fields[3])
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = typ
+			}
+			continue
+		}
+		name, labels, _, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		fam, suffix := name, ""
+		if typ, ok := types[name]; !ok || typ == "histogram" {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if strings.HasSuffix(name, s) && types[strings.TrimSuffix(name, s)] == "histogram" {
+					fam, suffix = strings.TrimSuffix(name, s), s
+					break
+				}
+			}
+		}
+		typ, ok := types[fam]
+		if !ok {
+			return fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+		if typ == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram sample %q must end in _bucket/_sum/_count", lineNo, name)
+			}
+			if suffix == "_bucket" && !strings.Contains(labels, `le="`) {
+				return fmt.Errorf("line %d: histogram bucket %q lacks an le label", lineNo, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition output")
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value` and validates the pieces.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Handler serves the registry at /metrics content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and several registries (tests, multi-node
+// benches) may each start an endpoint.
+var expvarOnce sync.Once
+
+// NewMux bundles the observability endpoint:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar (Go runtime memstats + gvfs snapshot)
+//	/debug/pprof/  the standard pprof handlers
+//	/traces        JSON dump of the trace ring (when tracer != nil)
+//
+// tracer may be nil; /traces then reports an empty list.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("gvfs", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tracer.WriteJSON(w)
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr and returns the
+// listener (close it to stop). Errors from the HTTP server after
+// startup are dropped: metrics must never take the data path down.
+func Serve(addr string, reg *Registry, tracer *Tracer) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(l, NewMux(reg, tracer))
+	return l, nil
+}

@@ -1,0 +1,397 @@
+// Package obs is the unified observability layer: a dependency-free
+// metrics registry (counters, gauges, fixed-bucket latency histograms)
+// with Prometheus-text exposition, a structured Snapshot API replacing
+// the stats surfaces that used to be scattered across the proxy, the
+// caches and the RPC client, and a bounded request-tracing ring (see
+// trace.go) that follows one RPC through a cascaded proxy chain.
+//
+// The package imports nothing from the rest of the repository, so any
+// layer — sunrpc transport, block cache, proxy, session — can emit
+// into a Registry without creating import cycles. Hot-path instruments
+// (Counter, Histogram) are single atomic operations, the same cost as
+// the ad-hoc atomic counter blocks they replace.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var inf = math.Inf(1)
+
+// Kind distinguishes the metric families a Registry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// LatencyBuckets are the default histogram bounds (seconds) for RPC
+// latencies: they resolve local cache hits (tens of microseconds)
+// through WAN round trips (tens of milliseconds) up to breaker-open
+// stalls.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(floatBits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(bitsFloat(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (upper bounds in
+// seconds, ascending, with an implicit +Inf overflow bucket) and keeps
+// the running sum. Observe is two atomic adds: safe on the RPC path.
+type Histogram struct {
+	bounds   []float64
+	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumNanos atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
+
+// snapshot returns cumulative bucket counts, the total count and the
+// sum in seconds.
+func (h *Histogram) snapshot() HistogramValue {
+	v := HistogramValue{Buckets: make([]Bucket, len(h.bounds)+1)}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := inf
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		v.Buckets[i] = Bucket{LE: le, Count: cum}
+	}
+	v.Count = cum
+	v.Sum = float64(h.sumNanos.Load()) / 1e9
+	return v
+}
+
+// Bucket is one cumulative histogram bucket: the count of observations
+// less than or equal to LE seconds.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramValue is a point-in-time histogram reading.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum_seconds"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Mean returns the average observation in seconds (0 when empty).
+func (v HistogramValue) Mean() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return v.Sum / float64(v.Count)
+}
+
+// Snapshot is the registry's unified structured reading — the single
+// stats surface that replaces the disjoint Proxy.Stats / cache stripe
+// stats / pagecache stats / transport counters. Keys are the rendered
+// sample names, e.g. `gvfs_proxy_calls_total` or
+// `gvfs_proxy_rpc_duration_seconds{proc="READ"}`.
+type Snapshot struct {
+	Counters   map[string]uint64         `json:"counters"`
+	Gauges     map[string]float64        `json:"gauges"`
+	Histograms map[string]HistogramValue `json:"histograms"`
+}
+
+// child is one labeled instrument within a family.
+type child struct {
+	vals []string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+	cf   func() uint64
+	gf   func() float64
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// Registry holds metric families. The zero value is not usable; create
+// with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family returns the named family, creating it on first use.
+// Registration is idempotent: asking again for an existing name returns
+// the same family, so several components can share instruments in one
+// registry. A kind or label-arity mismatch is a programming error.
+func (r *Registry) family(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v(%d labels), was %v(%d labels)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+const childKeySep = "\x1f"
+
+func (f *family) child(vals []string) *child {
+	if len(vals) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(vals)))
+	}
+	key := strings.Join(vals, childKeySep)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[key]
+	if !ok {
+		ch = &child{vals: append([]string(nil), vals...)}
+		switch f.kind {
+		case KindCounter:
+			ch.c = &Counter{}
+		case KindGauge:
+			ch.g = &Gauge{}
+		case KindHistogram:
+			ch.h = &Histogram{
+				bounds: f.buckets,
+				counts: make([]atomic.Uint64, len(f.buckets)+1),
+			}
+		}
+		f.children[key] = ch
+	}
+	return ch
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, KindCounter, nil, nil).child(nil).c
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, KindGauge, nil, nil).child(nil).g
+}
+
+// CounterFunc registers a counter whose value is read through fn at
+// collection time. It bridges subsystems that keep their own internal
+// counters (lock-striped cache stats, transport atomics) into the
+// registry without restructuring their fast paths. Re-registering the
+// same name replaces the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	ch := r.family(name, help, KindCounter, nil, nil).child(nil)
+	ch.cf = fn
+}
+
+// GaugeFunc registers a gauge read through fn at collection time.
+// Re-registering the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	ch := r.family(name, help, KindGauge, nil, nil).child(nil)
+	ch.gf = fn
+}
+
+// Histogram registers (or finds) an unlabeled histogram. Nil or empty
+// buckets default to LatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	return r.family(name, help, KindHistogram, nil, buckets).child(nil).h
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct{ fam *family }
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, KindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Cache the result on hot paths.
+func (v *CounterVec) With(vals ...string) *Counter { return v.fam.child(vals).c }
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ fam *family }
+
+// HistogramVec registers (or finds) a labeled histogram family. Nil or
+// empty buckets default to LatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	return &HistogramVec{fam: r.family(name, help, KindHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values, creating it
+// on first use. Cache the result on hot paths.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.fam.child(vals).h }
+
+// sortedFamilies returns the families in name order for deterministic
+// rendering.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildren returns a family's children in label-value order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	kids := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		kids = append(kids, ch)
+	}
+	f.mu.Unlock()
+	sort.Slice(kids, func(i, j int) bool {
+		return strings.Join(kids[i].vals, childKeySep) < strings.Join(kids[j].vals, childKeySep)
+	})
+	return kids
+}
+
+// sampleName renders `name` or `name{l1="v1",...}`.
+func sampleName(name string, labels, vals []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Snapshot reads every instrument in the registry into one structured
+// value. Func-backed instruments are invoked at this point.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramValue),
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, ch := range f.sortedChildren() {
+			key := sampleName(f.name, f.labels, ch.vals)
+			switch f.kind {
+			case KindCounter:
+				if ch.cf != nil {
+					s.Counters[key] = ch.cf()
+				} else {
+					s.Counters[key] = ch.c.Value()
+				}
+			case KindGauge:
+				if ch.gf != nil {
+					s.Gauges[key] = ch.gf()
+				} else {
+					s.Gauges[key] = ch.g.Value()
+				}
+			case KindHistogram:
+				s.Histograms[key] = ch.h.snapshot()
+			}
+		}
+	}
+	return s
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

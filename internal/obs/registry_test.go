@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while snapshots and exposition run concurrently; run
+// under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	g := r.Gauge("g", "gauge")
+	cv := r.CounterVec("cv_total", "labeled counter", "which")
+	hv := r.HistogramVec("h_seconds", "labeled histogram", []float64{0.001, 0.01}, "proc")
+	r.CounterFunc("cf_total", "func counter", func() uint64 { return c.Value() })
+	r.GaugeFunc("gf", "func gauge", func() float64 { return g.Value() })
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := []string{"a", "b", "c"}[w%3]
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				cv.With(label).Add(2)
+				hv.With(label).Observe(time.Duration(i%20) * time.Millisecond)
+			}
+		}(w)
+	}
+	// Concurrent readers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = r.Snapshot()
+				var buf bytes.Buffer
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["c_total"]; got != workers*iters {
+		t.Errorf("c_total = %d, want %d", got, workers*iters)
+	}
+	if got := s.Counters["cf_total"]; got != workers*iters {
+		t.Errorf("cf_total = %d, want %d", got, workers*iters)
+	}
+	if got := s.Gauges["g"]; got != workers*iters {
+		t.Errorf("g = %v, want %d", got, workers*iters)
+	}
+	var labeled uint64
+	for _, l := range []string{"a", "b", "c"} {
+		labeled += s.Counters[`cv_total{which="`+l+`"}`]
+	}
+	if labeled != 2*workers*iters {
+		t.Errorf("sum cv_total = %d, want %d", labeled, 2*workers*iters)
+	}
+	var hcount uint64
+	for key, hval := range s.Histograms {
+		_ = key
+		hcount += hval.Count
+	}
+	if hcount != workers*iters {
+		t.Errorf("histogram total count = %d, want %d", hcount, workers*iters)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket
+// semantics: an observation exactly on a bound lands in that bound's
+// bucket, and everything past the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.010, 0.100})
+
+	h.Observe(0)                      // below first bound
+	h.Observe(1 * time.Millisecond)   // exactly the first bound
+	h.Observe(1*time.Millisecond + 1) // just over the first bound
+	h.Observe(10 * time.Millisecond)  // exactly the second bound
+	h.Observe(100 * time.Millisecond) // exactly the last bound
+	h.Observe(150 * time.Millisecond) // overflow -> +Inf only
+
+	v := h.snapshot()
+	if v.Count != 6 {
+		t.Fatalf("count = %d, want 6", v.Count)
+	}
+	wantCum := []uint64{2, 4, 5, 6} // le=0.001, 0.01, 0.1, +Inf
+	if len(v.Buckets) != len(wantCum) {
+		t.Fatalf("bucket count = %d, want %d", len(v.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if v.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] (le=%v) = %d, want %d", i, v.Buckets[i].LE, v.Buckets[i].Count, want)
+		}
+	}
+	wantSum := (0 + 1 + 1 + 10 + 100 + 150) * time.Millisecond
+	if got := time.Duration(v.Sum * float64(time.Second)); got < wantSum-time.Microsecond || got > wantSum+time.Microsecond {
+		t.Errorf("sum = %v, want ~%v", got, wantSum)
+	}
+	if mean := v.Mean(); mean <= 0 {
+		t.Errorf("mean = %v, want > 0", mean)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	if a != b {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("shared instrument should see increments from either handle")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x_total as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRingBounds(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		a := tr.Start(uint64(i), 0, "READ")
+		a.Finish()
+	}
+	got := tr.Traces()
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d traces, want 4", len(got))
+	}
+	// Oldest-first: the ring retained IDs 6..9.
+	for i, trace := range got {
+		if want := uint64(6 + i); trace.ID != want {
+			t.Errorf("trace[%d].ID = %d, want %d", i, trace.ID, want)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d, want 10", tr.Total())
+	}
+}
+
+func TestTracerSpansAndNilSafety(t *testing.T) {
+	tr := NewTracer(0) // default capacity
+	start := time.Now()
+	a := tr.Start(tr.NewID(), 2, "WRITE")
+	a.Span(LayerBlockCache, "miss", start)
+	a.Span(LayerUpstream, "ok", start)
+	a.Finish()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	trace := traces[0]
+	if trace.Hop != 2 || trace.Proc != "WRITE" {
+		t.Errorf("trace = %+v, want hop 2 proc WRITE", trace)
+	}
+	if len(trace.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(trace.Spans))
+	}
+	if trace.Spans[0].Layer != LayerBlockCache || trace.Spans[0].Outcome != "miss" {
+		t.Errorf("span[0] = %+v", trace.Spans[0])
+	}
+	if trace.Spans[1].DurNs < 0 || trace.DurNs <= 0 {
+		t.Errorf("non-positive durations: span %d trace %d", trace.Spans[1].DurNs, trace.DurNs)
+	}
+
+	// A nil tracer and its nil Active must be inert.
+	var none *Tracer
+	na := none.Start(1, 0, "READ")
+	if na != nil {
+		t.Fatal("nil tracer must return a nil Active")
+	}
+	na.Span(LayerUpstream, "ok", time.Now())
+	na.Finish()
+	if na.ID() != 0 || na.Hop() != 0 {
+		t.Error("nil Active must report zero ID/hop")
+	}
+	if none.Traces() != nil || none.Total() != 0 {
+		t.Error("nil tracer must report no traces")
+	}
+}
+
+func TestTracerDistinctIDs(t *testing.T) {
+	tr := NewTracer(4)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := tr.NewID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -2,11 +2,13 @@ package proxy
 
 import (
 	"fmt"
+	"time"
 
 	"gvfs/internal/cache"
 	"gvfs/internal/filechan"
 	"gvfs/internal/meta"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/sunrpc"
 )
 
@@ -23,11 +25,12 @@ func (p *Proxy) synthesizedAttr(fh nfs3.FH) *nfs3.Fattr {
 	return nil
 }
 
-func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeReadArgs(c.Args)
 	if err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
+	start := time.Now()
 
 	// Meta-data handling (paper §3.2.2): consult the file's meta-data
 	// on first access and act on it.
@@ -35,11 +38,17 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		if ms := p.metaFor(args.FH); ms != nil && ms.m != nil {
 			if ms.m.WantsFileChannel() && p.cfg.FileCache != nil && p.cfg.FileChanDial != nil {
 				if err := p.ensureFetched(args.FH, ms); err == nil {
-					return p.readFromFileCache(args)
+					res, stat := p.readFromFileCache(args)
+					tr.Span(obs.LayerFileCache, "hit", start)
+					p.stats.observeRead("file_cache", start)
+					return res, stat
 				}
 				// Channel failure: fall through to block-based path.
 			} else if ms.m.HasZeroMap() && rangeIsZero(ms.m, args.Offset, args.Count) {
-				return p.zeroReply(args, ms.m)
+				res, stat := p.zeroReply(args, ms.m)
+				tr.Span(obs.LayerZeroFilter, "hit", start)
+				p.stats.observeRead("zero_filter", start)
+				return res, stat
 			}
 		}
 	}
@@ -47,12 +56,17 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	// A file previously fetched whole stays served from the file cache.
 	if p.cfg.FileCache != nil {
 		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
-			return p.readFromFileCache(args)
+			res, stat := p.readFromFileCache(args)
+			tr.Span(obs.LayerFileCache, "hit", start)
+			p.stats.observeRead("file_cache", start)
+			return res, stat
 		}
 	}
 
 	if p.cfg.BlockCache == nil {
-		return p.forward(c)
+		res, stat := p.forward(c, tr)
+		p.stats.observeRead("forwarded", start)
+		return res, stat
 	}
 	bs := uint64(p.cfg.BlockCache.BlockSize())
 	if args.Offset%bs != 0 || uint64(args.Count) > bs {
@@ -61,30 +75,42 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
 			return nil, sunrpc.SystemErr
 		}
-		return p.forward(c)
+		res, stat := p.forward(c, tr)
+		p.stats.observeRead("forwarded", start)
+		return res, stat
 	}
 	block := args.Offset / bs
+	lookup := time.Now()
 	if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
+		tr.Span(obs.LayerBlockCache, "hit", lookup)
 		p.stats.readHits.Add(1)
 		p.maybePrefetch(args.FH, block)
-		return p.cachedReadReply(args, data)
+		res, stat := p.cachedReadReply(args, data)
+		p.stats.observeRead("block_hit", start)
+		return res, stat
 	}
 	// A prefetch of this block may already be in flight: join it
 	// rather than duplicating the WAN transfer.
 	if p.ra != nil && p.ra.waitFor(args.FH, block) {
 		if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
+			tr.Span(obs.LayerBlockCache, "hit", lookup)
 			p.stats.readHits.Add(1)
 			p.maybePrefetch(args.FH, block)
-			return p.cachedReadReply(args, data)
+			res, stat := p.cachedReadReply(args, data)
+			p.stats.observeRead("block_hit", start)
+			return res, stat
 		}
 	}
+	tr.Span(obs.LayerBlockCache, "miss", lookup)
 	p.stats.readMisses.Add(1)
-	res, stat := p.forward(c)
+	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {
+		p.stats.observeRead("error", start)
 		return res, stat
 	}
 	r, err := nfs3.DecodeReadRes(res)
 	if err != nil || r.Status != nfs3.OK {
+		p.stats.observeRead("error", start)
 		return res, stat
 	}
 	if r.Attr != nil {
@@ -98,6 +124,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		}
 	}
 	p.maybePrefetch(args.FH, block)
+	p.stats.observeRead("block_miss", start)
 	return res, stat
 }
 
@@ -200,11 +227,12 @@ func (p *Proxy) readFromFileCache(args *nfs3.ReadArgs) ([]byte, sunrpc.AcceptSta
 	return res.Encode(), sunrpc.Success
 }
 
-func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeWriteArgs(c.Args)
 	if err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
+	start := time.Now()
 
 	// Writes to a file resident in the file cache stay local; the
 	// file-based channel uploads them at flush time.
@@ -215,12 +243,13 @@ func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 			}
 			p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 			p.stats.writesAbsorbed.Add(1)
+			tr.Span(obs.LayerFileCache, "absorb", start)
 			return p.absorbedWriteReply(args), sunrpc.Success
 		}
 	}
 
 	if p.cfg.BlockCache == nil || p.cfg.WritePolicy != cache.WriteBack {
-		return p.writeThrough(c, args)
+		return p.writeThrough(c, args, tr)
 	}
 
 	bs := uint64(p.cfg.BlockCache.BlockSize())
@@ -229,19 +258,20 @@ func (p *Proxy) handleWrite(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
 			return nil, sunrpc.SystemErr
 		}
-		return p.writeThrough(c, args)
+		return p.writeThrough(c, args, tr)
 	}
 
 	block := args.Offset / bs
 	merged, err := p.mergeBlock(args.FH, block, bs, args.Data)
 	if err != nil {
-		return p.writeThrough(c, args)
+		return p.writeThrough(c, args, tr)
 	}
 	if err := p.cfg.BlockCache.Put(args.FH, block, merged, true); err != nil {
 		return nil, sunrpc.SystemErr
 	}
 	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 	p.stats.writesAbsorbed.Add(1)
+	tr.Span(obs.LayerBlockCache, "absorb", start)
 	return p.absorbedWriteReply(args), sunrpc.Success
 }
 
@@ -307,8 +337,8 @@ func (p *Proxy) absorbedWriteReply(args *nfs3.WriteArgs) []byte {
 }
 
 // writeThrough forwards a write and keeps the block cache coherent.
-func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs) ([]byte, sunrpc.AcceptStat) {
-	res, stat := p.forward(c)
+func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
+	res, stat := p.forward(c, tr)
 	p.stats.writesForwarded.Add(1)
 	if stat != sunrpc.Success {
 		return res, stat

@@ -1,0 +1,194 @@
+package proxy
+
+import (
+	"time"
+
+	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
+	"gvfs/internal/sunrpc"
+)
+
+// counters holds the proxy's instruments in the unified obs registry.
+// The hot-path fields are plain obs.Counters — one atomic add each,
+// the same cost as the free-standing atomic block they replaced — and
+// the per-procedure / per-outcome histogram children are resolved once
+// here so HandleCall never takes the registry lock.
+type counters struct {
+	registry *obs.Registry
+
+	calls            *obs.Counter
+	forwarded        *obs.Counter
+	readHits         *obs.Counter
+	readMisses       *obs.Counter
+	zeroFiltered     *obs.Counter
+	fileChanReads    *obs.Counter
+	fileChanFetch    *obs.Counter
+	writesAbsorbed   *obs.Counter
+	writesForwarded  *obs.Counter
+	prefetched       *obs.Counter
+	breakerOpens     *obs.Counter
+	breakerFastFails *obs.Counter
+	probes           *obs.Counter
+	replays          *obs.Counter
+	degradedReads    *obs.Counter
+
+	// nfsDur[proc] is the handling-latency histogram for that NFS
+	// procedure; mountDur and otherDur catch MOUNT and unknown calls.
+	nfsDur   [nfs3.ProcCommit + 1]*obs.Histogram
+	mountDur *obs.Histogram
+	otherDur *obs.Histogram
+
+	// readDur breaks READ latency down by which cache layer answered.
+	readDur map[string]*obs.Histogram
+}
+
+// readOutcomes are the label values of gvfs_proxy_read_duration_seconds.
+var readOutcomes = []string{
+	"block_hit", "block_miss", "zero_filter", "file_cache", "forwarded", "error",
+}
+
+func newCounters(reg *obs.Registry) *counters {
+	c := &counters{registry: reg}
+	c.calls = reg.Counter("gvfs_proxy_calls_total", "RPC calls handled by the proxy.")
+	c.forwarded = reg.Counter("gvfs_proxy_forwarded_total", "Calls relayed to the upstream hop.")
+	c.readHits = reg.Counter("gvfs_proxy_read_hits_total", "Block reads served from the disk cache.")
+	c.readMisses = reg.Counter("gvfs_proxy_read_misses_total", "Block reads that went upstream.")
+	c.zeroFiltered = reg.Counter("gvfs_proxy_zero_filtered_total", "Reads satisfied from the zero-block map.")
+	c.fileChanReads = reg.Counter("gvfs_proxy_filechan_reads_total", "Reads served from the file cache.")
+	c.fileChanFetch = reg.Counter("gvfs_proxy_filechan_fetches_total", "Whole-file channel transfers performed.")
+	c.writesAbsorbed = reg.Counter("gvfs_proxy_writes_absorbed_total", "Writes held by write-back caching.")
+	c.writesForwarded = reg.Counter("gvfs_proxy_writes_forwarded_total", "Writes relayed upstream.")
+	c.prefetched = reg.Counter("gvfs_proxy_prefetched_total", "Blocks pulled in by sequential read-ahead.")
+	c.breakerOpens = reg.Counter("gvfs_proxy_breaker_opens_total", "Times the upstream circuit breaker tripped open.")
+	c.breakerFastFails = reg.Counter("gvfs_proxy_breaker_fastfails_total", "Calls failed fast while the breaker was open.")
+	c.probes = reg.Counter("gvfs_proxy_probes_total", "Recovery probes sent while the breaker was open.")
+	c.replays = reg.Counter("gvfs_proxy_replays_total", "Post-recovery write-back replays triggered.")
+	c.degradedReads = reg.Counter("gvfs_proxy_degraded_reads_total", "Reads served from cache while degraded.")
+
+	rpcDur := reg.HistogramVec("gvfs_proxy_rpc_duration_seconds",
+		"Proxy call handling latency by NFS procedure.", nil, "proc")
+	for proc := range c.nfsDur {
+		c.nfsDur[proc] = rpcDur.With(nfs3.ProcName(uint32(proc)))
+	}
+	c.mountDur = rpcDur.With("MOUNT")
+	c.otherDur = rpcDur.With("OTHER")
+
+	readDur := reg.HistogramVec("gvfs_proxy_read_duration_seconds",
+		"READ handling latency by which cache layer answered.", nil, "outcome")
+	c.readDur = make(map[string]*obs.Histogram, len(readOutcomes))
+	for _, o := range readOutcomes {
+		c.readDur[o] = readDur.With(o)
+	}
+	return c
+}
+
+// observeRPC records one handled call into the per-procedure histogram.
+func (c *counters) observeRPC(prog, proc uint32, d time.Duration) {
+	switch prog {
+	case nfs3.Program:
+		if int(proc) < len(c.nfsDur) {
+			c.nfsDur[proc].Observe(d)
+		} else {
+			c.otherDur.Observe(d)
+		}
+	case nfs3.MountProgram:
+		c.mountDur.Observe(d)
+	default:
+		c.otherDur.Observe(d)
+	}
+}
+
+// observeRead records one READ into the per-outcome histogram.
+func (c *counters) observeRead(outcome string, start time.Time) {
+	if h, ok := c.readDur[outcome]; ok {
+		h.ObserveSince(start)
+	}
+}
+
+// registerBridges surfaces the subsystems that keep their own internal
+// counters — the lock-striped block cache and the fault-tolerant RPC
+// client — in the registry via collection-time callbacks, so their
+// fast paths stay untouched.
+func (p *Proxy) registerBridges(reg *obs.Registry) {
+	if bc := p.cfg.BlockCache; bc != nil {
+		reg.CounterFunc("gvfs_blockcache_hits_total", "Block cache hits.",
+			func() uint64 { return bc.Stats().Hits })
+		reg.CounterFunc("gvfs_blockcache_misses_total", "Block cache misses.",
+			func() uint64 { return bc.Stats().Misses })
+		reg.CounterFunc("gvfs_blockcache_insertions_total", "Frames inserted into the block cache.",
+			func() uint64 { return bc.Stats().Insertions })
+		reg.CounterFunc("gvfs_blockcache_evictions_total", "Frames evicted from the block cache.",
+			func() uint64 { return bc.Stats().Evictions })
+		reg.CounterFunc("gvfs_blockcache_writebacks_total", "Dirty frames propagated upstream.",
+			func() uint64 { return bc.Stats().WriteBacks })
+		reg.GaugeFunc("gvfs_blockcache_dirty_frames", "Dirty frames currently held.",
+			func() float64 { return float64(bc.DirtyCount()) })
+	}
+	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
+		reg.CounterFunc("gvfs_rpc_retries_total", "Upstream RPC retransmissions.",
+			func() uint64 { return up.TransportStats().Retries })
+		reg.CounterFunc("gvfs_rpc_reconnects_total", "Upstream transport reconnects.",
+			func() uint64 { return up.TransportStats().Reconnects })
+		reg.CounterFunc("gvfs_rpc_timeouts_total", "Upstream per-call deadline expirations.",
+			func() uint64 { return up.TransportStats().Timeouts })
+	}
+}
+
+// MetricsRegistry returns the registry this proxy emits into — the
+// unified stats surface. Pass one registry to several components (or
+// read this one) and Snapshot() sees them all.
+func (p *Proxy) MetricsRegistry() *obs.Registry { return p.stats.registry }
+
+// Tracer returns the proxy's trace ring (nil when tracing is off).
+func (p *Proxy) Tracer() *obs.Tracer { return p.cfg.Tracer }
+
+// Snapshot reads every instrument the proxy and its bridged subsystems
+// publish. This replaces the disjoint Stats surfaces.
+func (p *Proxy) Snapshot() obs.Snapshot { return p.stats.registry.Snapshot() }
+
+// startTrace begins (or continues) the trace for an incoming call.
+// A call arriving with a trace-context verifier is a downstream hop's
+// trace: reuse its ID and hop count. Otherwise this proxy is hop 0 and
+// allocates the ID. Returns nil (a no-op Active) when tracing is off.
+func (p *Proxy) startTrace(c *sunrpc.Call) *obs.Active {
+	t := p.cfg.Tracer
+	if t == nil {
+		return nil
+	}
+	proc := procLabel(c.Prog, c.Proc)
+	if tc, ok := sunrpc.DecodeTraceVerf(c.Verf); ok {
+		return t.Start(tc.ID, tc.Hop, proc)
+	}
+	return t.Start(t.NewID(), 0, proc)
+}
+
+func procLabel(prog, proc uint32) string {
+	switch prog {
+	case nfs3.Program:
+		return nfs3.ProcName(proc)
+	case nfs3.MountProgram:
+		return "MOUNT"
+	}
+	return "OTHER"
+}
+
+// upstreamCall issues one upstream RPC, attaching the trace context as
+// a verifier extension when a trace is active and the transport can
+// carry it (see sunrpc.VerfCaller).
+func (p *Proxy) upstreamCall(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte, tr *obs.Active) ([]byte, error) {
+	if tr != nil {
+		if vc, ok := p.cfg.Upstream.(sunrpc.VerfCaller); ok {
+			verf := sunrpc.TraceContext{ID: tr.ID(), Hop: tr.Hop() + 1}.EncodeVerf()
+			return vc.CallVerf(prog, vers, proc, cred, verf, args)
+		}
+	}
+	return p.cfg.Upstream.Call(prog, vers, proc, cred, args)
+}
+
+// callOutcome labels an upstream span.
+func callOutcome(err error) string {
+	if err != nil {
+		return "error"
+	}
+	return "ok"
+}

@@ -38,6 +38,7 @@ import (
 	"gvfs/internal/meta"
 	"gvfs/internal/mountd"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/xdr"
 )
@@ -87,30 +88,27 @@ type Config struct {
 	// ProbeInterval is the recovery-probe period while the breaker is
 	// open (default 1s).
 	ProbeInterval time.Duration
-}
 
-// counters holds the proxy's activity counters as atomics, so the RPC
-// hot path never takes a lock to account for itself. Stats() folds
-// them into the exported Stats snapshot.
-type counters struct {
-	calls            atomic.Uint64
-	forwarded        atomic.Uint64
-	readHits         atomic.Uint64
-	readMisses       atomic.Uint64
-	zeroFiltered     atomic.Uint64
-	fileChanReads    atomic.Uint64
-	fileChanFetch    atomic.Uint64
-	writesAbsorbed   atomic.Uint64
-	writesForwarded  atomic.Uint64
-	prefetched       atomic.Uint64
-	breakerOpens     atomic.Uint64
-	breakerFastFails atomic.Uint64
-	probes           atomic.Uint64
-	replays          atomic.Uint64
-	degradedReads    atomic.Uint64
+	// Metrics is the registry this proxy's instruments live in. Nil
+	// creates a private registry; either way it is readable through
+	// MetricsRegistry and Snapshot. Sharing one registry across the
+	// components of a node yields one unified stats surface.
+	Metrics *obs.Registry
+
+	// Tracer, when set, enables request tracing: each handled call is
+	// recorded into the tracer's bounded ring with per-layer spans,
+	// and the trace context is propagated upstream in the RPC verifier
+	// (see sunrpc.TraceContext) so cascaded proxies that also trace
+	// record the same trace ID at increasing hop counts.
+	Tracer *obs.Tracer
 }
 
 // Stats counts proxy activity.
+//
+// Deprecated: Stats is a point-in-time projection of the unified obs
+// registry, kept so existing callers compile. New code should read
+// Proxy.Snapshot() (or scrape the /metrics endpoint), which also
+// carries per-procedure latency histograms and cache-layer breakdowns.
 type Stats struct {
 	Calls           uint64
 	Forwarded       uint64
@@ -161,7 +159,7 @@ type Proxy struct {
 	credMu   sync.RWMutex
 	lastCred sunrpc.OpaqueAuth // most recent client credential
 
-	stats counters
+	stats *counters // instruments in the unified obs registry
 
 	ra   *readAhead                // nil unless Config.ReadAhead > 0
 	idle atomic.Pointer[idleState] // nil unless StartIdleWriteBack was called
@@ -177,13 +175,19 @@ func New(cfg Config) (*Proxy, error) {
 	if cfg.Upstream == nil {
 		return nil, fmt.Errorf("proxy: Config.Upstream is required")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	p := &Proxy{
 		cfg:   cfg,
 		paths: make(map[string]pathInfo),
 		sizes: make(map[string]uint64),
 		metas: make(map[string]*metaState),
+		stats: newCounters(reg),
 		done:  make(chan struct{}),
 	}
+	p.registerBridges(reg)
 	if cfg.ReadAhead > 0 && cfg.BlockCache != nil {
 		p.ra = newReadAhead()
 	}
@@ -200,24 +204,27 @@ func New(cfg Config) (*Proxy, error) {
 
 // Stats returns a snapshot of the proxy counters, merging in transport
 // counters when the upstream caller exposes them.
+//
+// Deprecated: kept as a thin wrapper over the registry; see the Stats
+// type for the replacement.
 func (p *Proxy) Stats() Stats {
-	c := &p.stats
+	c := p.stats
 	s := Stats{
-		Calls:            c.calls.Load(),
-		Forwarded:        c.forwarded.Load(),
-		ReadHits:         c.readHits.Load(),
-		ReadMisses:       c.readMisses.Load(),
-		ZeroFiltered:     c.zeroFiltered.Load(),
-		FileChanReads:    c.fileChanReads.Load(),
-		FileChanFetch:    c.fileChanFetch.Load(),
-		WritesAbsorbed:   c.writesAbsorbed.Load(),
-		WritesForwarded:  c.writesForwarded.Load(),
-		Prefetched:       c.prefetched.Load(),
-		BreakerOpens:     c.breakerOpens.Load(),
-		BreakerFastFails: c.breakerFastFails.Load(),
-		Probes:           c.probes.Load(),
-		Replays:          c.replays.Load(),
-		DegradedReads:    c.degradedReads.Load(),
+		Calls:            c.calls.Value(),
+		Forwarded:        c.forwarded.Value(),
+		ReadHits:         c.readHits.Value(),
+		ReadMisses:       c.readMisses.Value(),
+		ZeroFiltered:     c.zeroFiltered.Value(),
+		FileChanReads:    c.fileChanReads.Value(),
+		FileChanFetch:    c.fileChanFetch.Value(),
+		WritesAbsorbed:   c.writesAbsorbed.Value(),
+		WritesForwarded:  c.writesForwarded.Value(),
+		Prefetched:       c.prefetched.Value(),
+		BreakerOpens:     c.breakerOpens.Value(),
+		BreakerFastFails: c.breakerFastFails.Value(),
+		Probes:           c.probes.Value(),
+		Replays:          c.replays.Value(),
+		DegradedReads:    c.degradedReads.Value(),
 	}
 	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
 		t := up.TransportStats()
@@ -264,24 +271,33 @@ func (p *Proxy) rememberCred(cred sunrpc.OpaqueAuth) {
 	p.credMu.Unlock()
 }
 
-// HandleCall implements sunrpc.Handler.
+// HandleCall implements sunrpc.Handler. Every call is timed into the
+// per-procedure latency histogram; when tracing is enabled the call's
+// trace (continued from a downstream hop, or originated here) is
+// committed to the ring on return.
 func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	start := time.Now()
 	p.stats.calls.Add(1)
 	p.rememberCred(c.Cred)
 	if idle := p.idle.Load(); idle != nil {
 		idle.touch()
 	}
+	tr := p.startTrace(c)
+	var res []byte
+	stat := sunrpc.ProgUnavail
 	switch c.Prog {
 	case nfs3.MountProgram:
-		return p.handleMount(c)
+		res, stat = p.handleMount(c, tr)
 	case nfs3.Program:
-		return p.handleNFS(c)
+		res, stat = p.handleNFS(c, tr)
 	}
-	return nil, sunrpc.ProgUnavail
+	p.stats.observeRPC(c.Prog, c.Proc, time.Since(start))
+	tr.Finish()
+	return res, stat
 }
 
-func (p *Proxy) handleMount(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
-	res, stat := p.forward(c)
+func (p *Proxy) handleMount(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
+	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success || c.Proc != mountd.ProcMnt {
 		return res, stat
 	}
@@ -303,26 +319,26 @@ func (p *Proxy) handleMount(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	return res, stat
 }
 
-func (p *Proxy) handleNFS(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleNFS(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	switch c.Proc {
 	case nfs3.ProcLookup:
-		return p.handleLookup(c)
+		return p.handleLookup(c, tr)
 	case nfs3.ProcGetattr:
-		return p.handleGetattr(c)
+		return p.handleGetattr(c, tr)
 	case nfs3.ProcRead:
-		return p.handleRead(c)
+		return p.handleRead(c, tr)
 	case nfs3.ProcWrite:
-		return p.handleWrite(c)
+		return p.handleWrite(c, tr)
 	case nfs3.ProcCommit:
-		return p.handleCommit(c)
+		return p.handleCommit(c, tr)
 	case nfs3.ProcSetattr:
-		return p.handleSetattr(c)
+		return p.handleSetattr(c, tr)
 	case nfs3.ProcCreate, nfs3.ProcMkdir, nfs3.ProcSymlink:
-		return p.handleNewObject(c)
+		return p.handleNewObject(c, tr)
 	case nfs3.ProcRemove, nfs3.ProcRename:
-		return p.handleNamespaceChange(c)
+		return p.handleNamespaceChange(c, tr)
 	}
-	return p.forward(c)
+	return p.forward(c, tr)
 }
 
 // errUpstreamDown is returned by proxy-initiated calls that fail fast
@@ -332,7 +348,7 @@ var errUpstreamDown = fmt.Errorf("proxy: upstream unavailable (circuit breaker o
 // forward relays a call upstream unchanged except for credentials.
 // While the circuit breaker is open the call fails fast: degraded mode
 // guarantees bounded error latency instead of hanging on a dead WAN.
-func (p *Proxy) forward(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) forward(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	cred, err := p.upstreamCred(c.Cred)
 	if err != nil {
 		return nil, sunrpc.SystemErr
@@ -342,7 +358,9 @@ func (p *Proxy) forward(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		return nil, sunrpc.SystemErr
 	}
 	p.stats.forwarded.Add(1)
-	res, err := p.cfg.Upstream.Call(c.Prog, c.Vers, c.Proc, cred, c.Args)
+	upStart := time.Now()
+	res, err := p.upstreamCall(c.Prog, c.Vers, c.Proc, cred, c.Args, tr)
+	tr.Span(obs.LayerUpstream, callOutcome(err), upStart)
 	p.observeUpstream(err)
 	if err != nil {
 		if rpcErr, ok := err.(*sunrpc.RPCError); ok {
@@ -363,7 +381,7 @@ func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
 		p.stats.breakerFastFails.Add(1)
 		return nil, errUpstreamDown
 	}
-	res, err := p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, proc, cred, args)
+	res, err := p.upstreamCall(nfs3.Program, nfs3.Version, proc, cred, args, nil)
 	p.observeUpstream(err)
 	return res, err
 }
@@ -433,12 +451,12 @@ func (p *Proxy) sizeOf(fh nfs3.FH) (uint64, bool) {
 
 // --- procedure handlers ---
 
-func (p *Proxy) handleLookup(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleLookup(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeLookupArgs(c.Args)
 	if err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
-	res, stat := p.forward(c)
+	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {
 		// Degraded mode: resolve names the session has already seen from
 		// the proxy's own path map so cached files stay reachable.
@@ -469,12 +487,12 @@ func (p *Proxy) handleLookup(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	return res, stat
 }
 
-func (p *Proxy) handleGetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleGetattr(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeGetattrArgs(c.Args)
 	if err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
-	res, stat := p.forward(c)
+	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {
 		// Upstream unreachable: during a session the proxy owns the
 		// file's dirty state, so attributes it can synthesize from its
@@ -498,7 +516,7 @@ func (p *Proxy) handleGetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	return res, stat
 }
 
-func (p *Proxy) handleNewObject(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleNewObject(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	// CREATE, MKDIR and SYMLINK all start with diropargs-compatible
 	// (dir, name) and reply with post_op_fh3 + post_op_attr.
 	d := xdr.NewDecoder(bytes.NewReader(c.Args))
@@ -507,7 +525,7 @@ func (p *Proxy) handleNewObject(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	if d.Err() != nil {
 		return nil, sunrpc.GarbageArgs
 	}
-	res, stat := p.forward(c)
+	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {
 		return res, stat
 	}
@@ -525,7 +543,7 @@ func (p *Proxy) handleNewObject(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	return res, stat
 }
 
-func (p *Proxy) handleNamespaceChange(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleNamespaceChange(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	// REMOVE and RENAME invalidate cached state for the affected file.
 	d := xdr.NewDecoder(bytes.NewReader(c.Args))
 	dir := nfs3.DecodeFH(d)
@@ -550,7 +568,7 @@ func (p *Proxy) handleNamespaceChange(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat
 			p.ra.forget(fh)
 		}
 	}
-	return p.forward(c)
+	return p.forward(c, tr)
 }
 
 // childFH finds the handle previously observed for dir/name.
@@ -566,7 +584,7 @@ func (p *Proxy) childFH(dir nfs3.FH, name string) (nfs3.FH, bool) {
 	return nil, false
 }
 
-func (p *Proxy) handleSetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleSetattr(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeSetattrArgs(c.Args)
 	if err != nil {
 		return nil, sunrpc.GarbageArgs
@@ -580,14 +598,14 @@ func (p *Proxy) handleSetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 			p.ra.forget(args.FH)
 		}
 	}
-	res, stat := p.forward(c)
+	res, stat := p.forward(c, tr)
 	if stat == sunrpc.Success && args.Attr.Size != nil {
 		p.rememberSize(args.FH, *args.Attr.Size)
 	}
 	return res, stat
 }
 
-func (p *Proxy) handleCommit(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+func (p *Proxy) handleCommit(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	if p.cfg.BlockCache != nil && p.cfg.WritePolicy == cache.WriteBack {
 		// Under session consistency the proxy owns dirty data until
 		// the middleware says otherwise; acknowledge the commit.
@@ -607,5 +625,5 @@ func (p *Proxy) handleCommit(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 		e.FixedOpaque(nfs3.WriteVerf[:])
 		return buf.Bytes(), sunrpc.Success
 	}
-	return p.forward(c)
+	return p.forward(c, tr)
 }

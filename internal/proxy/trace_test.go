@@ -1,0 +1,151 @@
+package proxy_test
+
+// Trace-propagation suite: a session mounted through a two-level proxy
+// chain (client proxy -> image-server proxy) over simnet, with tracing
+// enabled at both hops. The invariant under test is the header
+// extension's contract: every RPC the client proxy forwards upstream
+// appears in the server proxy's ring under the SAME trace ID with the
+// hop count incremented, and per-layer spans land at the right hop.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/obs"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+	"gvfs/internal/sunrpc"
+)
+
+func TestTracePropagationAcrossChain(t *testing.T) {
+	fs := memfs.New()
+	content := chaosPattern(32*8192, 3)
+	if err := fs.WriteFile("/vm.img", content); err != nil {
+		t.Fatal(err)
+	}
+
+	link := simnet.NewLink(simnet.Profile{Name: "trace-lan", RTT: time.Millisecond})
+	server, err := stack.StartImageServer(fs, stack.ImageServerOptions{
+		Link:      link,
+		TraceRing: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+
+	cacheDir, err := os.MkdirTemp(t.TempDir(), "blockcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr: server.ProxyAddr(),
+		UpstreamLink: link,
+		UpstreamKey:  server.Key,
+		CacheConfig: &cache.Config{
+			Dir: cacheDir, Banks: 4, SetsPerBank: 8, Assoc: 4,
+			BlockSize: 8192, Policy: cache.WriteBack,
+		},
+		TraceRing: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Tracer == nil || server.Proxy.Tracer == nil {
+		t.Fatal("TraceRing > 0 must give both nodes a tracer")
+	}
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{
+		Addr:   client.Addr,
+		Export: "/",
+		Cred:   sunrpc.UnixCred{UID: 500, GID: 500, MachineName: "trace"}.Encode(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	// Cold read: misses go upstream. Second read: block-cache hits
+	// stay at hop 0 and must NOT reach the server's ring.
+	for i := 0; i < 2; i++ {
+		got, err := sess.ReadFile("/vm.img")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(content) {
+			t.Fatalf("read %d bytes, want %d", len(got), len(content))
+		}
+	}
+
+	clientTraces := client.Tracer.Traces()
+	serverTraces := server.Proxy.Tracer.Traces()
+	if len(clientTraces) == 0 || len(serverTraces) == 0 {
+		t.Fatalf("empty rings: client=%d server=%d", len(clientTraces), len(serverTraces))
+	}
+
+	// Index the client ring; IDs are allocated at hop 0.
+	clientByID := make(map[uint64]obs.Trace, len(clientTraces))
+	for _, tr := range clientTraces {
+		if tr.Hop != 0 {
+			t.Errorf("client trace %d at hop %d, want 0", tr.ID, tr.Hop)
+		}
+		clientByID[tr.ID] = tr
+	}
+
+	// Every server-side READ trace must continue a client trace at
+	// hop 1 — the propagated context, not a fresh allocation.
+	matched := 0
+	for _, tr := range serverTraces {
+		down, ok := clientByID[tr.ID]
+		if !ok {
+			continue
+		}
+		matched++
+		if tr.Hop != down.Hop+1 {
+			t.Errorf("trace %d: server hop %d, want %d", tr.ID, tr.Hop, down.Hop+1)
+		}
+		if tr.Proc != down.Proc {
+			t.Errorf("trace %d: proc %q at hop 1 vs %q at hop 0", tr.ID, tr.Proc, down.Proc)
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no trace ID was propagated from client proxy to server proxy")
+	}
+
+	// The client ring must show both outcomes of the block-cache
+	// layer (cold misses, then warm hits), and upstream spans only on
+	// traces that actually went upstream.
+	outcomes := map[string]int{}
+	for _, tr := range clientTraces {
+		for _, sp := range tr.Spans {
+			if sp.Layer == obs.LayerBlockCache {
+				outcomes[sp.Outcome]++
+			}
+			if sp.Layer == obs.LayerUpstream && tr.Proc == "READ" {
+				if _, ok := clientByID[tr.ID]; !ok {
+					t.Errorf("upstream span on unknown trace %d", tr.ID)
+				}
+			}
+		}
+	}
+	if outcomes["miss"] == 0 || outcomes["hit"] == 0 {
+		t.Errorf("block-cache outcomes = %v, want both hits and misses", outcomes)
+	}
+
+	// Warm READ traces (block-cache hit) must not have gone upstream.
+	for _, tr := range clientTraces {
+		var hit, upstream bool
+		for _, sp := range tr.Spans {
+			hit = hit || (sp.Layer == obs.LayerBlockCache && sp.Outcome == "hit")
+			upstream = upstream || sp.Layer == obs.LayerUpstream
+		}
+		if hit && upstream {
+			t.Errorf("trace %d: block-cache hit still produced an upstream span", tr.ID)
+		}
+	}
+}

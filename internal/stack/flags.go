@@ -1,0 +1,152 @@
+package stack
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/tunnel"
+)
+
+// ProxyFlags collects every command-line knob of a proxy daemon in one
+// struct, replacing the loose flag variables gvfsproxy used to declare
+// inline. BindProxyFlags registers them on a FlagSet and Options()
+// turns the parsed values into the same ProxyOptions the benchmarks
+// and the chaos/failure tests build directly — one construction path
+// for daemons, benches and tests.
+type ProxyFlags struct {
+	// Daemon-level settings (not part of ProxyOptions).
+	Listen      string        // listen address for local NFS clients
+	StatsEvery  time.Duration // periodic stats logging (0 = off)
+	MetricsAddr string        // /metrics + /debug HTTP endpoint (empty = off)
+	TraceRing   int           // request-trace ring capacity (0 = off)
+
+	// Chain topology.
+	Upstream string // next hop address
+	Keyfile  string // 32-byte tunnel session key file
+
+	// Block cache.
+	CacheDir   string
+	CacheBanks int
+	CacheSets  int
+	CacheAssoc int
+	CacheBlock int
+	Stripes    int
+	Policy     string // write-back | write-through
+
+	// File cache + channel.
+	FileCacheDir string
+	FileChan     string
+
+	// Behaviour knobs.
+	ReadAhead        int
+	PersistIndex     bool
+	IdleWriteBack    time.Duration
+	CallTimeout      time.Duration
+	MaxRetries       int
+	DegradedReads    bool
+	FailureThreshold int
+	ProbeInterval    time.Duration
+}
+
+// BindProxyFlags registers the proxy daemon's flags on fs and returns
+// the struct they parse into.
+func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
+	f := &ProxyFlags{}
+	fs.StringVar(&f.Listen, "listen", "127.0.0.1:8049", "listen address for local NFS clients")
+	fs.StringVar(&f.Upstream, "upstream", "", "next hop (gvfsd or another gvfsproxy)")
+	fs.StringVar(&f.Keyfile, "keyfile", "", "32-byte session key for the upstream tunnel")
+	fs.StringVar(&f.CacheDir, "cache-dir", "", "block cache directory (empty = no disk cache)")
+	fs.IntVar(&f.CacheBanks, "cache-banks", 512, "number of cache banks")
+	fs.IntVar(&f.CacheSets, "cache-sets", 128, "sets per bank")
+	fs.IntVar(&f.CacheAssoc, "cache-assoc", 16, "cache associativity")
+	fs.IntVar(&f.CacheBlock, "cache-block", 8192, "cache block size (<= 32768)")
+	fs.IntVar(&f.Stripes, "cache-stripes", 0, "cache lock stripes (0 = default 64; 1 = single global lock)")
+	fs.StringVar(&f.Policy, "policy", "write-back", "write policy: write-back | write-through")
+	fs.StringVar(&f.FileCacheDir, "filecache-dir", "", "file cache directory (enables meta-data handling)")
+	fs.StringVar(&f.FileChan, "filechan", "", "image server file-channel address")
+	fs.IntVar(&f.ReadAhead, "readahead", 0, "sequential read-ahead window in blocks (0 = off)")
+	fs.BoolVar(&f.PersistIndex, "persist-index", true, "reload/save the disk cache index across restarts")
+	fs.DurationVar(&f.IdleWriteBack, "idle-writeback", 0, "write dirty data back after this idle period (0 = only on signals)")
+	fs.DurationVar(&f.StatsEvery, "stats", 0, "print proxy statistics at this interval (0 = off)")
+	fs.DurationVar(&f.CallTimeout, "call-timeout", 0, "per-call deadline on upstream RPCs (0 = wait forever)")
+	fs.IntVar(&f.MaxRetries, "max-retries", 0, "retransmission attempts for idempotent upstream calls (0 = no retries)")
+	fs.BoolVar(&f.DegradedReads, "degraded-reads", false, "serve cached data while the upstream is unreachable")
+	fs.IntVar(&f.FailureThreshold, "failure-threshold", 0, "consecutive upstream failures that open the circuit breaker (0 = default)")
+	fs.DurationVar(&f.ProbeInterval, "probe-interval", 0, "recovery probe period while the breaker is open (0 = default)")
+	fs.StringVar(&f.MetricsAddr, "metrics", "", "serve /metrics, /traces and /debug on this address (empty = off)")
+	fs.IntVar(&f.TraceRing, "trace-ring", 0, "keep the last N request traces for /traces (0 = tracing off)")
+	return f
+}
+
+// ParsePolicy maps a policy flag value to the cache write policy.
+func ParsePolicy(name string) (cache.Policy, error) {
+	switch name {
+	case "write-back":
+		return cache.WriteBack, nil
+	case "write-through":
+		return cache.WriteThrough, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
+}
+
+// ReadKeyfile loads and validates a tunnel session key. An empty path
+// returns a nil key (no tunnel).
+func ReadKeyfile(path string) ([]byte, error) {
+	if path == "" {
+		return nil, nil
+	}
+	key, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(key) != tunnel.KeySize {
+		return nil, fmt.Errorf("key must be %d bytes, got %d", tunnel.KeySize, len(key))
+	}
+	return key, nil
+}
+
+// Options converts the parsed flags into ProxyOptions, reading the
+// keyfile and validating the write policy. The daemon-level fields
+// (Listen, StatsEvery, MetricsAddr) stay on the flags struct.
+func (f *ProxyFlags) Options() (ProxyOptions, error) {
+	if f.Upstream == "" {
+		return ProxyOptions{}, fmt.Errorf("-upstream is required")
+	}
+	key, err := ReadKeyfile(f.Keyfile)
+	if err != nil {
+		return ProxyOptions{}, err
+	}
+	policy, err := ParsePolicy(f.Policy)
+	if err != nil {
+		return ProxyOptions{}, err
+	}
+	opts := ProxyOptions{
+		UpstreamAddr:        f.Upstream,
+		UpstreamKey:         key,
+		ReadAhead:           f.ReadAhead,
+		PersistIndex:        f.PersistIndex,
+		IdleWriteBack:       f.IdleWriteBack,
+		UpstreamCallTimeout: f.CallTimeout,
+		UpstreamMaxRetries:  f.MaxRetries,
+		DegradedReads:       f.DegradedReads,
+		FailureThreshold:    f.FailureThreshold,
+		ProbeInterval:       f.ProbeInterval,
+		TraceRing:           f.TraceRing,
+	}
+	if f.CacheDir != "" {
+		opts.CacheConfig = &cache.Config{
+			Dir: f.CacheDir, Banks: f.CacheBanks, SetsPerBank: f.CacheSets,
+			Assoc: f.CacheAssoc, BlockSize: f.CacheBlock, Policy: policy,
+			Stripes: f.Stripes,
+		}
+	}
+	if f.FileCacheDir != "" {
+		opts.FileCacheDir = f.FileCacheDir
+		opts.FileChanAddr = f.FileChan
+		opts.FileChanKey = key
+	}
+	return opts, nil
+}

@@ -1,0 +1,121 @@
+package stack
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/tunnel"
+)
+
+func parseFlags(t *testing.T, args ...string) *ProxyFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("gvfsproxy", flag.ContinueOnError)
+	f := BindProxyFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f
+}
+
+func TestProxyFlagsFullCommandLine(t *testing.T) {
+	keyFile := filepath.Join(t.TempDir(), "session.key")
+	key := make([]byte, tunnel.KeySize)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	if err := os.WriteFile(keyFile, key, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	f := parseFlags(t,
+		"-listen", "127.0.0.1:9999",
+		"-upstream", "img:7049",
+		"-keyfile", keyFile,
+		"-cache-dir", "/tmp/cache",
+		"-cache-banks", "16", "-cache-sets", "4", "-cache-assoc", "2",
+		"-cache-block", "4096", "-cache-stripes", "8",
+		"-policy", "write-through",
+		"-filecache-dir", "/tmp/fcache", "-filechan", "img:7050",
+		"-readahead", "4", "-persist-index=false",
+		"-idle-writeback", "5s", "-call-timeout", "2s", "-max-retries", "3",
+		"-degraded-reads", "-failure-threshold", "7", "-probe-interval", "1s",
+		"-metrics", "127.0.0.1:9049", "-trace-ring", "256",
+	)
+	if f.Listen != "127.0.0.1:9999" || f.MetricsAddr != "127.0.0.1:9049" || f.StatsEvery != 0 {
+		t.Errorf("daemon fields wrong: %+v", f)
+	}
+
+	opts, err := f.Options()
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	if opts.UpstreamAddr != "img:7049" {
+		t.Errorf("UpstreamAddr = %q", opts.UpstreamAddr)
+	}
+	if string(opts.UpstreamKey) != string(key) {
+		t.Error("keyfile contents not loaded into UpstreamKey")
+	}
+	cc := opts.CacheConfig
+	if cc == nil {
+		t.Fatal("cache-dir must produce a CacheConfig")
+	}
+	want := cache.Config{Dir: "/tmp/cache", Banks: 16, SetsPerBank: 4, Assoc: 2,
+		BlockSize: 4096, Policy: cache.WriteThrough, Stripes: 8}
+	if *cc != want {
+		t.Errorf("CacheConfig = %+v, want %+v", *cc, want)
+	}
+	if opts.FileCacheDir != "/tmp/fcache" || opts.FileChanAddr != "img:7050" {
+		t.Errorf("file cache fields wrong: %+v", opts)
+	}
+	if string(opts.FileChanKey) != string(key) {
+		t.Error("file channel must reuse the session key")
+	}
+	if opts.ReadAhead != 4 || opts.PersistIndex || opts.IdleWriteBack != 5*time.Second {
+		t.Errorf("behaviour knobs wrong: %+v", opts)
+	}
+	if opts.UpstreamCallTimeout != 2*time.Second || opts.UpstreamMaxRetries != 3 {
+		t.Errorf("fault-tolerance knobs wrong: %+v", opts)
+	}
+	if !opts.DegradedReads || opts.FailureThreshold != 7 || opts.ProbeInterval != time.Second {
+		t.Errorf("breaker knobs wrong: %+v", opts)
+	}
+	if opts.TraceRing != 256 {
+		t.Errorf("TraceRing = %d, want 256", opts.TraceRing)
+	}
+}
+
+func TestProxyFlagsDefaultsAndErrors(t *testing.T) {
+	// Defaults: no cache, write-back policy, persist-index on.
+	f := parseFlags(t, "-upstream", "up:1")
+	opts, err := f.Options()
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	if opts.CacheConfig != nil || opts.FileCacheDir != "" || opts.UpstreamKey != nil {
+		t.Errorf("defaults produced non-empty optional config: %+v", opts)
+	}
+	if !opts.PersistIndex {
+		t.Error("persist-index must default to true")
+	}
+
+	// Missing -upstream is an error.
+	if _, err := parseFlags(t).Options(); err == nil {
+		t.Error("empty -upstream must be rejected")
+	}
+	// Unknown policy is an error.
+	if _, err := parseFlags(t, "-upstream", "u:1", "-policy", "bogus").Options(); err == nil {
+		t.Error("bogus policy must be rejected")
+	}
+	// Bad keyfile (wrong size) is an error.
+	short := filepath.Join(t.TempDir(), "short.key")
+	if err := os.WriteFile(short, []byte("tiny"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseFlags(t, "-upstream", "u:1", "-keyfile", short).Options(); err == nil {
+		t.Error("short keyfile must be rejected")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"gvfs/internal/memfs"
 	"gvfs/internal/mountd"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 	"gvfs/internal/proxy"
 	"gvfs/internal/simnet"
 	"gvfs/internal/sunrpc"
@@ -28,8 +29,10 @@ import (
 // Node is one running RPC endpoint (server or proxy).
 type Node struct {
 	Addr       string
-	Proxy      *proxy.Proxy // nil for end servers
-	BlockCache *cache.Cache // nil unless the proxy has a disk cache
+	Proxy      *proxy.Proxy  // nil for end servers
+	BlockCache *cache.Cache  // nil unless the proxy has a disk cache
+	Metrics    *obs.Registry // the proxy's registry (nil for end servers)
+	Tracer     *obs.Tracer   // the proxy's trace ring (nil unless enabled)
 	rpcSrv     *sunrpc.Server
 	listener   net.Listener
 	extra      []func() // additional cleanup
@@ -238,6 +241,14 @@ type ProxyOptions struct {
 	// breaker (proxy.Config fields of the same names).
 	FailureThreshold int
 	ProbeInterval    time.Duration
+
+	// Metrics is the obs registry the proxy publishes into. Nil gives
+	// the proxy a private registry (reachable via Node.Metrics).
+	Metrics *obs.Registry
+
+	// TraceRing, when positive, enables request tracing with a ring of
+	// this capacity (reachable via Node.Tracer).
+	TraceRing int
 }
 
 // StartProxy runs a GVFS proxy node.
@@ -270,6 +281,10 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		DegradedReads:    opts.DegradedReads,
 		FailureThreshold: opts.FailureThreshold,
 		ProbeInterval:    opts.ProbeInterval,
+		Metrics:          opts.Metrics,
+	}
+	if opts.TraceRing > 0 {
+		cfg.Tracer = obs.NewTracer(opts.TraceRing)
 	}
 	var cleanup []func()
 	cleanup = append(cleanup, func() { upstream.Close() })
@@ -339,6 +354,7 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	}
 	go srv.Serve(l)
 	return &Node{Addr: l.Addr().String(), Proxy: p, BlockCache: blockCache,
+		Metrics: p.MetricsRegistry(), Tracer: cfg.Tracer,
 		rpcSrv: srv, listener: l, extra: cleanup}, nil
 }
 
@@ -383,6 +399,10 @@ type ImageServerOptions struct {
 	Encrypt bool
 	// IdentityBase/IdentityCount configure the logical account pool.
 	IdentityBase, IdentityCount uint32
+	// Metrics and TraceRing pass through to the server-side proxy (see
+	// ProxyOptions fields of the same names).
+	Metrics   *obs.Registry
+	TraceRing int
 }
 
 // StartImageServer assembles a full image server around fs.
@@ -409,6 +429,8 @@ func StartImageServer(fs *memfs.FS, opts ImageServerOptions) (*ImageServer, erro
 		ListenLink:   opts.Link,
 		ListenKey:    key,
 		Mapper:       auth.NewMapper(alloc),
+		Metrics:      opts.Metrics,
+		TraceRing:    opts.TraceRing,
 	})
 	if err != nil {
 		nfsNode.Close()

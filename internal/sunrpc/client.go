@@ -334,6 +334,14 @@ func (c *Client) retriesEnabled() bool {
 // reconnects until MaxRetries is exhausted, then reported as
 // ErrRetriesExhausted wrapping the last cause.
 func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]byte, error) {
+	return c.CallVerf(prog, vers, proc, cred, AuthNoneCred, args)
+}
+
+// CallVerf is Call with an explicit call verifier — the header
+// extension slot proxies use to propagate trace contexts (see
+// TraceContext). The verifier rides every retransmission of the call
+// unchanged. It implements VerfCaller.
+func (c *Client) CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -350,7 +358,7 @@ func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]
 		c.mu.Unlock()
 	}()
 
-	msg := marshalCall(xid, prog, vers, proc, cred, AuthNoneCred, args)
+	msg := marshalCall(xid, prog, vers, proc, cred, verf, args)
 	idempotent := c.opts.Idempotent != nil && c.opts.Idempotent(prog, vers, proc)
 	attempts := 1
 	if c.retriesEnabled() {

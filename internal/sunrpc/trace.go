@@ -1,0 +1,58 @@
+package sunrpc
+
+// GVFS trace-context propagation as an optional RPC header extension.
+//
+// ONC RPC gives every CALL message a credential and a verifier; NFS
+// traffic always sends AUTH_NONE as the call verifier and every server
+// in this chain (proxies and the end nfs3 server alike) ignores it.
+// That makes the verifier a free, in-band extension slot: a proxy that
+// wants a downstream trace continued upstream replaces the empty
+// verifier with flavor TraceVerfFlavor carrying {trace ID, hop}. Hops
+// that understand the extension continue the trace; hops that don't
+// (an unmodified NFS server) ignore the verifier entirely, so the
+// extension is transparent end to end.
+
+import (
+	"gvfs/internal/xdr"
+)
+
+// TraceVerfFlavor marks a CALL verifier carrying a GVFS trace context.
+// The value spells "gvfs" and sits far outside the assigned RPC auth
+// flavor range, so it cannot collide with real authentication.
+const TraceVerfFlavor uint32 = 0x67766673
+
+// TraceContext identifies one traced RPC as it crosses proxy hops.
+type TraceContext struct {
+	ID  uint64 // allocated at hop 0, stable across the chain
+	Hop uint32 // 0 at the allocating proxy, +1 per upstream hop
+}
+
+// EncodeVerf packs the context into a verifier OpaqueAuth.
+func (tc TraceContext) EncodeVerf() OpaqueAuth {
+	var b sliceWriter
+	e := xdr.NewEncoder(&b)
+	e.Uint64(tc.ID)
+	e.Uint32(tc.Hop)
+	return OpaqueAuth{Flavor: TraceVerfFlavor, Body: b}
+}
+
+// DecodeTraceVerf extracts a trace context from a call's verifier.
+// The second result is false for any other flavor or a short body.
+func DecodeTraceVerf(a OpaqueAuth) (TraceContext, bool) {
+	if a.Flavor != TraceVerfFlavor || len(a.Body) < 12 {
+		return TraceContext{}, false
+	}
+	d := xdr.NewDecoder(bytesReader(a.Body))
+	tc := TraceContext{ID: d.Uint64(), Hop: d.Uint32()}
+	if d.Err() != nil {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// VerfCaller is implemented by transports that can attach an explicit
+// call verifier — the hook proxies use to propagate trace contexts
+// upstream. *Client implements it.
+type VerfCaller interface {
+	CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) ([]byte, error)
+}

@@ -1,0 +1,68 @@
+package sunrpc
+
+import (
+	"net"
+	"testing"
+)
+
+func TestTraceVerfRoundTrip(t *testing.T) {
+	in := TraceContext{ID: 0xdeadbeefcafe, Hop: 3}
+	verf := in.EncodeVerf()
+	if verf.Flavor != TraceVerfFlavor {
+		t.Fatalf("flavor = %#x, want %#x", verf.Flavor, TraceVerfFlavor)
+	}
+	out, ok := DecodeTraceVerf(verf)
+	if !ok || out != in {
+		t.Fatalf("round trip = %+v ok=%v, want %+v", out, ok, in)
+	}
+}
+
+func TestDecodeTraceVerfRejectsOthers(t *testing.T) {
+	if _, ok := DecodeTraceVerf(AuthNoneCred); ok {
+		t.Error("AUTH_NONE must not decode as a trace context")
+	}
+	if _, ok := DecodeTraceVerf(OpaqueAuth{Flavor: TraceVerfFlavor, Body: []byte{1, 2}}); ok {
+		t.Error("short body must not decode")
+	}
+}
+
+// TestTraceVerfAcrossWire proves the extension is a transparent header:
+// a server handler sees the propagated context, and a handler that
+// ignores the verifier (like the end NFS server) still works.
+func TestTraceVerfAcrossWire(t *testing.T) {
+	srv := NewServer()
+	var seen TraceContext
+	var sawTrace bool
+	srv.Register(100, 1, HandlerFunc(func(c *Call) ([]byte, AcceptStat) {
+		seen, sawTrace = DecodeTraceVerf(c.Verf)
+		return []byte{0, 0, 0, 7}, Success
+	}))
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Plain Call: AUTH_NONE verifier, no trace decoded.
+	if _, err := client.Call(100, 1, 0, AuthNoneCred, nil); err != nil {
+		t.Fatalf("plain call: %v", err)
+	}
+	if sawTrace {
+		t.Fatal("plain call must not carry a trace context")
+	}
+
+	// CallVerf: the context crosses the wire intact.
+	want := TraceContext{ID: 42, Hop: 1}
+	if _, err := client.CallVerf(100, 1, 0, AuthNoneCred, want.EncodeVerf(), nil); err != nil {
+		t.Fatalf("CallVerf: %v", err)
+	}
+	if !sawTrace || seen != want {
+		t.Fatalf("server saw %+v (trace=%v), want %+v", seen, sawTrace, want)
+	}
+}

@@ -1,0 +1,32 @@
+package tunnel
+
+import "sync/atomic"
+
+// Package-wide transfer totals, aggregated across every tunnel Conn in
+// the process. The counters are plain atomics so the per-frame cost is
+// one add each; daemons bridge them into an obs.Registry with
+// CounterFunc so the tunnel package stays dependency-free.
+var stats struct {
+	txFrames atomic.Uint64
+	txBytes  atomic.Uint64
+	rxFrames atomic.Uint64
+	rxBytes  atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the process-wide tunnel totals.
+type Stats struct {
+	TxFrames uint64 // encrypted frames sent
+	TxBytes  uint64 // plaintext bytes sent
+	RxFrames uint64 // authenticated frames received
+	RxBytes  uint64 // plaintext bytes received
+}
+
+// ReadStats returns the current process-wide tunnel transfer totals.
+func ReadStats() Stats {
+	return Stats{
+		TxFrames: stats.txFrames.Load(),
+		TxBytes:  stats.txBytes.Load(),
+		RxFrames: stats.rxFrames.Load(),
+		RxBytes:  stats.rxBytes.Load(),
+	}
+}

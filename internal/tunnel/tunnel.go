@@ -168,6 +168,8 @@ func (c *Conn) Write(p []byte) (int, error) {
 			return total, err
 		}
 		c.wseq++
+		stats.txFrames.Add(1)
+		stats.txBytes.Add(uint64(len(chunk)))
 		total += len(chunk)
 		p = p[len(chunk):]
 	}
@@ -202,6 +204,8 @@ func (c *Conn) Read(p []byte) (int, error) {
 			return 0, ErrAuth
 		}
 		c.rseq++
+		stats.rxFrames.Add(1)
+		stats.rxBytes.Add(uint64(len(ct)))
 		pt := make([]byte, len(ct))
 		c.dec.XORKeyStream(pt, ct)
 		c.rbuf = pt
