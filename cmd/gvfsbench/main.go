@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
@@ -52,10 +52,11 @@ func main() {
 		"ablation-tunnel":      o.RunAblationTunnel,
 		"ablation-readahead":   o.RunAblationReadAhead,
 		"trace":                o.RunTrace,
+		"flightrec":            o.RunFlightRec,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace"}
+		"trace", "flightrec"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -12,6 +12,10 @@
 //
 // The session key file (32 bytes) enables SSH-style encrypted private
 // channels; generate one with -genkey.
+//
+// With -metrics the daemon serves the same observability surface as
+// gvfsproxy: /metrics, /traces, /logz, /flightrec, /statusz and
+// /debug. SIGINT/SIGTERM shut the services down cleanly.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gvfs/internal/auth"
@@ -43,8 +49,12 @@ func main() {
 	idBase := flag.Uint("identity-base", 60000, "first UID of the logical account pool")
 	idCount := flag.Uint("identity-count", 1000, "size of the logical account pool")
 	idTTL := flag.Duration("identity-ttl", 30*time.Minute, "lifetime of short-lived identities")
-	metricsAddr := flag.String("metrics", "", "serve /metrics, /traces and /debug on this address (empty = off)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /traces, /logz, /flightrec, /statusz and /debug on this address (empty = off)")
 	traceRing := flag.Int("trace-ring", 0, "keep the last N request traces for /traces (0 = tracing off)")
+	flightRing := flag.Int("flightrec", 0, "retain the last N slow/error call recordings for /flightrec (0 = off)")
+	slowThresh := flag.Duration("slow-threshold", 0, "latency that promotes a call to the flight recorder (0 = default 100ms)")
+	statsEvery := flag.Duration("stats", 0, "log daemon statistics at this interval (0 = off)")
+	logFlags := stack.BindLogFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *genkey {
@@ -62,17 +72,18 @@ func main() {
 		return
 	}
 
-	var key []byte
-	if *keyfile != "" {
-		var err error
-		key, err = os.ReadFile(*keyfile)
-		if err != nil {
-			log.Fatalf("gvfsd: read key: %v", err)
-		}
-		if len(key) != tunnel.KeySize {
-			log.Fatalf("gvfsd: key must be %d bytes, got %d", tunnel.KeySize, len(key))
-		}
+	key, err := stack.ReadKeyfile(*keyfile)
+	if err != nil {
+		log.Fatalf("gvfsd: read key: %v", err)
 	}
+
+	// One registry serves the whole process, exactly as in gvfsproxy.
+	reg := obs.NewRegistry()
+	logger, closeLog, err := logFlags.Logger("gvfsd", reg)
+	if err != nil {
+		log.Fatalf("gvfsd: %v", err)
+	}
+	defer closeLog()
 
 	alloc := auth.NewAllocator(uint32(*idBase), uint32(*idCount), *idTTL)
 	upstreamDial := stack.Dialer(*upstream, nil, nil)
@@ -84,28 +95,50 @@ func main() {
 	if *traceRing > 0 {
 		tracer = obs.NewTracer(*traceRing)
 	}
+	var flight *obs.FlightRecorder
+	if *flightRing > 0 {
+		// Flight recordings are span trees: enable tracing implicitly.
+		if tracer == nil {
+			tracer = obs.NewTracer(obs.DefaultRing)
+		}
+		flight = obs.NewFlightRecorder(*flightRing, *slowThresh)
+	}
 	p, err := proxy.New(proxy.Config{
 		Upstream: sunrpc.NewClient(conn),
 		Mapper:   auth.NewMapper(alloc),
 		Tracer:   tracer,
+		Flight:   flight,
+		Metrics:  reg,
+		Logger:   logger,
 	})
 	if err != nil {
 		log.Fatalf("gvfsd: %v", err)
 	}
 	if *metricsAddr != "" {
-		reg := p.MetricsRegistry()
 		reg.CounterFunc("gvfs_tunnel_tx_bytes_total",
 			"Plaintext bytes sent through tunnels.",
 			func() uint64 { return tunnel.ReadStats().TxBytes })
 		reg.CounterFunc("gvfs_tunnel_rx_bytes_total",
 			"Plaintext bytes received through tunnels.",
 			func() uint64 { return tunnel.ReadStats().RxBytes })
-		ml, err := obs.Serve(*metricsAddr, reg, tracer)
+		ep := obs.Endpoint{
+			Registry: reg,
+			Tracer:   tracer,
+			Log:      logger.Ring(),
+			Flight:   flight,
+			Statusz:  p.WriteStatusz,
+		}
+		ml, err := ep.ListenAndServe(*metricsAddr)
 		if err != nil {
 			log.Fatalf("gvfsd: metrics: %v", err)
 		}
-		fmt.Printf("gvfsd: metrics on http://%s/metrics\n", ml.Addr())
+		logger.Info("observability endpoint up", "addr", ml.Addr().String())
 	}
+	stopStats := func() {}
+	if *statsEvery > 0 {
+		stopStats = stack.StartStatsLogger(logger, p, *statsEvery)
+	}
+
 	srv := sunrpc.NewServer()
 	srv.Register(nfs3.Program, nfs3.Version, p)
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)
@@ -114,9 +147,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvfsd: listen: %v", err)
 	}
-	fmt.Printf("gvfsd: proxying %s on %s (tunnel: %v)\n", *upstream, l.Addr(), key != nil)
-	go func() { log.Fatal(srv.Serve(l)) }()
+	logger.Info("proxy up",
+		"listen", l.Addr().String(),
+		"upstream", *upstream,
+		"tunnel", key != nil)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
 
+	var fcClose func()
 	if *root != "" {
 		store, err := osfs.New(*root)
 		if err != nil {
@@ -126,8 +164,34 @@ func main() {
 		if err != nil {
 			log.Fatalf("gvfsd: filechan listen: %v", err)
 		}
-		fmt.Printf("gvfsd: file channel for %s on %s\n", *root, fcl.Addr())
-		go func() { log.Fatal(filechan.NewServer(store).Serve(fcl)) }()
+		logger.Info("file channel up", "root", *root, "addr", fcl.Addr().String())
+		fcSrv := filechan.NewServer(store)
+		fcClose = func() { fcSrv.Close(); fcl.Close() }
+		go func() {
+			if err := fcSrv.Serve(fcl); err != nil {
+				logger.Error("file channel stopped", "err", err)
+			}
+		}()
 	}
-	select {}
+
+	// Signal-driven clean shutdown, mirroring gvfsproxy: stop the stats
+	// logger, close every listener, and let background probing exit.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Info("shutting down", "sig", sig.String())
+		stopStats()
+		srv.Close()
+		l.Close()
+		if fcClose != nil {
+			fcClose()
+		}
+		p.Shutdown()
+	case err := <-serveErr:
+		stopStats()
+		if err != nil {
+			log.Fatalf("gvfsd: serve: %v", err)
+		}
+	}
 }

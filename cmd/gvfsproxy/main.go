@@ -12,25 +12,26 @@
 //	SIGUSR2  flush: write back and invalidate all caches
 //
 // With -metrics the proxy serves its unified observability surface
-// over HTTP: Prometheus exposition at /metrics, the request-trace ring
-// at /traces, and the Go runtime debug endpoints under /debug.
+// over HTTP: Prometheus exposition at /metrics (with exemplars when
+// the flight recorder is on), the request-trace ring at /traces, the
+// structured event log at /logz, the flight recorder at /flightrec,
+// per-file/per-client accounting at /statusz, and the Go runtime
+// debug endpoints under /debug.
 //
 // Usage:
 //
 //	gvfsproxy -listen 127.0.0.1:8049 -upstream imageserver:7049 \
 //	          -cache-dir /var/cache/gvfs -policy write-back \
 //	          -filechan imageserver:7050 -keyfile session.key \
-//	          -metrics 127.0.0.1:9049 -trace-ring 1024
+//	          -metrics 127.0.0.1:9049 -flightrec 256 -log-level info
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
@@ -47,6 +48,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
 	}
+	// One registry serves the whole process: proxy counters, log-event
+	// counters and the tunnel bridges all land in it.
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	logger, closeLog, err := flags.Log.Logger("gvfsproxy", reg)
+	if err != nil {
+		log.Fatalf("gvfsproxy: %v", err)
+	}
+	defer closeLog()
+	opts.Logger = logger
+
 	node, err := stack.StartProxy(opts)
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
@@ -60,8 +72,12 @@ func main() {
 	srv := sunrpc.NewServer()
 	srv.Register(nfs3.Program, nfs3.Version, node.Proxy)
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, node.Proxy)
-	fmt.Printf("gvfsproxy: %s -> %s (cache: %v, policy: %s)\n",
-		l.Addr(), flags.Upstream, flags.CacheDir != "", flags.Policy)
+	logger.Info("proxy up",
+		"listen", l.Addr().String(),
+		"upstream", flags.Upstream,
+		"cache", flags.CacheDir != "",
+		"policy", flags.Policy,
+		"flightrec", flags.FlightRing)
 
 	// registerBridges in the proxy covers its own subsystems; the
 	// tunnel's process-wide totals are bridged here, where the daemon
@@ -73,66 +89,54 @@ func main() {
 		"Plaintext bytes received through tunnels.",
 		func() uint64 { return tunnel.ReadStats().RxBytes })
 	if flags.MetricsAddr != "" {
-		ml, err := obs.Serve(flags.MetricsAddr, node.Metrics, node.Tracer)
+		ep := obs.Endpoint{
+			Registry: node.Metrics,
+			Tracer:   node.Tracer,
+			Log:      logger.Ring(),
+			Flight:   node.Flight,
+			Statusz:  node.Proxy.WriteStatusz,
+		}
+		ml, err := ep.ListenAndServe(flags.MetricsAddr)
 		if err != nil {
 			log.Fatalf("gvfsproxy: metrics: %v", err)
 		}
-		fmt.Printf("gvfsproxy: metrics on http://%s/metrics\n", ml.Addr())
+		logger.Info("observability endpoint up", "addr", ml.Addr().String())
 	}
 
-	// done is closed exactly once, when the daemon begins shutting
-	// down, so the periodic stats goroutine exits with it instead of
-	// ticking forever (time.Tick can never be stopped).
-	done := make(chan struct{})
+	stopStats := func() {}
 	if flags.StatsEvery > 0 {
-		go func() {
-			tick := time.NewTicker(flags.StatsEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-done:
-					return
-				case <-tick.C:
-				}
-				st := node.Proxy.Stats()
-				log.Printf("gvfsproxy: calls=%d hits=%d misses=%d zero=%d filechan=%d/%d absorbed=%d prefetched=%d",
-					st.Calls, st.ReadHits, st.ReadMisses, st.ZeroFiltered,
-					st.FileChanReads, st.FileChanFetch, st.WritesAbsorbed, st.Prefetched)
-				log.Printf("gvfsproxy: retries=%d reconnects=%d timeouts=%d breaker=%d fastfail=%d probes=%d replays=%d degraded-reads=%d degraded=%v",
-					st.Retries, st.Reconnects, st.Timeouts, st.BreakerOpens,
-					st.BreakerFastFails, st.Probes, st.Replays, st.DegradedReads,
-					node.Proxy.Degraded())
-			}
-		}()
+		stopStats = stack.StartStatsLogger(logger, node.Proxy, flags.StatsEvery)
 	}
 
+	done := make(chan struct{})
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGUSR1, syscall.SIGUSR2, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		for sig := range sigs {
 			switch sig {
 			case syscall.SIGUSR1:
-				fmt.Println("gvfsproxy: SIGUSR1 -> writing back dirty data")
+				logger.Info("middleware signal: write back dirty data", "sig", "SIGUSR1")
 				if err := node.Proxy.WriteBack(); err != nil {
-					log.Printf("gvfsproxy: write-back: %v", err)
+					logger.Error("write-back failed", "err", err)
 				}
 			case syscall.SIGUSR2:
-				fmt.Println("gvfsproxy: SIGUSR2 -> flushing caches")
+				logger.Info("middleware signal: flush caches", "sig", "SIGUSR2")
 				if err := node.Proxy.Flush(); err != nil {
-					log.Printf("gvfsproxy: flush: %v", err)
+					logger.Error("flush failed", "err", err)
 				}
 			case syscall.SIGINT, syscall.SIGTERM:
 				// Graceful shutdown: settle the session, snapshot the
 				// cache index so the next start is warm, and stop the
-				// stats printer before the server goes away.
-				fmt.Println("gvfsproxy: shutting down")
+				// stats logger before the server goes away.
+				logger.Info("shutting down", "sig", sig.String())
 				close(done)
+				stopStats()
 				if err := node.Proxy.WriteBack(); err != nil {
-					log.Printf("gvfsproxy: write-back: %v", err)
+					logger.Error("shutdown write-back failed", "err", err)
 				}
 				if flags.PersistIndex && node.BlockCache != nil {
 					if err := node.BlockCache.SaveIndex(); err != nil {
-						log.Printf("gvfsproxy: save index: %v", err)
+						logger.Error("cache index snapshot failed", "err", err)
 					}
 				}
 				srv.Close()
@@ -148,6 +152,7 @@ func main() {
 	case <-done:
 	default:
 		close(done)
+		stopStats()
 		if err != nil {
 			log.Fatalf("gvfsproxy: serve: %v", err)
 		}

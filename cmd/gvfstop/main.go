@@ -1,0 +1,250 @@
+// Command gvfstop is a live terminal view over a chain of GVFS
+// proxies: a top(1) for the paper's cascaded-proxy deployments. It
+// polls each hop's observability endpoint (/statusz for the
+// per-file/per-client accounting tables, /metrics for the aggregate
+// counters, /flightrec for the recorder depth) and renders one compact
+// screen per refresh, closest hop first.
+//
+// Usage:
+//
+//	gvfstop -targets compute=127.0.0.1:9049,image=127.0.0.1:9051
+//	gvfstop -targets 127.0.0.1:9049 -once        # one snapshot, no TUI
+//
+// Each target is [name=]host:port of a gvfsproxy/gvfsd -metrics
+// address. -once prints a single snapshot and exits, which is what the
+// CI smoke job and scripts use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"gvfs/internal/obs"
+	"gvfs/internal/proxy"
+)
+
+// hop is one polled proxy in the chain.
+type hop struct {
+	name string
+	base string // http://host:port
+}
+
+// hopState is everything one refresh learned about a hop.
+type hopState struct {
+	err      error
+	statusz  proxy.Statusz
+	metrics  map[string]float64
+	recorded uint64 // flight recordings ever made
+}
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated [name=]host:port observability addresses, closest hop first")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period")
+	rows := flag.Int("rows", 5, "file/client rows shown per hop")
+	once := flag.Bool("once", false, "print one snapshot and exit")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+	if *targets == "" {
+		log.Fatal("gvfstop: -targets is required")
+	}
+	hops, err := parseTargets(*targets)
+	if err != nil {
+		log.Fatalf("gvfstop: %v", err)
+	}
+	client := &http.Client{Timeout: *timeout}
+	for {
+		out := render(client, hops, *rows)
+		if *once {
+			fmt.Print(out)
+			return
+		}
+		// Home the cursor and clear below: repaint without scrollback spam.
+		fmt.Print("\x1b[H\x1b[2J" + out)
+		time.Sleep(*interval)
+	}
+}
+
+// parseTargets splits the -targets flag into hops.
+func parseTargets(s string) ([]hop, error) {
+	var hops []hop
+	for i, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		name, addr := fmt.Sprintf("hop%d", i), t
+		if eq := strings.IndexByte(t, '='); eq >= 0 {
+			name, addr = t[:eq], t[eq+1:]
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("empty address in target %q", t)
+		}
+		hops = append(hops, hop{name: name, base: "http://" + addr})
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("no targets in %q", s)
+	}
+	return hops, nil
+}
+
+// poll gathers one hop's state.
+func poll(client *http.Client, h hop) hopState {
+	var st hopState
+	body, err := get(client, h.base+"/statusz")
+	if err != nil {
+		st.err = err
+		return st
+	}
+	if err := json.Unmarshal(body, &st.statusz); err != nil {
+		st.err = fmt.Errorf("statusz: %v", err)
+		return st
+	}
+	if body, err = get(client, h.base+"/metrics"); err == nil {
+		st.metrics, _ = obs.ParseText(body)
+	}
+	if body, err = get(client, h.base+"/flightrec"); err == nil {
+		var doc struct {
+			Total uint64 `json:"total_recorded"`
+		}
+		if json.Unmarshal(body, &doc) == nil {
+			st.recorded = doc.Total
+		}
+	}
+	return st
+}
+
+func get(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// render paints one full screen for the chain.
+func render(client *http.Client, hops []hop, rows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gvfstop  %s  (%d hops)\n\n",
+		time.Now().UTC().Format(time.RFC3339), len(hops))
+	for i, h := range hops {
+		st := poll(client, h)
+		fmt.Fprintf(&b, "[%d] %s  %s", i, h.name, strings.TrimPrefix(h.base, "http://"))
+		if st.err != nil {
+			fmt.Fprintf(&b, "  UNREACHABLE (%v)\n\n", st.err)
+			continue
+		}
+		if st.statusz.Degraded {
+			b.WriteString("  DEGRADED")
+		}
+		b.WriteByte('\n')
+		renderHop(&b, st, rows)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderHop paints one hop's summary, file table and client table.
+func renderHop(b *strings.Builder, st hopState, rows int) {
+	m := st.metrics
+	hits, misses := m["gvfs_proxy_read_hits_total"], m["gvfs_proxy_read_misses_total"]
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = hits / (hits + misses)
+	}
+	fmt.Fprintf(b, "    calls %.0f  fwd %.0f  hit %.1f%%  zero %.0f  absorbed %.0f  dirty %d (oldest %s)  flightrec %d\n",
+		m["gvfs_proxy_calls_total"], m["gvfs_proxy_forwarded_total"],
+		100*ratio, m["gvfs_proxy_zero_filtered_total"],
+		m["gvfs_proxy_writes_absorbed_total"],
+		st.statusz.Audit.DirtyBlocks,
+		humanDur(st.statusz.Audit.OldestDirtyAgeNs),
+		st.recorded)
+	files := st.statusz.Files["reads"]
+	if len(files) > rows {
+		files = files[:rows]
+	}
+	if len(files) > 0 {
+		fmt.Fprintf(b, "    %-32s %8s %8s %10s %7s %9s\n",
+			"top files by reads", "reads", "writes", "bytes", "hit%", "degraded")
+		for _, f := range files {
+			fmt.Fprintf(b, "    %-32s %8d %8d %10s %6.1f%% %9d\n",
+				clip(f.File, 32), f.Reads, f.Writes,
+				humanBytes(f.ReadBytes+f.WriteBytes), 100*f.HitRatio, f.DegradedReads)
+		}
+	}
+	clients := st.statusz.Clients
+	if len(clients) > rows {
+		clients = clients[:rows]
+	}
+	for _, c := range clients {
+		fmt.Fprintf(b, "    client %-25s %s  rd %s  wr %s",
+			clip(c.Client, 25), opMix(c.Ops), humanBytes(c.ReadBytes), humanBytes(c.WriteBytes))
+		if c.DegradedReads > 0 {
+			fmt.Fprintf(b, "  degraded=%d", c.DegradedReads)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// opMix renders a client's op counters as "READ=12 WRITE=3", sorted by
+// count so the dominant ops lead.
+func opMix(ops map[string]uint64) string {
+	type kv struct {
+		k string
+		v uint64
+	}
+	list := make([]kv, 0, len(ops))
+	for k, v := range ops {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].k < list[j].k
+	})
+	if len(list) > 4 {
+		list = list[:4]
+	}
+	parts := make([]string, len(list))
+	for i, e := range list {
+		parts[i] = fmt.Sprintf("%s=%d", e.k, e.v)
+	}
+	return strings.Join(parts, " ")
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n+1:]
+}
+
+func humanBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func humanDur(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return time.Duration(ns).Round(time.Millisecond).String()
+}

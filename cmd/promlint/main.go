@@ -1,11 +1,15 @@
-// Command promlint validates Prometheus text exposition — the CI guard
-// that a live proxy's /metrics endpoint serves well-formed output. It
-// reads from -url (any http endpoint) or standard input and exits
-// non-zero on the first malformed line.
+// Command promlint validates a GVFS daemon's diagnostic surfaces — the
+// CI guard that a live proxy serves well-formed, bounded output. It
+// checks Prometheus text exposition (including exemplar syntax) from
+// -url or standard input, the /statusz accounting document with
+// -statusz-url, and the /logz structured-log ring with -logz-url; any
+// combination may be given and the first failure exits non-zero.
 //
 // Usage:
 //
 //	promlint -url http://127.0.0.1:9049/metrics
+//	promlint -statusz-url http://127.0.0.1:9049/statusz \
+//	         -logz-url http://127.0.0.1:9049/logz
 //	gvfsproxy ... | promlint
 package main
 
@@ -13,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"os"
 	"time"
@@ -22,31 +25,76 @@ import (
 )
 
 func main() {
-	url := flag.String("url", "", "scrape this endpoint (empty = read stdin)")
-	timeout := flag.Duration("timeout", 10*time.Second, "scrape timeout")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	var data []byte
-	var err error
-	if *url != "" {
-		client := &http.Client{Timeout: *timeout}
-		resp, err2 := client.Get(*url)
-		if err2 != nil {
-			log.Fatalf("promlint: %v", err2)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			log.Fatalf("promlint: %s returned status %d", *url, resp.StatusCode)
-		}
-		data, err = io.ReadAll(resp.Body)
-	} else {
-		data, err = io.ReadAll(os.Stdin)
+// run is the testable body: parses args, fetches each requested
+// surface, and lints it. Reading stdin happens only when no URL flag
+// selects a surface.
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	url := fs.String("url", "", "scrape this /metrics endpoint (empty = read stdin unless another -*-url is given)")
+	statuszURL := fs.String("statusz-url", "", "validate this /statusz endpoint as bounded JSON")
+	logzURL := fs.String("logz-url", "", "validate this /logz endpoint as a bounded structured-log document")
+	maxArray := fs.Int("max-array", 4096, "array bound applied to -statusz-url documents")
+	timeout := fs.Duration("timeout", 10*time.Second, "scrape timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+
+	client := &http.Client{Timeout: *timeout}
+	if *url != "" || (*statuszURL == "" && *logzURL == "") {
+		var data []byte
+		var err error
+		if *url != "" {
+			data, err = fetch(client, *url)
+		} else {
+			data, err = io.ReadAll(stdin)
+		}
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		if err := obs.Lint(data); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		fmt.Fprintf(out, "promlint: metrics ok (%d bytes)\n", len(data))
+	}
+	if *statuszURL != "" {
+		data, err := fetch(client, *statuszURL)
+		if err != nil {
+			return fmt.Errorf("statusz: %w", err)
+		}
+		if err := obs.LintBoundedJSON(data, *maxArray); err != nil {
+			return fmt.Errorf("statusz: %w", err)
+		}
+		fmt.Fprintf(out, "promlint: statusz ok (%d bytes)\n", len(data))
+	}
+	if *logzURL != "" {
+		data, err := fetch(client, *logzURL)
+		if err != nil {
+			return fmt.Errorf("logz: %w", err)
+		}
+		if err := obs.LintLogz(data); err != nil {
+			return fmt.Errorf("logz: %w", err)
+		}
+		fmt.Fprintf(out, "promlint: logz ok (%d bytes)\n", len(data))
+	}
+	return nil
+}
+
+// fetch reads one diagnostic URL in full.
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
 	if err != nil {
-		log.Fatalf("promlint: read: %v", err)
+		return nil, err
 	}
-	if err := obs.Lint(data); err != nil {
-		log.Fatalf("promlint: %v", err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned status %d", url, resp.StatusCode)
 	}
-	fmt.Printf("promlint: ok (%d bytes)\n", len(data))
+	return io.ReadAll(resp.Body)
 }

@@ -141,7 +141,8 @@ func TestDaemonsEndToEnd(t *testing.T) {
 		"-cache-dir", cacheDir, "-cache-banks", "8", "-cache-sets", "8",
 		"-filecache-dir", fileCacheDir, "-filechan", filechanAddr,
 		"-keyfile", keyFile, "-readahead", "4",
-		"-metrics", metricsAddr, "-trace-ring", "256")
+		"-metrics", metricsAddr, "-trace-ring", "256",
+		"-flightrec", "64", "-slow-threshold", "50ms", "-log-level", "debug")
 	waitListening(t, proxyAddr)
 	waitListening(t, metricsAddr)
 
@@ -223,5 +224,34 @@ func TestDaemonsEndToEnd(t *testing.T) {
 	}
 	if traces := scrape("/traces"); !strings.Contains(traces, `"spans"`) {
 		t.Errorf("live /traces has no spans: %.200s", traces)
+	}
+
+	// /statusz carries the per-file/per-client accounting document; the
+	// workload above read and wrote through the chain, so the tables
+	// must be populated and bounded.
+	statusz := scrape("/statusz")
+	if err := obs.LintBoundedJSON([]byte(statusz), 4096); err != nil {
+		t.Errorf("live /statusz failed lint: %v", err)
+	}
+	for _, want := range []string{`"files"`, `"clients"`, `"writeback_audit"`} {
+		if !strings.Contains(statusz, want) {
+			t.Errorf("live /statusz missing %s section: %.300s", want, statusz)
+		}
+	}
+
+	// /logz serves the structured-log ring; startup alone writes the
+	// "proxy up" event, and the lint enforces the bounded-document shape.
+	logz := scrape("/logz")
+	if err := obs.LintLogz([]byte(logz)); err != nil {
+		t.Errorf("live /logz failed lint: %v", err)
+	}
+	if !strings.Contains(logz, "proxy up") {
+		t.Errorf("live /logz missing startup event: %.300s", logz)
+	}
+
+	// /flightrec serves the retained slow/error recordings document even
+	// when nothing has been promoted.
+	if fr := scrape("/flightrec"); !strings.Contains(fr, `"total_recorded"`) {
+		t.Errorf("live /flightrec malformed: %.200s", fr)
 	}
 }

@@ -24,7 +24,7 @@ import (
 	"gvfs/internal/vm"
 )
 
-func computeServer(name string, server *stack.ImageServer, wan *simnet.Link) (*stack.Node, *gvfs.Session, func()) {
+func computeServer(name string, server *stack.ImageServer, wan *simnet.Link) (*stack.Node, *gvfs.Session, func(), error) {
 	blockDir, _ := os.MkdirTemp("", "migrate-block")
 	fileDir, _ := os.MkdirTemp("", "migrate-file")
 	cfg := cache.DefaultConfig(blockDir)
@@ -40,7 +40,9 @@ func computeServer(name string, server *stack.ImageServer, wan *simnet.Link) (*s
 		FileChanKey:  server.Key,
 	})
 	if err != nil {
-		log.Fatal(err)
+		os.RemoveAll(blockDir)
+		os.RemoveAll(fileDir)
+		return nil, nil, nil, err
 	}
 	sess, err := gvfs.Mount(gvfs.SessionConfig{
 		Addr:           node.Addr,
@@ -49,7 +51,10 @@ func computeServer(name string, server *stack.ImageServer, wan *simnet.Link) (*s
 		PageCachePages: 512,
 	})
 	if err != nil {
-		log.Fatal(err)
+		node.Close()
+		os.RemoveAll(blockDir)
+		os.RemoveAll(fileDir)
+		return nil, nil, nil, err
 	}
 	cleanup := func() {
 		sess.Close()
@@ -57,7 +62,7 @@ func computeServer(name string, server *stack.ImageServer, wan *simnet.Link) (*s
 		os.RemoveAll(blockDir)
 		os.RemoveAll(fileDir)
 	}
-	return node, sess, cleanup
+	return node, sess, cleanup, nil
 }
 
 func main() {
@@ -73,9 +78,15 @@ func main() {
 	}
 	defer server.Close()
 
-	nodeA, sessA, cleanA := computeServer("computeA", server, wan)
+	nodeA, sessA, cleanA, err := computeServer("computeA", server, wan)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cleanA()
-	_, sessB, cleanB := computeServer("computeB", server, wan)
+	_, sessB, cleanB, err := computeServer("computeB", server, wan)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer cleanB()
 
 	fmt.Println("resuming VM on compute server A...")

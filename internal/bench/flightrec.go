@@ -1,0 +1,261 @@
+package bench
+
+// The flightrec experiment validates the diagnostic chain end to end
+// on a 2-level WAN deployment: NFS server behind a stallable LAN link,
+// the image server's mapping proxy behind the WAN link, and a
+// disk-caching client proxy — both proxies running a flight recorder.
+// Simnet stalls are injected into each link in turn, so both hops see
+// genuinely slow calls; the report then proves that (a) every hop
+// captured slow-call recordings with intact span trees and (b) every
+// exemplar trace ID published in the hop's /metrics output resolves to
+// a /flightrec recording.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	gvfs "gvfs"
+	"gvfs/internal/auth"
+	"gvfs/internal/cache"
+	"gvfs/internal/memfs"
+	"gvfs/internal/obs"
+	"gvfs/internal/simnet"
+	"gvfs/internal/stack"
+)
+
+const flightRingCap = 256
+
+// flightHopReport is one hop's share of the flightrec report.
+type flightHopReport struct {
+	Name                string  `json:"name"`
+	Hop                 int     `json:"hop"`
+	Recordings          int     `json:"recordings"`
+	TotalPromoted       uint64  `json:"total_promoted"`
+	SlowRecordings      int     `json:"slow_recordings"`
+	RecordingsWithSpans int     `json:"recordings_with_spans"`
+	MaxRecordedMs       float64 `json:"max_recorded_ms"`
+	Exemplars           int     `json:"exemplars"`
+	ExemplarsResolved   int     `json:"exemplars_resolved"`
+}
+
+type flightrecReport struct {
+	Experiment      string  `json:"experiment"`
+	Scale           float64 `json:"scale"`
+	SlowThresholdMs float64 `json:"slow_threshold_ms"`
+	StallMs         float64 `json:"stall_ms"`
+	WANStalls       int     `json:"wan_stalls"`
+	LANStalls       int     `json:"lan_stalls"`
+	BaselineReads   int     `json:"baseline_reads"`
+	StalledReads    int     `json:"stalled_reads"`
+
+	Hops []flightHopReport `json:"hops"`
+
+	// Acceptance summary: both hops captured slow span trees, and every
+	// exemplar resolved.
+	AllHopsCapturedSlow  bool `json:"all_hops_captured_slow"`
+	AllExemplarsResolved bool `json:"all_exemplars_resolved"`
+}
+
+// collectFlightHop reduces one node's flight ring and metrics output.
+func collectFlightHop(name string, hop int, node *stack.Node) flightHopReport {
+	r := flightHopReport{Name: name, Hop: hop, TotalPromoted: node.Flight.Total()}
+	for _, rec := range node.Flight.Recordings() {
+		r.Recordings++
+		if rec.Reason == obs.ReasonSlow {
+			r.SlowRecordings++
+		}
+		if len(rec.Trace.Spans) > 0 {
+			r.RecordingsWithSpans++
+		}
+		if ms := float64(rec.Trace.DurNs) / 1e6; ms > r.MaxRecordedMs {
+			r.MaxRecordedMs = ms
+		}
+	}
+	var buf bytes.Buffer
+	node.Metrics.WritePrometheus(&buf)
+	ids := obs.ExtractExemplarTraceIDs(buf.Bytes())
+	r.Exemplars = len(ids)
+	for _, s := range ids {
+		id, err := strconv.ParseUint(s, 16, 64)
+		if err != nil {
+			continue
+		}
+		if _, ok := node.Flight.Resolve(id); ok {
+			r.ExemplarsResolved++
+		}
+	}
+	return r
+}
+
+// RunFlightRec assembles the stallable 2-level chain, injects stalls
+// into each link, and writes BENCH_flightrec.json.
+func (o Options) RunFlightRec() (*Table, error) {
+	const (
+		bs    = 8192
+		slow  = 120 * time.Millisecond
+		stall = 300 * time.Millisecond
+	)
+	// Per-phase read budgets: enough cold blocks for a baseline pass
+	// and one cold block per injected stall.
+	const wanStalls, lanStalls, baselineReads = 4, 4, 16
+	blocks := baselineReads + wanStalls + lanStalls
+	img := make([]byte, blocks*bs)
+	for i := range img {
+		img[i] = byte(i % 239)
+	}
+	fs := memfs.New()
+	if err := fs.WriteFile("/vm.img", img); err != nil {
+		return nil, err
+	}
+
+	// The NFS server sits behind its own stallable link so the server
+	// proxy's upstream calls can be made slow independently of the WAN.
+	lan := simnet.NewLink(simnet.LAN())
+	wan := simnet.NewLink(simnet.WAN())
+	nfsNode, err := stack.StartNFSServer(fs, stack.NFSServerOptions{ListenLink: lan})
+	if err != nil {
+		return nil, err
+	}
+	defer nfsNode.Close()
+
+	alloc := auth.NewAllocator(60000, 1000, 30*time.Minute)
+	serverNode, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr:  nfsNode.Addr,
+		UpstreamLink:  lan,
+		Mapper:        auth.NewMapper(alloc),
+		ListenLink:    wan,
+		FlightRing:    flightRingCap,
+		SlowThreshold: slow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer serverNode.Close()
+
+	cacheDir, err := os.MkdirTemp(o.WorkDir, "flightcache")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(cacheDir)
+	ccfg := o.cacheConfig(cacheDir, cache.WriteBack)
+	clientNode, err := stack.StartProxy(stack.ProxyOptions{
+		UpstreamAddr:  serverNode.Addr,
+		UpstreamLink:  wan,
+		CacheConfig:   &ccfg,
+		FlightRing:    flightRingCap,
+		SlowThreshold: slow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer clientNode.Close()
+
+	sess, err := gvfs.Mount(gvfs.SessionConfig{
+		Addr:           clientNode.Addr,
+		Export:         "/",
+		Cred:           benchCred(),
+		PageCachePages: o.pagePages(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
+	f, err := sess.Open("/vm.img")
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	next := 0
+	readBlock := func() error {
+		buf := make([]byte, bs)
+		_, err := f.ReadAt(buf, int64(next)*bs)
+		next++
+		return err
+	}
+
+	// Baseline: cold reads at normal WAN latency (~RTT + transfer),
+	// well under the slow threshold — nothing should be promoted.
+	for i := 0; i < baselineReads; i++ {
+		if err := readBlock(); err != nil {
+			return nil, fmt.Errorf("baseline read: %w", err)
+		}
+	}
+	baselinePromoted := clientNode.Flight.Total() + serverNode.Flight.Total()
+
+	// WAN stalls: the client proxy's forwarded call stalls on the WAN,
+	// so hop 0 promotes; the server hop still answers quickly.
+	for i := 0; i < wanStalls; i++ {
+		wan.Stall(stall)
+		if err := readBlock(); err != nil {
+			return nil, fmt.Errorf("wan-stall read: %w", err)
+		}
+	}
+	// LAN stalls: the server proxy's upstream NFS call stalls, so hop 1
+	// promotes — and hop 0 with it, since it waits on the whole chain.
+	for i := 0; i < lanStalls; i++ {
+		lan.Stall(stall)
+		if err := readBlock(); err != nil {
+			return nil, fmt.Errorf("lan-stall read: %w", err)
+		}
+	}
+	o.logf("flightrec: baseline promoted %d, after stalls client=%d server=%d",
+		baselinePromoted, clientNode.Flight.Total(), serverNode.Flight.Total())
+
+	report := flightrecReport{
+		Experiment:      "flightrec",
+		Scale:           o.scale(),
+		SlowThresholdMs: float64(slow) / float64(time.Millisecond),
+		StallMs:         float64(stall) / float64(time.Millisecond),
+		WANStalls:       wanStalls,
+		LANStalls:       lanStalls,
+		BaselineReads:   baselineReads,
+		StalledReads:    wanStalls + lanStalls,
+		Hops: []flightHopReport{
+			collectFlightHop("client-proxy", 0, clientNode),
+			collectFlightHop("server-proxy", 1, serverNode),
+		},
+	}
+	report.AllHopsCapturedSlow = true
+	report.AllExemplarsResolved = true
+	for _, h := range report.Hops {
+		if h.SlowRecordings == 0 || h.RecordingsWithSpans == 0 {
+			report.AllHopsCapturedSlow = false
+		}
+		if h.Exemplars == 0 || h.ExemplarsResolved != h.Exemplars {
+			report.AllExemplarsResolved = false
+		}
+	}
+	if !report.AllHopsCapturedSlow {
+		return nil, fmt.Errorf("flightrec: a hop captured no slow span trees: %+v", report.Hops)
+	}
+	if !report.AllExemplarsResolved {
+		return nil, fmt.Errorf("flightrec: unresolved exemplar trace IDs: %+v", report.Hops)
+	}
+
+	table := &Table{
+		ID:      "flightrec",
+		Title:   "Flight recorder under injected stalls: slow-call capture and exemplar resolution",
+		Scale:   o.scale(),
+		Columns: []string{"recordings", "slow", "with_spans", "exemplars", "resolved"},
+	}
+	for _, h := range report.Hops {
+		table.AddValueRow(fmt.Sprintf("hop%d %s", h.Hop, h.Name),
+			float64(h.Recordings), float64(h.SlowRecordings),
+			float64(h.RecordingsWithSpans),
+			float64(h.Exemplars), float64(h.ExemplarsResolved))
+	}
+	table.AddNote(fmt.Sprintf("slow threshold %v, stall %v; baseline %d reads promoted %d calls",
+		slow, stall, baselineReads, baselinePromoted))
+	for _, h := range report.Hops {
+		table.AddNote(fmt.Sprintf("hop %d max recorded call %.1fms", h.Hop, h.MaxRecordedMs))
+	}
+
+	if err := o.writeResults("BENCH_flightrec.json", report); err != nil {
+		return nil, err
+	}
+	return table, nil
+}

@@ -46,6 +46,12 @@ func (t *Table) AddRow(label string, durs ...time.Duration) {
 	t.Rows = append(t.Rows, Row{Label: label, Values: vals})
 }
 
+// AddValueRow appends a row of raw, unitless values — counts, ratios —
+// for experiments whose columns are not durations.
+func (t *Table) AddValueRow(label string, vals ...float64) {
+	t.Rows = append(t.Rows, Row{Label: label, Values: vals})
+}
+
 // AddNote appends a free-form annotation printed under the table.
 func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))

@@ -46,7 +46,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				labels := append(append([]string(nil), f.labels...), "le")
 				for _, b := range hv.Buckets {
 					vals := append(append([]string(nil), ch.vals...), formatLE(b.LE))
-					fmt.Fprintf(bw, "%s %d\n", sampleName(f.name+"_bucket", labels, vals), b.Count)
+					fmt.Fprintf(bw, "%s %d", sampleName(f.name+"_bucket", labels, vals), b.Count)
+					if b.Exemplar != nil {
+						// OpenMetrics-style exemplar: links this bucket to
+						// one traced call retained at /flightrec.
+						fmt.Fprintf(bw, " # {trace_id=\"%s\"} %s",
+							b.Exemplar.TraceIDHex(), formatFloat(b.Exemplar.Value))
+					}
+					bw.WriteByte('\n')
 				}
 				fmt.Fprintf(bw, "%s %s\n", sampleName(f.name+"_sum", f.labels, ch.vals), formatFloat(hv.Sum))
 				fmt.Fprintf(bw, "%s %d\n", sampleName(f.name+"_count", f.labels, ch.vals), hv.Count)
@@ -104,11 +111,19 @@ func Lint(data []byte) error {
 			}
 			continue
 		}
-		name, labels, _, err := parseSample(line)
+		name, labels, _, exemplar, err := parseSample(line)
 		if err != nil {
 			return fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		samples++
+		if exemplar != "" {
+			if !strings.HasSuffix(name, "_bucket") {
+				return fmt.Errorf("line %d: exemplar on non-bucket sample %q", lineNo, name)
+			}
+			if err := lintExemplar(exemplar); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
 		fam, suffix := name, ""
 		if typ, ok := types[name]; !ok || typ == "histogram" {
 			for _, s := range []string{"_bucket", "_sum", "_count"} {
@@ -140,37 +155,68 @@ func Lint(data []byte) error {
 	return nil
 }
 
-// parseSample splits `name{labels} value` and validates the pieces.
-func parseSample(line string) (name, labels string, value float64, err error) {
+// lintExemplar validates the `{trace_id="..."} value` suffix after a
+// bucket sample's ` # ` separator.
+func lintExemplar(ex string) error {
+	const pre = `{trace_id="`
+	if !strings.HasPrefix(ex, pre) {
+		return fmt.Errorf("malformed exemplar %q", ex)
+	}
+	rest := ex[len(pre):]
+	end := strings.Index(rest, `"}`)
+	if end < 0 {
+		return fmt.Errorf("malformed exemplar %q", ex)
+	}
+	id := rest[:end]
+	if len(id) != 16 {
+		return fmt.Errorf("exemplar trace_id %q is not 16 hex digits", id)
+	}
+	if _, err := strconv.ParseUint(id, 16, 64); err != nil {
+		return fmt.Errorf("exemplar trace_id %q is not hex: %v", id, err)
+	}
+	val := strings.TrimSpace(rest[end+2:])
+	if _, err := strconv.ParseFloat(val, 64); err != nil {
+		return fmt.Errorf("exemplar value %q: %v", val, err)
+	}
+	return nil
+}
+
+// parseSample splits `name{labels} value [# exemplar]` and validates
+// the pieces.
+func parseSample(line string) (name, labels string, value float64, exemplar string, err error) {
 	rest := line
+	if i := strings.Index(rest, " # "); i >= 0 {
+		exemplar = strings.TrimSpace(rest[i+3:])
+		rest = strings.TrimSpace(rest[:i])
+	}
 	if i := strings.IndexByte(rest, '{'); i >= 0 {
 		name = rest[:i]
 		j := strings.LastIndexByte(rest, '}')
 		if j < i {
-			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+			return "", "", 0, "", fmt.Errorf("unbalanced braces in %q", line)
 		}
 		labels = rest[i+1 : j]
 		rest = strings.TrimSpace(rest[j+1:])
 	} else {
 		fields := strings.Fields(rest)
 		if len(fields) < 2 {
-			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+			return "", "", 0, "", fmt.Errorf("sample %q has no value", line)
 		}
 		name = fields[0]
 		rest = fields[1]
 	}
 	if !validMetricName(name) {
-		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+		return "", "", 0, "", fmt.Errorf("invalid metric name %q", name)
 	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 {
-		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		return "", "", 0, "", fmt.Errorf("sample %q has no value", line)
 	}
 	value, err = strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return "", "", 0, fmt.Errorf("sample %q: bad value: %v", line, err)
+		return "", "", 0, "", fmt.Errorf("sample %q: bad value: %v", line, err)
 	}
-	return name, labels, value, nil
+	return name, labels, value, exemplar, nil
 }
 
 func validMetricName(name string) bool {
@@ -204,15 +250,33 @@ func (r *Registry) Handler() http.Handler {
 // benches) may each start an endpoint.
 var expvarOnce sync.Once
 
-// NewMux bundles the observability endpoint:
+// Endpoint bundles every diagnostic surface one daemon exposes. All
+// fields are optional; absent ones serve empty documents so scrapers
+// and dashboards can treat the URL set as uniform across a chain.
+type Endpoint struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Log      *LogRing
+	Flight   *FlightRecorder
+	// Statusz, when set, renders the daemon-specific /statusz JSON
+	// document (the proxy's accounting tables).
+	Statusz func(w io.Writer) error
+}
+
+// Mux builds the HTTP handler set:
 //
-//	/metrics       Prometheus text exposition of reg
+//	/metrics       Prometheus text exposition (with exemplars)
 //	/debug/vars    expvar (Go runtime memstats + gvfs snapshot)
 //	/debug/pprof/  the standard pprof handlers
-//	/traces        JSON dump of the trace ring (when tracer != nil)
-//
-// tracer may be nil; /traces then reports an empty list.
-func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+//	/traces        JSON dump of the trace ring
+//	/logz          JSON dump of the structured log ring
+//	/flightrec     JSON dump of the flight recorder
+//	/statusz       daemon accounting document (when Statusz set)
+func (e Endpoint) Mux() *http.ServeMux {
+	reg := e.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	expvarOnce.Do(func() {
 		expvar.Publish("gvfs", expvar.Func(func() any { return reg.Snapshot() }))
 	})
@@ -224,21 +288,113 @@ func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		tracer.WriteJSON(w)
-	})
+	jsonHandler := func(write func(io.Writer) error) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			write(w)
+		}
+	}
+	mux.HandleFunc("/traces", jsonHandler(e.Tracer.WriteJSON))
+	mux.HandleFunc("/logz", jsonHandler(e.Log.WriteJSON))
+	mux.HandleFunc("/flightrec", jsonHandler(e.Flight.WriteJSON))
+	statusz := e.Statusz
+	if statusz == nil {
+		statusz = func(w io.Writer) error {
+			_, err := io.WriteString(w, "{}\n")
+			return err
+		}
+	}
+	mux.HandleFunc("/statusz", jsonHandler(statusz))
 	return mux
 }
 
-// Serve starts the observability endpoint on addr and returns the
-// listener (close it to stop). Errors from the HTTP server after
-// startup are dropped: metrics must never take the data path down.
-func Serve(addr string, reg *Registry, tracer *Tracer) (net.Listener, error) {
+// ListenAndServe starts the endpoint on addr and returns the listener
+// (close it to stop). Errors from the HTTP server after startup are
+// dropped: diagnostics must never take the data path down.
+func (e Endpoint) ListenAndServe(addr string) (net.Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	go http.Serve(l, NewMux(reg, tracer))
+	go http.Serve(l, e.Mux())
 	return l, nil
+}
+
+// NewMux is the pre-Endpoint form, kept for callers that only have a
+// registry and tracer.
+func NewMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	return Endpoint{Registry: reg, Tracer: tracer}.Mux()
+}
+
+// Serve starts a registry+tracer endpoint on addr; see
+// Endpoint.ListenAndServe.
+func Serve(addr string, reg *Registry, tracer *Tracer) (net.Listener, error) {
+	return Endpoint{Registry: reg, Tracer: tracer}.ListenAndServe(addr)
+}
+
+// ParseText parses Prometheus text exposition output into a flat
+// sample map keyed by `name` or `name{labels}`. Consumers that poll
+// /metrics (cmd/gvfstop, benches) share this instead of re-scraping by
+// hand.
+func ParseText(data []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, _, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		key := name
+		if labels != "" {
+			key = name + "{" + labels + "}"
+		}
+		out[key] = value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExtractExemplarTraceIDs returns every exemplar trace ID (fixed-width
+// hex) present in Prometheus text exposition output, deduplicated, in
+// first-seen order. The flightrec bench uses this to prove each
+// exposed exemplar resolves at /flightrec.
+func ExtractExemplarTraceIDs(data []byte) []string {
+	var out []string
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		_, _, _, exemplar, err := parseSample(line)
+		if err != nil || exemplar == "" {
+			continue
+		}
+		const pre = `{trace_id="`
+		rest := strings.TrimPrefix(exemplar, pre)
+		if rest == exemplar {
+			continue
+		}
+		end := strings.Index(rest, `"`)
+		if end < 0 {
+			continue
+		}
+		id := rest[:end]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
 }

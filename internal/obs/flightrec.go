@@ -1,0 +1,201 @@
+package obs
+
+// Flight recorder: the retained ring of "interesting" calls. The
+// regular trace ring (trace.go) keeps the last N traces regardless of
+// what they were, so by the time an operator asks "why was that call
+// slow", the evidence has usually been overwritten by thousands of
+// healthy calls. The flight recorder solves that by promoting calls
+// that crossed a per-procedure latency threshold — or ended in error
+// or while the circuit breaker was open — into a separate ring that
+// only interesting calls can displace. Each promoted call keeps its
+// full per-layer span tree, and the promoting component links the
+// matching histogram bucket to it with an exemplar (see registry.go),
+// so a slow bucket on a dashboard resolves to a concrete recording at
+// /flightrec.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Promotion reasons recorded with each flight recording.
+const (
+	ReasonSlow        = "slow"
+	ReasonError       = "error"
+	ReasonRetry       = "retry"
+	ReasonBreakerOpen = "breaker_open"
+)
+
+// DefaultFlightRing is the recording capacity used when none is given.
+const DefaultFlightRing = 256
+
+// DefaultSlowThreshold is the promotion latency bound used when none
+// is given.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// Recording is one promoted call.
+type Recording struct {
+	Trace       Trace  `json:"trace"`
+	Reason      string `json:"reason"`
+	WallNs      int64  `json:"wall_ns"` // unix nanoseconds at capture
+	ThresholdNs int64  `json:"threshold_ns,omitempty"`
+}
+
+// FlightRecorder retains promoted calls in a bounded ring. A nil
+// *FlightRecorder is safe to use (recording disabled).
+type FlightRecorder struct {
+	capacity int
+	def      time.Duration
+
+	mu      sync.Mutex
+	perProc map[string]time.Duration
+	ring    []Recording
+	next    int
+	total   uint64
+}
+
+// NewFlightRecorder returns a recorder keeping the last capacity
+// recordings (DefaultFlightRing when capacity <= 0) and promoting
+// calls slower than slow (DefaultSlowThreshold when slow <= 0).
+func NewFlightRecorder(capacity int, slow time.Duration) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightRing
+	}
+	if slow <= 0 {
+		slow = DefaultSlowThreshold
+	}
+	return &FlightRecorder{capacity: capacity, def: slow}
+}
+
+// SetProcThreshold overrides the slow threshold for one procedure
+// label (e.g. "READ"), so cheap procedures can be held to a tighter
+// bound than ones that legitimately cross a WAN.
+func (f *FlightRecorder) SetProcThreshold(proc string, d time.Duration) {
+	if f == nil || d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	if f.perProc == nil {
+		f.perProc = make(map[string]time.Duration)
+	}
+	f.perProc[proc] = d
+	f.mu.Unlock()
+}
+
+// Threshold reports the promotion bound for proc (0 on nil).
+func (f *FlightRecorder) Threshold(proc string) time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d, ok := f.perProc[proc]; ok {
+		return d
+	}
+	return f.def
+}
+
+// ShouldRecord reports whether a call of proc lasting d qualifies as
+// slow. Error/retry/breaker promotions bypass this check.
+func (f *FlightRecorder) ShouldRecord(proc string, d time.Duration) bool {
+	if f == nil {
+		return false
+	}
+	return d >= f.Threshold(proc)
+}
+
+// Record commits one promoted call.
+func (f *FlightRecorder) Record(tr Trace, reason string) {
+	if f == nil {
+		return
+	}
+	rec := Recording{
+		Trace:  tr,
+		Reason: reason,
+		WallNs: time.Now().UnixNano(),
+	}
+	if reason == ReasonSlow {
+		rec.ThresholdNs = f.Threshold(tr.Proc).Nanoseconds()
+	}
+	f.mu.Lock()
+	if len(f.ring) < f.capacity {
+		f.ring = append(f.ring, rec)
+	} else {
+		f.ring[f.next] = rec
+	}
+	f.next = (f.next + 1) % f.capacity
+	f.total++
+	f.mu.Unlock()
+}
+
+// Recordings returns the retained recordings, oldest first.
+func (f *FlightRecorder) Recordings() []Recording {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Recording, 0, len(f.ring))
+	if len(f.ring) < f.capacity {
+		out = append(out, f.ring...)
+	} else {
+		out = append(out, f.ring[f.next:]...)
+		out = append(out, f.ring[:f.next]...)
+	}
+	return out
+}
+
+// Total reports how many calls were ever promoted (including ones the
+// ring has since overwritten).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}
+
+// Resolve finds the most recent recording with the given trace ID —
+// the lookup an exemplar's trace_id label points at.
+func (f *FlightRecorder) Resolve(id uint64) (Recording, bool) {
+	if f == nil {
+		return Recording{}, false
+	}
+	recs := f.Recordings()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Trace.ID == id {
+			return recs[i], true
+		}
+	}
+	return Recording{}, false
+}
+
+// flightDoc is the /flightrec JSON document.
+type flightDoc struct {
+	Total      uint64      `json:"total_recorded"`
+	Capacity   int         `json:"capacity"`
+	Recordings []Recording `json:"recordings"`
+}
+
+// WriteJSON dumps the ring as a JSON document (the /flightrec
+// endpoint). Safe on a nil receiver (empty document).
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	doc := flightDoc{Total: f.Total(), Recordings: f.Recordings()}
+	if f != nil {
+		doc.Capacity = f.capacity
+	}
+	if doc.Recordings == nil {
+		doc.Recordings = []Recording{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// TraceIDString renders a trace ID the way exemplars and /flightrec
+// consumers compare them: fixed-width hex.
+func TraceIDString(id uint64) string { return fmt.Sprintf("%016x", id) }

@@ -1,0 +1,443 @@
+package obs
+
+// Structured, leveled logging — the event-log half of the diagnostic
+// layer. Gray's observation that most outages are diagnosed from event
+// logs rather than counters motivates keeping this next to the metrics
+// registry: one dependency-free package carries both signals.
+//
+// A Logger renders key-value events into up to two sinks: a bounded
+// in-memory ring (served as JSON at /logz, and dumpable as a post-
+// mortem artifact) and a text writer (stderr and/or a log file). All
+// methods are safe on a nil *Logger, so components can thread a logger
+// through unconditionally the same way they thread a nil *Tracer.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("Level(%d)", int32(l))
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Field is one key-value pair attached to an event.
+type Field struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// Event is one structured log record.
+type Event struct {
+	TimeNs    int64   `json:"time_ns"` // unix nanoseconds
+	Level     string  `json:"level"`
+	Component string  `json:"component,omitempty"`
+	Msg       string  `json:"msg"`
+	Fields    []Field `json:"fields,omitempty"`
+}
+
+// DefaultLogRing is the ring capacity used when none is given.
+const DefaultLogRing = 1024
+
+// LogRing retains the most recent events in a bounded ring; when full,
+// the oldest entries are overwritten. A nil *LogRing is safe to use
+// (events are dropped).
+type LogRing struct {
+	capacity int
+
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// NewLogRing returns a ring keeping the last capacity events
+// (DefaultLogRing when capacity <= 0).
+func NewLogRing(capacity int) *LogRing {
+	if capacity <= 0 {
+		capacity = DefaultLogRing
+	}
+	return &LogRing{capacity: capacity}
+}
+
+// Capacity reports the ring bound (0 on nil).
+func (r *LogRing) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.capacity
+}
+
+func (r *LogRing) append(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) < r.capacity {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.next] = e
+	}
+	r.next = (r.next + 1) % r.capacity
+	r.total++
+}
+
+// Events returns the retained events, oldest first.
+func (r *LogRing) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.ring))
+	if len(r.ring) < r.capacity {
+		out = append(out, r.ring...)
+	} else {
+		out = append(out, r.ring[r.next:]...)
+		out = append(out, r.ring[:r.next]...)
+	}
+	return out
+}
+
+// Total reports how many events were ever logged into the ring
+// (including ones since overwritten).
+func (r *LogRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// logzDoc is the /logz JSON document.
+type logzDoc struct {
+	Total    uint64  `json:"total_logged"`
+	Capacity int     `json:"capacity"`
+	Events   []Event `json:"events"`
+}
+
+// WriteJSON dumps the ring as a JSON document (the /logz endpoint).
+// Safe on a nil receiver (empty document).
+func (r *LogRing) WriteJSON(w io.Writer) error {
+	doc := logzDoc{Total: r.Total(), Capacity: r.Capacity(), Events: r.Events()}
+	if doc.Events == nil {
+		doc.Events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LintLogz validates a /logz document: well-formed JSON of the right
+// shape, with the events array bounded by the declared capacity. The
+// linter guards the same failure modes Lint does for /metrics — a
+// hand-rolled encoder emitting unbounded or malformed output.
+func LintLogz(data []byte) error {
+	var doc logzDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("logz: malformed JSON: %v", err)
+	}
+	if doc.Capacity <= 0 {
+		return fmt.Errorf("logz: capacity %d is not positive", doc.Capacity)
+	}
+	if len(doc.Events) > doc.Capacity {
+		return fmt.Errorf("logz: %d events exceed declared capacity %d", len(doc.Events), doc.Capacity)
+	}
+	for i, e := range doc.Events {
+		if e.Msg == "" {
+			return fmt.Errorf("logz: event %d has no msg", i)
+		}
+		if _, err := ParseLevel(e.Level); err != nil || e.Level == "" {
+			return fmt.Errorf("logz: event %d has bad level %q", i, e.Level)
+		}
+		if e.TimeNs <= 0 {
+			return fmt.Errorf("logz: event %d has bad time_ns %d", i, e.TimeNs)
+		}
+	}
+	return nil
+}
+
+// logCore is the sink state shared by a Logger and everything derived
+// from it with Named.
+type logCore struct {
+	level  atomic.Int32
+	ring   *LogRing
+	events *CounterVec // gvfs_log_events_total{level}; nil when unmetered
+
+	mu  sync.Mutex // serializes text rendering
+	out io.Writer  // nil = no text sink
+}
+
+// LoggerConfig assembles a Logger. Every sink is optional.
+type LoggerConfig struct {
+	// Level is the minimum severity that is recorded (default Info —
+	// note LevelDebug must be selected explicitly).
+	Level Level
+	// Output receives one text line per event (typically os.Stderr, or
+	// an io.MultiWriter adding a log file). Nil disables the text sink.
+	Output io.Writer
+	// Ring receives every event for /logz. Nil disables the ring sink.
+	Ring *LogRing
+	// Metrics, when set, counts emitted events per level as
+	// gvfs_log_events_total{level=...}.
+	Metrics *Registry
+}
+
+// Logger emits structured events scoped to one component. Derive
+// per-component loggers with Named; they share sinks and level.
+type Logger struct {
+	core      *logCore
+	component string
+}
+
+// NewLogger builds a logger for cfg.
+func NewLogger(cfg LoggerConfig) *Logger {
+	core := &logCore{ring: cfg.Ring, out: cfg.Output}
+	core.level.Store(int32(cfg.Level))
+	if cfg.Metrics != nil {
+		core.events = cfg.Metrics.CounterVec("gvfs_log_events_total",
+			"Structured log events emitted, by level.", "level")
+	}
+	return &Logger{core: core}
+}
+
+// Named returns a logger labeling every event with the component name.
+// Safe on nil (returns nil).
+func (l *Logger) Named(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{core: l.core, component: component}
+}
+
+// Ring returns the ring sink (nil when absent or on a nil logger).
+func (l *Logger) Ring() *LogRing {
+	if l == nil {
+		return nil
+	}
+	return l.core.ring
+}
+
+// SetLevel changes the minimum recorded severity at runtime.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.core.level.Store(int32(level))
+}
+
+// Enabled reports whether events at level would be recorded.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.core.level.Load()
+}
+
+// Debug logs a debug event. kv is alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs an informational event.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs a warning event.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs an error event.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	e := Event{
+		TimeNs:    time.Now().UnixNano(),
+		Level:     level.String(),
+		Component: l.component,
+		Msg:       msg,
+		Fields:    pairFields(kv),
+	}
+	c := l.core
+	if c.events != nil {
+		c.events.With(e.Level).Inc()
+	}
+	c.ring.append(e)
+	if c.out != nil {
+		line := renderText(e)
+		c.mu.Lock()
+		io.WriteString(c.out, line)
+		c.mu.Unlock()
+	}
+}
+
+// pairFields folds alternating key, value arguments into Fields,
+// normalizing values to JSON-friendly types. A trailing key without a
+// value, or a non-string key, is kept visibly malformed rather than
+// dropped, so bugs in call sites show up in the log itself.
+func pairFields(kv []any) []Field {
+	if len(kv) == 0 {
+		return nil
+	}
+	fields := make([]Field, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("!BADKEY(%v)", kv[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(kv) {
+			val = normalizeValue(kv[i+1])
+		}
+		fields = append(fields, Field{Key: key, Value: val})
+	}
+	return fields
+}
+
+// normalizeValue maps arbitrary values onto a small set of stable,
+// JSON-encodable types so ring entries never retain caller state.
+func normalizeValue(v any) any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case string, bool, float64, float32,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64:
+		return x
+	case time.Duration:
+		return x.String()
+	case time.Time:
+		return x.Format(time.RFC3339Nano)
+	case error:
+		return x.Error()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return fmt.Sprint(v)
+}
+
+// renderText formats one event as a single text line:
+//
+//	2026-08-06T12:00:00.000000Z INFO  gvfsproxy: shutting down sig=SIGTERM
+func renderText(e Event) string {
+	var b strings.Builder
+	b.WriteString(time.Unix(0, e.TimeNs).UTC().Format("2006-01-02T15:04:05.000000Z"))
+	b.WriteByte(' ')
+	lv := strings.ToUpper(e.Level)
+	b.WriteString(lv)
+	for i := len(lv); i < 5; i++ {
+		b.WriteByte(' ')
+	}
+	b.WriteByte(' ')
+	if e.Component != "" {
+		b.WriteString(e.Component)
+		b.WriteString(": ")
+	}
+	b.WriteString(e.Msg)
+	for _, f := range e.Fields {
+		b.WriteByte(' ')
+		b.WriteString(f.Key)
+		b.WriteByte('=')
+		b.WriteString(fieldText(f.Value))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// fieldText renders one field value for the text sink, quoting strings
+// that would be ambiguous in key=value form.
+func fieldText(v any) string {
+	s := fmt.Sprint(v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	if s == "" {
+		return `""`
+	}
+	return s
+}
+
+// LintBoundedJSON validates a generic JSON diagnostic document (the
+// /statusz endpoint): it must parse, be a JSON object, and every array
+// anywhere inside it must hold at most maxArray elements — the
+// "bounded" guarantee that a scrape can never be asked to swallow an
+// unbounded dump.
+func LintBoundedJSON(data []byte, maxArray int) error {
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("malformed JSON: %v", err)
+	}
+	if _, ok := doc.(map[string]any); !ok {
+		return fmt.Errorf("top-level value is %T, want object", doc)
+	}
+	return checkBounded(doc, maxArray, 0)
+}
+
+func checkBounded(v any, maxArray, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("nesting deeper than 64 levels")
+	}
+	switch x := v.(type) {
+	case []any:
+		if len(x) > maxArray {
+			return fmt.Errorf("array of %d elements exceeds bound %d", len(x), maxArray)
+		}
+		for _, el := range x {
+			if err := checkBounded(el, maxArray, depth+1); err != nil {
+				return err
+			}
+		}
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := checkBounded(x[k], maxArray, depth+1); err != nil {
+				return fmt.Errorf("%s: %w", k, err)
+			}
+		}
+	}
+	return nil
+}

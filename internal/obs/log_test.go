@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	ring := NewLogRing(16)
+	lg := NewLogger(LoggerConfig{Level: LevelWarn, Ring: ring})
+	lg.Debug("d")
+	lg.Info("i")
+	lg.Warn("w")
+	lg.Error("e")
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Level != "warn" || evs[1].Level != "error" {
+		t.Fatalf("wrong levels: %+v", evs)
+	}
+	lg.SetLevel(LevelDebug)
+	if !lg.Enabled(LevelDebug) {
+		t.Fatal("debug should be enabled after SetLevel")
+	}
+	lg.Debug("d2")
+	if got := len(ring.Events()); got != 3 {
+		t.Fatalf("got %d events after SetLevel, want 3", got)
+	}
+}
+
+func TestLogRingOverwritesOldest(t *testing.T) {
+	ring := NewLogRing(3)
+	lg := NewLogger(LoggerConfig{Ring: ring})
+	for i := 0; i < 5; i++ {
+		lg.Info(fmt.Sprintf("msg%d", i))
+	}
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i, want := range []string{"msg2", "msg3", "msg4"} {
+		if evs[i].Msg != want {
+			t.Errorf("event %d = %q, want %q", i, evs[i].Msg, want)
+		}
+	}
+	if ring.Total() != 5 {
+		t.Errorf("Total = %d, want 5", ring.Total())
+	}
+}
+
+func TestLoggerNamedComponent(t *testing.T) {
+	ring := NewLogRing(16)
+	root := NewLogger(LoggerConfig{Ring: ring})
+	root.Named("proxy").Info("a")
+	root.Named("breaker").Warn("b")
+	evs := ring.Events()
+	if evs[0].Component != "proxy" || evs[1].Component != "breaker" {
+		t.Fatalf("components wrong: %+v", evs)
+	}
+}
+
+type stringerVal struct{}
+
+func (stringerVal) String() string { return "stringered" }
+
+func TestPairFields(t *testing.T) {
+	fs := pairFields([]any{
+		"str", "v",
+		"dur", 250 * time.Millisecond,
+		"err", errors.New("boom"),
+		"stringer", stringerVal{},
+		42, "badkey",
+		"dangling",
+	})
+	want := []Field{
+		{Key: "str", Value: "v"},
+		{Key: "dur", Value: "250ms"},
+		{Key: "err", Value: "boom"},
+		{Key: "stringer", Value: "stringered"},
+		{Key: "!BADKEY(42)", Value: "badkey"},
+		{Key: "dangling", Value: "(MISSING)"},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("got %d fields, want %d: %+v", len(fs), len(want), fs)
+	}
+	for i := range want {
+		if fs[i] != want[i] {
+			t.Errorf("field %d = %+v, want %+v", i, fs[i], want[i])
+		}
+	}
+}
+
+func TestLoggerTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(LoggerConfig{Output: &buf}).Named("gvfsd")
+	lg.Info("started", "addr", "127.0.0.1:2049", "note", "two words")
+	line := buf.String()
+	for _, want := range []string{"INFO", "gvfsd: started", "addr=127.0.0.1:2049", `note="two words"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLogzJSONPassesLint(t *testing.T) {
+	ring := NewLogRing(8)
+	lg := NewLogger(LoggerConfig{Ring: ring})
+	lg.Info("hello", "k", 1)
+	lg.Error("bad", "err", errors.New("x"))
+	var buf bytes.Buffer
+	if err := ring.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintLogz(buf.Bytes()); err != nil {
+		t.Fatalf("LintLogz rejected own output: %v\n%s", err, buf.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["total_logged"].(float64) != 2 {
+		t.Errorf("total_logged = %v, want 2", doc["total_logged"])
+	}
+}
+
+func TestLintLogzRejects(t *testing.T) {
+	cases := map[string]string{
+		"malformed":     `{"total_logged": `,
+		"zero capacity": `{"total_logged":1,"capacity":0,"events":[]}`,
+		"overflow":      `{"total_logged":3,"capacity":1,"events":[{"time_ns":1,"level":"info","msg":"a"},{"time_ns":2,"level":"info","msg":"b"}]}`,
+		"no msg":        `{"total_logged":1,"capacity":4,"events":[{"time_ns":1,"level":"info","msg":""}]}`,
+		"bad level":     `{"total_logged":1,"capacity":4,"events":[{"time_ns":1,"level":"fatal","msg":"x"}]}`,
+		"bad time":      `{"total_logged":1,"capacity":4,"events":[{"time_ns":0,"level":"info","msg":"x"}]}`,
+	}
+	for name, in := range cases {
+		if err := LintLogz([]byte(in)); err == nil {
+			t.Errorf("%s: LintLogz accepted %s", name, in)
+		}
+	}
+}
+
+func TestLintBoundedJSON(t *testing.T) {
+	if err := LintBoundedJSON([]byte(`{"a":[1,2,3],"b":{"c":[]}}`), 3); err != nil {
+		t.Errorf("bounded doc rejected: %v", err)
+	}
+	if err := LintBoundedJSON([]byte(`{"a":[1,2,3,4]}`), 3); err == nil {
+		t.Error("over-bound array accepted")
+	}
+	if err := LintBoundedJSON([]byte(`[1,2]`), 3); err == nil {
+		t.Error("non-object top level accepted")
+	}
+	if err := LintBoundedJSON([]byte(`{"a":`), 3); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNilLoggerAndRingSafe(t *testing.T) {
+	var lg *Logger
+	lg.Info("ignored", "k", "v")
+	lg.SetLevel(LevelDebug)
+	if lg.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+	if lg.Named("x") != nil {
+		t.Error("nil logger Named should return nil")
+	}
+	if lg.Ring() != nil {
+		t.Error("nil logger Ring should return nil")
+	}
+	var ring *LogRing
+	ring.append(Event{})
+	if ring.Events() != nil || ring.Total() != 0 || ring.Capacity() != 0 {
+		t.Error("nil ring not inert")
+	}
+	var buf bytes.Buffer
+	if err := ring.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintBoundedJSON(buf.Bytes(), 10); err != nil {
+		t.Errorf("nil ring JSON not bounded-valid: %v", err)
+	}
+}
+
+func TestLoggerEventCounter(t *testing.T) {
+	reg := NewRegistry()
+	lg := NewLogger(LoggerConfig{Metrics: reg, Ring: NewLogRing(4)})
+	lg.Info("a")
+	lg.Info("b")
+	lg.Error("c")
+	snap := reg.Snapshot()
+	if got := snap.Counters[`gvfs_log_events_total{level="info"}`]; got != 2 {
+		t.Errorf("info count = %d, want 2", got)
+	}
+	if got := snap.Counters[`gvfs_log_events_total{level="error"}`]; got != 1 {
+		t.Errorf("error count = %d, want 1", got)
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	ring := NewLogRing(64)
+	var buf bytes.Buffer
+	lg := NewLogger(LoggerConfig{Ring: ring, Output: &buf})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			l := lg.Named(fmt.Sprintf("c%d", n))
+			for j := 0; j < 50; j++ {
+				l.Info("tick", "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ring.Total() != 400 {
+		t.Errorf("Total = %d, want 400", ring.Total())
+	}
+	if got := len(ring.Events()); got != 64 {
+		t.Errorf("retained %d, want 64", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("fatal"); err == nil {
+		t.Error("ParseLevel(fatal) should fail")
+	}
+}

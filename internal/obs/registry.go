@@ -13,6 +13,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -85,13 +86,37 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
 
+// Exemplar links a histogram bucket to one concrete traced call that
+// landed in it — the OpenMetrics exemplar concept, reduced to the one
+// label this system needs: a trace ID resolvable at /flightrec.
+type Exemplar struct {
+	TraceID uint64  `json:"-"`
+	Value   float64 `json:"value"`   // the observation, in seconds
+	WallNs  int64   `json:"wall_ns"` // unix nanoseconds at capture
+}
+
+// TraceIDHex is the rendered form used in exposition and JSON.
+func (e Exemplar) TraceIDHex() string { return TraceIDString(e.TraceID) }
+
+// MarshalJSON renders the trace ID in the same fixed-width hex used in
+// /metrics exposition and /flightrec, so consumers compare strings.
+func (e Exemplar) MarshalJSON() ([]byte, error) {
+	type wire struct {
+		TraceID string  `json:"trace_id"`
+		Value   float64 `json:"value"`
+		WallNs  int64   `json:"wall_ns"`
+	}
+	return json.Marshal(wire{TraceID: e.TraceIDHex(), Value: e.Value, WallNs: e.WallNs})
+}
+
 // Histogram counts observations into fixed buckets (upper bounds in
 // seconds, ascending, with an implicit +Inf overflow bucket) and keeps
 // the running sum. Observe is two atomic adds: safe on the RPC path.
 type Histogram struct {
-	bounds   []float64
-	counts   []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
-	sumNanos atomic.Int64
+	bounds    []float64
+	counts    []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sumNanos  atomic.Int64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to counts
 }
 
 // Observe records one duration.
@@ -105,6 +130,23 @@ func (h *Histogram) Observe(d time.Duration) {
 // ObserveSince records the time elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start)) }
 
+// SetExemplar attaches an exemplar to the bucket that an observation of
+// d falls into. Callers set exemplars only for calls they also promoted
+// to the flight recorder, which is what guarantees every exemplar trace
+// ID exposed at /metrics resolves at /flightrec. Last writer per bucket
+// wins — an exemplar is a pointer to recent evidence, not a sample set.
+func (h *Histogram) SetExemplar(d time.Duration, traceID uint64) {
+	if h.exemplars == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, d.Seconds())
+	h.exemplars[i].Store(&Exemplar{
+		TraceID: traceID,
+		Value:   d.Seconds(),
+		WallNs:  time.Now().UnixNano(),
+	})
+}
+
 // snapshot returns cumulative bucket counts, the total count and the
 // sum in seconds.
 func (h *Histogram) snapshot() HistogramValue {
@@ -116,7 +158,7 @@ func (h *Histogram) snapshot() HistogramValue {
 		if i < len(h.bounds) {
 			le = h.bounds[i]
 		}
-		v.Buckets[i] = Bucket{LE: le, Count: cum}
+		v.Buckets[i] = Bucket{LE: le, Count: cum, Exemplar: h.exemplars[i].Load()}
 	}
 	v.Count = cum
 	v.Sum = float64(h.sumNanos.Load()) / 1e9
@@ -126,8 +168,9 @@ func (h *Histogram) snapshot() HistogramValue {
 // Bucket is one cumulative histogram bucket: the count of observations
 // less than or equal to LE seconds.
 type Bucket struct {
-	LE    float64 `json:"le"`
-	Count uint64  `json:"count"`
+	LE       float64   `json:"le"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramValue is a point-in-time histogram reading.
@@ -232,8 +275,9 @@ func (f *family) child(vals []string) *child {
 			ch.g = &Gauge{}
 		case KindHistogram:
 			ch.h = &Histogram{
-				bounds: f.buckets,
-				counts: make([]atomic.Uint64, len(f.buckets)+1),
+				bounds:    f.buckets,
+				counts:    make([]atomic.Uint64, len(f.buckets)+1),
+				exemplars: make([]atomic.Pointer[Exemplar], len(f.buckets)+1),
 			}
 		}
 		f.children[key] = ch

@@ -190,9 +190,12 @@ func (a *Active) Span(layer, outcome string, start time.Time) {
 }
 
 // Finish stamps the total duration and commits the trace to the ring.
-func (a *Active) Finish() {
+// It returns the committed trace so callers (the flight recorder
+// promotion path) can retain the span tree without re-reading the
+// ring; on a nil receiver it returns the zero Trace.
+func (a *Active) Finish() Trace {
 	if a == nil {
-		return
+		return Trace{}
 	}
 	a.mu.Lock()
 	a.trace.DurNs = time.Since(a.start).Nanoseconds()
@@ -200,4 +203,5 @@ func (a *Active) Finish() {
 	tr.Spans = append([]Span(nil), a.trace.Spans...)
 	a.mu.Unlock()
 	a.t.record(tr)
+	return tr
 }

@@ -1,0 +1,379 @@
+package proxy
+
+// Per-file and per-client accounting, and the write-back audit log.
+// The metrics registry answers "how much, in aggregate"; these tables
+// answer the operator questions the paper's session model makes
+// specific: which file is hot, which client is issuing the op mix, and
+// where each dirty block is in the session-consistency lifecycle
+// (dirtied -> flush triggered -> WRITE committed upstream). The whole
+// surface is served as one bounded JSON document at /statusz.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+const (
+	// DefaultTopN bounds every per-file ranking in the statusz document.
+	DefaultTopN = 10
+	// DefaultAuditRing bounds the write-back audit event ring.
+	DefaultAuditRing = 128
+)
+
+// Audit event kinds and flush-trigger reasons.
+const (
+	AuditDirty   = "dirty"
+	AuditTrigger = "flush_trigger"
+	AuditCommit  = "commit"
+
+	TriggerWriteBack = "write_back" // middleware SIGUSR1 / WriteBack()
+	TriggerFlush     = "flush"      // middleware SIGUSR2 / Flush()
+	TriggerIdle      = "idle"       // idle-session background write-back
+	TriggerReplay    = "replay"     // post-recovery breaker replay
+)
+
+// FileStats is one file's row in the statusz tables.
+type FileStats struct {
+	File          string  `json:"file"`
+	Reads         uint64  `json:"reads"`
+	Writes        uint64  `json:"writes"`
+	ReadBytes     uint64  `json:"read_bytes"`
+	WriteBytes    uint64  `json:"write_bytes"`
+	BlockHits     uint64  `json:"block_hits"`
+	BlockMisses   uint64  `json:"block_misses"`
+	HitRatio      float64 `json:"hit_ratio"`
+	ZeroReads     uint64  `json:"zero_reads"`
+	ZeroSavedB    uint64  `json:"zero_saved_bytes"`
+	FileCacheHits uint64  `json:"file_cache_hits"`
+	DegradedReads uint64  `json:"degraded_reads"`
+}
+
+// ClientStats is one client's row: who they are and their op mix.
+type ClientStats struct {
+	Client        string            `json:"client"`
+	Ops           map[string]uint64 `json:"ops"`
+	ReadBytes     uint64            `json:"read_bytes"`
+	WriteBytes    uint64            `json:"write_bytes"`
+	DegradedReads uint64            `json:"degraded_reads"`
+}
+
+// AuditEvent is one step of a dirty block's lifecycle.
+type AuditEvent struct {
+	TimeNs  int64  `json:"time_ns"`
+	Kind    string `json:"kind"` // dirty | flush_trigger | commit
+	File    string `json:"file,omitempty"`
+	Block   uint64 `json:"block,omitempty"`
+	Bytes   int    `json:"bytes,omitempty"`
+	Reason  string `json:"reason,omitempty"`        // flush_trigger only
+	Pending int    `json:"pending_dirty,omitempty"` // flush_trigger only
+	AgeNs   int64  `json:"age_ns,omitempty"`        // commit: dirty-block age
+}
+
+// Statusz is the full /statusz document.
+type Statusz struct {
+	NowNs    int64 `json:"now_ns"`
+	Degraded bool  `json:"degraded"`
+	TopN     int   `json:"top_n"`
+
+	FilesTracked int                    `json:"files_tracked"`
+	Files        map[string][]FileStats `json:"files"` // ranking name -> top-N rows
+	Clients      []ClientStats          `json:"clients"`
+
+	Audit AuditLog `json:"writeback_audit"`
+}
+
+// AuditLog is the audit section of the statusz document.
+type AuditLog struct {
+	DirtyBlocks      int          `json:"dirty_blocks"`
+	OldestDirtyAgeNs int64        `json:"oldest_dirty_age_ns"`
+	TotalEvents      uint64       `json:"total_events"`
+	Capacity         int          `json:"capacity"`
+	Events           []AuditEvent `json:"events"`
+}
+
+type fileAcct struct {
+	FileStats
+}
+
+type clientAcct struct {
+	ops           map[string]uint64
+	readBytes     uint64
+	writeBytes    uint64
+	degradedReads uint64
+}
+
+// accounting holds all three tables under one mutex. Updates are one
+// short critical section per call — small next to the XDR decode each
+// call already pays.
+type accounting struct {
+	topN     int
+	auditCap int
+
+	mu         sync.Mutex
+	files      map[string]*fileAcct   // keyed by file label
+	clients    map[string]*clientAcct // keyed by client identity
+	dirtyAt    map[string]int64       // file label + block -> dirtied unix nanos
+	audit      []AuditEvent
+	auditNext  int
+	auditTotal uint64
+}
+
+func newAccounting(topN, auditCap int) *accounting {
+	if topN <= 0 {
+		topN = DefaultTopN
+	}
+	if auditCap <= 0 {
+		auditCap = DefaultAuditRing
+	}
+	return &accounting{
+		topN:     topN,
+		auditCap: auditCap,
+		files:    make(map[string]*fileAcct),
+		clients:  make(map[string]*clientAcct),
+		dirtyAt:  make(map[string]int64),
+	}
+}
+
+func (a *accounting) fileLocked(label string) *fileAcct {
+	f, ok := a.files[label]
+	if !ok {
+		f = &fileAcct{FileStats: FileStats{File: label}}
+		a.files[label] = f
+	}
+	return f
+}
+
+func (a *accounting) clientLocked(key string) *clientAcct {
+	c, ok := a.clients[key]
+	if !ok {
+		c = &clientAcct{ops: make(map[string]uint64)}
+		a.clients[key] = c
+	}
+	return c
+}
+
+// recordOp counts one handled call into the client's op mix.
+func (a *accounting) recordOp(client, proc string) {
+	a.mu.Lock()
+	a.clientLocked(client).ops[proc]++
+	a.mu.Unlock()
+}
+
+// recordRead attributes one READ to its file and client.
+func (a *accounting) recordRead(file, client, outcome string, bytes uint32, degraded bool) {
+	a.mu.Lock()
+	f := a.fileLocked(file)
+	f.Reads++
+	f.ReadBytes += uint64(bytes)
+	switch outcome {
+	case "block_hit":
+		f.BlockHits++
+	case "block_miss":
+		f.BlockMisses++
+	case "zero_filter":
+		f.ZeroReads++
+		f.ZeroSavedB += uint64(bytes)
+	case "file_cache":
+		f.FileCacheHits++
+	}
+	c := a.clientLocked(client)
+	c.readBytes += uint64(bytes)
+	if degraded {
+		f.DegradedReads++
+		c.degradedReads++
+	}
+	a.mu.Unlock()
+}
+
+// recordWrite attributes one WRITE to its file and client.
+func (a *accounting) recordWrite(file, client string, bytes int) {
+	a.mu.Lock()
+	f := a.fileLocked(file)
+	f.Writes++
+	f.WriteBytes += uint64(bytes)
+	a.clientLocked(client).writeBytes += uint64(bytes)
+	a.mu.Unlock()
+}
+
+func dirtyKey(file string, block uint64) string {
+	return fmt.Sprintf("%s#%d", file, block)
+}
+
+func (a *accounting) appendEventLocked(e AuditEvent) {
+	if len(a.audit) < a.auditCap {
+		a.audit = append(a.audit, e)
+	} else {
+		a.audit[a.auditNext] = e
+	}
+	a.auditNext = (a.auditNext + 1) % a.auditCap
+	a.auditTotal++
+}
+
+// blockDirtied opens a lifecycle: a write-back cache absorbed a write.
+// Re-dirtying an already-dirty block keeps the original timestamp, so
+// the eventual commit reports the full time the data was at risk.
+func (a *accounting) blockDirtied(file string, block uint64, bytes int) {
+	now := time.Now().UnixNano()
+	a.mu.Lock()
+	key := dirtyKey(file, block)
+	if _, dirty := a.dirtyAt[key]; !dirty {
+		a.dirtyAt[key] = now
+	}
+	a.appendEventLocked(AuditEvent{TimeNs: now, Kind: AuditDirty, File: file, Block: block, Bytes: bytes})
+	a.mu.Unlock()
+}
+
+// flushTriggered records why dirty state is about to move upstream.
+func (a *accounting) flushTriggered(reason string) {
+	now := time.Now().UnixNano()
+	a.mu.Lock()
+	a.appendEventLocked(AuditEvent{TimeNs: now, Kind: AuditTrigger, Reason: reason, Pending: len(a.dirtyAt)})
+	a.mu.Unlock()
+}
+
+// writeCommitted closes a lifecycle: the block's WRITE landed upstream.
+func (a *accounting) writeCommitted(file string, block uint64, bytes int) {
+	now := time.Now().UnixNano()
+	a.mu.Lock()
+	key := dirtyKey(file, block)
+	e := AuditEvent{TimeNs: now, Kind: AuditCommit, File: file, Block: block, Bytes: bytes}
+	if dirtied, ok := a.dirtyAt[key]; ok {
+		e.AgeNs = now - dirtied
+		delete(a.dirtyAt, key)
+	}
+	a.appendEventLocked(e)
+	a.mu.Unlock()
+}
+
+func (a *accounting) auditEventsLocked() []AuditEvent {
+	out := make([]AuditEvent, 0, len(a.audit))
+	if len(a.audit) < a.auditCap {
+		out = append(out, a.audit...)
+	} else {
+		out = append(out, a.audit[a.auditNext:]...)
+		out = append(out, a.audit[:a.auditNext]...)
+	}
+	return out
+}
+
+// rankings orders the per-file top-N tables of the statusz document.
+var rankings = []struct {
+	name string
+	key  func(*FileStats) float64
+}{
+	{"reads", func(f *FileStats) float64 { return float64(f.Reads) }},
+	{"writes", func(f *FileStats) float64 { return float64(f.Writes) }},
+	{"bytes", func(f *FileStats) float64 { return float64(f.ReadBytes + f.WriteBytes) }},
+	{"hit_ratio", func(f *FileStats) float64 { return f.HitRatio }},
+	{"zero_savings", func(f *FileStats) float64 { return float64(f.ZeroSavedB) }},
+}
+
+// snapshot assembles the statusz document.
+func (a *accounting) snapshot(degraded bool) Statusz {
+	now := time.Now().UnixNano()
+	a.mu.Lock()
+	rows := make([]FileStats, 0, len(a.files))
+	for _, f := range a.files {
+		r := f.FileStats
+		if lookups := r.BlockHits + r.BlockMisses; lookups > 0 {
+			r.HitRatio = float64(r.BlockHits) / float64(lookups)
+		}
+		rows = append(rows, r)
+	}
+	clients := make([]ClientStats, 0, len(a.clients))
+	for key, c := range a.clients {
+		ops := make(map[string]uint64, len(c.ops))
+		for p, n := range c.ops {
+			ops[p] = n
+		}
+		clients = append(clients, ClientStats{
+			Client: key, Ops: ops,
+			ReadBytes: c.readBytes, WriteBytes: c.writeBytes,
+			DegradedReads: c.degradedReads,
+		})
+	}
+	var oldest int64
+	for _, at := range a.dirtyAt {
+		if age := now - at; age > oldest {
+			oldest = age
+		}
+	}
+	audit := AuditLog{
+		DirtyBlocks:      len(a.dirtyAt),
+		OldestDirtyAgeNs: oldest,
+		TotalEvents:      a.auditTotal,
+		Capacity:         a.auditCap,
+		Events:           a.auditEventsLocked(),
+	}
+	a.mu.Unlock()
+
+	doc := Statusz{
+		NowNs:        now,
+		Degraded:     degraded,
+		TopN:         a.topN,
+		FilesTracked: len(rows),
+		Files:        make(map[string][]FileStats, len(rankings)),
+		Clients:      clients,
+		Audit:        audit,
+	}
+	sort.Slice(doc.Clients, func(i, j int) bool { return doc.Clients[i].Client < doc.Clients[j].Client })
+	for _, r := range rankings {
+		sorted := append([]FileStats(nil), rows...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			ki, kj := r.key(&sorted[i]), r.key(&sorted[j])
+			if ki != kj {
+				return ki > kj
+			}
+			return sorted[i].File < sorted[j].File
+		})
+		if len(sorted) > a.topN {
+			sorted = sorted[:a.topN]
+		}
+		doc.Files[r.name] = sorted
+	}
+	// Bound the client table the same way the file tables are bounded.
+	if len(doc.Clients) > a.topN {
+		doc.Clients = doc.Clients[:a.topN]
+	}
+	return doc
+}
+
+// Statusz returns the proxy's accounting snapshot.
+func (p *Proxy) Statusz() Statusz {
+	return p.acct.snapshot(p.degraded())
+}
+
+// WriteStatusz renders the /statusz JSON document.
+func (p *Proxy) WriteStatusz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Statusz())
+}
+
+// fileLabel names a file for the accounting tables: the path when the
+// proxy has resolved one (MNT/LOOKUP observed), else the handle bytes.
+func (p *Proxy) fileLabel(fh nfs3.FH) string {
+	if info, ok := p.pathOf(fh); ok && info.full != "" {
+		return info.full
+	}
+	return fmt.Sprintf("fh:%x", string(fh))
+}
+
+// clientLabel identifies the calling client: the AUTH_UNIX machine
+// name and UID when present, else the transport peer address.
+func clientLabel(c *sunrpc.Call) string {
+	if cred, err := sunrpc.DecodeUnixCred(c.Cred); err == nil {
+		return fmt.Sprintf("%s/uid=%d", cred.MachineName, cred.UID)
+	}
+	if c.RemoteAddr != nil {
+		return c.RemoteAddr.String()
+	}
+	return "unknown"
+}

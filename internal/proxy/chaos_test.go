@@ -9,12 +9,17 @@ package proxy_test
 import (
 	"bytes"
 	"crypto/sha256"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	gvfs "gvfs"
 	"gvfs/internal/cache"
 	"gvfs/internal/memfs"
+	"gvfs/internal/obs"
 	"gvfs/internal/simnet"
 	"gvfs/internal/stack"
 )
@@ -47,17 +52,68 @@ func startChaosChain(t *testing.T, fs *memfs.FS, wan *simnet.Link,
 			BlockSize: 8192, Policy: cache.WriteBack}
 		opts.CacheConfig = &cfg
 	}
+	// When GVFS_CHAOS_LOG_DIR is set (CI sets it), the client proxy
+	// runs a ring-only structured logger plus a flight recorder, and a
+	// failing test dumps those surfaces as post-mortem artifacts.
+	var logRing *obs.LogRing
+	if os.Getenv("GVFS_CHAOS_LOG_DIR") != "" {
+		logRing = obs.NewLogRing(512)
+		opts.Logger = obs.NewLogger(obs.LoggerConfig{Level: obs.LevelDebug, Ring: logRing})
+		if opts.FlightRing == 0 {
+			opts.FlightRing = 64
+		}
+	}
 	node, err := stack.StartProxy(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(node.Close)
+	if logRing != nil {
+		dumpChaosDiagnostics(t, logRing, node) // registered after node.Close: dumps before it
+	}
 	sess, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { sess.Close() })
 	return server, node, sess
+}
+
+// dumpChaosDiagnostics registers a cleanup that, if the test failed,
+// writes the client proxy's log ring, statusz accounting document and
+// flight recordings into $GVFS_CHAOS_LOG_DIR for artifact upload.
+func dumpChaosDiagnostics(t *testing.T, ring *obs.LogRing, node *stack.Node) {
+	t.Helper()
+	dir := os.Getenv("GVFS_CHAOS_LOG_DIR")
+	base := strings.ReplaceAll(t.Name(), "/", "_")
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("chaos diagnostics: %v", err)
+			return
+		}
+		dump := func(kind string, write func(io.Writer) error) {
+			path := filepath.Join(dir, base+"."+kind+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Logf("chaos diagnostics: %v", err)
+				return
+			}
+			defer f.Close()
+			if err := write(f); err != nil {
+				t.Logf("chaos diagnostics: %s: %v", kind, err)
+				return
+			}
+			t.Logf("chaos diagnostics: wrote %s", path)
+		}
+		dump("logz", ring.WriteJSON)
+		dump("statusz", node.Proxy.WriteStatusz)
+		if node.Flight != nil {
+			dump("flightrec", node.Flight.WriteJSON)
+		}
+	})
 }
 
 func TestChaosLossAndFlapWholeFileRead(t *testing.T) {

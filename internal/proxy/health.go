@@ -77,6 +77,8 @@ func (h *health) failure() {
 	h.mu.Unlock()
 	if trip {
 		h.p.stats.breakerOpens.Add(1)
+		h.p.log.Warn("circuit breaker opened; serving degraded from cache",
+			"consecutive_failures", h.threshold)
 	}
 }
 
@@ -99,6 +101,7 @@ func (h *health) probeLoop() {
 			h.fails = 0
 			h.probing = false
 			h.mu.Unlock()
+			h.p.log.Info("circuit breaker closed; upstream answered probe")
 			go h.p.replayAfterRecovery()
 			return
 		}
@@ -154,8 +157,11 @@ func (p *Proxy) probeUpstream() error {
 // next recovery.
 func (p *Proxy) replayAfterRecovery() {
 	p.stats.replays.Add(1)
+	p.acct.flushTriggered(TriggerReplay)
+	p.log.Info("replaying write-back state after recovery")
 	if p.cfg.BlockCache != nil && !p.cfg.BlockCache.Config().ReadOnly {
 		if err := p.cfg.BlockCache.WriteBackAll(); err != nil {
+			p.log.Warn("post-recovery replay failed; data stays dirty", "err", err)
 			return
 		}
 	}

@@ -51,7 +51,7 @@ func (p *Proxy) StartIdleWriteBack(idle time.Duration) (stop func()) {
 			}
 			// Best-effort: failures leave the data dirty for the next
 			// tick (or an explicit middleware flush).
-			_ = p.WriteBack()
+			_ = p.writeBackReason(TriggerIdle)
 		}
 	}()
 	return func() {

@@ -25,6 +25,16 @@ func (p *Proxy) synthesizedAttr(fh nfs3.FH) *nfs3.Fattr {
 	return nil
 }
 
+// accountRead feeds one finished READ into both the per-outcome
+// latency histogram and the per-file / per-client accounting tables.
+// Degraded reads are attributed to the file and client that issued
+// them, so /statusz shows who was served from cache during an outage.
+func (p *Proxy) accountRead(c *sunrpc.Call, fh nfs3.FH, outcome string, count uint32, start time.Time) {
+	p.stats.observeRead(outcome, start)
+	served := outcome == "block_hit" || outcome == "file_cache" || outcome == "zero_filter"
+	p.acct.recordRead(p.fileLabel(fh), clientLabel(c), outcome, count, served && p.degraded())
+}
+
 func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	args, err := nfs3.DecodeReadArgs(c.Args)
 	if err != nil {
@@ -40,14 +50,14 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 				if err := p.ensureFetched(args.FH, ms); err == nil {
 					res, stat := p.readFromFileCache(args)
 					tr.Span(obs.LayerFileCache, "hit", start)
-					p.stats.observeRead("file_cache", start)
+					p.accountRead(c, args.FH, "file_cache", args.Count, start)
 					return res, stat
 				}
 				// Channel failure: fall through to block-based path.
 			} else if ms.m.HasZeroMap() && rangeIsZero(ms.m, args.Offset, args.Count) {
 				res, stat := p.zeroReply(args, ms.m)
 				tr.Span(obs.LayerZeroFilter, "hit", start)
-				p.stats.observeRead("zero_filter", start)
+				p.accountRead(c, args.FH, "zero_filter", args.Count, start)
 				return res, stat
 			}
 		}
@@ -58,14 +68,14 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
 			res, stat := p.readFromFileCache(args)
 			tr.Span(obs.LayerFileCache, "hit", start)
-			p.stats.observeRead("file_cache", start)
+			p.accountRead(c, args.FH, "file_cache", args.Count, start)
 			return res, stat
 		}
 	}
 
 	if p.cfg.BlockCache == nil {
 		res, stat := p.forward(c, tr)
-		p.stats.observeRead("forwarded", start)
+		p.accountRead(c, args.FH, "forwarded", args.Count, start)
 		return res, stat
 	}
 	bs := uint64(p.cfg.BlockCache.BlockSize())
@@ -76,7 +86,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 			return nil, sunrpc.SystemErr
 		}
 		res, stat := p.forward(c, tr)
-		p.stats.observeRead("forwarded", start)
+		p.accountRead(c, args.FH, "forwarded", args.Count, start)
 		return res, stat
 	}
 	block := args.Offset / bs
@@ -86,7 +96,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		p.stats.readHits.Add(1)
 		p.maybePrefetch(args.FH, block)
 		res, stat := p.cachedReadReply(args, data)
-		p.stats.observeRead("block_hit", start)
+		p.accountRead(c, args.FH, "block_hit", args.Count, start)
 		return res, stat
 	}
 	// A prefetch of this block may already be in flight: join it
@@ -97,7 +107,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 			p.stats.readHits.Add(1)
 			p.maybePrefetch(args.FH, block)
 			res, stat := p.cachedReadReply(args, data)
-			p.stats.observeRead("block_hit", start)
+			p.accountRead(c, args.FH, "block_hit", args.Count, start)
 			return res, stat
 		}
 	}
@@ -105,12 +115,12 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	p.stats.readMisses.Add(1)
 	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {
-		p.stats.observeRead("error", start)
+		p.accountRead(c, args.FH, "error", args.Count, start)
 		return res, stat
 	}
 	r, err := nfs3.DecodeReadRes(res)
 	if err != nil || r.Status != nfs3.OK {
-		p.stats.observeRead("error", start)
+		p.accountRead(c, args.FH, "error", args.Count, start)
 		return res, stat
 	}
 	if r.Attr != nil {
@@ -124,7 +134,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		}
 	}
 	p.maybePrefetch(args.FH, block)
-	p.stats.observeRead("block_miss", start)
+	p.accountRead(c, args.FH, "block_miss", args.Count, start)
 	return res, stat
 }
 
@@ -243,6 +253,7 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 			}
 			p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 			p.stats.writesAbsorbed.Add(1)
+			p.acct.recordWrite(p.fileLabel(args.FH), clientLabel(c), len(args.Data))
 			tr.Span(obs.LayerFileCache, "absorb", start)
 			return p.absorbedWriteReply(args), sunrpc.Success
 		}
@@ -271,6 +282,9 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 	}
 	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 	p.stats.writesAbsorbed.Add(1)
+	file := p.fileLabel(args.FH)
+	p.acct.recordWrite(file, clientLabel(c), len(args.Data))
+	p.acct.blockDirtied(file, block, len(args.Data))
 	tr.Span(obs.LayerBlockCache, "absorb", start)
 	return p.absorbedWriteReply(args), sunrpc.Success
 }
@@ -340,6 +354,7 @@ func (p *Proxy) absorbedWriteReply(args *nfs3.WriteArgs) []byte {
 func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	res, stat := p.forward(c, tr)
 	p.stats.writesForwarded.Add(1)
+	p.acct.recordWrite(p.fileLabel(args.FH), clientLabel(c), len(args.Data))
 	if stat != sunrpc.Success {
 		return res, stat
 	}
@@ -492,6 +507,14 @@ func (p *Proxy) ensureFetched(fh nfs3.FH, ms *metaState) error {
 // WriteBack propagates all dirty state upstream while keeping it
 // cached. The gvfsproxy daemon binds this to SIGUSR1.
 func (p *Proxy) WriteBack() error {
+	return p.writeBackReason(TriggerWriteBack)
+}
+
+// writeBackReason is WriteBack with the audit-log trigger reason
+// attributed to whichever path asked (middleware signal, idle-session
+// writer, post-recovery replay).
+func (p *Proxy) writeBackReason(reason string) error {
+	p.acct.flushTriggered(reason)
 	if p.cfg.BlockCache != nil {
 		if err := p.cfg.BlockCache.WriteBackAll(); err != nil {
 			return err
@@ -504,6 +527,7 @@ func (p *Proxy) WriteBack() error {
 // the session's ownership of the data. The gvfsproxy daemon binds this
 // to SIGUSR2.
 func (p *Proxy) Flush() error {
+	p.acct.flushTriggered(TriggerFlush)
 	if p.cfg.BlockCache != nil {
 		if err := p.cfg.BlockCache.Flush(); err != nil {
 			return err

@@ -82,20 +82,29 @@ func newCounters(reg *obs.Registry) *counters {
 	return c
 }
 
-// observeRPC records one handled call into the per-procedure histogram.
-func (c *counters) observeRPC(prog, proc uint32, d time.Duration) {
+// rpcHist resolves the per-procedure latency histogram for one call.
+func (c *counters) rpcHist(prog, proc uint32) *obs.Histogram {
 	switch prog {
 	case nfs3.Program:
 		if int(proc) < len(c.nfsDur) {
-			c.nfsDur[proc].Observe(d)
-		} else {
-			c.otherDur.Observe(d)
+			return c.nfsDur[proc]
 		}
+		return c.otherDur
 	case nfs3.MountProgram:
-		c.mountDur.Observe(d)
-	default:
-		c.otherDur.Observe(d)
+		return c.mountDur
 	}
+	return c.otherDur
+}
+
+// observeRPC records one handled call into the per-procedure histogram.
+func (c *counters) observeRPC(prog, proc uint32, d time.Duration) {
+	c.rpcHist(prog, proc).Observe(d)
+}
+
+// setExemplar links the latency bucket an observation of d fell into
+// to a flight-recorded trace.
+func (c *counters) setExemplar(prog, proc uint32, d time.Duration, traceID uint64) {
+	c.rpcHist(prog, proc).SetExemplar(d, traceID)
 }
 
 // observeRead records one READ into the per-outcome histogram.
@@ -141,6 +150,9 @@ func (p *Proxy) MetricsRegistry() *obs.Registry { return p.stats.registry }
 
 // Tracer returns the proxy's trace ring (nil when tracing is off).
 func (p *Proxy) Tracer() *obs.Tracer { return p.cfg.Tracer }
+
+// Flight returns the proxy's flight recorder (nil when disabled).
+func (p *Proxy) Flight() *obs.FlightRecorder { return p.cfg.Flight }
 
 // Snapshot reads every instrument the proxy and its bridged subsystems
 // publish. This replaces the disjoint Stats surfaces.

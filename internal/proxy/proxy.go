@@ -101,6 +101,24 @@ type Config struct {
 	// (see sunrpc.TraceContext) so cascaded proxies that also trace
 	// record the same trace ID at increasing hop counts.
 	Tracer *obs.Tracer
+
+	// Logger, when set, receives structured events (breaker
+	// transitions, write-back replays). The proxy derives a "proxy"
+	// component logger from it; nil disables event logging.
+	Logger *obs.Logger
+
+	// Flight, when set, promotes interesting calls — slower than the
+	// recorder's per-proc threshold, failed, or handled while the
+	// breaker was open — into the flight recorder ring, and attaches a
+	// matching exemplar to the call's latency histogram bucket.
+	// Requires Tracer; without one there is no span tree to promote.
+	Flight *obs.FlightRecorder
+
+	// StatuszTopN bounds every ranking in the /statusz accounting
+	// document (default DefaultTopN). AuditRing bounds the write-back
+	// audit event ring (default DefaultAuditRing).
+	StatuszTopN int
+	AuditRing   int
 }
 
 // Stats counts proxy activity.
@@ -159,7 +177,9 @@ type Proxy struct {
 	credMu   sync.RWMutex
 	lastCred sunrpc.OpaqueAuth // most recent client credential
 
-	stats *counters // instruments in the unified obs registry
+	stats *counters   // instruments in the unified obs registry
+	acct  *accounting // per-file / per-client tables + write-back audit
+	log   *obs.Logger // component-scoped event logger (nil-safe)
 
 	ra   *readAhead                // nil unless Config.ReadAhead > 0
 	idle atomic.Pointer[idleState] // nil unless StartIdleWriteBack was called
@@ -185,6 +205,8 @@ func New(cfg Config) (*Proxy, error) {
 		sizes: make(map[string]uint64),
 		metas: make(map[string]*metaState),
 		stats: newCounters(reg),
+		acct:  newAccounting(cfg.StatuszTopN, cfg.AuditRing),
+		log:   cfg.Logger.Named("proxy"),
 		done:  make(chan struct{}),
 	}
 	p.registerBridges(reg)
@@ -279,9 +301,11 @@ func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	start := time.Now()
 	p.stats.calls.Add(1)
 	p.rememberCred(c.Cred)
+	p.acct.recordOp(clientLabel(c), procLabel(c.Prog, c.Proc))
 	if idle := p.idle.Load(); idle != nil {
 		idle.touch()
 	}
+	degradedAtEntry := p.degraded()
 	tr := p.startTrace(c)
 	var res []byte
 	stat := sunrpc.ProgUnavail
@@ -291,9 +315,39 @@ func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	case nfs3.Program:
 		res, stat = p.handleNFS(c, tr)
 	}
-	p.stats.observeRPC(c.Prog, c.Proc, time.Since(start))
-	tr.Finish()
+	d := time.Since(start)
+	p.stats.observeRPC(c.Prog, c.Proc, d)
+	trace := tr.Finish()
+	p.maybePromote(c, trace, d, stat, degradedAtEntry)
 	return res, stat
+}
+
+// maybePromote moves an interesting call's span tree into the flight
+// recorder and links the call's latency bucket to it with an exemplar.
+// Exemplars are set ONLY here, so every exemplar trace ID exposed at
+// /metrics is guaranteed to resolve against /flightrec (until the
+// recording ring overwrites it).
+func (p *Proxy) maybePromote(c *sunrpc.Call, trace obs.Trace, d time.Duration, stat sunrpc.AcceptStat, degraded bool) {
+	f := p.cfg.Flight
+	if f == nil || trace.ID == 0 {
+		return
+	}
+	var reason string
+	switch {
+	case stat != sunrpc.Success:
+		reason = obs.ReasonError
+	case degraded:
+		reason = obs.ReasonBreakerOpen
+	case f.ShouldRecord(trace.Proc, d):
+		reason = obs.ReasonSlow
+	default:
+		return
+	}
+	f.Record(trace, reason)
+	p.stats.setExemplar(c.Prog, c.Proc, d, trace.ID)
+	p.log.Debug("call promoted to flight recorder",
+		"proc", trace.Proc, "trace_id", obs.TraceIDString(trace.ID),
+		"reason", reason, "dur", d)
 }
 
 func (p *Proxy) handleMount(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
@@ -400,6 +454,10 @@ func (p *Proxy) upstreamWrite(fh nfs3.FH, off uint64, data []byte) error {
 	}
 	if r.Status != nfs3.OK {
 		return &nfs3.Error{Status: r.Status, Op: "write-back"}
+	}
+	if p.cfg.BlockCache != nil {
+		bs := uint64(p.cfg.BlockCache.BlockSize())
+		p.acct.writeCommitted(p.fileLabel(fh), off/bs, len(data))
 	}
 	return nil
 }

@@ -3,12 +3,64 @@ package stack
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"gvfs/internal/cache"
+	"gvfs/internal/obs"
 	"gvfs/internal/tunnel"
 )
+
+// LogFlags collects the structured-logging knobs shared by every GVFS
+// daemon (gvfsproxy and gvfsd bind the same three flags). Logger()
+// turns the parsed values into the process logger.
+type LogFlags struct {
+	Level string // minimum severity recorded
+	File  string // optional log file appended alongside stderr
+	Ring  int    // /logz ring capacity (0 = no ring)
+}
+
+// BindLogFlags registers the logging flags on fs.
+func BindLogFlags(fs *flag.FlagSet) *LogFlags {
+	f := &LogFlags{}
+	fs.StringVar(&f.Level, "log-level", "info", "minimum log severity: debug | info | warn | error")
+	fs.StringVar(&f.File, "log-file", "", "append structured log lines to this file as well as stderr")
+	fs.IntVar(&f.Ring, "log-ring", obs.DefaultLogRing, "retain the last N structured events for /logz (0 = no ring)")
+	return f
+}
+
+// Logger builds the daemon's structured logger from the parsed flags:
+// text lines to stderr (plus -log-file when given), a bounded event
+// ring for /logz, and per-level counters in metrics. The returned
+// close function releases the log file; call it at shutdown.
+func (f *LogFlags) Logger(component string, metrics *obs.Registry) (*obs.Logger, func(), error) {
+	level, err := obs.ParseLevel(f.Level)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out io.Writer = os.Stderr
+	closeFn := func() {}
+	if f.File != "" {
+		fl, err := os.OpenFile(f.File, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open log file: %w", err)
+		}
+		out = io.MultiWriter(os.Stderr, fl)
+		closeFn = func() { fl.Close() }
+	}
+	var ring *obs.LogRing
+	if f.Ring > 0 {
+		ring = obs.NewLogRing(f.Ring)
+	}
+	log := obs.NewLogger(obs.LoggerConfig{
+		Level:   level,
+		Output:  out,
+		Ring:    ring,
+		Metrics: metrics,
+	})
+	return log.Named(component), closeFn, nil
+}
 
 // ProxyFlags collects every command-line knob of a proxy daemon in one
 // struct, replacing the loose flag variables gvfsproxy used to declare
@@ -20,8 +72,20 @@ type ProxyFlags struct {
 	// Daemon-level settings (not part of ProxyOptions).
 	Listen      string        // listen address for local NFS clients
 	StatsEvery  time.Duration // periodic stats logging (0 = off)
-	MetricsAddr string        // /metrics + /debug HTTP endpoint (empty = off)
+	MetricsAddr string        // observability HTTP endpoint (empty = off)
 	TraceRing   int           // request-trace ring capacity (0 = off)
+
+	// Flight recorder (see obs.FlightRecorder).
+	FlightRing    int           // retained slow/error recordings (0 = off)
+	SlowThreshold time.Duration // latency that promotes a call (0 = default)
+
+	// Statusz accounting bounds.
+	StatuszTopN int // rows per /statusz ranking (0 = default)
+	AuditRing   int // write-back audit events retained (0 = default)
+
+	// Log holds the shared logging flags (also bindable standalone via
+	// BindLogFlags for daemons that are not proxies, like gvfsd).
+	Log *LogFlags
 
 	// Chain topology.
 	Upstream string // next hop address
@@ -76,8 +140,13 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.BoolVar(&f.DegradedReads, "degraded-reads", false, "serve cached data while the upstream is unreachable")
 	fs.IntVar(&f.FailureThreshold, "failure-threshold", 0, "consecutive upstream failures that open the circuit breaker (0 = default)")
 	fs.DurationVar(&f.ProbeInterval, "probe-interval", 0, "recovery probe period while the breaker is open (0 = default)")
-	fs.StringVar(&f.MetricsAddr, "metrics", "", "serve /metrics, /traces and /debug on this address (empty = off)")
+	fs.StringVar(&f.MetricsAddr, "metrics", "", "serve /metrics, /traces, /logz, /flightrec, /statusz and /debug on this address (empty = off)")
 	fs.IntVar(&f.TraceRing, "trace-ring", 0, "keep the last N request traces for /traces (0 = tracing off)")
+	fs.IntVar(&f.FlightRing, "flightrec", 0, "retain the last N slow/error call recordings for /flightrec (0 = off)")
+	fs.DurationVar(&f.SlowThreshold, "slow-threshold", 0, "latency that promotes a call to the flight recorder (0 = default 100ms)")
+	fs.IntVar(&f.StatuszTopN, "statusz-topn", 0, "rows per /statusz ranking (0 = default)")
+	fs.IntVar(&f.AuditRing, "audit-ring", 0, "write-back audit events retained for /statusz (0 = default)")
+	f.Log = BindLogFlags(fs)
 	return f
 }
 
@@ -135,6 +204,10 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 		FailureThreshold:    f.FailureThreshold,
 		ProbeInterval:       f.ProbeInterval,
 		TraceRing:           f.TraceRing,
+		FlightRing:          f.FlightRing,
+		SlowThreshold:       f.SlowThreshold,
+		StatuszTopN:         f.StatuszTopN,
+		AuditRing:           f.AuditRing,
 	}
 	if f.CacheDir != "" {
 		opts.CacheConfig = &cache.Config{

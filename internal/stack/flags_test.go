@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -44,6 +45,9 @@ func TestProxyFlagsFullCommandLine(t *testing.T) {
 		"-idle-writeback", "5s", "-call-timeout", "2s", "-max-retries", "3",
 		"-degraded-reads", "-failure-threshold", "7", "-probe-interval", "1s",
 		"-metrics", "127.0.0.1:9049", "-trace-ring", "256",
+		"-flightrec", "128", "-slow-threshold", "150ms",
+		"-statusz-topn", "7", "-audit-ring", "64",
+		"-log-level", "debug", "-log-file", "/tmp/gvfs.log", "-log-ring", "512",
 	)
 	if f.Listen != "127.0.0.1:9999" || f.MetricsAddr != "127.0.0.1:9049" || f.StatsEvery != 0 {
 		t.Errorf("daemon fields wrong: %+v", f)
@@ -85,6 +89,53 @@ func TestProxyFlagsFullCommandLine(t *testing.T) {
 	}
 	if opts.TraceRing != 256 {
 		t.Errorf("TraceRing = %d, want 256", opts.TraceRing)
+	}
+	if opts.FlightRing != 128 || opts.SlowThreshold != 150*time.Millisecond {
+		t.Errorf("flight recorder knobs wrong: ring=%d slow=%v", opts.FlightRing, opts.SlowThreshold)
+	}
+	if opts.StatuszTopN != 7 || opts.AuditRing != 64 {
+		t.Errorf("accounting knobs wrong: topn=%d audit=%d", opts.StatuszTopN, opts.AuditRing)
+	}
+	if f.Log == nil {
+		t.Fatal("BindProxyFlags must bind log flags")
+	}
+	if f.Log.Level != "debug" || f.Log.File != "/tmp/gvfs.log" || f.Log.Ring != 512 {
+		t.Errorf("log flags wrong: %+v", f.Log)
+	}
+}
+
+func TestLogFlagsLogger(t *testing.T) {
+	logFile := filepath.Join(t.TempDir(), "out.log")
+	fs := flag.NewFlagSet("gvfsd", flag.ContinueOnError)
+	lf := BindLogFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "warn", "-log-file", logFile, "-log-ring", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	logger, closeLog, err := lf.Logger("testd", nil)
+	if err != nil {
+		t.Fatalf("Logger: %v", err)
+	}
+	defer closeLog()
+	logger.Info("below threshold")
+	logger.Warn("at threshold", "k", "v")
+	data, err := os.ReadFile(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "at threshold") || strings.Contains(out, "below threshold") {
+		t.Errorf("level filter not applied to file sink:\n%s", out)
+	}
+	if ring := logger.Ring(); ring == nil {
+		t.Error("-log-ring 8 must attach a ring")
+	} else if evs := ring.Events(); len(evs) != 1 || evs[0].Msg != "at threshold" {
+		t.Errorf("ring events = %+v, want the single warn event", evs)
+	}
+
+	// An unknown level is an error.
+	bad := &LogFlags{Level: "shout"}
+	if _, _, err := bad.Logger("testd", nil); err == nil {
+		t.Error("bogus -log-level must be rejected")
 	}
 }
 

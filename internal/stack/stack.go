@@ -7,6 +7,7 @@
 package stack
 
 import (
+	"sync"
 	"time"
 
 	"fmt"
@@ -29,10 +30,11 @@ import (
 // Node is one running RPC endpoint (server or proxy).
 type Node struct {
 	Addr       string
-	Proxy      *proxy.Proxy  // nil for end servers
-	BlockCache *cache.Cache  // nil unless the proxy has a disk cache
-	Metrics    *obs.Registry // the proxy's registry (nil for end servers)
-	Tracer     *obs.Tracer   // the proxy's trace ring (nil unless enabled)
+	Proxy      *proxy.Proxy        // nil for end servers
+	BlockCache *cache.Cache        // nil unless the proxy has a disk cache
+	Metrics    *obs.Registry       // the proxy's registry (nil for end servers)
+	Tracer     *obs.Tracer         // the proxy's trace ring (nil unless enabled)
+	Flight     *obs.FlightRecorder // the proxy's flight recorder (nil unless enabled)
 	rpcSrv     *sunrpc.Server
 	listener   net.Listener
 	extra      []func() // additional cleanup
@@ -249,6 +251,23 @@ type ProxyOptions struct {
 	// TraceRing, when positive, enables request tracing with a ring of
 	// this capacity (reachable via Node.Tracer).
 	TraceRing int
+
+	// FlightRing, when positive, enables the flight recorder with a
+	// ring of this capacity (reachable via Node.Flight). The recorder
+	// needs span trees, so tracing is enabled implicitly (with a
+	// DefaultRing-sized ring) if TraceRing is zero.
+	FlightRing int
+	// SlowThreshold is the latency that promotes a call into the
+	// flight recorder (0 = obs.DefaultSlowThreshold).
+	SlowThreshold time.Duration
+
+	// Logger, when set, gives the proxy a structured event log.
+	Logger *obs.Logger
+
+	// StatuszTopN bounds each /statusz ranking; AuditRing bounds the
+	// write-back audit trail (0 = package defaults).
+	StatuszTopN int
+	AuditRing   int
 }
 
 // StartProxy runs a GVFS proxy node.
@@ -282,9 +301,20 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		FailureThreshold: opts.FailureThreshold,
 		ProbeInterval:    opts.ProbeInterval,
 		Metrics:          opts.Metrics,
+		Logger:           opts.Logger,
+		StatuszTopN:      opts.StatuszTopN,
+		AuditRing:        opts.AuditRing,
 	}
 	if opts.TraceRing > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceRing)
+	}
+	if opts.FlightRing > 0 {
+		// Flight recordings are span trees, so the recorder implies
+		// tracing even when the daemon did not ask for /traces.
+		if cfg.Tracer == nil {
+			cfg.Tracer = obs.NewTracer(obs.DefaultRing)
+		}
+		cfg.Flight = obs.NewFlightRecorder(opts.FlightRing, opts.SlowThreshold)
 	}
 	var cleanup []func()
 	cleanup = append(cleanup, func() { upstream.Close() })
@@ -354,8 +384,48 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	}
 	go srv.Serve(l)
 	return &Node{Addr: l.Addr().String(), Proxy: p, BlockCache: blockCache,
-		Metrics: p.MetricsRegistry(), Tracer: cfg.Tracer,
+		Metrics: p.MetricsRegistry(), Tracer: cfg.Tracer, Flight: cfg.Flight,
 		rpcSrv: srv, listener: l, extra: cleanup}, nil
+}
+
+// StartStatsLogger emits one structured "stats" event for p at every
+// interval — the replacement for the per-daemon printf stats loops.
+// It returns a stop function; calling it more than once is safe.
+func StartStatsLogger(log *obs.Logger, p *proxy.Proxy, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			st := p.Stats()
+			log.Info("stats",
+				"calls", st.Calls,
+				"hits", st.ReadHits,
+				"misses", st.ReadMisses,
+				"zero", st.ZeroFiltered,
+				"filechan_reads", st.FileChanReads,
+				"filechan_fetches", st.FileChanFetch,
+				"absorbed", st.WritesAbsorbed,
+				"prefetched", st.Prefetched,
+				"retries", st.Retries,
+				"reconnects", st.Reconnects,
+				"timeouts", st.Timeouts,
+				"breaker_opens", st.BreakerOpens,
+				"fast_fails", st.BreakerFastFails,
+				"probes", st.Probes,
+				"replays", st.Replays,
+				"degraded_reads", st.DegradedReads,
+				"degraded", p.Degraded(),
+			)
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // ImageServer bundles the services running on a paper "image server":
@@ -399,10 +469,14 @@ type ImageServerOptions struct {
 	Encrypt bool
 	// IdentityBase/IdentityCount configure the logical account pool.
 	IdentityBase, IdentityCount uint32
-	// Metrics and TraceRing pass through to the server-side proxy (see
-	// ProxyOptions fields of the same names).
-	Metrics   *obs.Registry
-	TraceRing int
+	// Metrics, TraceRing, FlightRing, SlowThreshold and Logger pass
+	// through to the server-side proxy (see ProxyOptions fields of the
+	// same names).
+	Metrics       *obs.Registry
+	TraceRing     int
+	FlightRing    int
+	SlowThreshold time.Duration
+	Logger        *obs.Logger
 }
 
 // StartImageServer assembles a full image server around fs.
@@ -425,12 +499,15 @@ func StartImageServer(fs *memfs.FS, opts ImageServerOptions) (*ImageServer, erro
 	}
 	alloc := auth.NewAllocator(base, count, identityTTL)
 	proxyNode, err := StartProxy(ProxyOptions{
-		UpstreamAddr: nfsNode.Addr,
-		ListenLink:   opts.Link,
-		ListenKey:    key,
-		Mapper:       auth.NewMapper(alloc),
-		Metrics:      opts.Metrics,
-		TraceRing:    opts.TraceRing,
+		UpstreamAddr:  nfsNode.Addr,
+		ListenLink:    opts.Link,
+		ListenKey:     key,
+		Mapper:        auth.NewMapper(alloc),
+		Metrics:       opts.Metrics,
+		TraceRing:     opts.TraceRing,
+		FlightRing:    opts.FlightRing,
+		SlowThreshold: opts.SlowThreshold,
+		Logger:        opts.Logger,
 	})
 	if err != nil {
 		nfsNode.Close()
