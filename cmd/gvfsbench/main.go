@@ -9,7 +9,7 @@
 //	gvfsbench -experiment fig4 -scale 16 -v
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, zerofilter,
-// concurrency, all.
+// concurrency, crash, all.
 // Data sizes and compute times are the paper's divided by -scale;
 // network latency and bandwidth always use the paper's calibrated
 // values, so measured seconds × scale estimate paper-scale seconds.
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
@@ -53,10 +53,11 @@ func main() {
 		"ablation-readahead":   o.RunAblationReadAhead,
 		"trace":                o.RunTrace,
 		"flightrec":            o.RunFlightRec,
+		"crash":                o.RunCrash,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace", "flightrec"}
+		"trace", "flightrec", "crash"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -11,6 +11,14 @@
 //	SIGUSR1  write back all dirty cached data (keep it cached)
 //	SIGUSR2  flush: write back and invalidate all caches
 //
+// With -journal (the default under -policy write-back) every dirty
+// block is journaled to the cache directory before the WRITE is
+// acknowledged; a proxy killed mid-session replays the journal to the
+// server on its next start, before serving traffic. -journal-sync
+// picks the durability mode (batch group-fsync, always, or none) and
+// -crashpoint / GVFS_CRASHPOINT arms the fault-injection harness used
+// by the kill-9 recovery tests.
+//
 // With -metrics the proxy serves its unified observability surface
 // over HTTP: Prometheus exposition at /metrics (with exemplars when
 // the flight recorder is on), the request-trace ring at /traces, the
@@ -33,6 +41,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"gvfs/internal/cache"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
 	"gvfs/internal/stack"
@@ -44,6 +53,10 @@ func main() {
 	flags := stack.BindProxyFlags(flag.CommandLine)
 	flag.Parse()
 
+	// Arm the crash fault-injection harness before any cache activity.
+	if err := cache.SetCrashpoint(flags.Crashpoint); err != nil {
+		log.Fatalf("gvfsproxy: %v", err)
+	}
 	opts, err := flags.Options()
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
 )
 
 // Policy selects the write policy.
@@ -93,6 +94,18 @@ type Config struct {
 	// single-critical-section behavior; only baseline benchmarking
 	// should set it.
 	SerialIO bool
+	// Journal enables the dirty-block intent journal: dirty Puts are
+	// appended (data + checksum) to an append-only log in Dir and made
+	// durable before they are acknowledged, so a crashed proxy can
+	// rebuild and replay its dirty set (see RecoverJournal). Only
+	// meaningful under WriteBack on a non-ReadOnly cache.
+	Journal bool
+	// JournalSync selects journal durability on the write path
+	// (default SyncBatch: group-commit fsync).
+	JournalSync SyncMode
+	// Logger receives cache lifecycle events (journal recovery, cold
+	// starts, checksum failures). Nil is safe: events are dropped.
+	Logger *obs.Logger
 }
 
 // DefaultConfig mirrors the experimental setup of the paper: 512 banks,
@@ -159,6 +172,7 @@ type frame struct {
 	valid bool
 	dirty bool
 	size  uint32 // valid bytes in the frame (tail blocks may be short)
+	crc   uint32 // CRC32C of the frame's bank bytes, set on every fill
 	lru   uint64
 	// pins counts shared (reader/flusher) pins; excl marks an
 	// exclusive (writer/evictor) pin. Frame I/O — bank-file reads and
@@ -180,6 +194,10 @@ type Stats struct {
 	// WriteBacks counts dirty frames propagated to the server,
 	// whether by eviction or flush.
 	WriteBacks uint64
+	// ChecksumErrors counts frame reads whose bank bytes failed CRC32C
+	// verification (corrupt frames are invalidated or, when dirty and
+	// journaled, rescued from the journal).
+	ChecksumErrors uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -188,6 +206,7 @@ func (s *Stats) add(o Stats) {
 	s.Insertions += o.Insertions
 	s.Evictions += o.Evictions
 	s.WriteBacks += o.WriteBacks
+	s.ChecksumErrors += o.ChecksumErrors
 }
 
 // WriteBackFunc propagates one dirty block to the next level. The data
@@ -216,6 +235,11 @@ type Cache struct {
 	banks   []atomic.Pointer[os.File]
 	closed  atomic.Bool
 
+	// journal is the dirty-block intent log (nil unless Config.Journal
+	// under WriteBack); log is the nil-safe event logger.
+	journal *journal
+	log     *obs.Logger
+
 	wbMu sync.RWMutex
 	wb   WriteBackFunc
 }
@@ -241,6 +265,14 @@ func New(cfg Config) (*Cache, error) {
 		s.index = make(map[BlockID]int)
 		s.cond = sync.NewCond(&s.mu)
 	}
+	c.log = cfg.Logger
+	if cfg.Journal && cfg.Policy == WriteBack && !cfg.ReadOnly {
+		j, err := openJournal(cfg.Dir, cfg.JournalSync)
+		if err != nil {
+			return nil, fmt.Errorf("cache: open journal: %w", err)
+		}
+		c.journal = j
+	}
 	return c, nil
 }
 
@@ -251,6 +283,13 @@ func (c *Cache) Close() error {
 	defer c.banksMu.Unlock()
 	c.closed.Store(true)
 	var first error
+	if c.journal != nil {
+		// Closing does NOT checkpoint: surviving intent must stay on
+		// disk so the next start over this directory can recover.
+		if err := c.journal.Close(); err != nil {
+			first = err
+		}
+	}
 	for i := range c.banks {
 		if f := c.banks[i].Swap(nil); f != nil {
 			if err := f.Close(); err != nil && first == nil {
@@ -435,17 +474,35 @@ func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
-	size := fr.size
+	size, sum, wasDirty := fr.size, fr.crc, fr.dirty
 	s.clock++
 	fr.lru = s.clock
 	if !c.cfg.SerialIO {
 		s.mu.Unlock()
 	}
 	data, err := c.readFrame(idx, size)
+	badsum := err == nil && crc32c(data) != sum
 	if !c.cfg.SerialIO {
 		s.mu.Lock()
 	}
 	s.unpinShared(fr)
+	if badsum {
+		s.stats.ChecksumErrors++
+		if wasDirty && c.journal != nil {
+			// The bank copy is torn but the journal holds the
+			// acknowledged dirty bytes: serve those. The frame is
+			// repaired (or dropped) when the block is next written
+			// back — see writeBackFrame/flushBlock.
+			if jd, ok := c.journal.Latest(id); ok {
+				s.stats.Hits++
+				s.mu.Unlock()
+				return jd, true
+			}
+		}
+		// Clean (or unjournaled) frame: invalidate it so the caller
+		// re-fetches from the server instead of serving corruption.
+		err = fmt.Errorf("cache: frame checksum mismatch")
+	}
 	if err != nil {
 		// Bank I/O failure: treat as miss and drop the frame.
 		if fr.valid && fr.id == id {
@@ -484,13 +541,28 @@ func (c *Cache) Peek(fh nfs3.FH, block uint64) (cached, dirty bool) {
 // If inserting requires evicting a dirty victim, the victim is
 // propagated through the WriteBackFunc first (with the stripe lock
 // released during the RPC); its error aborts the insertion.
+//
+// When the journal is enabled, a dirty Put's intent is appended and
+// made durable BEFORE the bank write, while the frame is exclusively
+// pinned — the pin orders journal appends of a block identically to
+// its bank writes, so "latest journal record" and "current frame
+// content" can never disagree about which write is newest.
 func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
+	return c.put(fh, block, data, dirty, true)
+}
+
+// put is Put with journaling controllable: recovery re-inserts
+// journaled data with journal=false so replayed blocks are not
+// re-appended to the log they came from.
+func (c *Cache) put(fh nfs3.FH, block uint64, data []byte, dirty, journal bool) error {
 	if len(data) > c.cfg.BlockSize {
 		return fmt.Errorf("cache: block of %d bytes exceeds frame size %d", len(data), c.cfg.BlockSize)
 	}
 	if c.cfg.ReadOnly && dirty {
 		return fmt.Errorf("cache: dirty insertion into read-only cache")
 	}
+	journal = journal && dirty && c.journal != nil
+	sum := crc32c(data)
 	id := BlockID{FH: fh.Key(), Block: block}
 	s := c.stripeFor(id)
 	s.mu.Lock()
@@ -504,9 +576,20 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 				s.unpinExcl(fr)
 				continue
 			}
-			err := c.frameWrite(s, idx, data)
+			if journal {
+				if err := c.journalAppend(s, id, data); err != nil {
+					// Nothing touched the frame yet: keep the cached
+					// copy and fail the write unacknowledged.
+					s.unpinExcl(fr)
+					s.mu.Unlock()
+					return err
+				}
+				maybeCrash(CrashPostJournalPreBank)
+			}
+			err := c.dirtyAwareFrameWrite(s, idx, data, journal)
 			if err != nil {
-				// Frame content is now unknown: drop it.
+				// Frame content is now unknown: drop it. A journaled
+				// intent stays live and is replayed at the next start.
 				delete(s.index, id)
 				fr.valid = false
 				s.unpinExcl(fr)
@@ -514,6 +597,7 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 				return err
 			}
 			fr.size = uint32(len(data))
+			fr.crc = sum
 			fr.dirty = fr.dirty || dirty
 			s.clock++
 			fr.lru = s.clock
@@ -575,7 +659,16 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 		fr.valid = false
 		fr.dirty = false
 		s.index[id] = victim
-		if err := c.frameWrite(s, victim, data); err != nil {
+		if journal {
+			if err := c.journalAppend(s, id, data); err != nil {
+				delete(s.index, id)
+				s.unpinExcl(fr)
+				s.mu.Unlock()
+				return err
+			}
+			maybeCrash(CrashPostJournalPreBank)
+		}
+		if err := c.dirtyAwareFrameWrite(s, victim, data, journal); err != nil {
 			delete(s.index, id)
 			s.unpinExcl(fr)
 			s.mu.Unlock()
@@ -584,6 +677,7 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 		s.clock++
 		fr.valid = true
 		fr.size = uint32(len(data))
+		fr.crc = sum
 		fr.dirty = dirty
 		fr.lru = s.clock
 		s.stats.Insertions++
@@ -591,6 +685,33 @@ func (c *Cache) Put(fh nfs3.FH, block uint64, data []byte, dirty bool) error {
 		s.mu.Unlock()
 		return nil
 	}
+}
+
+// journalAppend journals one dirty intent while the caller holds the
+// frame's exclusive pin, releasing the stripe lock around the log I/O
+// (unless SerialIO) exactly like frameWrite. The pin serializes the
+// append against the frame's bank write; the group-commit fsync still
+// amortizes across blocks on other frames.
+func (c *Cache) journalAppend(s *stripe, id BlockID, data []byte) error {
+	if c.cfg.SerialIO {
+		return c.journal.Append(id, data)
+	}
+	s.mu.Unlock()
+	err := c.journal.Append(id, data)
+	s.mu.Lock()
+	return err
+}
+
+// dirtyAwareFrameWrite is frameWrite plus the mid-bank-write
+// crashpoint: when armed (and the write is a journaled dirty one), it
+// writes only half the block and dies, leaving a torn frame for
+// recovery to detect by checksum.
+func (c *Cache) dirtyAwareFrameWrite(s *stripe, idx int, data []byte, journaled bool) error {
+	if journaled && crashArmed(CrashMidBankWrite) && len(data) > 1 {
+		c.writeFrame(idx, data[:len(data)/2])
+		crashNow()
+	}
+	return c.frameWrite(s, idx, data)
 }
 
 // frameWrite writes data into a frame the caller holds exclusively
@@ -616,16 +737,31 @@ func (c *Cache) writeBackFrame(s *stripe, idx int) error {
 	if wb == nil {
 		return fmt.Errorf("cache: dirty eviction with no write-back function installed")
 	}
-	id, size := fr.id, fr.size
+	id, size, sum := fr.id, fr.size, fr.crc
 	if !c.cfg.SerialIO {
 		s.mu.Unlock()
 	}
 	data, err := c.readFrame(idx, size)
+	badsum := false
+	if err == nil && crc32c(data) != sum {
+		// Torn bank copy: propagate the journal's authoritative bytes
+		// instead of corruption (or fail and stay dirty).
+		badsum = true
+		data, err = c.journalRescue(id)
+	}
 	if err == nil {
 		err = wb(nfs3.FH(id.FH), id.Block*uint64(c.cfg.BlockSize), data)
 	}
+	if err == nil && c.journal != nil {
+		// A failed commit only costs an idempotent re-send at the next
+		// recovery; the write-back itself succeeded.
+		c.journal.Commit(id)
+	}
 	if !c.cfg.SerialIO {
 		s.mu.Lock()
+	}
+	if badsum {
+		s.stats.ChecksumErrors++
 	}
 	if err != nil {
 		return err
@@ -637,17 +773,34 @@ func (c *Cache) writeBackFrame(s *stripe, idx int) error {
 	return nil
 }
 
+// journalRescue returns the journal's copy of a dirty block whose bank
+// bytes failed their checksum.
+func (c *Cache) journalRescue(id BlockID) ([]byte, error) {
+	if c.journal != nil {
+		if data, ok := c.journal.Latest(id); ok {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("cache: dirty frame (fh %x block %d) failed checksum and has no journaled copy",
+		id.FH, id.Block)
+}
+
 // MarkClean clears the dirty bit of a block if cached (used after the
 // proxy has independently propagated it).
 func (c *Cache) MarkClean(fh nfs3.FH, block uint64) {
 	id := BlockID{FH: fh.Key(), Block: block}
 	s := c.stripeFor(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	cleaned := false
 	if idx, ok := s.index[id]; ok {
-		if fr := &c.frames[idx]; fr.valid && fr.id == id {
+		if fr := &c.frames[idx]; fr.valid && fr.id == id && fr.dirty {
 			fr.dirty = false
+			cleaned = true
 		}
+	}
+	s.mu.Unlock()
+	if cleaned && c.journal != nil {
+		c.journal.Commit(id)
 	}
 }
 
@@ -712,13 +865,24 @@ func (c *Cache) flushBlock(id BlockID, wb WriteBackFunc) error {
 		s.mu.Unlock()
 		return nil
 	}
-	size := fr.size
+	size, sum := fr.size, fr.crc
 	s.mu.Unlock()
 	data, err := c.readFrame(idx, size)
+	badsum := false
+	if err == nil && crc32c(data) != sum {
+		badsum = true
+		data, err = c.journalRescue(id)
+	}
 	if err == nil {
 		err = wb(nfs3.FH(id.FH), id.Block*uint64(c.cfg.BlockSize), data)
 	}
+	if err == nil && c.journal != nil {
+		c.journal.Commit(id)
+	}
 	s.mu.Lock()
+	if badsum {
+		s.stats.ChecksumErrors++
+	}
 	if err == nil {
 		fr.dirty = false
 		s.stats.WriteBacks++
@@ -805,6 +969,7 @@ func (c *Cache) resetFrame(fr *frame) {
 	fr.valid = false
 	fr.dirty = false
 	fr.size = 0
+	fr.crc = 0
 	fr.lru = 0
 }
 

@@ -1,0 +1,241 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustOpenJournal(t *testing.T, dir string, mode SyncMode) *journal {
+	t.Helper()
+	j, err := openJournal(dir, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalAppendCommitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, SyncAlways)
+	ids := make([]BlockID, 4)
+	for i := range ids {
+		ids[i] = BlockID{FH: "fh", Block: uint64(i)}
+		if err := j.Append(ids[i], []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.statsSnapshot(); st.Live != 4 {
+		t.Fatalf("live = %d, want 4", st.Live)
+	}
+	// A reopened journal (simulated crash: no Close, just a second
+	// scan) sees every uncommitted intent with the right payload.
+	j2 := mustOpenJournal(t, dir, SyncAlways)
+	entries, err := j2.surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("surviving = %d, want 4", len(entries))
+	}
+	for i, e := range entries {
+		if e.id != ids[i] || !bytes.Equal(e.data, []byte(fmt.Sprintf("payload-%d", i))) {
+			t.Errorf("entry %d = %v %q", i, e.id, e.data)
+		}
+	}
+	j2.Close()
+
+	// Committing everything checkpoints: the file truncates to zero and
+	// yet another reopen finds no surviving intent.
+	for _, id := range ids {
+		if err := j.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.statsSnapshot()
+	if st.Live != 0 || st.Checkpoints == 0 || st.SizeBytes != 0 {
+		t.Fatalf("post-commit stats = %+v", st)
+	}
+	j3 := mustOpenJournal(t, dir, SyncAlways)
+	if entries, _ := j3.surviving(); len(entries) != 0 {
+		t.Fatalf("surviving after checkpoint = %d", len(entries))
+	}
+}
+
+func TestJournalLatestWins(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, SyncNone)
+	id := BlockID{FH: "fh", Block: 9}
+	j.Append(id, []byte("v1"))
+	j.Append(id, []byte("v2"))
+	j.Append(id, []byte("v3"))
+	if data, ok := j.Latest(id); !ok || string(data) != "v3" {
+		t.Fatalf("Latest = %q %v", data, ok)
+	}
+	// A commit clears the intent even though older records remain on
+	// disk; re-dirtying afterwards revives only the new version.
+	if err := j.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j.Latest(id); ok {
+		t.Fatal("Latest found a committed block")
+	}
+	j.Append(id, []byte("v4"))
+	entries, err := j.surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || string(entries[0].data) != "v4" {
+		t.Fatalf("surviving = %+v", entries)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, SyncAlways)
+	idA := BlockID{FH: "fh", Block: 0}
+	j.Append(idA, []byte("complete-record"))
+	j.Close()
+
+	// Simulate a crash mid-append: a second record torn halfway through.
+	path := filepath.Join(dir, journalFileName)
+	torn := encodeRecord(recData, BlockID{FH: "fh", Block: 1}, []byte("torn-record"))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := mustOpenJournal(t, dir, SyncAlways)
+	if !j2.recovered.torn {
+		t.Error("torn tail not detected")
+	}
+	entries, err := j2.surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].id != idA {
+		t.Fatalf("surviving = %+v, want only the complete record", entries)
+	}
+	// The torn bytes were truncated away, so new appends start on a
+	// clean record boundary.
+	idB := BlockID{FH: "fh", Block: 2}
+	if err := j2.Append(idB, []byte("after-tear")); err != nil {
+		t.Fatal(err)
+	}
+	j3 := mustOpenJournal(t, dir, SyncAlways)
+	entries, _ = j3.surviving()
+	if len(entries) != 2 {
+		t.Fatalf("surviving after post-tear append = %d, want 2", len(entries))
+	}
+}
+
+func TestJournalCorruptRecordStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, SyncAlways)
+	j.Append(BlockID{FH: "fh", Block: 0}, []byte("good"))
+	j.Append(BlockID{FH: "fh", Block: 1}, []byte("bad-to-be"))
+	j.Close()
+
+	// Flip a payload byte of the second record: its CRC no longer
+	// matches, and the scan must stop there rather than trust it.
+	path := filepath.Join(dir, journalFileName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xFF
+	if err := os.WriteFile(path, blob, 0644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpenJournal(t, dir, SyncAlways)
+	entries, err := j2.surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].id.Block != 0 {
+		t.Fatalf("surviving = %+v, want only the first record", entries)
+	}
+}
+
+func TestJournalGroupCommitConcurrent(t *testing.T) {
+	// Many goroutines appending under SyncBatch: every append must be
+	// durable when it returns, but the leader-based group commit should
+	// need far fewer fsyncs than appends.
+	dir := t.TempDir()
+	j := mustOpenJournal(t, dir, SyncBatch)
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := BlockID{FH: fmt.Sprintf("fh-%d", w), Block: uint64(i)}
+				if err := j.Append(id, bytes.Repeat([]byte{byte(w)}, 64)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := j.statsSnapshot()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	if st.Syncs > st.Appends {
+		t.Fatalf("syncs %d > appends %d: group commit not batching", st.Syncs, st.Appends)
+	}
+	// Everything must actually be on disk: reopen and count.
+	j.Close()
+	j2 := mustOpenJournal(t, dir, SyncBatch)
+	entries, err := j2.surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != writers*perWriter {
+		t.Fatalf("surviving = %d, want %d", len(entries), writers*perWriter)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	cases := map[string]SyncMode{
+		"": SyncBatch, "batch": SyncBatch, "always": SyncAlways, "none": SyncNone,
+	}
+	for in, want := range cases {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("bogus"); err == nil {
+		t.Error("bogus sync mode accepted")
+	}
+}
+
+func TestSetCrashpointValidation(t *testing.T) {
+	if err := SetCrashpoint("no-such-point"); err == nil {
+		t.Error("unknown crashpoint accepted")
+	}
+	if err := SetCrashpoint(CrashPreCommit); err != nil {
+		t.Errorf("valid crashpoint rejected: %v", err)
+	}
+	if err := SetCrashpoint(""); err != nil {
+		t.Errorf("disarm rejected: %v", err)
+	}
+}

@@ -16,13 +16,22 @@ import (
 // directory with the same geometry reloads them and resumes warm.
 //
 // Dirty frames are deliberately NOT persisted as dirty: a proxy must
-// flush before saving (enforced below), because replaying write-backs
-// after a crash would need a write-ahead log, which the paper's
-// session-consistency model does not require — middleware flushes at
-// session boundaries.
+// flush before saving (enforced below). Crash-time dirty state is the
+// dirty-block journal's job (journal.go/recover.go) — the snapshot
+// only ever describes clean, committed frames, and since version 2 it
+// carries each frame's CRC32C so a reloaded frame is verified before
+// it is served.
+//
+// The snapshot itself is written crash-safely: temp file, fsync,
+// rename, directory fsync. A snapshot that is nonetheless unreadable
+// (torn by an older writer, truncated, wrong version) downgrades to a
+// cold start instead of keeping the proxy down.
 
 // indexFileName is the tag snapshot file inside the cache directory.
 const indexFileName = "index.json"
+
+// indexVersion is the current snapshot format (2 added per-frame CRCs).
+const indexVersion = 2
 
 type persistedIndex struct {
 	Version     int              `json:"version"`
@@ -38,6 +47,7 @@ type persistedFrame struct {
 	FH    string `json:"fh"` // base64 of the handle bytes
 	Block uint64 `json:"block"`
 	Size  uint32 `json:"size"`
+	Crc   uint32 `json:"crc"` // CRC32C of the frame's bank bytes
 	LRU   uint64 `json:"lru"`
 }
 
@@ -49,19 +59,30 @@ func (c *Cache) SaveIndex() error {
 	c.lockAll()
 	defer c.unlockAll()
 	idx := persistedIndex{
-		Version:     1,
+		Version:     indexVersion,
 		Banks:       c.cfg.Banks,
 		SetsPerBank: c.cfg.SetsPerBank,
 		Assoc:       c.cfg.Assoc,
 		BlockSize:   c.cfg.BlockSize,
 	}
+	var dirty int
+	var example BlockID
+	for i := range c.frames {
+		if fr := &c.frames[i]; fr.valid && fr.dirty {
+			if dirty == 0 {
+				example = fr.id
+			}
+			dirty++
+		}
+	}
+	if dirty > 0 {
+		return fmt.Errorf("cache: SaveIndex with %d dirty frame(s), e.g. {fh %x, block %d}; flush first",
+			dirty, example.FH, example.Block)
+	}
 	for i := range c.frames {
 		fr := &c.frames[i]
 		if !fr.valid {
 			continue
-		}
-		if fr.dirty {
-			return fmt.Errorf("cache: SaveIndex with dirty frames; flush first")
 		}
 		if fr.excl {
 			// Mid-update: its bank data is being rewritten outside the
@@ -73,6 +94,7 @@ func (c *Cache) SaveIndex() error {
 			FH:    base64.StdEncoding.EncodeToString([]byte(fr.id.FH)),
 			Block: fr.id.Block,
 			Size:  fr.size,
+			Crc:   fr.crc,
 			LRU:   fr.lru,
 		})
 	}
@@ -80,19 +102,46 @@ func (c *Cache) SaveIndex() error {
 	if err != nil {
 		return err
 	}
+	// Crash-safe publication: write + fsync the temp file, rename it
+	// over the old snapshot, then fsync the directory so the rename
+	// itself survives power loss. A bare WriteFile+Rename can leave an
+	// empty or torn index.json behind.
 	tmp := filepath.Join(c.cfg.Dir, indexFileName+".tmp")
-	if err := os.WriteFile(tmp, blob, 0644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(c.cfg.Dir, indexFileName))
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.cfg.Dir, indexFileName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(c.cfg.Dir)
 }
 
 // LoadIndex restores tags previously written by SaveIndex. It is a
-// no-op if no snapshot exists, and fails if the snapshot's geometry
-// does not match the configuration (the bank layout would be
-// misinterpreted). Call it on a freshly-created Cache.
+// no-op if no snapshot exists. A corrupt, truncated or wrong-version
+// snapshot is a cold start — logged, deleted, and NOT an error: losing
+// warmth must not keep the proxy down. A geometry mismatch remains an
+// error (the bank layout would be misinterpreted; the operator must
+// either restore the old geometry or clear the directory). Call it on
+// a freshly-created Cache.
 func (c *Cache) LoadIndex() error {
-	blob, err := os.ReadFile(filepath.Join(c.cfg.Dir, indexFileName))
+	path := filepath.Join(c.cfg.Dir, indexFileName)
+	blob, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -101,10 +150,10 @@ func (c *Cache) LoadIndex() error {
 	}
 	var idx persistedIndex
 	if err := json.Unmarshal(blob, &idx); err != nil {
-		return fmt.Errorf("cache: corrupt index: %w", err)
+		return c.coldStart(path, fmt.Sprintf("corrupt snapshot: %v", err))
 	}
-	if idx.Version != 1 {
-		return fmt.Errorf("cache: unsupported index version %d", idx.Version)
+	if idx.Version != indexVersion {
+		return c.coldStart(path, fmt.Sprintf("unsupported snapshot version %d", idx.Version))
 	}
 	if idx.Banks != c.cfg.Banks || idx.SetsPerBank != c.cfg.SetsPerBank ||
 		idx.Assoc != c.cfg.Assoc || idx.BlockSize != c.cfg.BlockSize {
@@ -112,23 +161,52 @@ func (c *Cache) LoadIndex() error {
 			idx.Banks, idx.SetsPerBank, idx.Assoc, idx.BlockSize,
 			c.cfg.Banks, c.cfg.SetsPerBank, c.cfg.Assoc, c.cfg.BlockSize)
 	}
-	c.lockAll()
-	defer c.unlockAll()
+	// Decode everything before touching cache state, so a snapshot
+	// that goes bad halfway also downgrades to a clean cold start.
+	type loaded struct {
+		idx  int
+		id   BlockID
+		size uint32
+		crc  uint32
+		lru  uint64
+	}
+	frames := make([]loaded, 0, len(idx.Frames))
 	for _, pf := range idx.Frames {
 		if pf.Idx < 0 || pf.Idx >= len(c.frames) {
-			return fmt.Errorf("cache: index frame %d out of range", pf.Idx)
+			return c.coldStart(path, fmt.Sprintf("frame %d out of range", pf.Idx))
 		}
 		fhBytes, err := base64.StdEncoding.DecodeString(pf.FH)
 		if err != nil {
-			return fmt.Errorf("cache: corrupt index handle: %w", err)
+			return c.coldStart(path, fmt.Sprintf("corrupt handle: %v", err))
 		}
-		id := BlockID{FH: string(fhBytes), Block: pf.Block}
-		c.frames[pf.Idx] = frame{id: id, valid: true, size: pf.Size, lru: pf.LRU}
-		s := c.stripeOfFrame(pf.Idx)
-		s.index[id] = pf.Idx
-		if pf.LRU > s.clock {
-			s.clock = pf.LRU
+		frames = append(frames, loaded{
+			idx:  pf.Idx,
+			id:   BlockID{FH: string(fhBytes), Block: pf.Block},
+			size: pf.Size,
+			crc:  pf.Crc,
+			lru:  pf.LRU,
+		})
+	}
+	c.lockAll()
+	defer c.unlockAll()
+	for _, lf := range frames {
+		c.frames[lf.idx] = frame{id: lf.id, valid: true, size: lf.size, crc: lf.crc, lru: lf.lru}
+		s := c.stripeOfFrame(lf.idx)
+		s.index[lf.id] = lf.idx
+		if lf.lru > s.clock {
+			s.clock = lf.lru
 		}
+	}
+	return nil
+}
+
+// coldStart logs why the snapshot is unusable, removes it, and reports
+// success: the cache simply starts cold.
+func (c *Cache) coldStart(path, reason string) error {
+	c.log.Warn("cache index snapshot unusable; starting cold",
+		"path", path, "reason", reason)
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
 	}
 	return nil
 }

@@ -3,6 +3,8 @@ package cache
 import (
 	"bytes"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -51,8 +53,19 @@ func TestSaveLoadIndexWarmRestart(t *testing.T) {
 func TestSaveIndexRefusesDirty(t *testing.T) {
 	c := newTestCache(t, smallConfig())
 	c.Put(fhA, 0, []byte("dirty"), true)
-	if err := c.SaveIndex(); err == nil {
-		t.Error("SaveIndex with dirty frames succeeded")
+	c.Put(fhA, 1, []byte("dirty"), true)
+	err := c.SaveIndex()
+	if err == nil {
+		t.Fatal("SaveIndex with dirty frames succeeded")
+	}
+	// The error is actionable: it carries the dirty count and one
+	// example block so the operator knows what is unflushed.
+	msg := err.Error()
+	if !strings.Contains(msg, "2 dirty frame(s)") {
+		t.Errorf("error lacks dirty count: %v", err)
+	}
+	if !strings.Contains(msg, "fh") || !strings.Contains(msg, "block") {
+		t.Errorf("error lacks example block: %v", err)
 	}
 }
 
@@ -87,20 +100,63 @@ func TestLoadIndexGeometryMismatch(t *testing.T) {
 }
 
 func TestLoadIndexCorrupt(t *testing.T) {
+	// A corrupt snapshot must not keep the proxy down: LoadIndex logs,
+	// deletes it, and starts cold.
 	dir := t.TempDir()
 	cfg := smallConfig()
 	cfg.Dir = dir
 	c1, _ := New(cfg)
 	c1.SaveIndex()
 	c1.Close()
-	// Corrupt the snapshot.
 	if err := writeFileInDir(dir, indexFileName, []byte("not json")); err != nil {
 		t.Fatal(err)
 	}
 	c2, _ := New(cfg)
 	defer c2.Close()
-	if err := c2.LoadIndex(); err == nil {
-		t.Error("corrupt index accepted")
+	if err := c2.LoadIndex(); err != nil {
+		t.Fatalf("corrupt index should cold-start, got error: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, indexFileName)); !os.IsNotExist(err) {
+		t.Error("corrupt snapshot not deleted on cold start")
+	}
+}
+
+func TestLoadIndexTruncated(t *testing.T) {
+	// A snapshot torn mid-write (e.g. by a pre-fsync crash of an older
+	// writer) is also a cold start, not a fatal error.
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.Dir = dir
+	c1, _ := New(cfg)
+	payload := bytes.Repeat([]byte{0x5A}, 512)
+	for i := uint64(0); i < 4; i++ {
+		if err := c1.Put(fhA, i, payload, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	// Truncate the snapshot to half its length.
+	path := filepath.Join(dir, indexFileName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob[:len(blob)/2], 0644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := New(cfg)
+	defer c2.Close()
+	if err := c2.LoadIndex(); err != nil {
+		t.Fatalf("truncated index should cold-start, got error: %v", err)
+	}
+	if _, ok := c2.Get(fhA, 0); ok {
+		t.Error("cold-started cache served a block")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("truncated snapshot not deleted on cold start")
 	}
 }
 

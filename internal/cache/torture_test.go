@@ -44,7 +44,7 @@ func expectedConcurrencyError(err error) bool {
 		return true
 	}
 	msg := err.Error()
-	return strings.Contains(msg, "dirty frames; flush first") ||
+	return strings.Contains(msg, "dirty frame(s)") ||
 		strings.Contains(msg, "dirtied during flush")
 }
 

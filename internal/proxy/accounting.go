@@ -37,6 +37,7 @@ const (
 	TriggerFlush     = "flush"      // middleware SIGUSR2 / Flush()
 	TriggerIdle      = "idle"       // idle-session background write-back
 	TriggerReplay    = "replay"     // post-recovery breaker replay
+	TriggerRecovery  = "crash_recovery" // journal replay after a proxy crash
 )
 
 // FileStats is one file's row in the statusz tables.

@@ -31,6 +31,7 @@ type counters struct {
 	probes           *obs.Counter
 	replays          *obs.Counter
 	degradedReads    *obs.Counter
+	journalRecovered *obs.Counter
 
 	// nfsDur[proc] is the handling-latency histogram for that NFS
 	// procedure; mountDur and otherDur catch MOUNT and unknown calls.
@@ -64,6 +65,7 @@ func newCounters(reg *obs.Registry) *counters {
 	c.probes = reg.Counter("gvfs_proxy_probes_total", "Recovery probes sent while the breaker was open.")
 	c.replays = reg.Counter("gvfs_proxy_replays_total", "Post-recovery write-back replays triggered.")
 	c.degradedReads = reg.Counter("gvfs_proxy_degraded_reads_total", "Reads served from cache while degraded.")
+	c.journalRecovered = reg.Counter("gvfs_proxy_journal_recovered_total", "Dirty blocks rebuilt from the journal after a crash.")
 
 	rpcDur := reg.HistogramVec("gvfs_proxy_rpc_duration_seconds",
 		"Proxy call handling latency by NFS procedure.", nil, "proc")
@@ -132,6 +134,24 @@ func (p *Proxy) registerBridges(reg *obs.Registry) {
 			func() uint64 { return bc.Stats().WriteBacks })
 		reg.GaugeFunc("gvfs_blockcache_dirty_frames", "Dirty frames currently held.",
 			func() float64 { return float64(bc.DirtyCount()) })
+		reg.CounterFunc("gvfs_blockcache_checksum_errors_total", "Frame reads failing CRC32C verification.",
+			func() uint64 { return bc.Stats().ChecksumErrors })
+		if bc.JournalEnabled() {
+			reg.CounterFunc("gvfs_journal_appends_total", "Intent records appended to the dirty-block journal.",
+				func() uint64 { return bc.JournalStats().Appends })
+			reg.CounterFunc("gvfs_journal_syncs_total", "Journal fsyncs (group commit batches many appends into one).",
+				func() uint64 { return bc.JournalStats().Syncs })
+			reg.CounterFunc("gvfs_journal_commits_total", "Commit records journaled after successful write-back.",
+				func() uint64 { return bc.JournalStats().Commits })
+			reg.CounterFunc("gvfs_journal_checkpoints_total", "Journal truncations after the live set drained.",
+				func() uint64 { return bc.JournalStats().Checkpoints })
+			reg.CounterFunc("gvfs_journal_restores_total", "Blocks rebuilt from journal data during recovery.",
+				func() uint64 { return bc.JournalStats().Restores })
+			reg.GaugeFunc("gvfs_journal_live_blocks", "Uncommitted blocks currently in the journal.",
+				func() float64 { return float64(bc.JournalStats().Live) })
+			reg.GaugeFunc("gvfs_journal_size_bytes", "Current journal file size.",
+				func() float64 { return float64(bc.JournalStats().SizeBytes) })
+		}
 	}
 	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
 		reg.CounterFunc("gvfs_rpc_retries_total", "Upstream RPC retransmissions.",

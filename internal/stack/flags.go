@@ -100,6 +100,11 @@ type ProxyFlags struct {
 	Stripes    int
 	Policy     string // write-back | write-through
 
+	// Crash consistency.
+	Journal     bool   // journal dirty blocks before acking (write-back only)
+	JournalSync string // batch | always | none
+	Crashpoint  string // fault injection: die at this named point (testing)
+
 	// File cache + channel.
 	FileCacheDir string
 	FileChan     string
@@ -129,6 +134,9 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.IntVar(&f.CacheBlock, "cache-block", 8192, "cache block size (<= 32768)")
 	fs.IntVar(&f.Stripes, "cache-stripes", 0, "cache lock stripes (0 = default 64; 1 = single global lock)")
 	fs.StringVar(&f.Policy, "policy", "write-back", "write policy: write-back | write-through")
+	fs.BoolVar(&f.Journal, "journal", true, "journal dirty blocks before acking writes (write-back only)")
+	fs.StringVar(&f.JournalSync, "journal-sync", "batch", "journal durability: batch (group fsync) | always (fsync per write) | none (testing)")
+	fs.StringVar(&f.Crashpoint, "crashpoint", os.Getenv("GVFS_CRASHPOINT"), "fault injection: SIGKILL the process at this named point (testing only)")
 	fs.StringVar(&f.FileCacheDir, "filecache-dir", "", "file cache directory (enables meta-data handling)")
 	fs.StringVar(&f.FileChan, "filechan", "", "image server file-channel address")
 	fs.IntVar(&f.ReadAhead, "readahead", 0, "sequential read-ahead window in blocks (0 = off)")
@@ -192,6 +200,10 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 	if err != nil {
 		return ProxyOptions{}, err
 	}
+	syncMode, err := cache.ParseSyncMode(f.JournalSync)
+	if err != nil {
+		return ProxyOptions{}, err
+	}
 	opts := ProxyOptions{
 		UpstreamAddr:        f.Upstream,
 		UpstreamKey:         key,
@@ -213,7 +225,7 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 		opts.CacheConfig = &cache.Config{
 			Dir: f.CacheDir, Banks: f.CacheBanks, SetsPerBank: f.CacheSets,
 			Assoc: f.CacheAssoc, BlockSize: f.CacheBlock, Policy: policy,
-			Stripes: f.Stripes,
+			Stripes: f.Stripes, Journal: f.Journal, JournalSync: syncMode,
 		}
 	}
 	if f.FileCacheDir != "" {

@@ -40,6 +40,7 @@ func TestProxyFlagsFullCommandLine(t *testing.T) {
 		"-cache-banks", "16", "-cache-sets", "4", "-cache-assoc", "2",
 		"-cache-block", "4096", "-cache-stripes", "8",
 		"-policy", "write-through",
+		"-journal-sync", "always",
 		"-filecache-dir", "/tmp/fcache", "-filechan", "img:7050",
 		"-readahead", "4", "-persist-index=false",
 		"-idle-writeback", "5s", "-call-timeout", "2s", "-max-retries", "3",
@@ -68,7 +69,8 @@ func TestProxyFlagsFullCommandLine(t *testing.T) {
 		t.Fatal("cache-dir must produce a CacheConfig")
 	}
 	want := cache.Config{Dir: "/tmp/cache", Banks: 16, SetsPerBank: 4, Assoc: 2,
-		BlockSize: 4096, Policy: cache.WriteThrough, Stripes: 8}
+		BlockSize: 4096, Policy: cache.WriteThrough, Stripes: 8,
+		Journal: true, JournalSync: cache.SyncAlways}
 	if *cc != want {
 		t.Errorf("CacheConfig = %+v, want %+v", *cc, want)
 	}
@@ -160,6 +162,19 @@ func TestProxyFlagsDefaultsAndErrors(t *testing.T) {
 	// Unknown policy is an error.
 	if _, err := parseFlags(t, "-upstream", "u:1", "-policy", "bogus").Options(); err == nil {
 		t.Error("bogus policy must be rejected")
+	}
+	// Unknown journal sync mode is an error.
+	if _, err := parseFlags(t, "-upstream", "u:1", "-journal-sync", "bogus").Options(); err == nil {
+		t.Error("bogus journal-sync must be rejected")
+	}
+	// Journaling defaults on with batched sync.
+	f2 := parseFlags(t, "-upstream", "u:1", "-cache-dir", "/tmp/c")
+	opts2, err := f2.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts2.CacheConfig.Journal || opts2.CacheConfig.JournalSync != cache.SyncBatch {
+		t.Errorf("journal defaults wrong: %+v", opts2.CacheConfig)
 	}
 	// Bad keyfile (wrong size) is an error.
 	short := filepath.Join(t.TempDir(), "short.key")

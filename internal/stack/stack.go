@@ -336,7 +336,11 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		// whoever created them.
 	}
 	if opts.CacheConfig != nil {
-		blockCache, err = cache.New(*opts.CacheConfig)
+		ccfg := *opts.CacheConfig
+		if ccfg.Logger == nil && opts.Logger != nil {
+			ccfg.Logger = opts.Logger.Named("cache")
+		}
+		blockCache, err = cache.New(ccfg)
 		if err != nil {
 			upstream.Close()
 			return nil, err
@@ -370,6 +374,18 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		return nil, err
 	}
 	cleanup = append(cleanup, p.Shutdown)
+	// Crash recovery: replay any journaled dirty blocks a crashed
+	// predecessor left in the cache directory BEFORE the listener
+	// starts — by the time a client can reconnect, the server already
+	// reflects every previously acknowledged write.
+	if blockCache != nil && blockCache.JournalEnabled() {
+		if _, err := p.RecoverJournal(); err != nil {
+			for i := len(cleanup) - 1; i >= 0; i-- {
+				cleanup[i]()
+			}
+			return nil, fmt.Errorf("stack: journal recovery: %w", err)
+		}
+	}
 	srv := sunrpc.NewServer()
 	srv.Register(nfs3.Program, nfs3.Version, p)
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)
