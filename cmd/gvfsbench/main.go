@@ -9,7 +9,7 @@
 //	gvfsbench -experiment fig4 -scale 16 -v
 //
 // Experiments: fig3, fig4, fig5, fig6, table1, zerofilter,
-// concurrency, crash, all.
+// concurrency, crash, noisy, all.
 // Data sizes and compute times are the paper's divided by -scale;
 // network latency and bandwidth always use the paper's calibrated
 // values, so measured seconds × scale estimate paper-scale seconds.
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|noisy|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
@@ -54,10 +54,11 @@ func main() {
 		"trace":                o.RunTrace,
 		"flightrec":            o.RunFlightRec,
 		"crash":                o.RunCrash,
+		"noisy":                o.RunNoisy,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace", "flightrec", "crash"}
+		"trace", "flightrec", "crash", "noisy"}
 
 	var selected []string
 	if *experiment == "all" {

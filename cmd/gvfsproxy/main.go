@@ -19,6 +19,16 @@
 // -crashpoint / GVFS_CRASHPOINT arms the fault-injection harness used
 // by the kill-9 recovery tests.
 //
+// With -qos the proxy admits calls through per-client admission
+// control: bounded per-client queues, optional token-bucket rate
+// limits (-qos-rate/-qos-burst), byte-weighted deficit-round-robin
+// fair sharing (-qos-quantum) and a global concurrency cap
+// (-qos-inflight). Overflow is shed with the retriable
+// NFS3ERR_JUKEBOX. -call-budget stamps a default deadline on every
+// call (a budget propagated in the GVFS trace verifier wins), and
+// -brownout-enter arms the brownout controller that sheds optional
+// work and defers cache misses when the admission queue delay grows.
+//
 // With -metrics the proxy serves its unified observability surface
 // over HTTP: Prometheus exposition at /metrics (with exemplars when
 // the flight recorder is on), the request-trace ring at /traces, the

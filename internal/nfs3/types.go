@@ -85,6 +85,7 @@ const (
 	ErrBadHandle   Status = 10001
 	ErrNotSupp     Status = 10004
 	ErrServerFault Status = 10006
+	ErrJukebox     Status = 10008
 )
 
 func (s Status) String() string {
@@ -125,6 +126,8 @@ func (s Status) String() string {
 		return "NFS3ERR_NOTSUPP"
 	case ErrServerFault:
 		return "NFS3ERR_SERVERFAULT"
+	case ErrJukebox:
+		return "NFS3ERR_JUKEBOX"
 	}
 	return fmt.Sprintf("NFS3ERR(%d)", uint32(s))
 }

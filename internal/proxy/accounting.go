@@ -14,9 +14,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gvfs/internal/nfs3"
+	"gvfs/internal/qos"
 	"gvfs/internal/sunrpc"
 )
 
@@ -25,6 +27,11 @@ const (
 	DefaultTopN = 10
 	// DefaultAuditRing bounds the write-back audit event ring.
 	DefaultAuditRing = 128
+	// DefaultAcctEntries caps each accounting table (files, clients).
+	DefaultAcctEntries = 4096
+	// DefaultAcctTTL evicts accounting entries idle this long once a
+	// table is at its cap.
+	DefaultAcctTTL = 15 * time.Minute
 )
 
 // Audit event kinds and flush-trigger reasons.
@@ -87,6 +94,12 @@ type Statusz struct {
 	Files        map[string][]FileStats `json:"files"` // ranking name -> top-N rows
 	Clients      []ClientStats          `json:"clients"`
 
+	// QoS is the admission scheduler's per-tenant table (absent when
+	// QoS is disabled). Brownout mirrors the gvfs_qos_brownout_active
+	// gauge.
+	QoS      []qos.TenantStats `json:"qos_tenants,omitempty"`
+	Brownout bool              `json:"brownout,omitempty"`
+
 	Audit AuditLog `json:"writeback_audit"`
 }
 
@@ -101,6 +114,7 @@ type AuditLog struct {
 
 type fileAcct struct {
 	FileStats
+	touched int64 // unix nanos of last update, for eviction
 }
 
 type clientAcct struct {
@@ -108,14 +122,22 @@ type clientAcct struct {
 	readBytes     uint64
 	writeBytes    uint64
 	degradedReads uint64
+	touched       int64 // unix nanos of last update, for eviction
 }
 
 // accounting holds all three tables under one mutex. Updates are one
 // short critical section per call — small next to the XDR decode each
-// call already pays.
+// call already pays. The files and clients tables are bounded: a
+// client-ID (or file-handle) churn storm evicts idle entries past the
+// TTL — or, failing that, the least-recently-touched entry — instead
+// of growing the proxy heap without limit.
 type accounting struct {
-	topN     int
-	auditCap int
+	topN       int
+	auditCap   int
+	maxEntries int
+	idleTTL    time.Duration
+
+	evictions atomic.Uint64 // entries dropped from either table
 
 	mu         sync.Mutex
 	files      map[string]*fileAcct   // keyed by file label
@@ -126,37 +148,80 @@ type accounting struct {
 	auditTotal uint64
 }
 
-func newAccounting(topN, auditCap int) *accounting {
+func newAccounting(topN, auditCap, maxEntries int, idleTTL time.Duration) *accounting {
 	if topN <= 0 {
 		topN = DefaultTopN
 	}
 	if auditCap <= 0 {
 		auditCap = DefaultAuditRing
 	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultAcctEntries
+	}
+	if idleTTL <= 0 {
+		idleTTL = DefaultAcctTTL
+	}
 	return &accounting{
-		topN:     topN,
-		auditCap: auditCap,
-		files:    make(map[string]*fileAcct),
-		clients:  make(map[string]*clientAcct),
-		dirtyAt:  make(map[string]int64),
+		topN:       topN,
+		auditCap:   auditCap,
+		maxEntries: maxEntries,
+		idleTTL:    idleTTL,
+		files:      make(map[string]*fileAcct),
+		clients:    make(map[string]*clientAcct),
+		dirtyAt:    make(map[string]int64),
 	}
 }
 
+// evictLocked makes room in a table at its cap: first sweep entries
+// idle past the TTL, and if nothing is that old drop the single
+// least-recently-touched entry so the cap always holds.
+func evictLocked[V any](m map[string]V, touched func(V) int64, now int64, ttl time.Duration) (evicted uint64) {
+	cutoff := now - ttl.Nanoseconds()
+	oldestKey := ""
+	oldestAt := int64(1<<63 - 1)
+	for k, v := range m {
+		at := touched(v)
+		if at <= cutoff {
+			delete(m, k)
+			evicted++
+		} else if at < oldestAt {
+			oldestAt, oldestKey = at, k
+		}
+	}
+	if evicted == 0 && oldestKey != "" {
+		delete(m, oldestKey)
+		evicted++
+	}
+	return evicted
+}
+
 func (a *accounting) fileLocked(label string) *fileAcct {
+	now := time.Now().UnixNano()
 	f, ok := a.files[label]
 	if !ok {
+		if len(a.files) >= a.maxEntries {
+			a.evictions.Add(evictLocked(a.files,
+				func(f *fileAcct) int64 { return f.touched }, now, a.idleTTL))
+		}
 		f = &fileAcct{FileStats: FileStats{File: label}}
 		a.files[label] = f
 	}
+	f.touched = now
 	return f
 }
 
 func (a *accounting) clientLocked(key string) *clientAcct {
+	now := time.Now().UnixNano()
 	c, ok := a.clients[key]
 	if !ok {
+		if len(a.clients) >= a.maxEntries {
+			a.evictions.Add(evictLocked(a.clients,
+				func(c *clientAcct) int64 { return c.touched }, now, a.idleTTL))
+		}
 		c = &clientAcct{ops: make(map[string]uint64)}
 		a.clients[key] = c
 	}
+	c.touched = now
 	return c
 }
 
@@ -348,7 +413,10 @@ func (a *accounting) snapshot(degraded bool) Statusz {
 
 // Statusz returns the proxy's accounting snapshot.
 func (p *Proxy) Statusz() Statusz {
-	return p.acct.snapshot(p.degraded())
+	doc := p.acct.snapshot(p.degraded())
+	doc.QoS = p.QoSTenants()
+	doc.Brownout = p.brownout()
+	return doc
 }
 
 // WriteStatusz renders the /statusz JSON document.

@@ -9,19 +9,25 @@ package proxy_test
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	gvfs "gvfs"
 	"gvfs/internal/cache"
 	"gvfs/internal/memfs"
+	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
+	"gvfs/internal/qos"
 	"gvfs/internal/simnet"
 	"gvfs/internal/stack"
+	"gvfs/internal/sunrpc"
 )
 
 // chaosPattern builds deterministic, position-dependent content so a
@@ -297,6 +303,178 @@ func TestChaosStallMidReadRecovers(t *testing.T) {
 	if d := time.Since(start); d < stall-50*time.Millisecond {
 		t.Errorf("read finished in %v — the %v stall never took effect", d, stall)
 	}
+}
+
+// TestChaosOverloadStallWithAggressiveTenant combines two faults: a
+// WAN stall and a noisy tenant flooding the proxy with cold misses
+// from many connections at once. With admission control on, the
+// invariants are: the proxy never deadlocks, overflow is shed with
+// the retriable NFS3ERR_JUKEBOX instead of unbounded queueing, the
+// polite tenant's requests stay bounded, brownout trips under the
+// sustained queue delay, and the acknowledged write survives to the
+// origin once the storm passes.
+func TestChaosOverloadStallWithAggressiveTenant(t *testing.T) {
+	fs := memfs.New()
+	big := chaosPattern(2*1024*1024, 7) // larger than the block cache
+	fs.WriteFile("/big", big)
+	hot := chaosPattern(32*1024, 8)
+	fs.WriteFile("/hot", hot)
+	wan := simnet.NewLink(simnet.Local())
+	_, node, sess := startChaosChain(t, fs, wan, stack.ProxyOptions{
+		UpstreamCallTimeout: 150 * time.Millisecond,
+		UpstreamMaxRetries:  2,
+		QoS: &qos.Config{
+			MaxConcurrent:  4,
+			PerClientQueue: 8,
+			Quantum:        64 << 10,
+			BrownoutEnter:  10 * time.Millisecond,
+		},
+	})
+
+	// Warm the polite tenant's working set and absorb one acknowledged
+	// write while the WAN is healthy.
+	if got, err := sess.ReadFile("/hot"); err != nil || !bytes.Equal(got, hot) {
+		t.Fatalf("warm read: %v", err)
+	}
+	payload := chaosPattern(48*1024, 9)
+	if err := sess.WriteFile("/ack", payload); err != nil {
+		t.Fatal(err)
+	}
+	if node.BlockCache.DirtyCount() == 0 {
+		t.Fatal("write not absorbed into the write-back cache")
+	}
+
+	// The aggressor: 16 connections sharing one credential (one
+	// tenant), each hammering cold reads of the big file in a closed
+	// loop. Shed replies and transport errors during the stall are
+	// expected; hangs are not.
+	aggCred := sunrpc.UnixCred{UID: 666, GID: 666, MachineName: "noisy"}.Encode()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var aggShed, aggServed atomic.Int64
+	// Mount every aggressor connection before the storm starts: MOUNT
+	// has no retriable shed encoding, so a mount racing the tenant's
+	// own full queue would fail outright.
+	files := make([]*gvfs.File, 16)
+	for i := range files {
+		as, err := gvfs.Mount(gvfs.SessionConfig{Addr: node.Addr, Export: "/", Cred: aggCred})
+		if err != nil {
+			t.Fatalf("aggressor mount: %v", err)
+		}
+		t.Cleanup(func() { as.Close() })
+		files[i], err = as.Open("/big")
+		if err != nil {
+			t.Fatalf("aggressor open: %v", err)
+		}
+	}
+	for i := range files {
+		f := files[i]
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			buf := make([]byte, 8192)
+			off := int64(id) * 8192
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, err := f.ReadAt(buf, off%int64(len(big)-8192))
+				switch {
+				case err == nil:
+					aggServed.Add(1)
+				case isJukeboxErr(err):
+					aggShed.Add(1)
+				}
+				off += 37 * 8192 // stride to defeat read-ahead
+			}
+		}(i)
+	}
+
+	// Let the storm establish, then freeze the WAN under it.
+	time.Sleep(200 * time.Millisecond)
+	wan.Stall(600 * time.Millisecond)
+
+	// The polite tenant keeps issuing reads of its warmed file through
+	// the storm. Individual requests may fail transiently while the
+	// WAN is frozen; none may hang, and successes must be correct.
+	politeDeadline := time.Now().Add(1500 * time.Millisecond)
+	var politeOK int
+	for time.Now().Before(politeDeadline) {
+		opDone := make(chan []byte, 1)
+		go func() {
+			got, err := sess.ReadFile("/hot")
+			if err != nil {
+				opDone <- nil
+				return
+			}
+			opDone <- got
+		}()
+		select {
+		case got := <-opDone:
+			if got != nil {
+				if !bytes.Equal(got, hot) {
+					t.Fatal("polite read returned corrupt data during overload")
+				}
+				politeOK++
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("polite read hung during overload — deadlock or unbounded queueing")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if politeOK == 0 {
+		t.Error("polite tenant made no progress at all during the storm")
+	}
+
+	// After the storm: the acknowledged write must reach the origin.
+	// Earlier flush attempts may still race residual timeouts, so
+	// retry; acknowledged data must never be dropped on failure.
+	var flushErr error
+	for i := 0; i < 20; i++ {
+		if flushErr = node.Proxy.WriteBack(); flushErr == nil {
+			break
+		}
+		if node.BlockCache.DirtyCount() == 0 {
+			t.Fatal("flush failed but dirty blocks were discarded")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if flushErr != nil {
+		t.Fatalf("write-back never succeeded after the storm: %v", flushErr)
+	}
+	got, err := fs.ReadFile("/ack")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("acknowledged write lost under overload: %v", err)
+	}
+
+	// Overload handling must be visible: admissions happened, overflow
+	// was shed retriably, and brownout engaged under the stall.
+	counters := node.Metrics.Snapshot().Counters
+	if counters["gvfs_qos_admitted_total"] == 0 {
+		t.Error("no admissions recorded — QoS was not in the call path")
+	}
+	if counters["gvfs_qos_rejected_queue_full_total"] == 0 && aggShed.Load() == 0 {
+		t.Error("16 streams against 4+8 capacity produced no queue-full sheds")
+	}
+	if counters["gvfs_qos_brownout_entered_total"] == 0 {
+		t.Error("sustained stall queue delay never tripped brownout")
+	}
+	if aggServed.Load() == 0 {
+		t.Error("aggressor was starved completely — shed should be selective, not total")
+	}
+	t.Logf("overload: polite ok=%d aggressor served=%d shed=%d brownouts=%d",
+		politeOK, aggServed.Load(), aggShed.Load(), counters["gvfs_qos_brownout_entered_total"])
+}
+
+// isJukeboxErr reports whether err is the retriable NFS3ERR_JUKEBOX
+// shed reply.
+func isJukeboxErr(err error) bool {
+	var ne *nfs3.Error
+	return errors.As(err, &ne) && ne.Status == nfs3.ErrJukebox
 }
 
 func TestChaosFlapMidFlushNoLostWrites(t *testing.T) {

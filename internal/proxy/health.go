@@ -8,6 +8,8 @@ package proxy
 // absorbed writes remain authoritative while the WAN is down.
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -122,6 +124,11 @@ func isTransportErr(err error) bool {
 // observeUpstream feeds a forwarded call's outcome into the breaker.
 func (p *Proxy) observeUpstream(err error) {
 	if p.health == nil {
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The call ran out of its propagated budget — that says nothing
+		// about upstream health, so it must not poison the breaker.
 		return
 	}
 	if isTransportErr(err) {

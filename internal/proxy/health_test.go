@@ -1,0 +1,224 @@
+package proxy
+
+// Satellite coverage: circuit-breaker half-open behavior under
+// concurrency (internal/proxy/health.go). While the breaker is open,
+// exactly one probe loop owns recovery: racing transport failures must
+// not spawn extra probers (no thundering herd against a struggling
+// upstream), blocked callers must fail fast without ever touching the
+// transport, and recovery must close the breaker — and trigger replay
+// — exactly once.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+// gateCaller is a switchable upstream transport: while down it fails
+// every call with a transport error; once up it answers NULL. It
+// counts every call that actually reaches it, which is how the tests
+// distinguish "one probe loop" from a herd.
+type gateCaller struct {
+	calls atomic.Int64
+	up    atomic.Bool
+}
+
+func (g *gateCaller) Call(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte) ([]byte, error) {
+	g.calls.Add(1)
+	if !g.up.Load() {
+		return nil, fmt.Errorf("gate: transport down")
+	}
+	return nil, nil
+}
+
+// waitUntil polls cond for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// tripBreaker drives the proxy's own failure accounting until the
+// breaker opens.
+func tripBreaker(t *testing.T, p *Proxy, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if _, err := p.call(nfs3.ProcNull, nil); err == nil {
+			t.Fatal("call succeeded against a down gate")
+		}
+	}
+	if !p.Degraded() {
+		t.Fatal("breaker did not open at the failure threshold")
+	}
+}
+
+func TestBreakerOpenCallersFailFastWithoutProbing(t *testing.T) {
+	const (
+		threshold = 3
+		interval  = 40 * time.Millisecond
+	)
+	gate := &gateCaller{}
+	p, err := New(Config{
+		Upstream:         gate,
+		FailureThreshold: threshold,
+		ProbeInterval:    interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	tripBreaker(t, p, threshold)
+	tripCalls := gate.calls.Load()
+
+	// Hammer the open breaker from many goroutines. Every call must
+	// fail fast with the breaker error; none may reach the transport.
+	const workers, perWorker = 16, 50
+	start := time.Now()
+	var wg sync.WaitGroup
+	var wrongErr atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := p.call(nfs3.ProcNull, nil); !errors.Is(err, errUpstreamDown) {
+					wrongErr.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if n := wrongErr.Load(); n != 0 {
+		t.Errorf("%d hammer calls did not fail fast with errUpstreamDown", n)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("fast-fail path took %v for %d calls", elapsed, workers*perWorker)
+	}
+	st := p.Stats()
+	if st.BreakerFastFails < workers*perWorker {
+		t.Errorf("fast-fail counter %d < %d hammer calls", st.BreakerFastFails, workers*perWorker)
+	}
+	// Only the probe loop may have touched the transport while open:
+	// at most one probe per interval (plus generous scheduling slack),
+	// nowhere near the 800 hammer calls.
+	probeBudget := int64(elapsed/interval) + 5
+	if got := gate.calls.Load() - tripCalls; got > probeBudget {
+		t.Errorf("%d transport calls while breaker open; want <= %d (single probe loop)", got, probeBudget)
+	}
+}
+
+func TestBreakerConcurrentFailuresSpawnOneProbeLoop(t *testing.T) {
+	const interval = 50 * time.Millisecond
+	gate := &gateCaller{}
+	p, err := New(Config{
+		Upstream:         gate,
+		FailureThreshold: 2,
+		ProbeInterval:    interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+
+	// Race many goroutines through the failure accounting so the trip
+	// decision itself is contended.
+	var wg sync.WaitGroup
+	for w := 0; w < 32; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.health.failure()
+			}
+		}()
+	}
+	wg.Wait()
+	if !p.Degraded() {
+		t.Fatal("breaker did not open")
+	}
+	if opens := p.Stats().BreakerOpens; opens != 1 {
+		t.Fatalf("breaker opened %d times from one outage", opens)
+	}
+
+	// Watch the down upstream for a handful of intervals: a single
+	// probe loop sends ~1 call per interval; 32 leaked loops would
+	// send ~32x that.
+	before := gate.calls.Load()
+	const window = 8 * interval
+	time.Sleep(window)
+	probes := gate.calls.Load() - before
+	if probes > int64(window/interval)+4 {
+		t.Errorf("%d probes in %v; more than one probe loop is running", probes, window)
+	}
+	if probes == 0 {
+		t.Error("no probes while the breaker was open")
+	}
+}
+
+func TestBreakerRecoveryClosesOnceAndReplaysOnce(t *testing.T) {
+	const interval = 30 * time.Millisecond
+	gate := &gateCaller{}
+	p, err := New(Config{
+		Upstream:         gate,
+		FailureThreshold: 2,
+		ProbeInterval:    interval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Shutdown()
+	tripBreaker(t, p, 2)
+
+	// Heal the transport; the single prober must close the breaker.
+	gate.up.Store(true)
+	waitUntil(t, "breaker close", func() bool { return !p.Degraded() })
+
+	// The loser callers racing in right after recovery go upstream
+	// normally — they must not re-trip or re-probe a healthy path.
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := p.call(nfs3.ProcNull, nil); err != nil {
+					t.Errorf("post-recovery call failed: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	waitUntil(t, "replay", func() bool { return p.Stats().Replays == 1 })
+	st := p.Stats()
+	if st.BreakerOpens != 1 {
+		t.Errorf("breaker opened %d times across one outage+recovery", st.BreakerOpens)
+	}
+	// The probe loop must have exited: probing flag clear, and no
+	// further probes land on the healthy upstream.
+	p.health.mu.Lock()
+	probing := p.health.probing
+	p.health.mu.Unlock()
+	if probing {
+		t.Error("probe loop still marked running after recovery")
+	}
+	settled := gate.calls.Load()
+	time.Sleep(4 * interval)
+	if extra := gate.calls.Load() - settled; extra != 0 {
+		t.Errorf("%d stray probes after recovery", extra)
+	}
+}

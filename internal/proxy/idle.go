@@ -49,6 +49,12 @@ func (p *Proxy) StartIdleWriteBack(idle time.Duration) (stop func()) {
 			if !p.hasDirtyData() {
 				continue
 			}
+			// Brownout sheds optional work: background write-back would
+			// add upstream WRITE load exactly when the proxy is trying
+			// to drain; the data stays safely dirty for a later tick.
+			if p.brownout() {
+				continue
+			}
 			// Best-effort: failures leave the data dirty for the next
 			// tick (or an explicit middleware flush).
 			_ = p.writeBackReason(TriggerIdle)

@@ -31,6 +31,11 @@ func (p *Proxy) synthesizedAttr(fh nfs3.FH) *nfs3.Fattr {
 // them, so /statusz shows who was served from cache during an outage.
 func (p *Proxy) accountRead(c *sunrpc.Call, fh nfs3.FH, outcome string, count uint32, start time.Time) {
 	p.stats.observeRead(outcome, start)
+	// The aggregate histogram above always records; the per-file /
+	// per-client table detail is optional work brownout sheds.
+	if p.brownout() {
+		return
+	}
 	served := outcome == "block_hit" || outcome == "file_cache" || outcome == "zero_filter"
 	p.acct.recordRead(p.fileLabel(fh), clientLabel(c), outcome, count, served && p.degraded())
 }
@@ -112,6 +117,13 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		}
 	}
 	tr.Span(obs.LayerBlockCache, "miss", lookup)
+	// Brownout: hits above kept being served, but a miss means WAN work
+	// the overloaded proxy cannot afford — defer it with a retriable
+	// error so the queues drain.
+	if res, stat, shed := p.deferMissInBrownout(c); shed {
+		p.accountRead(c, args.FH, "error", args.Count, start)
+		return res, stat
+	}
 	p.stats.readMisses.Add(1)
 	res, stat := p.forward(c, tr)
 	if stat != sunrpc.Success {

@@ -32,6 +32,7 @@ type counters struct {
 	replays          *obs.Counter
 	degradedReads    *obs.Counter
 	journalRecovered *obs.Counter
+	brownoutShed     *obs.Counter
 
 	// nfsDur[proc] is the handling-latency histogram for that NFS
 	// procedure; mountDur and otherDur catch MOUNT and unknown calls.
@@ -66,6 +67,7 @@ func newCounters(reg *obs.Registry) *counters {
 	c.replays = reg.Counter("gvfs_proxy_replays_total", "Post-recovery write-back replays triggered.")
 	c.degradedReads = reg.Counter("gvfs_proxy_degraded_reads_total", "Reads served from cache while degraded.")
 	c.journalRecovered = reg.Counter("gvfs_proxy_journal_recovered_total", "Dirty blocks rebuilt from the journal after a crash.")
+	c.brownoutShed = reg.Counter("gvfs_qos_brownout_shed_total", "Cache misses deferred with NFS3ERR_JUKEBOX during brownout.")
 
 	rpcDur := reg.HistogramVec("gvfs_proxy_rpc_duration_seconds",
 		"Proxy call handling latency by NFS procedure.", nil, "proc")
@@ -121,6 +123,9 @@ func (c *counters) observeRead(outcome string, start time.Time) {
 // client — in the registry via collection-time callbacks, so their
 // fast paths stay untouched.
 func (p *Proxy) registerBridges(reg *obs.Registry) {
+	reg.CounterFunc("gvfs_proxy_accounting_evictions_total",
+		"Entries evicted from the bounded per-file/per-client accounting tables.",
+		func() uint64 { return p.acct.evictions.Load() })
 	if bc := p.cfg.BlockCache; bc != nil {
 		reg.CounterFunc("gvfs_blockcache_hits_total", "Block cache hits.",
 			func() uint64 { return bc.Stats().Hits })
@@ -188,7 +193,9 @@ func (p *Proxy) startTrace(c *sunrpc.Call) *obs.Active {
 		return nil
 	}
 	proc := procLabel(c.Prog, c.Proc)
-	if tc, ok := sunrpc.DecodeTraceVerf(c.Verf); ok {
+	// ID 0 marks a budget-only verifier (deadline propagation without
+	// tracing): not a trace to continue.
+	if tc, ok := sunrpc.DecodeTraceVerf(c.Verf); ok && tc.ID != 0 {
 		return t.Start(tc.ID, tc.Hop, proc)
 	}
 	return t.Start(t.NewID(), 0, proc)
@@ -204,14 +211,30 @@ func procLabel(prog, proc uint32) string {
 	return "OTHER"
 }
 
-// upstreamCall issues one upstream RPC, attaching the trace context as
-// a verifier extension when a trace is active and the transport can
-// carry it (see sunrpc.VerfCaller).
-func (p *Proxy) upstreamCall(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte, tr *obs.Active) ([]byte, error) {
+// upstreamCall issues one upstream RPC, attaching the trace context
+// and/or the remaining deadline budget as a verifier extension when
+// the transport can carry them (see sunrpc.TraceContext). When a
+// deadline is set and the transport supports it, retransmission is
+// capped at the deadline too.
+func (p *Proxy) upstreamCall(prog, vers, proc uint32, cred sunrpc.OpaqueAuth, args []byte, tr *obs.Active, deadline time.Time) ([]byte, error) {
+	var tc sunrpc.TraceContext
+	haveVerf := false
 	if tr != nil {
+		tc.ID, tc.Hop = tr.ID(), tr.Hop()+1
+		haveVerf = true
+	}
+	if budget := remainingBudgetMs(deadline); budget > 0 {
+		tc.BudgetMs = budget
+		haveVerf = true
+	}
+	if haveVerf {
+		if !deadline.IsZero() {
+			if dc, ok := p.cfg.Upstream.(sunrpc.DeadlineVerfCaller); ok {
+				return dc.CallVerfDeadline(prog, vers, proc, cred, tc.EncodeVerf(), args, deadline)
+			}
+		}
 		if vc, ok := p.cfg.Upstream.(sunrpc.VerfCaller); ok {
-			verf := sunrpc.TraceContext{ID: tr.ID(), Hop: tr.Hop() + 1}.EncodeVerf()
-			return vc.CallVerf(prog, vers, proc, cred, verf, args)
+			return vc.CallVerf(prog, vers, proc, cred, tc.EncodeVerf(), args)
 		}
 	}
 	return p.cfg.Upstream.Call(prog, vers, proc, cred, args)

@@ -39,6 +39,7 @@ import (
 	"gvfs/internal/mountd"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
+	"gvfs/internal/qos"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/xdr"
 )
@@ -119,6 +120,25 @@ type Config struct {
 	// audit event ring (default DefaultAuditRing).
 	StatuszTopN int
 	AuditRing   int
+
+	// AcctMaxEntries caps the per-file and per-client accounting
+	// tables (default DefaultAcctEntries); AcctIdleTTL is how long an
+	// entry may sit untouched before a cap-hit evicts it (default
+	// DefaultAcctTTL).
+	AcctMaxEntries int
+	AcctIdleTTL    time.Duration
+
+	// QoS, when set, runs every incoming call through per-client
+	// admission control, fair-share scheduling and brownout
+	// degradation. The caller owns the scheduler's lifecycle (the
+	// stack layer builds and closes it alongside the proxy).
+	QoS *qos.Scheduler
+
+	// CallBudget is the default per-call deadline applied to calls
+	// that arrive without a propagated budget in the trace verifier.
+	// The remaining budget is re-propagated upstream on every hop and
+	// caps upstream retransmission. Zero applies no default deadline.
+	CallBudget time.Duration
 }
 
 // Stats counts proxy activity.
@@ -180,6 +200,7 @@ type Proxy struct {
 	stats *counters   // instruments in the unified obs registry
 	acct  *accounting // per-file / per-client tables + write-back audit
 	log   *obs.Logger // component-scoped event logger (nil-safe)
+	qos   *qos.Scheduler
 
 	ra   *readAhead                // nil unless Config.ReadAhead > 0
 	idle atomic.Pointer[idleState] // nil unless StartIdleWriteBack was called
@@ -205,8 +226,9 @@ func New(cfg Config) (*Proxy, error) {
 		sizes: make(map[string]uint64),
 		metas: make(map[string]*metaState),
 		stats: newCounters(reg),
-		acct:  newAccounting(cfg.StatuszTopN, cfg.AuditRing),
+		acct:  newAccounting(cfg.StatuszTopN, cfg.AuditRing, cfg.AcctMaxEntries, cfg.AcctIdleTTL),
 		log:   cfg.Logger.Named("proxy"),
+		qos:   cfg.QoS,
 		done:  make(chan struct{}),
 	}
 	p.registerBridges(reg)
@@ -301,11 +323,21 @@ func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	start := time.Now()
 	p.stats.calls.Add(1)
 	p.rememberCred(c.Cred)
-	p.acct.recordOp(clientLabel(c), procLabel(c.Prog, c.Proc))
+	// Per-client op-mix accounting is optional detail brownout sheds.
+	if !p.brownout() {
+		p.acct.recordOp(clientLabel(c), procLabel(c.Prog, c.Proc))
+	}
 	if idle := p.idle.Load(); idle != nil {
 		idle.touch()
 	}
 	degradedAtEntry := p.degraded()
+	p.setDeadline(c, start)
+	release, shedRes, shedStat, admitted := p.admit(c)
+	if !admitted {
+		p.stats.observeRPC(c.Prog, c.Proc, time.Since(start))
+		return shedRes, shedStat
+	}
+	defer release()
 	tr := p.startTrace(c)
 	var res []byte
 	stat := sunrpc.ProgUnavail
@@ -413,7 +445,7 @@ func (p *Proxy) forward(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptSt
 	}
 	p.stats.forwarded.Add(1)
 	upStart := time.Now()
-	res, err := p.upstreamCall(c.Prog, c.Vers, c.Proc, cred, c.Args, tr)
+	res, err := p.upstreamCall(c.Prog, c.Vers, c.Proc, cred, c.Args, tr, c.Deadline)
 	tr.Span(obs.LayerUpstream, callOutcome(err), upStart)
 	p.observeUpstream(err)
 	if err != nil {
@@ -435,7 +467,7 @@ func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
 		p.stats.breakerFastFails.Add(1)
 		return nil, errUpstreamDown
 	}
-	res, err := p.upstreamCall(nfs3.Program, nfs3.Version, proc, cred, args, nil)
+	res, err := p.upstreamCall(nfs3.Program, nfs3.Version, proc, cred, args, nil, time.Time{})
 	p.observeUpstream(err)
 	return res, err
 }

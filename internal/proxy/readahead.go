@@ -183,6 +183,11 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 	if p.ra == nil {
 		return
 	}
+	// Optional work is the first thing brownout sheds: prefetching
+	// spends WAN round trips the overloaded proxy cannot spare.
+	if p.brownout() {
+		return
+	}
 	targets := p.ra.observe(fh, block, p.cfg.ReadAhead)
 	if len(targets) == 0 {
 		return

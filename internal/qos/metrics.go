@@ -1,0 +1,85 @@
+package qos
+
+// gvfs_qos_* metrics. All instruments are nil-safe through tiny
+// wrappers so the scheduler runs identically with no registry (unit
+// tests, benches that don't scrape).
+
+import (
+	"time"
+
+	"gvfs/internal/obs"
+)
+
+type nilSafeCounter struct{ c *obs.Counter }
+
+func (n nilSafeCounter) Inc() {
+	if n.c != nil {
+		n.c.Inc()
+	}
+}
+
+type nilSafeHist struct{ h *obs.Histogram }
+
+func (n nilSafeHist) Observe(d time.Duration) {
+	if n.h != nil {
+		n.h.Observe(d)
+	}
+}
+
+type qosMetrics struct {
+	admitted          nilSafeCounter
+	rejectedQueueFull nilSafeCounter
+	expired           nilSafeCounter
+	brownoutEnter     nilSafeCounter
+	brownoutExit      nilSafeCounter
+	queueDelay        nilSafeHist
+}
+
+func (m *qosMetrics) register(r *obs.Registry, s *Scheduler) {
+	if r == nil {
+		return
+	}
+	m.admitted = nilSafeCounter{r.Counter("gvfs_qos_admitted_total",
+		"Calls admitted by the QoS scheduler.")}
+	m.rejectedQueueFull = nilSafeCounter{r.Counter("gvfs_qos_rejected_queue_full_total",
+		"Calls rejected because the client's admission queue was full.")}
+	m.expired = nilSafeCounter{r.Counter("gvfs_qos_deadline_expired_total",
+		"Calls shed because their propagated deadline expired before or while queued.")}
+	m.brownoutEnter = nilSafeCounter{r.Counter("gvfs_qos_brownout_entered_total",
+		"Transitions into brownout (degraded) mode.")}
+	m.brownoutExit = nilSafeCounter{r.Counter("gvfs_qos_brownout_exited_total",
+		"Transitions out of brownout mode.")}
+	m.queueDelay = nilSafeHist{r.Histogram("gvfs_qos_queue_delay_seconds",
+		"Admission queue delay per admitted call.", obs.LatencyBuckets)}
+	r.GaugeFunc("gvfs_qos_inflight",
+		"Calls currently executing under the QoS concurrency cap.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.inflight)
+		})
+	r.GaugeFunc("gvfs_qos_queued",
+		"Calls currently waiting in per-client admission queues.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queued)
+		})
+	r.GaugeFunc("gvfs_qos_tenants",
+		"Client identities with live scheduler state.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.clients))
+		})
+	r.GaugeFunc("gvfs_qos_brownout_active",
+		"1 while brownout (degraded) mode is active.", func() float64 {
+			if s.brownout.Load() {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("gvfs_qos_queue_delay_ewma_seconds",
+		"Smoothed admission queue delay driving the brownout controller.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.ewmaDelay / float64(time.Second)
+		})
+}

@@ -1,0 +1,400 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmitFastPath(t *testing.T) {
+	s := New(Config{MaxConcurrent: 4})
+	defer s.Close()
+	release, err := s.Admit("a", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // idempotent
+	if got := s.Snapshot(); len(got) != 1 || got[0].Admitted != 1 || got[0].Inflight != 0 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, PerClientQueue: 2})
+	defer s.Close()
+	hold, err := s.Admit("a", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	// Fill the queue bound with blocked admissions.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := s.Admit("a", 1, time.Time{}); err == nil {
+				r()
+			}
+		}()
+	}
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 2
+	})
+	if _, err := s.Admit("a", 1, time.Time{}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	hold()
+	wg.Wait()
+}
+
+func TestDeadlineExpiredBeforeAdmit(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	if _, err := s.Admit("a", 1, time.Now().Add(-time.Second)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDeadlineExpiredInQueue(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	defer s.Close()
+	hold, err := s.Admit("a", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = s.Admit("b", 1, time.Now().Add(30*time.Millisecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("expiry took %v, want prompt", el)
+	}
+	hold()
+	// The expired waiter must not occupy a slot afterwards.
+	r, err := s.Admit("b", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+}
+
+// With one execution slot and two backlogged clients, deficit
+// round-robin must alternate admissions strictly — the flooding
+// client's extra queue depth buys it nothing.
+func TestFairShareAlternates(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, PerClientQueue: 64})
+	defer s.Close()
+	hold, err := s.Admit("seed", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var wg sync.WaitGroup
+	enqueue := func(client string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r, err := s.Admit(client, 1, time.Time{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, client)
+				mu.Unlock()
+				r()
+			}()
+		}
+	}
+	enqueue("aggressor", 24)
+	enqueue("polite", 8)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 32
+	})
+	hold()
+	wg.Wait()
+
+	// While both clients had work (first 16 admissions) each must get
+	// exactly half.
+	polite := 0
+	for _, c := range order[:16] {
+		if c == "polite" {
+			polite++
+		}
+	}
+	if polite != 8 {
+		t.Fatalf("polite got %d of first 16 admissions, want 8 (order %v)", polite, order)
+	}
+}
+
+// Costs weight the round-robin: with quantum 4 and client A sending
+// cost-4 requests against client B's cost-1 requests, each round
+// serves 4 of A's bytes and 4 of B's — equal byte shares, not equal
+// request counts.
+func TestFairShareByBytes(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, PerClientQueue: 64, Quantum: 4})
+	defer s.Close()
+	hold, err := s.Admit("seed", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var bytesA, bytesB atomic.Int64
+	var admissions atomic.Int64
+	var wg sync.WaitGroup
+	enqueue := func(client string, cost, n int, acc *atomic.Int64) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r, err := s.Admit(client, cost, time.Time{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if admissions.Add(1) <= 24 {
+					acc.Add(int64(cost))
+				}
+				r()
+			}()
+		}
+	}
+	enqueue("heavy", 4, 16, &bytesA)
+	enqueue("light", 1, 48, &bytesB)
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 64
+	})
+	hold()
+	wg.Wait()
+
+	a, b := bytesA.Load(), bytesB.Load()
+	if a == 0 || b == 0 {
+		t.Fatalf("a=%d b=%d: both clients must be served", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("byte share ratio %.2f (a=%d b=%d), want near 1", ratio, a, b)
+	}
+}
+
+// The token bucket delays a client that exhausts its burst; the
+// refill timer (not a spin loop) re-dispatches it.
+func TestTokenBucketPacesClient(t *testing.T) {
+	s := New(Config{MaxConcurrent: 8, RatePerSec: 1000, Burst: 10})
+	defer s.Close()
+	r1, err := s.Admit("a", 10, time.Time{}) // drains the full burst
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	start := time.Now()
+	r2, err := s.Admit("a", 10, time.Time{}) // must wait ~10ms of refill
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	if el := time.Since(start); el < 4*time.Millisecond {
+		t.Fatalf("second burst admitted after %v, want >=4ms of token refill", el)
+	}
+}
+
+// A request costing more than the whole bucket must still be served
+// (charged at Burst), not deadlock.
+func TestOversizedCostDoesNotDeadlock(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, RatePerSec: 1e6, Burst: 1024})
+	defer s.Close()
+	done := make(chan error, 1)
+	go func() {
+		r, err := s.Admit("a", 1<<20, time.Time{})
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("oversized request never admitted")
+	}
+}
+
+func TestBrownoutHysteresis(t *testing.T) {
+	s := New(Config{BrownoutEnter: 10 * time.Millisecond})
+	defer s.Close()
+	if s.Brownout() {
+		t.Fatal("brownout must start clear")
+	}
+	s.mu.Lock()
+	s.observeDelayLocked(100 * time.Millisecond) // EWMA jumps to 20ms
+	s.mu.Unlock()
+	if !s.Brownout() {
+		t.Fatalf("brownout must trip at EWMA %v >= 10ms", s.QueueDelayEWMA())
+	}
+	// Exit needs the EWMA to decay below Enter/4 = 2.5ms, not merely
+	// below Enter — hysteresis prevents flapping.
+	s.mu.Lock()
+	s.observeDelayLocked(0)
+	stillIn := s.brownout.Load()
+	s.mu.Unlock()
+	if !stillIn {
+		t.Fatal("one low sample must not clear brownout (hysteresis)")
+	}
+	// Even with the EWMA fully decayed, the dwell bound holds the
+	// state for brownoutDwell before the exit is allowed.
+	for i := 0; i < 40; i++ {
+		s.mu.Lock()
+		s.observeDelayLocked(0)
+		s.mu.Unlock()
+	}
+	if !s.Brownout() {
+		t.Fatal("exit inside the dwell window must be suppressed")
+	}
+	time.Sleep(brownoutDwell + 100*time.Millisecond)
+	s.mu.Lock()
+	s.observeDelayLocked(0)
+	s.mu.Unlock()
+	if s.Brownout() {
+		t.Fatalf("brownout must clear after decay+dwell, EWMA %v", s.QueueDelayEWMA())
+	}
+}
+
+// With no traffic at all, the sampling ticker must decay the EWMA and
+// clear brownout — a stale burst cannot pin degraded mode forever.
+func TestBrownoutAutoRecoversWhenIdle(t *testing.T) {
+	s := New(Config{BrownoutEnter: 10 * time.Millisecond})
+	defer s.Close()
+	s.mu.Lock()
+	s.observeDelayLocked(time.Second)
+	s.mu.Unlock()
+	if !s.Brownout() {
+		t.Fatal("setup: brownout should be active")
+	}
+	waitFor(t, func() bool { return !s.Brownout() })
+}
+
+func TestCloseFailsQueuedWaiters(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1})
+	hold, err := s.Admit("a", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Admit("b", 1, time.Time{})
+		errc <- err
+	}()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued == 1
+	})
+	s.Close()
+	if err := <-errc; !errors.Is(err, ErrClosed) {
+		t.Fatalf("queued waiter err = %v, want ErrClosed", err)
+	}
+	hold() // release after close must not panic
+	if _, err := s.Admit("c", 1, time.Time{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close admit err = %v, want ErrClosed", err)
+	}
+}
+
+// Idle tenant state is evicted past the TTL so client-ID churn cannot
+// grow the heap without bound.
+func TestIdleClientEviction(t *testing.T) {
+	s := New(Config{IdleTTL: time.Minute})
+	defer s.Close()
+	base := time.Now()
+	s.now = func() time.Time { return base }
+	for i := 0; i < 100; i++ {
+		r, err := s.Admit(fmt.Sprintf("churn-%d", i), 1, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r()
+	}
+	s.now = func() time.Time { return base.Add(2 * time.Minute) }
+	r, err := s.Admit("fresh", 1, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	s.mu.Lock()
+	n := len(s.clients)
+	s.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("%d clients survive eviction, want 1 (fresh only)", n)
+	}
+}
+
+// Hammer the scheduler from many goroutines with mixed deadlines and
+// costs; run under -race. The invariant checked at the end: all
+// slots returned, nothing queued, no waiter leaked.
+func TestConcurrentStress(t *testing.T) {
+	s := New(Config{
+		MaxConcurrent:  8,
+		PerClientQueue: 16,
+		RatePerSec:     1 << 20,
+		Burst:          64 << 10,
+		BrownoutEnter:  5 * time.Millisecond,
+	})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := fmt.Sprintf("c%d", g%4)
+			for i := 0; i < 200; i++ {
+				var deadline time.Time
+				if i%3 == 0 {
+					deadline = time.Now().Add(time.Duration(i%7) * time.Millisecond)
+				}
+				r, err := s.Admit(client, (i%64)<<8, deadline)
+				if err != nil {
+					continue
+				}
+				if i%5 == 0 {
+					time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+				}
+				r()
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.inflight == 0 && s.queued == 0
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 10s")
+}

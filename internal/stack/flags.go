@@ -9,6 +9,7 @@ import (
 
 	"gvfs/internal/cache"
 	"gvfs/internal/obs"
+	"gvfs/internal/qos"
 	"gvfs/internal/tunnel"
 )
 
@@ -118,6 +119,21 @@ type ProxyFlags struct {
 	DegradedReads    bool
 	FailureThreshold int
 	ProbeInterval    time.Duration
+
+	// Overload protection (see qos.Config and DESIGN.md §8).
+	QoS           bool          // enable per-client admission control
+	QoSInflight   int           // global concurrency cap (0 = default)
+	QoSQueue      int           // per-client queue bound (0 = default)
+	QoSQuantum    int           // fair-share quantum in bytes (0 = default)
+	QoSRate       float64       // per-client token rate, bytes/s (0 = off)
+	QoSBurst      float64       // token-bucket capacity (0 = rate)
+	BrownoutEnter time.Duration // EWMA queue delay tripping brownout (0 = off)
+	BrownoutExit  time.Duration // EWMA delay clearing brownout (0 = enter/4)
+	CallBudget    time.Duration // default end-to-end call deadline (0 = off)
+
+	// Accounting table bounds.
+	AcctEntries int           // max per-file/per-client rows (0 = default)
+	AcctTTL     time.Duration // idle row eviction TTL (0 = default)
 }
 
 // BindProxyFlags registers the proxy daemon's flags on fs and returns
@@ -154,6 +170,17 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.DurationVar(&f.SlowThreshold, "slow-threshold", 0, "latency that promotes a call to the flight recorder (0 = default 100ms)")
 	fs.IntVar(&f.StatuszTopN, "statusz-topn", 0, "rows per /statusz ranking (0 = default)")
 	fs.IntVar(&f.AuditRing, "audit-ring", 0, "write-back audit events retained for /statusz (0 = default)")
+	fs.BoolVar(&f.QoS, "qos", false, "enable per-client admission control and fair-share scheduling")
+	fs.IntVar(&f.QoSInflight, "qos-inflight", 0, "global concurrent-call cap under -qos (0 = default 64)")
+	fs.IntVar(&f.QoSQueue, "qos-queue", 0, "per-client admission queue bound under -qos (0 = default 128)")
+	fs.IntVar(&f.QoSQuantum, "qos-quantum", 0, "fair-share round-robin quantum in bytes (0 = default 64KiB)")
+	fs.Float64Var(&f.QoSRate, "qos-rate", 0, "per-client token-bucket rate in bytes/s (0 = no rate limit)")
+	fs.Float64Var(&f.QoSBurst, "qos-burst", 0, "per-client token-bucket capacity in bytes (0 = rate)")
+	fs.DurationVar(&f.BrownoutEnter, "brownout-enter", 0, "sustained queue delay that trips brownout degradation (0 = off)")
+	fs.DurationVar(&f.BrownoutExit, "brownout-exit", 0, "queue delay below which brownout clears (0 = enter/4)")
+	fs.DurationVar(&f.CallBudget, "call-budget", 0, "default end-to-end deadline for calls without a propagated budget (0 = off)")
+	fs.IntVar(&f.AcctEntries, "acct-entries", 0, "max per-file/per-client accounting rows (0 = default 4096)")
+	fs.DurationVar(&f.AcctTTL, "acct-ttl", 0, "evict accounting rows idle this long (0 = default 15m)")
 	f.Log = BindLogFlags(fs)
 	return f
 }
@@ -220,6 +247,20 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 		SlowThreshold:       f.SlowThreshold,
 		StatuszTopN:         f.StatuszTopN,
 		AuditRing:           f.AuditRing,
+		CallBudget:          f.CallBudget,
+		AcctMaxEntries:      f.AcctEntries,
+		AcctIdleTTL:         f.AcctTTL,
+	}
+	if f.QoS || f.BrownoutEnter > 0 {
+		opts.QoS = &qos.Config{
+			MaxConcurrent:  f.QoSInflight,
+			PerClientQueue: f.QoSQueue,
+			Quantum:        f.QoSQuantum,
+			RatePerSec:     f.QoSRate,
+			Burst:          f.QoSBurst,
+			BrownoutEnter:  f.BrownoutEnter,
+			BrownoutExit:   f.BrownoutExit,
+		}
 	}
 	if f.CacheDir != "" {
 		opts.CacheConfig = &cache.Config{

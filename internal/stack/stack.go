@@ -22,6 +22,7 @@ import (
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
 	"gvfs/internal/proxy"
+	"gvfs/internal/qos"
 	"gvfs/internal/simnet"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/tunnel"
@@ -268,6 +269,22 @@ type ProxyOptions struct {
 	// write-back audit trail (0 = package defaults).
 	StatuszTopN int
 	AuditRing   int
+
+	// QoS, when non-nil, enables per-client admission control: the
+	// scheduler is built from this config (metrics wired into the
+	// proxy's registry when the config doesn't name one) and closed
+	// with the node. See qos.Config for the knobs.
+	QoS *qos.Config
+
+	// CallBudget is the default end-to-end deadline stamped on calls
+	// that arrive without a propagated budget in their trace verifier
+	// (0 = no local deadline).
+	CallBudget time.Duration
+
+	// AcctMaxEntries / AcctIdleTTL bound the per-file and per-client
+	// accounting tables (0 = package defaults).
+	AcctMaxEntries int
+	AcctIdleTTL    time.Duration
 }
 
 // StartProxy runs a GVFS proxy node.
@@ -304,6 +321,9 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		Logger:           opts.Logger,
 		StatuszTopN:      opts.StatuszTopN,
 		AuditRing:        opts.AuditRing,
+		CallBudget:       opts.CallBudget,
+		AcctMaxEntries:   opts.AcctMaxEntries,
+		AcctIdleTTL:      opts.AcctIdleTTL,
 	}
 	if opts.TraceRing > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceRing)
@@ -318,6 +338,32 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	}
 	var cleanup []func()
 	cleanup = append(cleanup, func() { upstream.Close() })
+
+	if opts.QoS != nil {
+		qcfg := *opts.QoS
+		if qcfg.Metrics == nil {
+			// The scheduler publishes gvfs_qos_* next to the proxy's
+			// own metrics; when the caller didn't bring a registry,
+			// create the shared one here so both land in it.
+			if cfg.Metrics == nil {
+				cfg.Metrics = obs.NewRegistry()
+			}
+			qcfg.Metrics = cfg.Metrics
+		}
+		if qcfg.OnBrownout == nil && opts.Logger != nil {
+			qlog := opts.Logger.Named("qos")
+			qcfg.OnBrownout = func(active bool) {
+				if active {
+					qlog.Warn("brownout enter")
+				} else {
+					qlog.Info("brownout exit")
+				}
+			}
+		}
+		sched := qos.New(qcfg)
+		cfg.QoS = sched
+		cleanup = append(cleanup, sched.Close)
+	}
 
 	var blockCache *cache.Cache
 	if opts.SharedBlockCache != nil {

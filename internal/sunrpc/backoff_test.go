@@ -26,7 +26,7 @@ func TestBackoffConcurrentCallersNoRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for attempt := 0; attempt < 32; attempt++ {
-				c.backoff(attempt % 6)
+				c.sleep(c.backoffDelay(attempt % 6))
 			}
 		}()
 	}
@@ -45,7 +45,7 @@ func TestBackoffJitterBounds(t *testing.T) {
 
 	for attempt := 0; attempt < 8; attempt++ {
 		start := time.Now()
-		c.backoff(attempt)
+		c.sleep(c.backoffDelay(attempt))
 		elapsed := time.Since(start)
 		if elapsed < base/2 {
 			t.Errorf("attempt %d: backoff %v shorter than base/2 %v", attempt, elapsed, base/2)

@@ -7,6 +7,7 @@ package sunrpc
 // those transients instead of dying with the first TCP connection.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -305,9 +306,9 @@ func (c *Client) ensureConn() (net.Conn, int, error) {
 	}
 }
 
-// backoff sleeps the jittered exponential delay for the given retry
-// ordinal, aborting early if the client closes.
-func (c *Client) backoff(attempt int) {
+// backoffDelay returns the jittered exponential delay for the given
+// retry ordinal.
+func (c *Client) backoffDelay(attempt int) time.Duration {
 	d := c.opts.BackoffBase << uint(attempt)
 	if d > c.opts.BackoffMax || d <= 0 {
 		d = c.opts.BackoffMax
@@ -316,7 +317,11 @@ func (c *Client) backoff(attempt int) {
 	// package-level rand source is safe for concurrent use, unlike a
 	// per-client *rand.Rand, which concurrent backoff paths would race
 	// on.
-	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleep waits for d, aborting early if the client closes.
+func (c *Client) sleep(d time.Duration) {
 	select {
 	case <-time.After(d):
 	case <-c.done:
@@ -342,6 +347,23 @@ func (c *Client) Call(prog, vers, proc uint32, cred OpaqueAuth, args []byte) ([]
 // TraceContext). The verifier rides every retransmission of the call
 // unchanged. It implements VerfCaller.
 func (c *Client) CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) ([]byte, error) {
+	return c.callVerfDeadline(prog, vers, proc, cred, verf, args, time.Time{})
+}
+
+// CallVerfDeadline is CallVerf bounded by an absolute deadline. The
+// retry loop never sleeps a backoff it cannot recover from: once the
+// deadline cannot be met before the next attempt could complete, the
+// call fails promptly with an error satisfying
+// errors.Is(err, context.DeadlineExceeded). Each attempt's reply wait
+// is additionally capped at the remaining budget, so a stalled
+// connection cannot hold the call past its deadline either. A zero
+// deadline behaves exactly like CallVerf. It implements
+// DeadlineVerfCaller.
+func (c *Client) CallVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte, deadline time.Time) ([]byte, error) {
+	return c.callVerfDeadline(prog, vers, proc, cred, verf, args, deadline)
+}
+
+func (c *Client) callVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte, deadline time.Time) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -369,8 +391,28 @@ func (c *Client) CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args [
 	timedOutGen := -1 // connection generation already charged one timeout
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
+			d := c.backoffDelay(attempt - 1)
+			if !deadline.IsZero() && !time.Now().Add(d).Before(deadline) {
+				// Sleeping this backoff would overrun the deadline, so
+				// no further attempt can be answered in time. One last
+				// non-blocking check for a reply that already landed,
+				// then fail promptly instead of burning the caller's
+				// budget on dead retransmissions.
+				select {
+				case rep := <-ch:
+					if rep.err == nil {
+						if rep.stat != Success {
+							return nil, &RPCError{Stat: rep.stat}
+						}
+						return rep.results, nil
+					}
+				default:
+				}
+				return nil, fmt.Errorf("%w: retry backoff overruns deadline (last: %v)",
+					context.DeadlineExceeded, lastErr)
+			}
 			c.retries.Add(1)
-			c.backoff(attempt - 1)
+			c.sleep(d)
 			// A reply may have landed during the backoff (the call was
 			// merely delayed): complete with it. A buffered transport
 			// error from the previous attempt is stale — discard it so
@@ -415,10 +457,26 @@ func (c *Client) CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args [
 			continue
 		}
 
+		// Each attempt waits at most CallTimeout, further capped at the
+		// remaining deadline budget so a stalled connection cannot hold
+		// the call past its deadline.
+		attemptTimeout := c.opts.CallTimeout
+		deadlineBound := false
+		if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				return nil, fmt.Errorf("%w (xid %d, prog %d proc %d)",
+					context.DeadlineExceeded, xid, prog, proc)
+			}
+			if attemptTimeout <= 0 || rem < attemptTimeout {
+				attemptTimeout = rem
+				deadlineBound = true
+			}
+		}
 		var timeout <-chan time.Time
 		var timer *time.Timer
-		if c.opts.CallTimeout > 0 {
-			timer = time.NewTimer(c.opts.CallTimeout)
+		if attemptTimeout > 0 {
+			timer = time.NewTimer(attemptTimeout)
 			timeout = timer.C
 		}
 		select {
@@ -439,6 +497,10 @@ func (c *Client) CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args [
 			return rep.results, nil
 		case <-timeout:
 			c.timeouts.Add(1)
+			if deadlineBound {
+				return nil, fmt.Errorf("%w after %v (xid %d, prog %d proc %d)",
+					context.DeadlineExceeded, attemptTimeout, xid, prog, proc)
+			}
 			lastErr = fmt.Errorf("%w after %v (xid %d, prog %d proc %d)",
 				ErrCallTimeout, c.opts.CallTimeout, xid, prog, proc)
 			if !idempotent {

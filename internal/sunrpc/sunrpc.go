@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"gvfs/internal/xdr"
 )
@@ -236,6 +237,13 @@ type Call struct {
 	Verf       OpaqueAuth
 	Args       []byte // raw XDR-encoded procedure arguments
 	RemoteAddr net.Addr
+
+	// Deadline, when nonzero, is the absolute instant by which the
+	// caller still cares about a reply. Dispatch layers (the proxy's
+	// QoS admission) set it from the propagated trace-verifier budget
+	// and use it to shed calls that have already expired. The
+	// transport itself does not enforce it.
+	Deadline time.Time
 }
 
 // Handler processes calls for one (program, version). Results must be

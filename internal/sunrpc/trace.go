@@ -13,6 +13,8 @@ package sunrpc
 // extension is transparent end to end.
 
 import (
+	"time"
+
 	"gvfs/internal/xdr"
 )
 
@@ -21,29 +23,45 @@ import (
 // flavor range, so it cannot collide with real authentication.
 const TraceVerfFlavor uint32 = 0x67766673
 
-// TraceContext identifies one traced RPC as it crosses proxy hops.
+// TraceContext identifies one traced RPC as it crosses proxy hops and
+// carries the caller's remaining deadline budget so every hop can shed
+// work the client has already given up on.
 type TraceContext struct {
-	ID  uint64 // allocated at hop 0, stable across the chain
+	ID  uint64 // allocated at hop 0, stable across the chain; 0 = untraced (budget-only)
 	Hop uint32 // 0 at the allocating proxy, +1 per upstream hop
+
+	// BudgetMs is the caller's remaining deadline budget in
+	// milliseconds at the time the call was transmitted. Zero means
+	// "no deadline" — both for peers that predate the field (their
+	// 12-byte verifier decodes with BudgetMs 0) and for calls without
+	// a budget, so the extension stays wire-compatible in both
+	// directions.
+	BudgetMs uint32
 }
 
-// EncodeVerf packs the context into a verifier OpaqueAuth.
+// EncodeVerf packs the context into a verifier OpaqueAuth. Old peers
+// decode only the leading 12 bytes and ignore the budget word.
 func (tc TraceContext) EncodeVerf() OpaqueAuth {
 	var b sliceWriter
 	e := xdr.NewEncoder(&b)
 	e.Uint64(tc.ID)
 	e.Uint32(tc.Hop)
+	e.Uint32(tc.BudgetMs)
 	return OpaqueAuth{Flavor: TraceVerfFlavor, Body: b}
 }
 
 // DecodeTraceVerf extracts a trace context from a call's verifier.
-// The second result is false for any other flavor or a short body.
+// The second result is false for any other flavor or a short body. A
+// 12-byte body from a pre-budget peer decodes with BudgetMs 0.
 func DecodeTraceVerf(a OpaqueAuth) (TraceContext, bool) {
 	if a.Flavor != TraceVerfFlavor || len(a.Body) < 12 {
 		return TraceContext{}, false
 	}
 	d := xdr.NewDecoder(bytesReader(a.Body))
 	tc := TraceContext{ID: d.Uint64(), Hop: d.Uint32()}
+	if len(a.Body) >= 16 {
+		tc.BudgetMs = d.Uint32()
+	}
 	if d.Err() != nil {
 		return TraceContext{}, false
 	}
@@ -55,4 +73,13 @@ func DecodeTraceVerf(a OpaqueAuth) (TraceContext, bool) {
 // upstream. *Client implements it.
 type VerfCaller interface {
 	CallVerf(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) ([]byte, error)
+}
+
+// DeadlineVerfCaller extends VerfCaller with an absolute per-call
+// deadline that caps retransmission: the transport must fail with an
+// error satisfying errors.Is(err, context.DeadlineExceeded) rather
+// than retry past it. *Client implements it.
+type DeadlineVerfCaller interface {
+	VerfCaller
+	CallVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte, deadline time.Time) ([]byte, error)
 }

@@ -17,6 +17,35 @@ func TestTraceVerfRoundTrip(t *testing.T) {
 	}
 }
 
+func TestTraceVerfBudgetRoundTrip(t *testing.T) {
+	in := TraceContext{ID: 7, Hop: 2, BudgetMs: 1500}
+	out, ok := DecodeTraceVerf(in.EncodeVerf())
+	if !ok || out != in {
+		t.Fatalf("round trip = %+v ok=%v, want %+v", out, ok, in)
+	}
+	// Budget-only context: ID 0 marks an untraced call that still
+	// propagates its deadline.
+	in = TraceContext{BudgetMs: 250}
+	out, ok = DecodeTraceVerf(in.EncodeVerf())
+	if !ok || out != in {
+		t.Fatalf("budget-only round trip = %+v ok=%v, want %+v", out, ok, in)
+	}
+}
+
+// A 12-byte verifier from a peer that predates the budget word must
+// still decode, with BudgetMs zero (no deadline).
+func TestDecodeTraceVerfLegacy12Bytes(t *testing.T) {
+	full := TraceContext{ID: 99, Hop: 4, BudgetMs: 777}.EncodeVerf()
+	legacy := OpaqueAuth{Flavor: TraceVerfFlavor, Body: full.Body[:12]}
+	out, ok := DecodeTraceVerf(legacy)
+	if !ok {
+		t.Fatal("legacy 12-byte body must decode")
+	}
+	if out.ID != 99 || out.Hop != 4 || out.BudgetMs != 0 {
+		t.Fatalf("legacy decode = %+v, want ID 99 Hop 4 BudgetMs 0", out)
+	}
+}
+
 func TestDecodeTraceVerfRejectsOthers(t *testing.T) {
 	if _, ok := DecodeTraceVerf(AuthNoneCred); ok {
 		t.Error("AUTH_NONE must not decode as a trace context")
