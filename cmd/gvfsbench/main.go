@@ -55,10 +55,11 @@ func main() {
 		"flightrec":            o.RunFlightRec,
 		"crash":                o.RunCrash,
 		"noisy":                o.RunNoisy,
+		"alloc":                o.RunAlloc,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace", "flightrec", "crash", "noisy"}
+		"trace", "flightrec", "crash", "noisy", "alloc"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -1,0 +1,37 @@
+package bench
+
+import "testing"
+
+// Alloc regression gates: the warm data path must stay at least 80%
+// below the seed baselines (63 allocs/op READ, 67 WRITE). The current
+// measured steady state is ~6 READ / ~8 WRITE; the gate leaves
+// headroom for harness jitter but fails the build long before the
+// pooled path quietly regresses toward the seed.
+const (
+	warmReadAllocGate  = seedWarmReadAllocsPerOp / 5  // 12.6
+	warmWriteAllocGate = seedWarmWriteAllocsPerOp / 5 // 13.4
+)
+
+// TestWarmPathAllocGate measures the warm-cache READ/WRITE paths over
+// a real loopback deployment and fails if allocs/op exceeds the
+// committed gate. Skipped under -race: the detector instruments
+// allocations and the counts are not comparable.
+func TestWarmPathAllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs/op is not comparable under the race detector")
+	}
+	read, write, err := measureWarmAlloc(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("warm read: %.1f allocs/op (%.0f B/op); warm write: %.1f allocs/op (%.0f B/op)",
+		read.AllocsPerOp, read.BytesPerOp, write.AllocsPerOp, write.BytesPerOp)
+	if read.AllocsPerOp > warmReadAllocGate {
+		t.Errorf("warm READ = %.1f allocs/op, gate %.1f (seed %.1f)",
+			read.AllocsPerOp, warmReadAllocGate, seedWarmReadAllocsPerOp)
+	}
+	if write.AllocsPerOp > warmWriteAllocGate {
+		t.Errorf("warm WRITE = %.1f allocs/op, gate %.1f (seed %.1f)",
+			write.AllocsPerOp, warmWriteAllocGate, seedWarmWriteAllocsPerOp)
+	}
+}

@@ -103,6 +103,11 @@ type Config struct {
 	// JournalSync selects journal durability on the write path
 	// (default SyncBatch: group-commit fsync).
 	JournalSync SyncMode
+	// WriteCoalesce, when positive, merges runs of consecutive dirty
+	// blocks of a file into single upstream WRITEs of up to this many
+	// bytes at flush time (capped at the 32 KB NFS transfer limit),
+	// instead of one WRITE RPC per block. Zero disables coalescing.
+	WriteCoalesce int
 	// Logger receives cache lifecycle events (journal recovery, cold
 	// starts, checksum failures). Nil is safe: events are dropped.
 	Logger *obs.Logger
@@ -143,6 +148,9 @@ func (c *Config) fill() error {
 	}
 	if c.FlushConcurrency <= 0 {
 		c.FlushConcurrency = 8
+	}
+	if c.WriteCoalesce > 32768 {
+		c.WriteCoalesce = 32768
 	}
 	if c.Stripes <= 0 {
 		c.Stripes = 64
@@ -397,12 +405,23 @@ func (c *Cache) bankFile(bank int) (*os.File, error) {
 }
 
 func (c *Cache) readFrame(idx int, size uint32) ([]byte, error) {
+	return c.readFrameInto(idx, size, nil)
+}
+
+// readFrameInto reads a frame's bank bytes into dst when it has the
+// capacity, allocating only as a fallback.
+func (c *Cache) readFrameInto(idx int, size uint32, dst []byte) ([]byte, error) {
 	bank, off := c.bankOf(idx)
 	f, err := c.bankFile(bank)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, size)
+	var buf []byte
+	if cap(dst) >= int(size) {
+		buf = dst[:size]
+	} else {
+		buf = make([]byte, size)
+	}
 	if _, err := f.ReadAt(buf, off); err != nil {
 		return nil, err
 	}
@@ -456,6 +475,19 @@ func (s *stripe) unpinExcl(fr *frame) {
 // The frame is pinned shared and read outside the stripe lock, so
 // concurrent traffic on other frames proceeds during the bank I/O.
 func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
+	return c.getInto(fh, block, nil)
+}
+
+// GetInto is Get with caller-supplied storage: when dst has capacity
+// for the frame, the block is read into it and the filled prefix
+// returned, so a hit costs no allocation (the proxy passes a pooled
+// buffer). The rare journal-rescue path still returns its own slice,
+// so callers must use the returned slice, not assume it is dst.
+func (c *Cache) GetInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
+	return c.getInto(fh, block, dst)
+}
+
+func (c *Cache) getInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
 	id := BlockID{FH: fh.Key(), Block: block}
 	s := c.stripeFor(id)
 	s.mu.Lock()
@@ -480,7 +512,7 @@ func (c *Cache) Get(fh nfs3.FH, block uint64) ([]byte, bool) {
 	if !c.cfg.SerialIO {
 		s.mu.Unlock()
 	}
-	data, err := c.readFrame(idx, size)
+	data, err := c.readFrameInto(idx, size, dst)
 	badsum := err == nil && crc32c(data) != sum
 	if !c.cfg.SerialIO {
 		s.mu.Lock()
@@ -902,6 +934,9 @@ func (c *Cache) propagate(ids []BlockID) error {
 			return nil
 		}
 		return fmt.Errorf("cache: flush with no write-back function installed")
+	}
+	if c.cfg.WriteCoalesce >= 2*c.cfg.BlockSize {
+		return c.propagateCoalesced(ids, wb)
 	}
 	sem := make(chan struct{}, c.cfg.FlushConcurrency)
 	errs := make(chan error, len(ids))

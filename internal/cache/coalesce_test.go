@@ -1,0 +1,282 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gvfs/internal/nfs3"
+)
+
+func runsEqual(a, b []run) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCoalesceRuns(t *testing.T) {
+	const bs = 512
+	id := func(fh string, b uint64) BlockID { return BlockID{FH: fh, Block: b} }
+	cases := []struct {
+		name     string
+		ids      []BlockID
+		maxBytes int
+		want     []run
+	}{
+		{
+			name:     "adjacent blocks merge",
+			ids:      []BlockID{id("a", 0), id("a", 1), id("a", 2)},
+			maxBytes: 8 * bs,
+			want:     []run{{fh: "a", start: 0, n: 3}},
+		},
+		{
+			name:     "gap splits",
+			ids:      []BlockID{id("a", 0), id("a", 1), id("a", 3)},
+			maxBytes: 8 * bs,
+			want:     []run{{fh: "a", start: 0, n: 2}, {fh: "a", start: 3, n: 1}},
+		},
+		{
+			name:     "unsorted input is sorted first",
+			ids:      []BlockID{id("a", 2), id("a", 0), id("a", 1)},
+			maxBytes: 8 * bs,
+			want:     []run{{fh: "a", start: 0, n: 3}},
+		},
+		{
+			name:     "duplicates (overlap) are dropped",
+			ids:      []BlockID{id("a", 0), id("a", 1), id("a", 1), id("a", 2)},
+			maxBytes: 8 * bs,
+			want:     []run{{fh: "a", start: 0, n: 3}},
+		},
+		{
+			name:     "max-size split",
+			ids:      []BlockID{id("a", 0), id("a", 1), id("a", 2), id("a", 3), id("a", 4)},
+			maxBytes: 2 * bs,
+			want:     []run{{fh: "a", start: 0, n: 2}, {fh: "a", start: 2, n: 2}, {fh: "a", start: 4, n: 1}},
+		},
+		{
+			name:     "distinct files never merge",
+			ids:      []BlockID{id("a", 0), id("b", 1), id("a", 1), id("b", 2)},
+			maxBytes: 8 * bs,
+			want:     []run{{fh: "a", start: 0, n: 2}, {fh: "b", start: 1, n: 2}},
+		},
+		{
+			name:     "tiny budget still flushes one block per run",
+			ids:      []BlockID{id("a", 0), id("a", 1)},
+			maxBytes: bs / 2,
+			want:     []run{{fh: "a", start: 0, n: 1}, {fh: "a", start: 1, n: 1}},
+		},
+		{
+			name: "empty",
+			ids:  nil, maxBytes: 8 * bs, want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := coalesceRuns(tc.ids, bs, tc.maxBytes)
+			if !runsEqual(got, tc.want) {
+				t.Errorf("coalesceRuns = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// wbRecorder captures every write-back call.
+type wbRecorder struct {
+	mu    sync.Mutex
+	calls []wbCall
+}
+
+type wbCall struct {
+	fh   nfs3.FH
+	off  uint64
+	data []byte
+}
+
+func (r *wbRecorder) fn() WriteBackFunc {
+	return func(fh nfs3.FH, off uint64, data []byte) error {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.calls = append(r.calls, wbCall{fh: fh, off: off, data: append([]byte(nil), data...)})
+		return nil
+	}
+}
+
+// flatten reassembles the recorded writes into per-file images.
+func (r *wbRecorder) flatten() map[string]map[uint64][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]map[uint64][]byte{}
+	for _, c := range r.calls {
+		m := out[c.fh.Key()]
+		if m == nil {
+			m = map[uint64][]byte{}
+			out[c.fh.Key()] = m
+		}
+		m[c.off] = c.data
+	}
+	return out
+}
+
+var errCoalesceBoom = fmt.Errorf("coalesce test write-back failure")
+
+func coalesceConfig(maxBytes int) Config {
+	cfg := smallConfig()
+	cfg.WriteCoalesce = maxBytes
+	return cfg
+}
+
+func TestCoalescedWriteBackMergesAdjacent(t *testing.T) {
+	const bs = 512
+	c := newTestCache(t, coalesceConfig(4*bs))
+	rec := &wbRecorder{}
+	c.SetWriteBackFunc(rec.fn())
+	want := make([]byte, 8*bs)
+	for i := uint64(0); i < 8; i++ {
+		blk := bytes.Repeat([]byte{byte(i + 1)}, bs)
+		copy(want[i*bs:], blk)
+		if err := c.Put(fhA, i, blk, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteBackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DirtyCount(); n != 0 {
+		t.Errorf("dirty after writeback = %d", n)
+	}
+	// 8 adjacent blocks with a 4-block budget: exactly two WRITEs.
+	if len(rec.calls) != 2 {
+		t.Errorf("write-backs = %d, want 2 (calls: %+v)", len(rec.calls), rec.calls)
+	}
+	got := make([]byte, 8*bs)
+	for off, data := range rec.flatten()[fhA.Key()] {
+		copy(got[off:], data)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("reassembled write-back data differs from cached content")
+	}
+	// Blocks stay cached and clean after the coalesced flush.
+	for i := uint64(0); i < 8; i++ {
+		data, ok := c.Get(fhA, i)
+		if !ok || !bytes.Equal(data, want[i*bs:(i+1)*bs]) {
+			t.Fatalf("block %d lost or corrupted after coalesced flush", i)
+		}
+	}
+}
+
+func TestCoalescedWriteBackShortTail(t *testing.T) {
+	const bs = 512
+	c := newTestCache(t, coalesceConfig(8*bs))
+	rec := &wbRecorder{}
+	c.SetWriteBackFunc(rec.fn())
+	// Two full blocks then a short (file-tail) block: one WRITE whose
+	// short frame is the run's tail.
+	if err := c.Put(fhA, 0, bytes.Repeat([]byte{1}, bs), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fhA, 1, bytes.Repeat([]byte{2}, bs), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fhA, 2, bytes.Repeat([]byte{3}, 100), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 1 {
+		t.Fatalf("write-backs = %d, want 1 (calls: %+v)", len(rec.calls), rec.calls)
+	}
+	call := rec.calls[0]
+	if call.off != 0 || len(call.data) != 2*bs+100 {
+		t.Fatalf("coalesced write off=%d len=%d, want off=0 len=%d", call.off, len(call.data), 2*bs+100)
+	}
+	if !bytes.Equal(call.data[2*bs:], bytes.Repeat([]byte{3}, 100)) {
+		t.Error("short tail bytes corrupted")
+	}
+}
+
+func TestCoalescedWriteBackShortMiddleSplitsRun(t *testing.T) {
+	const bs = 512
+	c := newTestCache(t, coalesceConfig(8*bs))
+	rec := &wbRecorder{}
+	c.SetWriteBackFunc(rec.fn())
+	// A short block in the middle cannot be coalesced with a successor
+	// (its bytes end before the next block's offset): expect the run to
+	// end at the short frame and the rest to flush separately.
+	if err := c.Put(fhA, 0, bytes.Repeat([]byte{1}, bs), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fhA, 1, bytes.Repeat([]byte{2}, 64), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(fhA, 2, bytes.Repeat([]byte{3}, bs), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteBackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DirtyCount(); n != 0 {
+		t.Errorf("dirty after writeback = %d", n)
+	}
+	img := rec.flatten()[fhA.Key()]
+	if !bytes.Equal(img[0][:bs], bytes.Repeat([]byte{1}, bs)) {
+		t.Error("block 0 bytes wrong")
+	}
+	if data, ok := img[0]; !ok || len(data) != bs+64 {
+		// Block 1 is short, so blocks 0-1 coalesce with the short tail...
+		t.Errorf("first write len = %d, want %d", len(data), bs+64)
+	}
+	if data, ok := img[2*bs]; !ok || !bytes.Equal(data, bytes.Repeat([]byte{3}, bs)) {
+		t.Error("block 2 flushed incorrectly")
+	}
+}
+
+func TestCoalescedWriteBackErrorKeepsDirty(t *testing.T) {
+	const bs = 512
+	c := newTestCache(t, coalesceConfig(4*bs))
+	c.SetWriteBackFunc(func(nfs3.FH, uint64, []byte) error { return errCoalesceBoom })
+	for i := uint64(0); i < 4; i++ {
+		if err := c.Put(fhA, i, bytes.Repeat([]byte{byte(i)}, bs), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteBackAll(); err == nil {
+		t.Fatal("expected error from failing write-back")
+	}
+	if n := c.DirtyCount(); n != 4 {
+		t.Errorf("dirty after failed writeback = %d, want 4", n)
+	}
+}
+
+func TestCoalescedWriteBackDisjointFiles(t *testing.T) {
+	const bs = 512
+	c := newTestCache(t, coalesceConfig(8*bs))
+	rec := &wbRecorder{}
+	c.SetWriteBackFunc(rec.fn())
+	for i := uint64(0); i < 3; i++ {
+		if err := c.Put(fhA, i, bytes.Repeat([]byte{0xaa}, bs), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Put(fhB, i, bytes.Repeat([]byte{0xbb}, bs), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteBackAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.calls) != 2 {
+		t.Errorf("write-backs = %d, want 2 (one coalesced run per file)", len(rec.calls))
+	}
+	for _, call := range rec.calls {
+		if len(call.data) != 3*bs {
+			t.Errorf("file %q run len = %d, want %d", call.fh, len(call.data), 3*bs)
+		}
+	}
+}

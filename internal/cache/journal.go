@@ -129,11 +129,12 @@ type journal struct {
 	path string
 	mode SyncMode
 
-	mu   sync.Mutex
-	f    *os.File
-	size int64
-	live map[BlockID]struct{}
-	seq  uint64 // records appended this process
+	mu      sync.Mutex
+	f       *os.File
+	size    int64
+	live    map[BlockID]struct{}
+	seq     uint64 // records appended this process
+	scratch []byte // record-encode buffer, reused under mu
 
 	sm      sync.Mutex
 	sc      *sync.Cond
@@ -149,21 +150,32 @@ type journal struct {
 	appends, appendBytes, syncs, commits, checkpoints, restores atomic.Uint64
 }
 
-// encodeRecord serializes one record.
+// encodeRecord serializes one record into a fresh buffer (cold paths:
+// compaction, tests).
 func encodeRecord(kind uint32, id BlockID, data []byte) []byte {
-	fh := []byte(id.FH)
-	buf := make([]byte, recHeaderSize+len(fh)+len(data))
+	return encodeRecordInto(nil, kind, id, data)
+}
+
+// encodeRecordInto serializes one record into scratch, growing it if
+// needed, and returns the encoded record (len == record size, sharing
+// scratch's backing array). Hot appenders pass the journal's
+// mu-guarded scratch so steady-state encoding allocates nothing.
+func encodeRecordInto(scratch []byte, kind uint32, id BlockID, data []byte) []byte {
+	need := recHeaderSize + len(id.FH) + len(data)
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf := scratch[:need]
 	binary.BigEndian.PutUint32(buf[0:], journalMagic)
 	binary.BigEndian.PutUint32(buf[4:], kind)
-	binary.BigEndian.PutUint32(buf[8:], uint32(len(fh)))
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(id.FH)))
 	binary.BigEndian.PutUint64(buf[12:], id.Block)
 	binary.BigEndian.PutUint32(buf[20:], uint32(len(data)))
-	copy(buf[recHeaderSize:], fh)
-	copy(buf[recHeaderSize+len(fh):], data)
-	crc := crc32.New(castagnoli)
-	crc.Write(buf[4:24])
-	crc.Write(buf[recHeaderSize:])
-	binary.BigEndian.PutUint32(buf[24:], crc.Sum32())
+	copy(buf[recHeaderSize:], id.FH)
+	copy(buf[recHeaderSize+len(id.FH):], data)
+	crc := crc32.Update(0, castagnoli, buf[4:24])
+	crc = crc32.Update(crc, castagnoli, buf[recHeaderSize:])
+	binary.BigEndian.PutUint32(buf[24:], crc)
 	return buf
 }
 
@@ -252,12 +264,13 @@ func openJournal(dir string, mode SyncMode) (*journal, error) {
 // according to the sync mode. Only after Append returns may the write
 // be acknowledged to the client.
 func (j *journal) Append(id BlockID, data []byte) error {
-	rec := encodeRecord(recData, id, data)
 	j.mu.Lock()
 	if j.f == nil {
 		j.mu.Unlock()
 		return errJournalClosed
 	}
+	rec := encodeRecordInto(j.scratch, recData, id, data)
+	j.scratch = rec
 	if _, err := j.f.Write(rec); err != nil {
 		j.mu.Unlock()
 		return err
@@ -352,7 +365,8 @@ func (j *journal) Commit(id BlockID) error {
 		j.mu.Unlock()
 		return nil
 	}
-	rec := encodeRecord(recCommit, id, nil)
+	rec := encodeRecordInto(j.scratch, recCommit, id, nil)
+	j.scratch = rec
 	if _, err := j.f.Write(rec); err != nil {
 		j.mu.Unlock()
 		return err

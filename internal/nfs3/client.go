@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"gvfs/internal/bufpool"
 	"gvfs/internal/sunrpc"
 	"gvfs/internal/xdr"
 )
@@ -130,14 +131,18 @@ func (c *Client) ReadLink(fh FH) (string, error) {
 	return target, d.Err()
 }
 
-// Read reads up to count bytes at off.
+// Read reads up to count bytes at off. The returned data aliases the
+// reply buffer, which the caller owns.
 func (c *Client) Read(fh FH, off uint64, count uint32) (data []byte, eof bool, err error) {
-	res, err := c.call(ProcRead, (&ReadArgs{FH: fh, Offset: off, Count: count}).Encode())
+	args := ReadArgs{FH: fh, Offset: off, Count: count}
+	buf := args.AppendTo(bufpool.Get(FHSize + 16)[:0])
+	res, err := c.call(ProcRead, buf)
+	bufpool.Put(buf)
 	if err != nil {
 		return nil, false, err
 	}
-	r, err := DecodeReadRes(res)
-	if err != nil {
+	var r ReadRes
+	if err := r.DecodeRefInto(res); err != nil {
 		return nil, false, err
 	}
 	if r.Status != OK {
@@ -150,12 +155,14 @@ func (c *Client) Read(fh FH, off uint64, count uint32) (data []byte, eof bool, e
 // the server's count and post-op attributes when available.
 func (c *Client) Write(fh FH, off uint64, data []byte, stable uint32) (uint32, *Fattr, error) {
 	args := WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: stable, Data: data}
-	res, err := c.call(ProcWrite, args.Encode())
+	buf := args.AppendTo(bufpool.Get(WriteArgsSize(len(data)))[:0])
+	res, err := c.call(ProcWrite, buf)
+	bufpool.Put(buf)
 	if err != nil {
 		return 0, nil, err
 	}
-	r, err := DecodeWriteRes(res)
-	if err != nil {
+	var r WriteRes
+	if err := r.DecodeInto(res); err != nil {
 		return 0, nil, err
 	}
 	if r.Status != OK {

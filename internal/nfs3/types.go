@@ -232,6 +232,34 @@ func (a *Fattr) Encode(e *xdr.Encoder) {
 	e.Uint32(a.Ctime.Nsec)
 }
 
+// FattrSize is the fixed encoded size of a fattr3 (21 words).
+const FattrSize = 84
+
+// FHSize bounds the encoded size of an nfs_fh3 (length word + up to
+// 64 padded handle bytes, RFC 1813 NFS3_FHSIZE).
+const FHSize = 4 + 64
+
+// Append writes the fattr3 wire form through a Builder.
+func (a *Fattr) Append(b *xdr.Builder) {
+	b.Uint32(uint32(a.Type))
+	b.Uint32(a.Mode)
+	b.Uint32(a.Nlink)
+	b.Uint32(a.UID)
+	b.Uint32(a.GID)
+	b.Uint64(a.Size)
+	b.Uint64(a.Used)
+	b.Uint32(a.RdevMajor)
+	b.Uint32(a.RdevMinor)
+	b.Uint64(a.FSID)
+	b.Uint64(a.FileID)
+	b.Uint32(a.Atime.Sec)
+	b.Uint32(a.Atime.Nsec)
+	b.Uint32(a.Mtime.Sec)
+	b.Uint32(a.Mtime.Nsec)
+	b.Uint32(a.Ctime.Sec)
+	b.Uint32(a.Ctime.Nsec)
+}
+
 // DecodeFattr reads the fattr3 wire form.
 func DecodeFattr(d *xdr.Decoder) Fattr {
 	var a Fattr
@@ -260,6 +288,16 @@ func EncodePostOpAttr(e *xdr.Encoder, a *Fattr) {
 	}
 	e.Bool(true)
 	a.Encode(e)
+}
+
+// AppendPostOpAttr writes a post_op_attr through a Builder.
+func AppendPostOpAttr(b *xdr.Builder, a *Fattr) {
+	if a == nil {
+		b.Bool(false)
+		return
+	}
+	b.Bool(true)
+	a.Append(b)
 }
 
 // DecodePostOpAttr reads a post_op_attr.
@@ -314,6 +352,21 @@ type WccData struct {
 func (w *WccData) Encode(e *xdr.Encoder) {
 	EncodePreOpAttr(e, w.Before)
 	EncodePostOpAttr(e, w.After)
+}
+
+// Append writes the wcc_data wire form through a Builder.
+func (w *WccData) Append(b *xdr.Builder) {
+	if w.Before == nil {
+		b.Bool(false)
+	} else {
+		b.Bool(true)
+		b.Uint64(w.Before.Size)
+		b.Uint32(w.Before.Mtime.Sec)
+		b.Uint32(w.Before.Mtime.Nsec)
+		b.Uint32(w.Before.Ctime.Sec)
+		b.Uint32(w.Before.Ctime.Nsec)
+	}
+	AppendPostOpAttr(b, w.After)
 }
 
 // DecodeWccData reads a wcc_data.

@@ -10,6 +10,18 @@ import (
 // This file defines typed argument/result codecs for the procedures the
 // GVFS proxy interposes on. Server, client and proxy all share these so
 // that a byte sequence produced by one is always parseable by the others.
+//
+// Two codec styles coexist:
+//
+//   - Encode()/Decode* functions allocate their output and copy all
+//     payloads — safe anywhere, used off the hot path.
+//   - AppendTo/DecodeInto/DecodeRef operate on caller-supplied buffers:
+//     AppendTo builds the wire form into a (typically pooled) slice with
+//     plain appends, DecodeInto fills a stack-allocated struct, and the
+//     Ref variants alias bulk payloads (READ reply data, WRITE arg data)
+//     into the input buffer instead of copying. Ref results follow the
+//     input buffer's ownership rules: never retain them past the call
+//     that supplied the buffer (see DESIGN.md §9).
 
 // ErrShortReply reports a truncated or malformed XDR reply body.
 var ErrShortReply = errors.New("nfs3: malformed message")
@@ -38,8 +50,9 @@ func (a *GetattrArgs) Encode() []byte {
 
 // DecodeGetattrArgs parses GETATTR-shaped arguments.
 func DecodeGetattrArgs(p []byte) (*GetattrArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &GetattrArgs{FH: DecodeFH(d)}
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a := &GetattrArgs{FH: DecodeFH(&d)}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -63,8 +76,9 @@ func (a *LookupArgs) Encode() []byte {
 
 // DecodeLookupArgs parses diropargs3.
 func DecodeLookupArgs(p []byte) (*LookupArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &LookupArgs{Dir: DecodeFH(d), Name: d.String()}
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a := &LookupArgs{Dir: DecodeFH(&d), Name: d.String()}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -94,13 +108,14 @@ func (r *LookupRes) Encode() []byte {
 
 // DecodeLookupRes parses a LOOKUP result.
 func DecodeLookupRes(p []byte) (*LookupRes, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
+	var d xdr.Decoder
+	d.ResetBytes(p)
 	r := &LookupRes{Status: Status(d.Uint32())}
 	if r.Status == OK {
-		r.Object = DecodeFH(d)
-		r.ObjAttr = DecodePostOpAttr(d)
+		r.Object = DecodeFH(&d)
+		r.ObjAttr = DecodePostOpAttr(&d)
 	}
-	r.DirAttr = DecodePostOpAttr(d)
+	r.DirAttr = DecodePostOpAttr(&d)
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
@@ -126,10 +141,11 @@ func (r *GetattrRes) Encode() []byte {
 
 // DecodeGetattrRes parses a GETATTR result.
 func DecodeGetattrRes(p []byte) (*GetattrRes, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
+	var d xdr.Decoder
+	d.ResetBytes(p)
 	r := &GetattrRes{Status: Status(d.Uint32())}
 	if r.Status == OK {
-		r.Attr = DecodeFattr(d)
+		r.Attr = DecodeFattr(&d)
 	}
 	if err := d.Err(); err != nil {
 		return nil, err
@@ -154,11 +170,30 @@ func (a *ReadArgs) Encode() []byte {
 	return finish(e, &buf)
 }
 
+// AppendTo appends the XDR form of the arguments to dst.
+func (a *ReadArgs) AppendTo(dst []byte) []byte {
+	b := xdr.Builder{B: dst}
+	b.Opaque(a.FH)
+	b.Uint64(a.Offset)
+	b.Uint32(a.Count)
+	return b.B
+}
+
+// DecodeInto fills a (typically stack-allocated) ReadArgs. The FH is
+// copied, so the result does not alias p.
+func (a *ReadArgs) DecodeInto(p []byte) error {
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a.FH = DecodeFH(&d)
+	a.Offset = d.Uint64()
+	a.Count = d.Uint32()
+	return d.Err()
+}
+
 // DecodeReadArgs parses READ arguments.
 func DecodeReadArgs(p []byte) (*ReadArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &ReadArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
-	if err := d.Err(); err != nil {
+	a := &ReadArgs{}
+	if err := a.DecodeInto(p); err != nil {
 		return nil, err
 	}
 	return a, nil
@@ -187,20 +222,52 @@ func (r *ReadRes) Encode() []byte {
 	return finish(e, &buf)
 }
 
-// DecodeReadRes parses a READ result.
-func DecodeReadRes(p []byte) (*ReadRes, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	r := &ReadRes{Status: Status(d.Uint32())}
-	r.Attr = DecodePostOpAttr(d)
+// AppendTo appends the XDR form of the result to dst. With dst from
+// bufpool sized by ReadResSize, the whole encode is allocation-free.
+func (r *ReadRes) AppendTo(dst []byte) []byte {
+	b := xdr.Builder{B: dst}
+	b.Uint32(uint32(r.Status))
+	AppendPostOpAttr(&b, r.Attr)
 	if r.Status == OK {
-		r.Count = d.Uint32()
-		r.EOF = d.Bool()
-		r.Data = d.Opaque()
+		b.Uint32(r.Count)
+		b.Bool(r.EOF)
+		b.Opaque(r.Data)
 	}
-	if err := d.Err(); err != nil {
+	return b.B
+}
+
+// ReadResSize bounds the encoded size of a READ result carrying n data
+// bytes: status + post-op attr + count + eof + opaque header/padding.
+func ReadResSize(n int) int { return 4 + 4 + FattrSize + 4 + 4 + 4 + n + 4 }
+
+// DecodeReadRes parses a READ result, copying the data payload.
+func DecodeReadRes(p []byte) (*ReadRes, error) {
+	r := &ReadRes{}
+	if err := r.decode(p, false); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// DecodeRefInto fills r with Data aliasing p: zero-copy parse for
+// callers that consume the payload before p's owner releases it.
+func (r *ReadRes) DecodeRefInto(p []byte) error { return r.decode(p, true) }
+
+func (r *ReadRes) decode(p []byte, ref bool) error {
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	r.Status = Status(d.Uint32())
+	r.Attr = DecodePostOpAttr(&d)
+	if r.Status == OK {
+		r.Count = d.Uint32()
+		r.EOF = d.Bool()
+		if ref {
+			r.Data = d.OpaqueRef()
+		} else {
+			r.Data = d.Opaque()
+		}
+	}
+	return d.Err()
 }
 
 // WriteArgs are the WRITE arguments.
@@ -224,15 +291,50 @@ func (a *WriteArgs) Encode() []byte {
 	return finish(e, &buf)
 }
 
-// DecodeWriteArgs parses WRITE arguments.
+// AppendTo appends the XDR form of the arguments to dst.
+func (a *WriteArgs) AppendTo(dst []byte) []byte {
+	b := xdr.Builder{B: dst}
+	b.Opaque(a.FH)
+	b.Uint64(a.Offset)
+	b.Uint32(a.Count)
+	b.Uint32(a.Stable)
+	b.Opaque(a.Data)
+	return b.B
+}
+
+// WriteArgsSize bounds the encoded size of WRITE arguments carrying n
+// data bytes.
+func WriteArgsSize(n int) int { return 4 + FHSize + 4 + 8 + 4 + 4 + 4 + n + 4 }
+
+// DecodeWriteArgs parses WRITE arguments, copying the data payload.
 func DecodeWriteArgs(p []byte) (*WriteArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &WriteArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32(), Stable: d.Uint32()}
-	a.Data = d.Opaque()
-	if err := d.Err(); err != nil {
+	a := &WriteArgs{}
+	if err := a.decode(p, false); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// DecodeRefInto fills a with Data aliasing p — the zero-copy parse for
+// the proxy's WRITE path, where the payload is consumed (journaled and
+// written to the cache bank) before the RPC record is released. The FH
+// is still copied: handles outlive the call in cache and accounting
+// keys.
+func (a *WriteArgs) DecodeRefInto(p []byte) error { return a.decode(p, true) }
+
+func (a *WriteArgs) decode(p []byte, ref bool) error {
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a.FH = DecodeFH(&d)
+	a.Offset = d.Uint64()
+	a.Count = d.Uint32()
+	a.Stable = d.Uint32()
+	if ref {
+		a.Data = d.OpaqueRef()
+	} else {
+		a.Data = d.Opaque()
+	}
+	return d.Err()
 }
 
 // WriteRes is the WRITE result.
@@ -258,20 +360,43 @@ func (r *WriteRes) Encode() []byte {
 	return finish(e, &buf)
 }
 
+// AppendTo appends the XDR form of the result to dst.
+func (r *WriteRes) AppendTo(dst []byte) []byte {
+	b := xdr.Builder{B: dst}
+	b.Uint32(uint32(r.Status))
+	r.Wcc.Append(&b)
+	if r.Status == OK {
+		b.Uint32(r.Count)
+		b.Uint32(r.Committed)
+		b.FixedOpaque(r.Verf[:])
+	}
+	return b.B
+}
+
+// WriteResSize bounds the encoded size of a WRITE result.
+const WriteResSize = 4 + (4 + 24) + (4 + FattrSize) + 4 + 4 + 8
+
 // DecodeWriteRes parses a WRITE result.
 func DecodeWriteRes(p []byte) (*WriteRes, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	r := &WriteRes{Status: Status(d.Uint32())}
-	r.Wcc = DecodeWccData(d)
+	r := &WriteRes{}
+	if err := r.DecodeInto(p); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeInto fills a (typically stack-allocated) WriteRes.
+func (r *WriteRes) DecodeInto(p []byte) error {
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	r.Status = Status(d.Uint32())
+	r.Wcc = DecodeWccData(&d)
 	if r.Status == OK {
 		r.Count = d.Uint32()
 		r.Committed = d.Uint32()
 		d.FixedOpaque(r.Verf[:])
 	}
-	if err := d.Err(); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return d.Err()
 }
 
 // SetattrArgs are the SETATTR arguments (guard unsupported: guard.check
@@ -293,8 +418,9 @@ func (a *SetattrArgs) Encode() []byte {
 
 // DecodeSetattrArgs parses SETATTR arguments.
 func DecodeSetattrArgs(p []byte) (*SetattrArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &SetattrArgs{FH: DecodeFH(d), Attr: DecodeSetAttr(d)}
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a := &SetattrArgs{FH: DecodeFH(&d), Attr: DecodeSetAttr(&d)}
 	if d.Bool() { // guard present: consume ctime
 		d.Uint32()
 		d.Uint32()
@@ -324,8 +450,9 @@ func (a *CommitArgs) Encode() []byte {
 
 // DecodeCommitArgs parses COMMIT arguments.
 func DecodeCommitArgs(p []byte) (*CommitArgs, error) {
-	d := xdr.NewDecoder(bytes.NewReader(p))
-	a := &CommitArgs{FH: DecodeFH(d), Offset: d.Uint64(), Count: d.Uint32()}
+	var d xdr.Decoder
+	d.ResetBytes(p)
+	a := &CommitArgs{FH: DecodeFH(&d), Offset: d.Uint64(), Count: d.Uint32()}
 	if err := d.Err(); err != nil {
 		return nil, err
 	}

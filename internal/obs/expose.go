@@ -6,9 +6,11 @@ package obs
 
 import (
 	"bufio"
+
 	"bytes"
 	"expvar"
 	"fmt"
+	"gvfs/internal/bufpool"
 	"io"
 	"math"
 	"net"
@@ -81,7 +83,9 @@ func Lint(data []byte) error {
 	types := make(map[string]string)
 	var samples int
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	scanBuf := bufpool.Get(1 << 20)
+	defer bufpool.Put(scanBuf)
+	sc.Buffer(scanBuf, 1<<20)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -339,7 +343,9 @@ func Serve(addr string, reg *Registry, tracer *Tracer) (net.Listener, error) {
 func ParseText(data []byte) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	scanBuf := bufpool.Get(1 << 20)
+	defer bufpool.Put(scanBuf)
+	sc.Buffer(scanBuf, 1<<20)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -371,7 +377,9 @@ func ExtractExemplarTraceIDs(data []byte) []string {
 	var out []string
 	seen := make(map[string]bool)
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	scanBuf := bufpool.Get(1 << 20)
+	defer bufpool.Put(scanBuf)
+	sc.Buffer(scanBuf, 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" || strings.HasPrefix(line, "#") {

@@ -142,7 +142,7 @@ type accounting struct {
 	mu         sync.Mutex
 	files      map[string]*fileAcct   // keyed by file label
 	clients    map[string]*clientAcct // keyed by client identity
-	dirtyAt    map[string]int64       // file label + block -> dirtied unix nanos
+	dirtyAt    map[dirtyID]int64      // file label + block -> dirtied unix nanos
 	audit      []AuditEvent
 	auditNext  int
 	auditTotal uint64
@@ -168,7 +168,7 @@ func newAccounting(topN, auditCap, maxEntries int, idleTTL time.Duration) *accou
 		idleTTL:    idleTTL,
 		files:      make(map[string]*fileAcct),
 		clients:    make(map[string]*clientAcct),
-		dirtyAt:    make(map[string]int64),
+		dirtyAt:    make(map[dirtyID]int64),
 	}
 }
 
@@ -268,8 +268,12 @@ func (a *accounting) recordWrite(file, client string, bytes int) {
 	a.mu.Unlock()
 }
 
-func dirtyKey(file string, block uint64) string {
-	return fmt.Sprintf("%s#%d", file, block)
+// dirtyID keys the dirty-block lifecycle table. A comparable struct
+// instead of a formatted string keeps the per-WRITE bookkeeping
+// allocation-free.
+type dirtyID struct {
+	file  string
+	block uint64
 }
 
 func (a *accounting) appendEventLocked(e AuditEvent) {
@@ -288,7 +292,7 @@ func (a *accounting) appendEventLocked(e AuditEvent) {
 func (a *accounting) blockDirtied(file string, block uint64, bytes int) {
 	now := time.Now().UnixNano()
 	a.mu.Lock()
-	key := dirtyKey(file, block)
+	key := dirtyID{file, block}
 	if _, dirty := a.dirtyAt[key]; !dirty {
 		a.dirtyAt[key] = now
 	}
@@ -308,7 +312,7 @@ func (a *accounting) flushTriggered(reason string) {
 func (a *accounting) writeCommitted(file string, block uint64, bytes int) {
 	now := time.Now().UnixNano()
 	a.mu.Lock()
-	key := dirtyKey(file, block)
+	key := dirtyID{file, block}
 	e := AuditEvent{TimeNs: now, Kind: AuditCommit, File: file, Block: block, Bytes: bytes}
 	if dirtied, ok := a.dirtyAt[key]; ok {
 		e.AgeNs = now - dirtied
@@ -445,4 +449,33 @@ func clientLabel(c *sunrpc.Call) string {
 		return c.RemoteAddr.String()
 	}
 	return "unknown"
+}
+
+// clientLabelMax bounds the cred->label cache; a burst of distinct
+// credentials (identity churn) resets it rather than growing forever.
+const clientLabelMax = 1024
+
+// clientLabel is the cached form of the free function: deriving the
+// label decodes the credential and formats a string, which would be
+// the data path's biggest allocator. Lookup is by the raw cred body
+// (map index by string conversion does not allocate), so steady-state
+// calls cost one read-locked map hit.
+func (p *Proxy) clientLabel(c *sunrpc.Call) string {
+	if c.Cred.Flavor != sunrpc.AuthUnix || len(c.Cred.Body) == 0 {
+		return clientLabel(c)
+	}
+	p.labelMu.RLock()
+	l, ok := p.labels[string(c.Cred.Body)]
+	p.labelMu.RUnlock()
+	if ok {
+		return l
+	}
+	l = clientLabel(c)
+	p.labelMu.Lock()
+	if len(p.labels) >= clientLabelMax {
+		p.labels = make(map[string]string)
+	}
+	p.labels[string(c.Cred.Body)] = l
+	p.labelMu.Unlock()
+	return l
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gvfs/internal/bufpool"
 	"gvfs/internal/cache"
 	"gvfs/internal/filechan"
 	"gvfs/internal/meta"
@@ -37,12 +38,14 @@ func (p *Proxy) accountRead(c *sunrpc.Call, fh nfs3.FH, outcome string, count ui
 		return
 	}
 	served := outcome == "block_hit" || outcome == "file_cache" || outcome == "zero_filter"
-	p.acct.recordRead(p.fileLabel(fh), clientLabel(c), outcome, count, served && p.degraded())
+	p.acct.recordRead(p.fileLabel(fh), p.clientLabel(c), outcome, count, served && p.degraded())
 }
 
 func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
-	args, err := nfs3.DecodeReadArgs(c.Args)
-	if err != nil {
+	// Stack-allocated args: only the FH (copied by DecodeInto) may
+	// outlive the call, via prefetch goroutines and accounting keys.
+	var args nfs3.ReadArgs
+	if err := args.DecodeInto(c.Args); err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
 	start := time.Now()
@@ -53,14 +56,14 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		if ms := p.metaFor(args.FH); ms != nil && ms.m != nil {
 			if ms.m.WantsFileChannel() && p.cfg.FileCache != nil && p.cfg.FileChanDial != nil {
 				if err := p.ensureFetched(args.FH, ms); err == nil {
-					res, stat := p.readFromFileCache(args)
+					res, stat := p.readFromFileCache(&args)
 					tr.Span(obs.LayerFileCache, "hit", start)
 					p.accountRead(c, args.FH, "file_cache", args.Count, start)
 					return res, stat
 				}
 				// Channel failure: fall through to block-based path.
 			} else if ms.m.HasZeroMap() && rangeIsZero(ms.m, args.Offset, args.Count) {
-				res, stat := p.zeroReply(args, ms.m)
+				res, stat := p.zeroReply(&args, ms.m)
 				tr.Span(obs.LayerZeroFilter, "hit", start)
 				p.accountRead(c, args.FH, "zero_filter", args.Count, start)
 				return res, stat
@@ -71,7 +74,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	// A file previously fetched whole stays served from the file cache.
 	if p.cfg.FileCache != nil {
 		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
-			res, stat := p.readFromFileCache(args)
+			res, stat := p.readFromFileCache(&args)
 			tr.Span(obs.LayerFileCache, "hit", start)
 			p.accountRead(c, args.FH, "file_cache", args.Count, start)
 			return res, stat
@@ -96,23 +99,13 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	}
 	block := args.Offset / bs
 	lookup := time.Now()
-	if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
-		tr.Span(obs.LayerBlockCache, "hit", lookup)
-		p.stats.readHits.Add(1)
-		p.maybePrefetch(args.FH, block)
-		res, stat := p.cachedReadReply(args, data)
-		p.accountRead(c, args.FH, "block_hit", args.Count, start)
+	if res, stat, ok := p.serveBlockHit(c, &args, block, tr, lookup, start); ok {
 		return res, stat
 	}
 	// A prefetch of this block may already be in flight: join it
 	// rather than duplicating the WAN transfer.
 	if p.ra != nil && p.ra.waitFor(args.FH, block) {
-		if data, ok := p.cfg.BlockCache.Get(args.FH, block); ok {
-			tr.Span(obs.LayerBlockCache, "hit", lookup)
-			p.stats.readHits.Add(1)
-			p.maybePrefetch(args.FH, block)
-			res, stat := p.cachedReadReply(args, data)
-			p.accountRead(c, args.FH, "block_hit", args.Count, start)
+		if res, stat, ok := p.serveBlockHit(c, &args, block, tr, lookup, start); ok {
 			return res, stat
 		}
 	}
@@ -150,9 +143,32 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	return res, stat
 }
 
+// serveBlockHit serves a READ from the block cache when present, using
+// pooled buffers end to end: the frame is read into a pooled block
+// buffer, the reply encoded into a pooled results buffer that the RPC
+// server releases after framing (Call.ReplyPooled). The boolean
+// reports whether the block was cached.
+func (p *Proxy) serveBlockHit(c *sunrpc.Call, args *nfs3.ReadArgs, block uint64, tr *obs.Active, lookup, start time.Time) ([]byte, sunrpc.AcceptStat, bool) {
+	buf := bufpool.Get(p.cfg.BlockCache.BlockSize())
+	data, ok := p.cfg.BlockCache.GetInto(args.FH, block, buf)
+	if !ok {
+		bufpool.Put(buf)
+		return nil, 0, false
+	}
+	tr.Span(obs.LayerBlockCache, "hit", lookup)
+	p.stats.readHits.Add(1)
+	p.maybePrefetch(args.FH, block)
+	res, stat := p.cachedReadReply(c, args, data)
+	bufpool.Put(buf)
+	p.accountRead(c, args.FH, "block_hit", args.Count, start)
+	return res, stat, true
+}
+
 // cachedReadReply serves a READ hit, trimming to the requested count
-// and to the known file size.
-func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, sunrpc.AcceptStat) {
+// and to the known file size. The reply is encoded into a pooled
+// buffer released by the RPC server (ReplyPooled); blockData is only
+// read before returning, so the caller may release it immediately.
+func (p *Proxy) cachedReadReply(c *sunrpc.Call, args *nfs3.ReadArgs, blockData []byte) ([]byte, sunrpc.AcceptStat) {
 	if p.degraded() {
 		p.stats.degradedReads.Add(1)
 	}
@@ -161,7 +177,8 @@ func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, 
 		data = data[:args.Count]
 	}
 	eof := len(blockData) < p.cfg.BlockCache.BlockSize()
-	if size, ok := p.sizeOf(args.FH); ok {
+	size, haveSize := p.sizeOf(args.FH)
+	if haveSize {
 		end := args.Offset + uint64(len(data))
 		if args.Offset >= size {
 			data = nil
@@ -176,12 +193,18 @@ func (p *Proxy) cachedReadReply(args *nfs3.ReadArgs, blockData []byte) ([]byte, 
 	}
 	res := nfs3.ReadRes{
 		Status: nfs3.OK,
-		Attr:   p.synthesizedAttr(args.FH),
 		Count:  uint32(len(data)),
 		EOF:    eof,
 		Data:   data,
 	}
-	return res.Encode(), sunrpc.Success
+	var attr nfs3.Fattr
+	if haveSize {
+		attr = nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: size, Used: size}
+		res.Attr = &attr
+	}
+	out := res.AppendTo(bufpool.Get(nfs3.ReadResSize(len(data)))[:0])
+	c.ReplyPooled = true
+	return out, sunrpc.Success
 }
 
 // rangeIsZero reports whether [off, off+count) is covered by all-zero
@@ -250,8 +273,13 @@ func (p *Proxy) readFromFileCache(args *nfs3.ReadArgs) ([]byte, sunrpc.AcceptSta
 }
 
 func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
-	args, err := nfs3.DecodeWriteArgs(c.Args)
-	if err != nil {
+	// Zero-copy parse: args.Data aliases the transport's pooled request
+	// record, which stays valid until this handler returns. Every sink
+	// below (file cache, bank write, journal append, upstream marshal)
+	// copies the bytes before then; only the FH is retained, and
+	// DecodeRefInto copies it.
+	var args nfs3.WriteArgs
+	if err := args.DecodeRefInto(c.Args); err != nil {
 		return nil, sunrpc.GarbageArgs
 	}
 	start := time.Now()
@@ -265,14 +293,14 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 			}
 			p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 			p.stats.writesAbsorbed.Add(1)
-			p.acct.recordWrite(p.fileLabel(args.FH), clientLabel(c), len(args.Data))
+			p.acct.recordWrite(p.fileLabel(args.FH), p.clientLabel(c), len(args.Data))
 			tr.Span(obs.LayerFileCache, "absorb", start)
-			return p.absorbedWriteReply(args), sunrpc.Success
+			return p.absorbedWriteReply(c, &args), sunrpc.Success
 		}
 	}
 
 	if p.cfg.BlockCache == nil || p.cfg.WritePolicy != cache.WriteBack {
-		return p.writeThrough(c, args, tr)
+		return p.writeThrough(c, &args, tr)
 	}
 
 	bs := uint64(p.cfg.BlockCache.BlockSize())
@@ -281,13 +309,13 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
 			return nil, sunrpc.SystemErr
 		}
-		return p.writeThrough(c, args, tr)
+		return p.writeThrough(c, &args, tr)
 	}
 
 	block := args.Offset / bs
 	merged, err := p.mergeBlock(args.FH, block, bs, args.Data)
 	if err != nil {
-		return p.writeThrough(c, args, tr)
+		return p.writeThrough(c, &args, tr)
 	}
 	if err := p.cfg.BlockCache.Put(args.FH, block, merged, true); err != nil {
 		return nil, sunrpc.SystemErr
@@ -295,10 +323,10 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 	p.stats.writesAbsorbed.Add(1)
 	file := p.fileLabel(args.FH)
-	p.acct.recordWrite(file, clientLabel(c), len(args.Data))
+	p.acct.recordWrite(file, p.clientLabel(c), len(args.Data))
 	p.acct.blockDirtied(file, block, len(args.Data))
 	tr.Span(obs.LayerBlockCache, "absorb", start)
-	return p.absorbedWriteReply(args), sunrpc.Success
+	return p.absorbedWriteReply(c, &args), sunrpc.Success
 }
 
 // mergeBlock combines newly written data (always at the block's start,
@@ -350,23 +378,30 @@ func (p *Proxy) mergeBlock(fh nfs3.FH, block, bs uint64, data []byte) ([]byte, e
 // absorbedWriteReply fabricates the WRITE reply for data held by the
 // write-back cache. The proxy reports FILE_SYNC: under the session
 // consistency model the proxy is the authority for this data until the
-// middleware flushes it.
-func (p *Proxy) absorbedWriteReply(args *nfs3.WriteArgs) []byte {
+// middleware flushes it. The reply is encoded into a pooled buffer
+// released by the RPC server (ReplyPooled).
+func (p *Proxy) absorbedWriteReply(c *sunrpc.Call, args *nfs3.WriteArgs) []byte {
 	res := nfs3.WriteRes{
 		Status:    nfs3.OK,
-		Wcc:       nfs3.WccData{After: p.synthesizedAttr(args.FH)},
 		Count:     uint32(len(args.Data)),
 		Committed: nfs3.FileSync,
 		Verf:      nfs3.WriteVerf,
 	}
-	return res.Encode()
+	var attr nfs3.Fattr
+	if sz, ok := p.sizeOf(args.FH); ok {
+		attr = nfs3.Fattr{Type: nfs3.TypeReg, Mode: 0644, Nlink: 1, Size: sz, Used: sz}
+		res.Wcc.After = &attr
+	}
+	out := res.AppendTo(bufpool.Get(nfs3.WriteResSize)[:0])
+	c.ReplyPooled = true
+	return out
 }
 
 // writeThrough forwards a write and keeps the block cache coherent.
 func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	res, stat := p.forward(c, tr)
 	p.stats.writesForwarded.Add(1)
-	p.acct.recordWrite(p.fileLabel(args.FH), clientLabel(c), len(args.Data))
+	p.acct.recordWrite(p.fileLabel(args.FH), p.clientLabel(c), len(args.Data))
 	if stat != sunrpc.Success {
 		return res, stat
 	}

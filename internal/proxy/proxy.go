@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"gvfs/internal/auth"
+	"gvfs/internal/bufpool"
 	"gvfs/internal/cache"
 	"gvfs/internal/filecache"
 	"gvfs/internal/meta"
@@ -75,6 +76,14 @@ type Config struct {
 	// the disk cache after a sequential access run is detected (the
 	// paper's future-work pre-fetching direction). Requires BlockCache.
 	ReadAhead int
+
+	// ReadAheadPipeline issues each prefetch window's READs pipelined
+	// on the upstream connection — the whole window outstanding at
+	// once, replies multiplexed by XID — instead of one goroutine and
+	// one synchronous call per block. Over a WAN the window then costs
+	// roughly one round trip instead of (window / concurrency) trips.
+	// Takes effect only when Upstream implements sunrpc.Starter.
+	ReadAheadPipeline bool
 
 	// DegradedReads enables serve-from-cache degraded mode: while the
 	// upstream circuit breaker is open, cached reads keep working and
@@ -197,6 +206,9 @@ type Proxy struct {
 	credMu   sync.RWMutex
 	lastCred sunrpc.OpaqueAuth // most recent client credential
 
+	labelMu sync.RWMutex
+	labels  map[string]string // cred-body bytes -> accounting label
+
 	stats *counters   // instruments in the unified obs registry
 	acct  *accounting // per-file / per-client tables + write-back audit
 	log   *obs.Logger // component-scoped event logger (nil-safe)
@@ -222,9 +234,10 @@ func New(cfg Config) (*Proxy, error) {
 	}
 	p := &Proxy{
 		cfg:   cfg,
-		paths: make(map[string]pathInfo),
-		sizes: make(map[string]uint64),
-		metas: make(map[string]*metaState),
+		paths:  make(map[string]pathInfo),
+		sizes:  make(map[string]uint64),
+		metas:  make(map[string]*metaState),
+		labels: make(map[string]string),
 		stats: newCounters(reg),
 		acct:  newAccounting(cfg.StatuszTopN, cfg.AuditRing, cfg.AcctMaxEntries, cfg.AcctIdleTTL),
 		log:   cfg.Logger.Named("proxy"),
@@ -302,7 +315,9 @@ func (p *Proxy) proxyCred() sunrpc.OpaqueAuth {
 
 // rememberCred records the most recent client credential. Nearly every
 // call repeats the previous credential, so the fast path is a
-// read-lock comparison; the write lock is taken only on change.
+// read-lock comparison; the write lock is taken only on change. The
+// body is copied: the incoming slice aliases the transport's pooled
+// request record and must not be retained past the call.
 func (p *Proxy) rememberCred(cred sunrpc.OpaqueAuth) {
 	p.credMu.RLock()
 	same := p.lastCred.Flavor == cred.Flavor && bytes.Equal(p.lastCred.Body, cred.Body)
@@ -311,7 +326,7 @@ func (p *Proxy) rememberCred(cred sunrpc.OpaqueAuth) {
 		return
 	}
 	p.credMu.Lock()
-	p.lastCred = cred
+	p.lastCred = sunrpc.OpaqueAuth{Flavor: cred.Flavor, Body: append([]byte(nil), cred.Body...)}
 	p.credMu.Unlock()
 }
 
@@ -325,7 +340,7 @@ func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	p.rememberCred(c.Cred)
 	// Per-client op-mix accounting is optional detail brownout sheds.
 	if !p.brownout() {
-		p.acct.recordOp(clientLabel(c), procLabel(c.Prog, c.Proc))
+		p.acct.recordOp(p.clientLabel(c), procLabel(c.Prog, c.Proc))
 	}
 	if idle := p.idle.Load(); idle != nil {
 		idle.touch()
@@ -476,20 +491,32 @@ func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
 // stability; used for write-back of dirty cache frames.
 func (p *Proxy) upstreamWrite(fh nfs3.FH, off uint64, data []byte) error {
 	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
-	res, err := p.call(nfs3.ProcWrite, args.Encode())
+	buf := args.AppendTo(bufpool.Get(nfs3.WriteArgsSize(len(data)))[:0])
+	res, err := p.call(nfs3.ProcWrite, buf)
+	bufpool.Put(buf)
 	if err != nil {
 		return err
 	}
-	r, err := nfs3.DecodeWriteRes(res)
-	if err != nil {
+	var r nfs3.WriteRes
+	if err := r.DecodeInto(res); err != nil {
 		return err
 	}
 	if r.Status != nfs3.OK {
 		return &nfs3.Error{Status: r.Status, Op: "write-back"}
 	}
 	if p.cfg.BlockCache != nil {
+		// A coalesced write-back covers several blocks; close each
+		// block's dirty-lifecycle entry.
 		bs := uint64(p.cfg.BlockCache.BlockSize())
-		p.acct.writeCommitted(p.fileLabel(fh), off/bs, len(data))
+		label := p.fileLabel(fh)
+		for rem, b := len(data), off/bs; rem > 0; b++ {
+			n := int(bs)
+			if rem < n {
+				n = rem
+			}
+			p.acct.writeCommitted(label, b, n)
+			rem -= n
+		}
 	}
 	return nil
 }

@@ -66,17 +66,17 @@ func (p *Proxy) admit(c *sunrpc.Call) (release func(), res []byte, stat sunrpc.A
 	if p.qos == nil {
 		return func() {}, nil, 0, true
 	}
-	release, err := p.qos.Admit(clientLabel(c), callCost(c), c.Deadline)
+	release, err := p.qos.Admit(p.clientLabel(c), callCost(c), c.Deadline)
 	if err == nil {
 		return release, nil, 0, true
 	}
 	switch {
 	case errors.Is(err, qos.ErrQueueFull):
-		p.log.Debug("call shed: client queue full", "client", clientLabel(c),
+		p.log.Debug("call shed: client queue full", "client", p.clientLabel(c),
 			"proc", procLabel(c.Prog, c.Proc))
 	case errors.Is(err, context.DeadlineExceeded):
 		p.log.Debug("call shed: deadline expired before admission",
-			"client", clientLabel(c), "proc", procLabel(c.Prog, c.Proc))
+			"client", p.clientLabel(c), "proc", procLabel(c.Prog, c.Proc))
 	}
 	res, stat = shedReply(c)
 	return nil, res, stat, false

@@ -3,8 +3,10 @@ package proxy
 import (
 	"sync"
 
+	"gvfs/internal/bufpool"
 	"gvfs/internal/cache"
 	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
 )
 
 // Read-ahead implements one of the paper's stated future-work
@@ -58,7 +60,13 @@ func newReadAhead() *readAhead {
 
 // observe records a read of block and returns the window of blocks to
 // prefetch now (nil when the pattern is not sequential enough).
-func (ra *readAhead) observe(fh nfs3.FH, block uint64, window int) []uint64 {
+// minBatch adds scheduling hysteresis: once the watermark is ahead of
+// the reader, extension of the window is deferred until at least
+// minBatch blocks are due, so prefetches go out as batches instead of
+// degenerating to one block per demand read in steady state. Batching
+// is what lets a pipelined transport amortize a whole burst into one
+// round trip; per-block transports pass 1 for the old behavior.
+func (ra *readAhead) observe(fh nfs3.FH, block uint64, window, minBatch int) []uint64 {
 	ra.mu.Lock()
 	defer ra.mu.Unlock()
 	st, ok := ra.files[fh.Key()]
@@ -91,6 +99,12 @@ func (ra *readAhead) observe(fh nfs3.FH, block uint64, window int) []uint64 {
 	}
 	end := block + 1 + uint64(window)
 	if start >= end {
+		return nil
+	}
+	if minBatch > 1 && start > block+1 && end-start < uint64(minBatch) {
+		// Steady state with runway still ahead of the reader: hold off
+		// until a full batch is due. nextWant is left alone, so the
+		// deferred blocks are picked up by a later observation.
 		return nil
 	}
 	var out []uint64
@@ -188,12 +202,26 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 	if p.brownout() {
 		return
 	}
-	targets := p.ra.observe(fh, block, p.cfg.ReadAhead)
+	pipelined := false
+	var starter sunrpc.Starter
+	if p.cfg.ReadAheadPipeline {
+		if st, ok := p.cfg.Upstream.(sunrpc.Starter); ok {
+			pipelined, starter = true, st
+		}
+	}
+	minBatch := 1
+	if pipelined {
+		if minBatch = p.cfg.ReadAhead / 2; minBatch < 1 {
+			minBatch = 1
+		}
+	}
+	targets := p.ra.observe(fh, block, p.cfg.ReadAhead, minBatch)
 	if len(targets) == 0 {
 		return
 	}
 	size, sizeKnown := p.sizeOf(fh)
 	bs := uint64(p.cfg.BlockCache.BlockSize())
+	eligible := targets[:0]
 	for _, b := range targets {
 		if sizeKnown && b*bs >= size {
 			break
@@ -201,15 +229,42 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 		if cached, _ := p.cfg.BlockCache.Peek(fh, b); cached {
 			continue
 		}
-		id := cache.BlockID{FH: fh.Key(), Block: b}
-		if !p.ra.begin(id) {
+		if !p.ra.begin(cache.BlockID{FH: fh.Key(), Block: b}) {
 			continue
 		}
+		eligible = append(eligible, b)
+	}
+	if len(eligible) == 0 {
+		return
+	}
+
+	if pipelined {
+		// One goroutine, one sem slot, the whole batch outstanding
+		// on the wire at once. Never block the demand path on
+		// prefetch capacity.
+		select {
+		case p.ra.sem <- struct{}{}:
+		default:
+			for _, b := range eligible {
+				p.ra.finish(cache.BlockID{FH: fh.Key(), Block: b})
+			}
+			p.ra.rewind(fh, eligible[0])
+			return
+		}
+		go p.prefetchPipelined(starter, fh, append([]uint64(nil), eligible...), bs)
+		return
+	}
+
+	// Call-per-block: one goroutine and one synchronous RPC per target.
+	for i, b := range eligible {
+		id := cache.BlockID{FH: fh.Key(), Block: b}
 		// Never block the demand path on prefetch capacity.
 		select {
 		case p.ra.sem <- struct{}{}:
 		default:
-			p.ra.finish(id)
+			for _, rb := range eligible[i:] {
+				p.ra.finish(cache.BlockID{FH: fh.Key(), Block: rb})
+			}
 			p.ra.rewind(fh, b)
 			return
 		}
@@ -223,17 +278,76 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 	}
 }
 
+// prefetchPipelined pulls a window of blocks with the READs pipelined
+// on the upstream connection: every request is transmitted back to
+// back via Start, then the replies are collected in order. Over a WAN
+// the window costs one round trip plus serialization instead of one
+// round trip per block. Every block in blocks has a registered
+// in-flight entry; this function owns finishing all of them.
+func (p *Proxy) prefetchPipelined(st sunrpc.Starter, fh nfs3.FH, blocks []uint64, bs uint64) {
+	defer func() { <-p.ra.sem }()
+	finishFrom := func(i int) {
+		for _, b := range blocks[i:] {
+			p.ra.finish(cache.BlockID{FH: fh.Key(), Block: b})
+		}
+	}
+	cred, err := p.upstreamCred(p.proxyCred())
+	if err != nil || p.degraded() {
+		finishFrom(0)
+		return
+	}
+	type flight struct {
+		block uint64
+		pd    *sunrpc.Pending
+	}
+	flights := make([]flight, 0, len(blocks))
+	started := 0
+	for _, b := range blocks {
+		args := nfs3.ReadArgs{FH: fh, Offset: b * bs, Count: uint32(bs)}
+		buf := args.AppendTo(bufpool.Get(nfs3.FHSize + 16)[:0])
+		pd, err := st.Start(nfs3.Program, nfs3.Version, nfs3.ProcRead, cred, buf)
+		bufpool.Put(buf)
+		if err != nil {
+			// Transport down: nothing later will fare better.
+			p.observeUpstream(err)
+			break
+		}
+		flights = append(flights, flight{block: b, pd: pd})
+		started++
+	}
+	// Every started call must be waited (Wait releases the XID slot);
+	// the replies arrive while later requests are still being served.
+	for _, f := range flights {
+		res, err := f.pd.Wait()
+		p.observeUpstream(err)
+		if err == nil {
+			p.storePrefetched(fh, f.block, res)
+		}
+		p.ra.finish(cache.BlockID{FH: fh.Key(), Block: f.block})
+	}
+	finishFrom(started)
+}
+
 // prefetchBlock pulls one block into the disk cache. Errors are
 // swallowed: prefetching is best-effort and the demand path remains
 // correct without it.
 func (p *Proxy) prefetchBlock(fh nfs3.FH, block, bs uint64) {
 	args := nfs3.ReadArgs{FH: fh, Offset: block * bs, Count: uint32(bs)}
-	res, err := p.call(nfs3.ProcRead, args.Encode())
+	buf := args.AppendTo(bufpool.Get(nfs3.FHSize + 16)[:0])
+	res, err := p.call(nfs3.ProcRead, buf)
+	bufpool.Put(buf)
 	if err != nil {
 		return
 	}
-	r, err := nfs3.DecodeReadRes(res)
-	if err != nil || r.Status != nfs3.OK {
+	p.storePrefetched(fh, block, res)
+}
+
+// storePrefetched decodes one prefetch READ reply and inserts the data
+// into the block cache. Decode borrows from res (the reply record is
+// GC-owned); Put copies into the cache bank.
+func (p *Proxy) storePrefetched(fh nfs3.FH, block uint64, res []byte) {
+	var r nfs3.ReadRes
+	if err := r.DecodeRefInto(res); err != nil || r.Status != nfs3.OK {
 		return
 	}
 	if r.Attr != nil {

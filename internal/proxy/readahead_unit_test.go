@@ -20,7 +20,7 @@ func fhN(i int) nfs3.FH {
 func TestReadAheadProfileMapCapped(t *testing.T) {
 	ra := newReadAhead()
 	for i := 0; i < raMaxFiles+100; i++ {
-		ra.observe(fhN(i), 0, 4)
+		ra.observe(fhN(i), 0, 4, 1)
 	}
 	if n := ra.profileCount(); n > raMaxFiles {
 		t.Fatalf("profile map grew to %d entries, cap is %d", n, raMaxFiles)
@@ -41,7 +41,7 @@ func TestReadAheadProfileMapCapped(t *testing.T) {
 func TestReadAheadResetClearsProfilesNotInflight(t *testing.T) {
 	ra := newReadAhead()
 	for i := 0; i < 10; i++ {
-		ra.observe(fhN(i), 0, 4)
+		ra.observe(fhN(i), 0, 4, 1)
 	}
 	// An in-flight prefetch that a demand read could be waiting on.
 	id := cache.BlockID{FH: fhN(0).Key(), Block: 7}
@@ -89,7 +89,7 @@ func TestFlushResetsReadAheadProfiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		p.ra.observe(fhN(i), 0, 4)
+		p.ra.observe(fhN(i), 0, 4, 1)
 	}
 	if err := p.Flush(); err != nil {
 		t.Fatal(err)

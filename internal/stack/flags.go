@@ -112,6 +112,8 @@ type ProxyFlags struct {
 
 	// Behaviour knobs.
 	ReadAhead        int
+	ReadAheadPipe    bool
+	WriteCoalesce    int
 	PersistIndex     bool
 	IdleWriteBack    time.Duration
 	CallTimeout      time.Duration
@@ -156,6 +158,8 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.StringVar(&f.FileCacheDir, "filecache-dir", "", "file cache directory (enables meta-data handling)")
 	fs.StringVar(&f.FileChan, "filechan", "", "image server file-channel address")
 	fs.IntVar(&f.ReadAhead, "readahead", 0, "sequential read-ahead window in blocks (0 = off)")
+	fs.BoolVar(&f.ReadAheadPipe, "readahead-pipeline", false, "pipeline each prefetch window's READs on the upstream connection")
+	fs.IntVar(&f.WriteCoalesce, "write-coalesce", 0, "merge runs of adjacent dirty blocks into WRITEs up to this many bytes at flush (0 = off, max 32768)")
 	fs.BoolVar(&f.PersistIndex, "persist-index", true, "reload/save the disk cache index across restarts")
 	fs.DurationVar(&f.IdleWriteBack, "idle-writeback", 0, "write dirty data back after this idle period (0 = only on signals)")
 	fs.DurationVar(&f.StatsEvery, "stats", 0, "print proxy statistics at this interval (0 = off)")
@@ -235,6 +239,7 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 		UpstreamAddr:        f.Upstream,
 		UpstreamKey:         key,
 		ReadAhead:           f.ReadAhead,
+		ReadAheadPipeline:   f.ReadAheadPipe,
 		PersistIndex:        f.PersistIndex,
 		IdleWriteBack:       f.IdleWriteBack,
 		UpstreamCallTimeout: f.CallTimeout,
@@ -267,6 +272,7 @@ func (f *ProxyFlags) Options() (ProxyOptions, error) {
 			Dir: f.CacheDir, Banks: f.CacheBanks, SetsPerBank: f.CacheSets,
 			Assoc: f.CacheAssoc, BlockSize: f.CacheBlock, Policy: policy,
 			Stripes: f.Stripes, Journal: f.Journal, JournalSync: syncMode,
+			WriteCoalesce: f.WriteCoalesce,
 		}
 	}
 	if f.FileCacheDir != "" {

@@ -219,6 +219,11 @@ type ProxyOptions struct {
 	// the proxy (requires CacheConfig).
 	ReadAhead int
 
+	// ReadAheadPipeline pipelines each prefetch window's READs on the
+	// upstream connection instead of issuing one call per block (see
+	// proxy.Config.ReadAheadPipeline).
+	ReadAheadPipeline bool
+
 	// PersistIndex reloads a saved cache-tag snapshot from the cache
 	// directory at startup, so a restarted proxy resumes with a warm
 	// disk cache. Pair with Cache.SaveIndex at shutdown.
@@ -310,20 +315,21 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	}
 
 	cfg := proxy.Config{
-		Upstream:         upstream,
-		Mapper:           opts.Mapper,
-		DisableMeta:      opts.DisableMeta,
-		ReadAhead:        opts.ReadAhead,
-		DegradedReads:    opts.DegradedReads,
-		FailureThreshold: opts.FailureThreshold,
-		ProbeInterval:    opts.ProbeInterval,
-		Metrics:          opts.Metrics,
-		Logger:           opts.Logger,
-		StatuszTopN:      opts.StatuszTopN,
-		AuditRing:        opts.AuditRing,
-		CallBudget:       opts.CallBudget,
-		AcctMaxEntries:   opts.AcctMaxEntries,
-		AcctIdleTTL:      opts.AcctIdleTTL,
+		Upstream:          upstream,
+		Mapper:            opts.Mapper,
+		DisableMeta:       opts.DisableMeta,
+		ReadAhead:         opts.ReadAhead,
+		ReadAheadPipeline: opts.ReadAheadPipeline,
+		DegradedReads:     opts.DegradedReads,
+		FailureThreshold:  opts.FailureThreshold,
+		ProbeInterval:     opts.ProbeInterval,
+		Metrics:           opts.Metrics,
+		Logger:            opts.Logger,
+		StatuszTopN:       opts.StatuszTopN,
+		AuditRing:         opts.AuditRing,
+		CallBudget:        opts.CallBudget,
+		AcctMaxEntries:    opts.AcctMaxEntries,
+		AcctIdleTTL:       opts.AcctIdleTTL,
 	}
 	if opts.TraceRing > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceRing)

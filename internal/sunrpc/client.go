@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gvfs/internal/bufpool"
 	"gvfs/internal/xdr"
 )
 
@@ -220,13 +221,17 @@ func (c *Client) connDown(gen int, err error) {
 }
 
 func (c *Client) readLoop(conn net.Conn, gen int) {
+	hdr := make([]byte, 4) // per-loop record-mark scratch
 	for {
-		rec, err := readRecord(conn)
+		// The record itself is GC-allocated, not pooled: the results
+		// slice is handed to the waiting caller with unbounded lifetime.
+		rec, err := readRecordInto(conn, hdr, nil)
 		if err != nil {
 			c.connDown(gen, err)
 			return
 		}
-		d := xdr.NewDecoder(bytesReader(rec))
+		var d xdr.Decoder
+		d.ResetBytes(rec)
 		xid := d.Uint32()
 		mt := d.Uint32()
 		rstat := d.Uint32()
@@ -238,14 +243,14 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 		if rstat == replyDenied {
 			rep.err = errors.New("sunrpc: call denied by server")
 		} else {
-			verf := decodeAuth(d)
+			d.Uint32()    // verifier flavor
+			d.OpaqueRef() // verifier body (unused)
 			rep.stat = AcceptStat(d.Uint32())
 			if err := d.Err(); err != nil {
 				c.connDown(gen, err)
 				return
 			}
-			hdrLen := 4*3 + 8 + len(verf.Body) + padTo4(len(verf.Body)) + 4
-			rep.results = rec[hdrLen:]
+			rep.results = rec[d.Pos():]
 		}
 		c.mu.Lock()
 		ch, ok := c.pending[xid]
@@ -380,7 +385,11 @@ func (c *Client) callVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth
 		c.mu.Unlock()
 	}()
 
-	msg := marshalCall(xid, prog, vers, proc, cred, verf, args)
+	// The record-marked message lives in a pooled buffer for the whole
+	// retry loop (retransmissions reuse it verbatim); every write path
+	// below is synchronous, so the deferred release cannot race a send.
+	msg := marshalCallRecord(xid, prog, vers, proc, cred, verf, args)
+	defer bufpool.Put(msg)
 	idempotent := c.opts.Idempotent != nil && c.opts.Idempotent(prog, vers, proc)
 	attempts := 1
 	if c.retriesEnabled() {
@@ -443,7 +452,7 @@ func (c *Client) callVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth
 		if c.opts.CallTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(c.opts.CallTimeout))
 		}
-		werr := writeRecord(conn, msg)
+		_, werr := conn.Write(msg)
 		if c.opts.CallTimeout > 0 {
 			conn.SetWriteDeadline(time.Time{})
 		}
@@ -522,4 +531,101 @@ func (c *Client) callVerfDeadline(prog, vers, proc uint32, cred, verf OpaqueAuth
 		}
 	}
 	return nil, fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+// Starter is the pipelining capability: transmit a call without
+// waiting for its reply, multiplexing many outstanding calls by XID on
+// one connection. *Client implements it; callers type-assert their
+// transport and fall back to synchronous Call when absent.
+type Starter interface {
+	Start(prog, vers, proc uint32, cred OpaqueAuth, args []byte) (*Pending, error)
+}
+
+// Pending is a call in flight after Start. Exactly one Wait must
+// follow each successful Start.
+type Pending struct {
+	c   *Client
+	xid uint32
+	ch  chan clientReply
+}
+
+// Start transmits one call and returns without waiting for the reply,
+// so a batch of calls can be pipelined on the connection — N requests
+// outstanding, replies collected by XID — paying one WAN round trip
+// for the whole window instead of one per call. Unlike Call, Start
+// never retransmits: a transport failure fails Start (write error) or
+// surfaces from Wait (connection death fails all pending calls).
+// Read-ahead uses this to keep its prefetch window outstanding.
+func (c *Client) Start(prog, vers, proc uint32, cred OpaqueAuth, args []byte) (*Pending, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	conn := c.conn
+	gen := c.gen
+	if conn == nil {
+		err := c.lastErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		return nil, err
+	}
+	xid := c.nextXID
+	c.nextXID++
+	ch := make(chan clientReply, 1)
+	c.pending[xid] = ch
+	c.mu.Unlock()
+
+	msg := marshalCallRecord(xid, prog, vers, proc, cred, AuthNoneCred, args)
+	c.wmu.Lock()
+	if c.opts.CallTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.opts.CallTimeout))
+	}
+	_, werr := conn.Write(msg)
+	if c.opts.CallTimeout > 0 {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	c.wmu.Unlock()
+	bufpool.Put(msg)
+	if werr != nil {
+		c.connDown(gen, werr)
+		c.mu.Lock()
+		delete(c.pending, xid)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrClientClosed, werr)
+	}
+	return &Pending{c: c, xid: xid, ch: ch}, nil
+}
+
+// Wait blocks for the reply to a Start-ed call. The client's
+// CallTimeout, when set, bounds the wait; a connection failure fails
+// the wait promptly.
+func (p *Pending) Wait() ([]byte, error) {
+	defer func() {
+		p.c.mu.Lock()
+		delete(p.c.pending, p.xid)
+		p.c.mu.Unlock()
+	}()
+	var timeout <-chan time.Time
+	var timer *time.Timer
+	if d := p.c.opts.CallTimeout; d > 0 {
+		timer = time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	select {
+	case rep := <-p.ch:
+		if rep.err != nil {
+			return nil, rep.err
+		}
+		if rep.stat != Success {
+			return nil, &RPCError{Stat: rep.stat}
+		}
+		return rep.results, nil
+	case <-timeout:
+		p.c.timeouts.Add(1)
+		return nil, fmt.Errorf("%w after %v (xid %d)", ErrCallTimeout, p.c.opts.CallTimeout, p.xid)
+	}
 }

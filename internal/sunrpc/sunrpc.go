@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"gvfs/internal/bufpool"
 	"gvfs/internal/xdr"
 )
 
@@ -167,23 +168,72 @@ func writeRecord(w io.Writer, payload []byte) error {
 
 // readRecord reads one record-marked RPC message, reassembling fragments.
 func readRecord(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	rec, err := readRecordInto(r, hdr[:], nil)
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// readRecordPooled reads one record into a bufpool buffer; the caller
+// owns the result and must bufpool.Put it when done. hdr is a 4-byte
+// scratch slice the caller reuses across records so the record mark
+// read doesn't allocate.
+func readRecordPooled(r io.Reader, hdr []byte) ([]byte, error) {
+	rec, err := readRecordInto(r, hdr, bufpool.Get)
+	if err != nil && rec != nil {
+		bufpool.Put(rec)
+		rec = nil
+	}
+	return rec, err
+}
+
+// readRecordInto is the common record reader. alloc, when non-nil,
+// supplies the record buffer (pooled); otherwise plain make is used.
+// On error the partially-filled buffer is returned for the caller to
+// release.
+func readRecordInto(r io.Reader, hdr []byte, alloc func(int) []byte) ([]byte, error) {
 	var rec []byte
 	for {
-		var hdr [4]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil, err
+		if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+			return rec, err
 		}
-		n := binary.BigEndian.Uint32(hdr[:])
+		n := binary.BigEndian.Uint32(hdr[:4])
 		last := n&0x80000000 != 0
 		n &^= 0x80000000
 		if n > maxRecord || len(rec)+int(n) > maxRecord {
-			return nil, fmt.Errorf("sunrpc: record too large (%d bytes)", n)
+			return rec, fmt.Errorf("sunrpc: record too large (%d bytes)", n)
 		}
-		frag := make([]byte, n)
-		if _, err := io.ReadFull(r, frag); err != nil {
-			return nil, err
+		old := len(rec)
+		need := old + int(n)
+		switch {
+		case rec == nil:
+			if alloc != nil {
+				rec = alloc(need)
+			} else {
+				rec = make([]byte, need)
+			}
+		case cap(rec) >= need:
+			rec = rec[:need]
+		default:
+			// Multi-fragment growth (rare: we always send single
+			// fragments; other implementations may not).
+			var nb []byte
+			if alloc != nil {
+				nb = alloc(need)
+			} else {
+				nb = make([]byte, need)
+			}
+			copy(nb, rec)
+			if alloc != nil {
+				bufpool.Put(rec)
+			}
+			rec = nb
 		}
-		rec = append(rec, frag...)
+		if _, err := io.ReadFull(r, rec[old:need]); err != nil {
+			return rec, err
+		}
 		if last {
 			return rec, nil
 		}
@@ -215,6 +265,31 @@ func marshalCall(xid, prog, vers, proc uint32, cred, verf OpaqueAuth, args []byt
 	return b
 }
 
+// authWireSize is the encoded size of an OpaqueAuth.
+func authWireSize(a OpaqueAuth) int { return 8 + len(a.Body) + padTo4(len(a.Body)) }
+
+// marshalCallRecord builds the record-marked wire form of a CALL into a
+// bufpool buffer: a filled-in 4-byte record mark followed by the
+// message, sized for a single conn.Write. The caller owns the buffer
+// and must bufpool.Put it after its final write.
+func marshalCallRecord(xid, prog, vers, proc uint32, cred, verf OpaqueAuth, args []byte) []byte {
+	need := 4 + 6*4 + authWireSize(cred) + authWireSize(verf) + len(args)
+	b := xdr.Builder{B: bufpool.Get(need)[:4]}
+	b.Uint32(xid)
+	b.Uint32(msgCall)
+	b.Uint32(rpcVersion)
+	b.Uint32(prog)
+	b.Uint32(vers)
+	b.Uint32(proc)
+	b.Uint32(cred.Flavor)
+	b.Opaque(cred.Body)
+	b.Uint32(verf.Flavor)
+	b.Opaque(verf.Body)
+	msg := append(b.B, args...)
+	binary.BigEndian.PutUint32(msg[:4], uint32(len(msg)-4)|0x80000000)
+	return msg
+}
+
 // marshalAcceptedReply builds the wire form of an accepted REPLY.
 func marshalAcceptedReply(xid uint32, stat AcceptStat, results []byte) []byte {
 	var b sliceWriter
@@ -244,11 +319,22 @@ type Call struct {
 	// and use it to shed calls that have already expired. The
 	// transport itself does not enforce it.
 	Deadline time.Time
+
+	// ReplyPooled, when set by the handler, marks the returned results
+	// slice as a bufpool buffer: the server releases it once the reply
+	// has been copied into the outgoing record. The handler must not
+	// touch the slice after HandleCall returns.
+	ReplyPooled bool
 }
 
 // Handler processes calls for one (program, version). Results must be
 // the raw XDR-encoded reply body; stat reports the RPC accept state.
 // Handlers are invoked concurrently.
+//
+// Ownership: the Call and everything it references (Args, Cred.Body,
+// Verf.Body alias the pooled request record) are only valid until
+// HandleCall returns. A handler that needs any of it afterwards —
+// including in goroutines it spawns — must copy.
 type Handler interface {
 	HandleCall(c *Call) (results []byte, stat AcceptStat)
 }
@@ -346,6 +432,15 @@ func (s *Server) Close() {
 	}
 }
 
+// acceptedReplyHdrMax bounds the accepted-reply header we emit: xid +
+// msg type + reply stat + AUTH_NONE verifier (flavor, zero length) +
+// accept stat = 6 words.
+const acceptedReplyHdrMax = 24
+
+// callPool recycles Call structs between requests: a Call lives from
+// parse to reply write, and handlers must not retain it.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -354,13 +449,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	var wmu sync.Mutex // serializes record writes from concurrent handlers
+	hdr := make([]byte, 4)
 	for {
-		rec, err := readRecord(conn)
+		rec, err := readRecordPooled(conn, hdr)
 		if err != nil {
 			return
 		}
 		call, err := parseCall(rec)
 		if err != nil {
+			bufpool.Put(rec)
 			return // malformed stream: drop connection
 		}
 		call.RemoteAddr = conn.RemoteAddr()
@@ -373,39 +470,64 @@ func (s *Server) serveConn(conn net.Conn) {
 			if ok {
 				results, stat = h.HandleCall(call)
 			}
-			reply := marshalAcceptedReply(call.XID, stat, results)
+			// Build record mark + reply header + results in one pooled
+			// buffer so the message leaves in a single Write and the
+			// handler's pooled results can be released immediately
+			// after the copy.
+			reply := bufpool.Get(4 + acceptedReplyHdrMax + len(results))[:4]
+			b := xdr.Builder{B: reply}
+			b.Uint32(call.XID)
+			b.Uint32(msgReply)
+			b.Uint32(replyAccepted)
+			b.Uint32(AuthNone) // verifier flavor
+			b.Uint32(0)        // verifier length
+			b.Uint32(uint32(stat))
+			reply = append(b.B, results...)
+			if call.ReplyPooled {
+				bufpool.Put(results)
+			}
+			binary.BigEndian.PutUint32(reply[:4], uint32(len(reply)-4)|0x80000000)
 			wmu.Lock()
-			err := writeRecord(conn, reply)
+			_, werr := conn.Write(reply)
 			wmu.Unlock()
-			if err != nil {
+			bufpool.Put(reply)
+			*call = Call{}
+			callPool.Put(call)
+			bufpool.Put(rec)
+			if werr != nil {
 				conn.Close()
 			}
 		}()
 	}
 }
 
+// parseCall decodes a CALL record. The returned Call comes from
+// callPool, and its Cred/Verf bodies and Args alias rec: the caller
+// releases both once the reply is on the wire.
 func parseCall(rec []byte) (*Call, error) {
-	d := xdr.NewDecoder(bytesReader(rec))
-	c := &Call{}
+	var d xdr.Decoder
+	d.ResetBytes(rec)
+	c := callPool.Get().(*Call)
+	*c = Call{}
 	c.XID = d.Uint32()
 	if mt := d.Uint32(); mt != msgCall {
+		callPool.Put(c)
 		return nil, fmt.Errorf("sunrpc: unexpected message type %d", mt)
 	}
 	if rv := d.Uint32(); rv != rpcVersion {
+		callPool.Put(c)
 		return nil, fmt.Errorf("sunrpc: unsupported RPC version %d", rv)
 	}
 	c.Prog = d.Uint32()
 	c.Vers = d.Uint32()
 	c.Proc = d.Uint32()
-	c.Cred = decodeAuth(d)
-	c.Verf = decodeAuth(d)
+	c.Cred = OpaqueAuth{Flavor: d.Uint32(), Body: d.OpaqueRef()}
+	c.Verf = OpaqueAuth{Flavor: d.Uint32(), Body: d.OpaqueRef()}
 	if err := d.Err(); err != nil {
+		callPool.Put(c)
 		return nil, err
 	}
-	// Header length: everything consumed so far. Recompute to slice args.
-	hdrLen := 4*6 + 8 + len(c.Cred.Body) + padTo4(len(c.Cred.Body)) +
-		8 + len(c.Verf.Body) + padTo4(len(c.Verf.Body))
-	c.Args = rec[hdrLen:]
+	c.Args = d.Rest()
 	return c, nil
 }
 

@@ -89,16 +89,41 @@ func (e *Encoder) FixedOpaque(p []byte) {
 // String encodes an XDR string (identical wire format to Opaque).
 func (e *Encoder) String(s string) { e.Opaque([]byte(s)) }
 
-// Decoder reads XDR-encoded values from an underlying io.Reader.
+// Decoder reads XDR-encoded values from an underlying io.Reader, or —
+// in byte-backed mode — directly from a slice. Byte-backed decoding
+// (NewDecoderBytes / ResetBytes) is the hot-path form: it allocates
+// nothing, and OpaqueRef can return subslices that alias the input
+// instead of copying payloads.
 type Decoder struct {
-	r   io.Reader
-	buf [8]byte
-	max uint32
-	err error
+	r    io.Reader
+	rbuf *[8]byte // reader-mode scratch; behind a pointer so the
+	// io.ReadFull calls don't force a stack-declared Decoder to
+	// escape (byte-backed decoding must stay allocation-free)
+	data []byte // byte-backed input (used when byt is true)
+	pos  int
+	byt  bool
+	max  uint32
+	err  error
 }
 
 // NewDecoder returns a Decoder reading from r with DefaultMaxSize.
-func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r, max: DefaultMaxSize} }
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: r, rbuf: new([8]byte), max: DefaultMaxSize}
+}
+
+// NewDecoderBytes returns a byte-backed Decoder over p. Prefer
+// declaring a Decoder value and calling ResetBytes in hot paths so the
+// Decoder itself stays on the stack.
+func NewDecoderBytes(p []byte) *Decoder {
+	d := &Decoder{}
+	d.ResetBytes(p)
+	return d
+}
+
+// ResetBytes re-initializes d as a byte-backed Decoder over p.
+func (d *Decoder) ResetBytes(p []byte) {
+	*d = Decoder{data: p, byt: true, max: DefaultMaxSize}
+}
 
 // SetMaxSize overrides the maximum accepted variable-length item size.
 func (d *Decoder) SetMaxSize(n uint32) { d.max = n }
@@ -106,20 +131,78 @@ func (d *Decoder) SetMaxSize(n uint32) { d.max = n }
 // Err returns the first error encountered while decoding, if any.
 func (d *Decoder) Err() error { return d.err }
 
+// Pos returns the number of input bytes consumed so far (byte-backed
+// decoders only; reader-backed decoders return 0).
+func (d *Decoder) Pos() int { return d.pos }
+
+// Rest returns the unconsumed remainder of a byte-backed Decoder's
+// input, aliasing the input slice. Reader-backed decoders return nil.
+func (d *Decoder) Rest() []byte {
+	if !d.byt || d.err != nil {
+		return nil
+	}
+	return d.data[d.pos:]
+}
+
 func (d *Decoder) read(p []byte) {
 	if d.err != nil {
+		return
+	}
+	if d.byt {
+		if len(d.data)-d.pos < len(p) {
+			d.err = io.ErrUnexpectedEOF
+			return
+		}
+		copy(p, d.data[d.pos:])
+		d.pos += len(p)
 		return
 	}
 	_, d.err = io.ReadFull(d.r, p)
 }
 
+// take returns the next n input bytes of a byte-backed Decoder without
+// copying, plus padding to the 4-byte boundary. ok is false (and err
+// set) when the input is short or the Decoder is reader-backed.
+func (d *Decoder) take(n int) (p []byte, ok bool) {
+	if d.err != nil || !d.byt {
+		return nil, false
+	}
+	padded := n + xdrPad(n)
+	if len(d.data)-d.pos < padded {
+		d.err = io.ErrUnexpectedEOF
+		return nil, false
+	}
+	p = d.data[d.pos : d.pos+n : d.pos+n]
+	d.pos += padded
+	return p, true
+}
+
+func xdrPad(n int) int {
+	if r := n % 4; r != 0 {
+		return 4 - r
+	}
+	return 0
+}
+
 // Uint32 decodes a 32-bit unsigned integer.
 func (d *Decoder) Uint32() uint32 {
-	d.read(d.buf[:4])
+	if d.byt {
+		if d.err != nil {
+			return 0
+		}
+		if len(d.data)-d.pos < 4 {
+			d.err = io.ErrUnexpectedEOF
+			return 0
+		}
+		v := binary.BigEndian.Uint32(d.data[d.pos:])
+		d.pos += 4
+		return v
+	}
+	d.read(d.rbuf[:4])
 	if d.err != nil {
 		return 0
 	}
-	return binary.BigEndian.Uint32(d.buf[:4])
+	return binary.BigEndian.Uint32(d.rbuf[:4])
 }
 
 // Int32 decodes a 32-bit signed integer.
@@ -127,11 +210,23 @@ func (d *Decoder) Int32() int32 { return int32(d.Uint32()) }
 
 // Uint64 decodes a 64-bit unsigned integer.
 func (d *Decoder) Uint64() uint64 {
-	d.read(d.buf[:8])
+	if d.byt {
+		if d.err != nil {
+			return 0
+		}
+		if len(d.data)-d.pos < 8 {
+			d.err = io.ErrUnexpectedEOF
+			return 0
+		}
+		v := binary.BigEndian.Uint64(d.data[d.pos:])
+		d.pos += 8
+		return v
+	}
+	d.read(d.rbuf[:8])
 	if d.err != nil {
 		return 0
 	}
-	return binary.BigEndian.Uint64(d.buf[:8])
+	return binary.BigEndian.Uint64(d.rbuf[:8])
 }
 
 // Int64 decodes a 64-bit signed integer.
@@ -150,6 +245,39 @@ func (d *Decoder) Opaque() []byte {
 		d.err = fmt.Errorf("%w: %d > %d", ErrLimit, n, d.max)
 		return nil
 	}
+	if ref, ok := d.take(int(n)); ok {
+		p := make([]byte, n)
+		copy(p, ref)
+		return p
+	}
+	if d.err != nil {
+		return nil
+	}
+	p := make([]byte, n)
+	d.FixedOpaque(p)
+	return p
+}
+
+// OpaqueRef decodes a variable-length opaque without copying: on a
+// byte-backed Decoder the result aliases the input slice and is only
+// valid while the input is. Reader-backed Decoders fall back to
+// Opaque's fresh allocation. Callers must honor the input buffer's
+// ownership rules — never retain a ref past the buffer's release.
+func (d *Decoder) OpaqueRef() []byte {
+	n := d.Uint32()
+	if d.err != nil {
+		return nil
+	}
+	if n > d.max {
+		d.err = fmt.Errorf("%w: %d > %d", ErrLimit, n, d.max)
+		return nil
+	}
+	if ref, ok := d.take(int(n)); ok {
+		return ref
+	}
+	if d.err != nil {
+		return nil
+	}
 	p := make([]byte, n)
 	d.FixedOpaque(p)
 	return p
@@ -158,10 +286,115 @@ func (d *Decoder) Opaque() []byte {
 // FixedOpaque decodes len(p) bytes plus padding into p.
 func (d *Decoder) FixedOpaque(p []byte) {
 	d.read(p)
-	if n := len(p) % 4; n != 0 {
-		d.read(d.buf[:4-n])
+	if n := xdrPad(len(p)); n != 0 {
+		d.skip(n)
 	}
 }
 
-// String decodes an XDR string.
-func (d *Decoder) String() string { return string(d.Opaque()) }
+// skip discards n input bytes (padding).
+func (d *Decoder) skip(n int) {
+	if d.err != nil {
+		return
+	}
+	if d.byt {
+		if len(d.data)-d.pos < n {
+			d.err = io.ErrUnexpectedEOF
+			return
+		}
+		d.pos += n
+		return
+	}
+	_, d.err = io.ReadFull(d.r, d.rbuf[:n])
+}
+
+// String decodes an XDR string with a single copy: the returned
+// string's backing array is the only allocation on a byte-backed
+// Decoder, or for reader-backed input short enough for the scratch
+// buffer.
+func (d *Decoder) String() string {
+	n := d.Uint32()
+	if d.err != nil {
+		return ""
+	}
+	if n > d.max {
+		d.err = fmt.Errorf("%w: %d > %d", ErrLimit, n, d.max)
+		return ""
+	}
+	if ref, ok := d.take(int(n)); ok {
+		return string(ref)
+	}
+	if d.err != nil {
+		return ""
+	}
+	var scratch [64]byte
+	if int(n) <= len(scratch) {
+		p := scratch[:n]
+		d.FixedOpaque(p)
+		if d.err != nil {
+			return ""
+		}
+		return string(p)
+	}
+	p := make([]byte, n)
+	d.FixedOpaque(p)
+	if d.err != nil {
+		return ""
+	}
+	return string(p)
+}
+
+// Builder appends XDR-encoded values to a byte slice. It is the
+// allocation-free counterpart of Encoder for hot paths: callers bring
+// a buffer (typically from bufpool) with enough capacity and encode
+// with plain appends — no io.Writer indirection, no internal state,
+// no error (append cannot fail).
+type Builder struct{ B []byte }
+
+// Uint32 appends a 32-bit unsigned integer.
+func (b *Builder) Uint32(v uint32) {
+	b.B = append(b.B, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// Int32 appends a 32-bit signed integer.
+func (b *Builder) Int32(v int32) { b.Uint32(uint32(v)) }
+
+// Uint64 appends a 64-bit unsigned integer.
+func (b *Builder) Uint64(v uint64) {
+	b.Uint32(uint32(v >> 32))
+	b.Uint32(uint32(v))
+}
+
+// Int64 appends a 64-bit signed integer.
+func (b *Builder) Int64(v int64) { b.Uint64(uint64(v)) }
+
+// Bool appends a boolean as a 32-bit 0/1.
+func (b *Builder) Bool(v bool) {
+	if v {
+		b.Uint32(1)
+	} else {
+		b.Uint32(0)
+	}
+}
+
+// FixedOpaque appends bytes without a length prefix, padded to 4 bytes.
+func (b *Builder) FixedOpaque(p []byte) {
+	b.B = append(b.B, p...)
+	if n := xdrPad(len(p)); n != 0 {
+		b.B = append(b.B, pad[:n]...)
+	}
+}
+
+// Opaque appends a variable-length opaque: length prefix, bytes, padding.
+func (b *Builder) Opaque(p []byte) {
+	b.Uint32(uint32(len(p)))
+	b.FixedOpaque(p)
+}
+
+// String appends an XDR string (identical wire format to Opaque).
+func (b *Builder) String(s string) {
+	b.Uint32(uint32(len(s)))
+	b.B = append(b.B, s...)
+	if n := xdrPad(len(s)); n != 0 {
+		b.B = append(b.B, pad[:n]...)
+	}
+}
