@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|noisy|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|noisy|alloc|dedup|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
@@ -56,10 +56,11 @@ func main() {
 		"crash":                o.RunCrash,
 		"noisy":                o.RunNoisy,
 		"alloc":                o.RunAlloc,
+		"dedup":                o.RunDedup,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace", "flightrec", "crash", "noisy", "alloc"}
+		"trace", "flightrec", "crash", "noisy", "alloc", "dedup"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -29,6 +29,12 @@
 // -brownout-enter arms the brownout controller that sheds optional
 // work and defers cache misses when the admission queue delay grows.
 //
+// With -backend objstore the proxy needs no upstream at all: images
+// live in a local content-addressed object store (-objstore-dir), and
+// NFS clients mount the proxy directly. -dedup additionally lets
+// identical cached blocks — N cloned VM images — share one disk-cache
+// frame, whichever backend is in use.
+//
 // With -metrics the proxy serves its unified observability surface
 // over HTTP: Prometheus exposition at /metrics (with exemplars when
 // the flight recorder is on), the request-trace ring at /traces, the
@@ -67,7 +73,7 @@ func main() {
 	if err := cache.SetCrashpoint(flags.Crashpoint); err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
 	}
-	opts, err := flags.Options()
+	opts, err := flags.OptionsV2()
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
 	}
@@ -82,7 +88,7 @@ func main() {
 	defer closeLog()
 	opts.Logger = logger
 
-	node, err := stack.StartProxy(opts)
+	node, err := stack.StartProxyV2(opts)
 	if err != nil {
 		log.Fatalf("gvfsproxy: %v", err)
 	}
@@ -97,8 +103,10 @@ func main() {
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, node.Proxy)
 	logger.Info("proxy up",
 		"listen", l.Addr().String(),
+		"backend", flags.Backend,
 		"upstream", flags.Upstream,
 		"cache", flags.CacheDir != "",
+		"dedup", flags.Dedup,
 		"policy", flags.Policy,
 		"flightrec", flags.FlightRing)
 

@@ -110,6 +110,10 @@ func main() {
 	warm := read(sess1)
 	fmt.Printf("compute1 warm re-read (level-1 + buffer):     %7.2f s\n", warm.Seconds())
 
-	fmt.Printf("\nLAN proxy cache: %+v\n", lanProxy.Proxy.Stats())
+	lst := lanProxy.Proxy.Snapshot()
+	fmt.Printf("\nLAN proxy cache: %d hits, %d misses, %d forwarded\n",
+		lst.Counter("gvfs_proxy_read_hits_total"),
+		lst.Counter("gvfs_proxy_read_misses_total"),
+		lst.Counter("gvfs_proxy_forwarded_total"))
 	fmt.Printf("speedup for the second LAN client: %.1fx\n", cold.Seconds()/lanWarm.Seconds())
 }

@@ -75,9 +75,9 @@ func main() {
 	if err := sess.WriteFile("/data/results.out", payload); err != nil {
 		log.Fatal(err)
 	}
-	st := proxyNode.Proxy.Stats()
+	st := proxyNode.Proxy.Snapshot()
 	fmt.Printf("proxy absorbed %d writes (dirty at the proxy, not yet at the server)\n",
-		st.WritesAbsorbed)
+		st.Counter("gvfs_proxy_writes_absorbed_total"))
 
 	// Middleware-driven consistency: propagate the session's data.
 	if err := proxyNode.Proxy.WriteBack(); err != nil {
@@ -94,6 +94,7 @@ func main() {
 	if _, err := sess.ReadFile("/data/results.out"); err != nil {
 		log.Fatal(err)
 	}
-	st = proxyNode.Proxy.Stats()
-	fmt.Printf("proxy cache: %d hits, %d misses\n", st.ReadHits, st.ReadMisses)
+	st = proxyNode.Proxy.Snapshot()
+	fmt.Printf("proxy cache: %d hits, %d misses\n",
+		st.Counter("gvfs_proxy_read_hits_total"), st.Counter("gvfs_proxy_read_misses_total"))
 }

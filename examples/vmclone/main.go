@@ -102,9 +102,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	st := proxyNode.Proxy.Stats()
+	st := proxyNode.Proxy.Snapshot()
 	fmt.Printf("file-channel transfers: %d (one per golden image, regardless of clone count)\n",
-		st.FileChanFetch)
+		st.Counter("gvfs_proxy_filechan_fetches_total"))
 
 	// Baseline 1: SCP-style full-image copy over the same WAN profile.
 	fmt.Println("\nbaselines over the same WAN profile:")

@@ -1,0 +1,173 @@
+// Package backend defines the proxy↔upstream boundary: the narrow
+// interface a GVFS proxy needs from whatever holds the authoritative
+// bytes. The paper assumes the upstream is always a WAN NFSv3 server,
+// but the proxy's caching machinery only ever needs "read a byte
+// range, write a byte range durably, commit, stat, and tell me if you
+// are alive" — so that contract is extracted here and the NFSv3
+// client becomes one implementation (internal/backend/nfs3be) beside
+// an object-store implementation (internal/backend/objstore) usable
+// in tests and benchmarks without an nfsd.
+//
+// The package is a leaf: it imports only the standard library, so the
+// cache and proxy layers can depend on it without dragging RPC wire
+// types onto the data path.
+package backend
+
+import "time"
+
+// FileID names a file at the backend. For nfs3be it is the opaque NFS
+// file handle; for objstore it is the object path. The proxy treats
+// it as an opaque byte string.
+type FileID []byte
+
+// Key returns the FileID as a map key.
+func (f FileID) Key() string { return string(f) }
+
+// CallOpts carries per-call context across the boundary. The zero
+// value means "no deadline, no trace".
+type CallOpts struct {
+	// Deadline, when nonzero, bounds the call (including transport
+	// retries). An expired deadline surfaces as a ClassTimeout error.
+	Deadline time.Time
+
+	// TraceID and Hop propagate the request trace to upstreams that
+	// can carry it (nfs3be encodes them in the RPC verifier). TraceID
+	// zero means budget-only or no trace.
+	TraceID uint64
+	Hop     uint32
+}
+
+// Attr is the subset of file attributes the proxy's data path needs.
+type Attr struct {
+	Size uint64
+	Mode uint32
+	Dir  bool
+}
+
+// ReadResult is one Read's outcome. Data may alias a transport-owned
+// buffer that is recycled on the next call: callers must copy bytes
+// they retain past the call.
+type ReadResult struct {
+	Data []byte
+	EOF  bool
+	Attr *Attr // post-op attributes when the backend knows them
+}
+
+// Caps advertises what a backend can do, so the proxy can enable
+// optional machinery (pipelined read-ahead, hash-hinted dedup)
+// without type-switching on concrete implementations for policy.
+type Caps struct {
+	// Name labels the backend in logs and metrics ("nfs3", "objstore").
+	Name string
+
+	// Batched is set when ReadBatch pipelines a window of reads in
+	// roughly one round trip (see BatchReader).
+	Batched bool
+
+	// ContentHashes is set when the backend knows block content
+	// hashes without transferring the data (see Hasher).
+	ContentHashes bool
+}
+
+// Backend is the upstream contract for the proxy data path: READ and
+// WRITE misses, write-back of dirty frames, commit, size probing, and
+// the circuit breaker's health probe all go through it.
+//
+// Error discipline: every non-nil error should be (or wrap) a
+// *backend.Error so callers can dispatch on its Class; see Classify.
+type Backend interface {
+	// Read returns up to count bytes at off. Short reads at EOF set
+	// ReadResult.EOF; reads entirely past EOF return empty data with
+	// EOF set, not an error.
+	Read(f FileID, off uint64, count uint32, opts CallOpts) (ReadResult, error)
+
+	// Write stores data at off with durable (FILE_SYNC-equivalent)
+	// semantics: when Write returns nil the bytes survive a backend
+	// crash. The write-back cache depends on this to mark frames
+	// clean. Returns post-op attributes when known.
+	Write(f FileID, off uint64, data []byte, opts CallOpts) (*Attr, error)
+
+	// Commit makes previously written data durable. With Write already
+	// durable it is a no-op for both bundled backends, but the proxy
+	// calls it where NFS COMMIT semantics require.
+	Commit(f FileID, opts CallOpts) error
+
+	// GetAttr returns the file's attributes (the proxy mainly wants
+	// Size for EOF computation).
+	GetAttr(f FileID, opts CallOpts) (Attr, error)
+
+	// Probe is the circuit breaker's recovery check: nil means the
+	// backend is reachable (even if individual files error).
+	Probe() error
+
+	// Caps reports the backend's capabilities.
+	Caps() Caps
+
+	// Close releases resources owned by the backend. It does not
+	// close transports owned by the caller.
+	Close() error
+}
+
+// Lookuper resolves a name in a directory. The proxy's meta-data
+// machinery uses it to find .meta companion files.
+type Lookuper interface {
+	Lookup(dir FileID, name string, opts CallOpts) (FileID, Attr, error)
+}
+
+// Namespacer is implemented by backends that can serve as the whole
+// upstream — no raw RPC relay behind them. The proxy uses it to
+// synthesize MOUNT/LOOKUP/CREATE replies when Config.Upstream is nil.
+type Namespacer interface {
+	Lookuper
+
+	// Root resolves an export path to its root FileID.
+	Root(dirpath string) (FileID, Attr, error)
+
+	// Create makes an empty regular file.
+	Create(dir FileID, name string, opts CallOpts) (FileID, Attr, error)
+}
+
+// Hasher is implemented by content-addressed backends that know block
+// hashes without transferring data. BlockHash returns the hash of
+// block's content and the content's length; ok is false when the
+// backend cannot answer for this file/blockSize (wrong manifest block
+// size, unknown file), in which case the caller falls back to a
+// normal Read.
+type Hasher interface {
+	BlockHash(f FileID, block uint64, blockSize int) (h Hash, n uint32, ok bool)
+}
+
+// BatchReader pipelines a window of same-size reads: all requests go
+// out back to back and each reply is delivered to the callback in
+// order. Over a WAN the window costs roughly one round trip. The
+// ReadResult passed to each may alias transport buffers; copy to
+// retain.
+type BatchReader interface {
+	ReadBatch(f FileID, offs []uint64, count uint32, opts CallOpts, each func(i int, r ReadResult, err error))
+}
+
+// TransportStats mirrors the fault-tolerant RPC client's counters so
+// the proxy's metrics bridges stay backend-agnostic.
+type TransportStats struct {
+	Retries    uint64
+	Reconnects uint64
+	Timeouts   uint64
+}
+
+// TransportStatser exposes transport-level retry counters.
+type TransportStatser interface {
+	TransportStats() TransportStats
+}
+
+// CredSource supplies the credential for backend-initiated upstream
+// calls, pre-encoded as an RPC auth flavor and opaque body. It lives
+// here as a plain function type so backends that authenticate (nfs3be)
+// can accept one without this package importing RPC types.
+type CredSource func() (flavor uint32, body []byte, err error)
+
+// CredentialCarrier is implemented by backends that attach caller
+// credentials to upstream calls. The proxy installs a source that
+// yields the identity-mapped session credential.
+type CredentialCarrier interface {
+	SetCredSource(src CredSource)
+}

@@ -1,0 +1,129 @@
+package conformance
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+
+	"gvfs/internal/backend"
+	"gvfs/internal/backend/nfs3be"
+	"gvfs/internal/backend/objstore"
+	"gvfs/internal/memfs"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+)
+
+// faultyFS wraps the in-memory NFS backend with jukebox injection on
+// the data procedures, so the suite can see NFS3ERR_JUKEBOX arrive
+// through a real server and wire decode.
+type faultyFS struct {
+	*memfs.FS
+	jukebox atomic.Bool
+}
+
+func (f *faultyFS) Read(fh nfs3.FH, off uint64, count uint32) ([]byte, bool, error) {
+	if f.jukebox.Load() {
+		return nil, false, &nfs3.Error{Status: nfs3.ErrJukebox, Op: "read"}
+	}
+	return f.FS.Read(fh, off, count)
+}
+
+func (f *faultyFS) Write(fh nfs3.FH, off uint64, data []byte) (nfs3.Fattr, error) {
+	if f.jukebox.Load() {
+		return nfs3.Fattr{}, &nfs3.Error{Status: nfs3.ErrJukebox, Op: "write"}
+	}
+	return f.FS.Write(fh, off, data)
+}
+
+// TestNFS3Backend runs the suite against nfs3be over a live userspace
+// NFS server on a loopback TCP connection.
+func TestNFS3Backend(t *testing.T) {
+	Run(t, func(t *testing.T, content []byte) *Fixture {
+		fs := memfs.New()
+		fs.WriteFile("/data.bin", content)
+		faulty := &faultyFS{FS: fs}
+
+		srv := sunrpc.NewServer()
+		srv.Register(nfs3.Program, nfs3.Version, nfs3.NewServer(faulty))
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(l)
+		t.Cleanup(func() { srv.Close(); l.Close() })
+
+		client, err := sunrpc.Dial(l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+
+		root, err := fs.Root()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fh, _, err := fs.Lookup(root, "data.bin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Fixture{
+			B:          nfs3be.New(client),
+			File:       backend.FileID(fh),
+			Content:    content,
+			SetJukebox: faulty.jukebox.Store,
+			KillTransport: func() {
+				client.Close()
+				srv.Close()
+				l.Close()
+			},
+		}
+	})
+}
+
+// TestObjstoreBackend runs the suite against the content-addressed
+// object store over an in-memory Store, using its fault injection for
+// the failure-class subtests.
+func TestObjstoreBackend(t *testing.T) {
+	Run(t, func(t *testing.T, content []byte) *Fixture {
+		be := objstore.New(objstore.NewMemStore(), 8192)
+		if err := be.CreateFile("/data.bin", content); err != nil {
+			t.Fatal(err)
+		}
+		return &Fixture{
+			B:       be,
+			File:    backend.FileID("/data.bin"),
+			Content: content,
+			SetJukebox: func(on bool) {
+				if on {
+					be.SetFault(&backend.Error{
+						Class:  backend.ClassRetriable,
+						Op:     "fault",
+						Status: uint32(nfs3.ErrJukebox),
+					})
+				} else {
+					be.SetFault(nil)
+				}
+			},
+			KillTransport: func() {
+				be.SetFault(&backend.Error{Class: backend.ClassUnavailable, Op: "fault"})
+			},
+		}
+	})
+}
+
+// TestObjstoreDirStore re-runs the core read/write subtests against a
+// directory-backed store, proving the durable store path matches the
+// in-memory one (no fault hooks: DirStore has no injection surface).
+func TestObjstoreDirStore(t *testing.T) {
+	Run(t, func(t *testing.T, content []byte) *Fixture {
+		store, err := objstore.NewDirStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		be := objstore.New(store, 8192)
+		if err := be.CreateFile("/data.bin", content); err != nil {
+			t.Fatal(err)
+		}
+		return &Fixture{B: be, File: backend.FileID("/data.bin"), Content: content}
+	})
+}

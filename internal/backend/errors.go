@@ -1,0 +1,95 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class partitions backend failures by how the proxy must react. The
+// taxonomy replaces ad-hoc inspection of nfs3.Error / sunrpc.RPCError
+// on the write-back and read-miss paths, so an objstore failure
+// degrades exactly like the equivalent NFS failure.
+type Class int
+
+const (
+	// ClassIO is a hard, server-reported error: the path to the
+	// backend is alive but this operation failed (permission, I/O
+	// error, invalid argument...). Not retriable, never trips the
+	// circuit breaker.
+	ClassIO Class = iota
+
+	// ClassUnavailable is a transport-level failure — the backend
+	// could not be reached or did not answer at the RPC level. Counts
+	// toward opening the circuit breaker.
+	ClassUnavailable
+
+	// ClassTimeout is an exhausted per-call deadline. Deliberately
+	// breaker-neutral: a caller-imposed budget expiring says nothing
+	// definitive about backend health.
+	ClassTimeout
+
+	// ClassRetriable is a transient backend condition (NFS3ERR_JUKEBOX
+	// and equivalents): retry later. Write-back keeps the block dirty
+	// and the journal entry live.
+	ClassRetriable
+
+	// ClassStale means the file identifier no longer resolves
+	// (NFS3ERR_STALE): cached state for the file should be dropped.
+	ClassStale
+
+	// ClassNotFound is a missing file or name (NFS3ERR_NOENT).
+	ClassNotFound
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIO:
+		return "io"
+	case ClassUnavailable:
+		return "unavailable"
+	case ClassTimeout:
+		return "timeout"
+	case ClassRetriable:
+		return "retriable"
+	case ClassStale:
+		return "stale"
+	case ClassNotFound:
+		return "not-found"
+	}
+	return "unknown"
+}
+
+// Error is the backend failure type. Status carries the NFS-compatible
+// status code when one applies (so the proxy can echo the original
+// code to its client); zero means "none, derive from Class".
+type Error struct {
+	Class  Class
+	Op     string
+	Status uint32
+	Err    error
+}
+
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("backend: %s: %s: %v", e.Op, e.Class, e.Err)
+	}
+	return fmt.Sprintf("backend: %s: %s", e.Op, e.Class)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Classify maps any error to the Class the proxy should act on.
+// Unknown errors default to ClassUnavailable — an unclassifiable
+// failure from the upstream path is treated as transport trouble,
+// matching the pre-refactor breaker semantics.
+func Classify(err error) Class {
+	var be *Error
+	if errors.As(err, &be) {
+		return be.Class
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTimeout
+	}
+	return ClassUnavailable
+}

@@ -1,0 +1,46 @@
+package backend
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Hash is a block content hash (SHA-256). The cache's dedup map keys
+// frames by it, and the paper's zero-block map generalizes to "blocks
+// whose hash is the well-known hash of N zero bytes".
+type Hash [sha256.Size]byte
+
+// String returns the hash in hex (for manifests and logs).
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseHash decodes a hex hash string.
+func ParseHash(s string) (Hash, bool) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(h) {
+		return Hash{}, false
+	}
+	copy(h[:], b)
+	return h, true
+}
+
+// HashOf returns the content hash of data.
+func HashOf(data []byte) Hash { return sha256.Sum256(data) }
+
+// zeroHashes caches the hash of n zero bytes per length seen; block
+// sizes in one deployment are few, so the map stays tiny.
+var zeroHashes sync.Map // int -> Hash
+
+// ZeroHash returns the well-known hash of n zero bytes.
+func ZeroHash(n int) Hash {
+	if v, ok := zeroHashes.Load(n); ok {
+		return v.(Hash)
+	}
+	h := sha256.Sum256(make([]byte, n))
+	zeroHashes.Store(n, Hash(h))
+	return h
+}
+
+// IsZeroHash reports whether h is the hash of n zero bytes.
+func IsZeroHash(h Hash, n int) bool { return h == ZeroHash(n) }

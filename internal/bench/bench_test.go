@@ -180,7 +180,7 @@ func TestCloningInvariants(t *testing.T) {
 	if durs[1] >= durs[0] || durs[2] >= durs[0] {
 		t.Errorf("warm clones (%v, %v) not faster than cold (%v)", durs[1], durs[2], durs[0])
 	}
-	if st := node.Proxy.Stats(); st.FileChanFetch != 1 {
-		t.Errorf("file channel fetches = %d, want 1", st.FileChanFetch)
+	if n := node.Proxy.Snapshot().Counter("gvfs_proxy_filechan_fetches_total"); n != 1 {
+		t.Errorf("file channel fetches = %d, want 1", n)
 	}
 }

@@ -108,6 +108,12 @@ type Config struct {
 	// bytes at flush time (capped at the 32 KB NFS transfer limit),
 	// instead of one WRITE RPC per block. Zero disables coalescing.
 	WriteCoalesce int
+	// Dedup enables the content-addressed dedup table: clean blocks
+	// inserted via PutDedup whose content is already cached become
+	// aliases of the existing frame instead of consuming capacity,
+	// so N cloned VMs of one golden image share frames (see
+	// dedup.go). Off by default — hashing costs SHA-256 per insert.
+	Dedup bool
 	// Logger receives cache lifecycle events (journal recovery, cold
 	// starts, checksum failures). Nil is safe: events are dropped.
 	Logger *obs.Logger
@@ -248,6 +254,10 @@ type Cache struct {
 	journal *journal
 	log     *obs.Logger
 
+	// dedup is the content-addressed alias table (nil unless
+	// Config.Dedup); see dedup.go for the invariants.
+	dedup *dedupTable
+
 	wbMu sync.RWMutex
 	wb   WriteBackFunc
 }
@@ -280,6 +290,9 @@ func New(cfg Config) (*Cache, error) {
 			return nil, fmt.Errorf("cache: open journal: %w", err)
 		}
 		c.journal = j
+	}
+	if cfg.Dedup {
+		c.dedup = newDedupTable()
 	}
 	return c, nil
 }
@@ -488,6 +501,17 @@ func (c *Cache) GetInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
 }
 
 func (c *Cache) getInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
+	data, ok := c.getPhysical(fh, block, dst)
+	if ok || c.dedup == nil {
+		return data, ok
+	}
+	// Physical miss: the ID may be an alias of a deduplicated frame.
+	return c.getAlias(BlockID{FH: fh.Key(), Block: block}, dst)
+}
+
+// getPhysical looks the block up in the stripe indexes only, without
+// consulting the dedup alias table.
+func (c *Cache) getPhysical(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
 	id := BlockID{FH: fh.Key(), Block: block}
 	s := c.stripeFor(id)
 	s.mu.Lock()
@@ -596,6 +620,13 @@ func (c *Cache) put(fh nfs3.FH, block uint64, data []byte, dirty, journal bool) 
 	journal = journal && dirty && c.journal != nil
 	sum := crc32c(data)
 	id := BlockID{FH: fh.Key(), Block: block}
+	if c.dedup != nil {
+		// Any insert changes (or re-establishes) this ID's content, so
+		// its old dedup binding is stale. PutDedup re-registers after
+		// the physical insert; plain and dirty Puts stay unbound.
+		// Taken before the stripe lock: dedup.mu is a leaf.
+		c.dedup.forget(id)
+	}
 	s := c.stripeFor(id)
 	s.mu.Lock()
 	for {
@@ -995,6 +1026,9 @@ func (c *Cache) Flush() error {
 		}
 		s.mu.Unlock()
 	}
+	if c.dedup != nil {
+		c.dedup.clear()
+	}
 	return nil
 }
 
@@ -1012,6 +1046,11 @@ func (c *Cache) resetFrame(fr *frame) {
 // written back first.
 func (c *Cache) InvalidateFile(fh nfs3.FH) error {
 	key := fh.Key()
+	if c.dedup != nil {
+		// Aliases of this file occupy no frame, so the stripe scan
+		// below cannot see them; unbind the whole file up front.
+		c.dedup.forgetFile(key)
+	}
 	for i := range c.stripes {
 		s := &c.stripes[i]
 		var ids []BlockID
@@ -1045,6 +1084,9 @@ func (c *Cache) InvalidateBlock(fh nfs3.FH, block uint64) error {
 }
 
 func (c *Cache) invalidateID(id BlockID) error {
+	if c.dedup != nil {
+		c.dedup.forget(id)
+	}
 	s := c.stripeFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()

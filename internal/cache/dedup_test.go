@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gvfs/internal/backend"
+	"gvfs/internal/nfs3"
+)
+
+func dedupConfig() Config {
+	cfg := smallConfig()
+	cfg.Dedup = true
+	return cfg
+}
+
+func blockOf(seed byte, n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = seed + byte(i)
+	}
+	return data
+}
+
+func TestDedupAliasSharesFrame(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	data := blockOf(1, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDedup(fhB, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	st := c.DedupStats()
+	if st.Entries != 1 || st.Refs != 2 {
+		t.Fatalf("stats after two identical inserts: %+v, want 1 entry / 2 refs", st)
+	}
+	if n := c.DedupRefCount(fhB, 0); n != 2 {
+		t.Errorf("refcount = %d, want 2", n)
+	}
+	// Only the canonical occupies a frame; the alias must still read.
+	if ins := c.Stats().Insertions; ins != 1 {
+		t.Errorf("insertions = %d, want 1 (alias must not consume a frame)", ins)
+	}
+	got, ok := c.Get(fhB, 0)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("alias read: hit=%v", ok)
+	}
+	if hits := c.DedupStats().Hits; hits != 1 {
+		t.Errorf("dedup hits = %d, want 1", hits)
+	}
+}
+
+func TestDedupDirtyBypasses(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	data := blockOf(2, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDedup(fhB, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	// A dirty write to the alias must unbind it — its content is about
+	// to diverge from the shared frame.
+	if err := c.PutDedup(fhB, 0, blockOf(3, 512), true); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DedupRefCount(fhB, 0); n != 0 {
+		t.Errorf("dirty block still bound, refcount = %d", n)
+	}
+	if n := c.DedupRefCount(fhA, 0); n != 1 {
+		t.Errorf("canonical refcount = %d, want 1", n)
+	}
+	got, ok := c.Get(fhB, 0)
+	if !ok || !bytes.Equal(got, blockOf(3, 512)) {
+		t.Errorf("dirty write readback: hit=%v", ok)
+	}
+	c.MarkClean(fhB, 0)
+}
+
+func TestDedupCanonicalInvalidated(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	data := blockOf(4, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDedup(fhB, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	// Killing the canonical kills the whole entry: aliases have no
+	// frame left to serve from, and must miss rather than serve junk.
+	if err := c.InvalidateBlock(fhA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(fhB, 0); ok {
+		t.Error("alias still hit after canonical invalidation")
+	}
+	if n := c.DedupRefCount(fhB, 0); n != 0 {
+		t.Errorf("alias refcount after canonical death = %d", n)
+	}
+}
+
+func TestDedupInvalidateFileDropsAliases(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	data := blockOf(5, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDedup(fhB, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	// Invalidating the alias's file must unbind it even though no
+	// stripe index entry exists for it.
+	if err := c.InvalidateFile(fhB); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.DedupRefCount(fhB, 0); n != 0 {
+		t.Errorf("alias survived InvalidateFile, refcount = %d", n)
+	}
+	if n := c.DedupRefCount(fhA, 0); n != 1 {
+		t.Errorf("canonical refcount = %d, want 1", n)
+	}
+	got, ok := c.Get(fhA, 0)
+	if !ok || !bytes.Equal(got, data) {
+		t.Error("canonical lost by alias-file invalidation")
+	}
+}
+
+func TestDedupGetByHash(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	data := blockOf(6, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	// A hash-hinted read for a never-inserted identity must serve the
+	// cached content and register the alias.
+	got, ok := c.GetByHash(fhB, 9, backend.HashOf(data), nil)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("GetByHash: hit=%v", ok)
+	}
+	if n := c.DedupRefCount(fhB, 9); n != 2 {
+		t.Errorf("refcount after hash-hint read = %d, want 2", n)
+	}
+	if _, ok := c.GetByHash(fhB, 9, backend.HashOf(blockOf(7, 512)), nil); ok {
+		t.Error("GetByHash hit on content that was never cached")
+	}
+}
+
+func TestDedupPersistence(t *testing.T) {
+	dir := t.TempDir()
+	cfg := dedupConfig()
+	cfg.Dir = dir
+	c := newTestCache(t, cfg)
+	data := blockOf(8, 512)
+	if err := c.PutDedup(fhA, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutDedup(fhB, 0, data, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SaveIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newTestCache(t, cfg)
+	if err := c2.LoadIndex(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(fhB, 0)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("alias read after warm restart: hit=%v", ok)
+	}
+	if n := c2.DedupRefCount(fhB, 0); n != 2 {
+		t.Errorf("refcount after warm restart = %d, want 2", n)
+	}
+}
+
+// TestDedupConcurrentClones is the cross-VM sharing scenario under
+// -race: many "clones" insert the same golden blocks while readers and
+// an invalidator churn. The table must stay consistent and every hit
+// must return the right bytes for its block.
+func TestDedupConcurrentClones(t *testing.T) {
+	c := newTestCache(t, dedupConfig())
+	const (
+		clones    = 8
+		numBlocks = 16
+	)
+	golden := make([][]byte, numBlocks)
+	for b := range golden {
+		golden[b] = blockOf(byte(16+b), 512)
+	}
+	var wg sync.WaitGroup
+	for cl := 0; cl < clones; cl++ {
+		fh := nfs3.FH(fmt.Sprintf("clone-%d", cl))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 4; round++ {
+				for b := 0; b < numBlocks; b++ {
+					if err := c.PutDedup(fh, uint64(b), golden[b], false); err != nil {
+						t.Errorf("PutDedup: %v", err)
+						return
+					}
+					if got, ok := c.Get(fh, uint64(b)); ok && !bytes.Equal(got, golden[b]) {
+						t.Errorf("clone %s block %d: wrong bytes through dedup", fh, b)
+						return
+					}
+					c.DedupRefCount(fh, uint64(b))
+				}
+			}
+		}()
+	}
+	// Churn: one goroutine repeatedly invalidates a clone's file, one
+	// reads through hash hints.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			if err := c.InvalidateFile(nfs3.FH("clone-0")); err != nil {
+				t.Errorf("InvalidateFile: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			b := i % numBlocks
+			if got, ok := c.GetByHash(nfs3.FH("hinted"), uint64(b), backend.HashOf(golden[b]), nil); ok {
+				if !bytes.Equal(got, golden[b]) {
+					t.Errorf("hash-hint block %d: wrong bytes", b)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := c.DedupStats()
+	if st.Entries > numBlocks {
+		t.Errorf("%d distinct contents tracked, only %d exist", st.Entries, numBlocks)
+	}
+	// Surviving bindings must still resolve to the right content.
+	for cl := 1; cl < clones; cl++ {
+		fh := nfs3.FH(fmt.Sprintf("clone-%d", cl))
+		for b := 0; b < numBlocks; b++ {
+			if got, ok := c.Get(fh, uint64(b)); ok && !bytes.Equal(got, golden[b]) {
+				t.Fatalf("post-churn clone %d block %d: wrong bytes", cl, b)
+			}
+		}
+	}
+}
+
+// TestDedupRaceEvictionPressure forces physical evictions (more
+// distinct contents than frames in a set) racing with alias reads:
+// stale mappings must be dropped, never served.
+func TestDedupRaceEvictionPressure(t *testing.T) {
+	c := newTestCache(t, dedupConfig()) // 4x8 sets, assoc 2: 64 frames
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fh := nfs3.FH(fmt.Sprintf("writer-%d", w))
+			for i := 0; i < 200; i++ {
+				// 32 distinct contents shared by all workers: constant
+				// cross-worker dedup plus constant eviction churn.
+				content := blockOf(byte(i%32), 512)
+				if err := c.PutDedup(fh, uint64(i%32), content, false); err != nil {
+					t.Errorf("PutDedup: %v", err)
+					return
+				}
+				if got, ok := c.Get(fh, uint64(i%32)); ok && !bytes.Equal(got, content) {
+					t.Errorf("worker %d block %d: stale bytes served", w, i%32)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.DedupStats()
+	if st.Entries > 32 {
+		t.Errorf("%d entries for 32 distinct contents", st.Entries)
+	}
+	t.Logf("dedup stats after eviction churn: %+v", st)
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"gvfs/internal/backend"
 )
 
 // Cache-index persistence. The paper's proxy caches are long-lived —
@@ -30,8 +32,13 @@ import (
 // indexFileName is the tag snapshot file inside the cache directory.
 const indexFileName = "index.json"
 
-// indexVersion is the current snapshot format (2 added per-frame CRCs).
-const indexVersion = 2
+// indexVersion is the current snapshot format (2 added per-frame
+// CRCs; 3 added the content-dedup section). Version-2 snapshots are
+// still loadable — they simply carry no dedup mappings.
+const indexVersion = 3
+
+// minIndexVersion is the oldest snapshot format still accepted.
+const minIndexVersion = 2
 
 type persistedIndex struct {
 	Version     int              `json:"version"`
@@ -40,6 +47,25 @@ type persistedIndex struct {
 	Assoc       int              `json:"assoc"`
 	BlockSize   int              `json:"block_size"`
 	Frames      []persistedFrame `json:"frames"`
+	Dedup       []persistedDedup `json:"dedup,omitempty"`
+}
+
+// persistedDedup is one content-dedup entry: the canonical frame's
+// identity plus the aliases sharing it. Entries are re-validated at
+// load against the restored frames (canonical present, CRC matching),
+// so a snapshot from a different run can never bind wrong content.
+type persistedDedup struct {
+	Hash  string         `json:"hash"` // hex SHA-256 of the content
+	FH    string         `json:"fh"`   // canonical handle, base64
+	Block uint64         `json:"block"`
+	Crc   uint32         `json:"crc"`
+	Size  uint32         `json:"size"`
+	Refs  []persistedRef `json:"refs,omitempty"` // aliases (canonical excluded)
+}
+
+type persistedRef struct {
+	FH    string `json:"fh"` // base64
+	Block uint64 `json:"block"`
 }
 
 type persistedFrame struct {
@@ -98,6 +124,32 @@ func (c *Cache) SaveIndex() error {
 			LRU:   fr.lru,
 		})
 	}
+	if c.dedup != nil {
+		// dedup.mu is a leaf lock: taking it under the stripe locks is
+		// safe because no path acquires a stripe lock while holding it.
+		d := c.dedup
+		d.mu.Lock()
+		for _, e := range d.byHash {
+			pe := persistedDedup{
+				Hash:  e.hash.String(),
+				FH:    base64.StdEncoding.EncodeToString([]byte(e.canonical.FH)),
+				Block: e.canonical.Block,
+				Crc:   e.crc,
+				Size:  e.size,
+			}
+			for r := range e.refs {
+				if r == e.canonical {
+					continue
+				}
+				pe.Refs = append(pe.Refs, persistedRef{
+					FH:    base64.StdEncoding.EncodeToString([]byte(r.FH)),
+					Block: r.Block,
+				})
+			}
+			idx.Dedup = append(idx.Dedup, pe)
+		}
+		d.mu.Unlock()
+	}
 	blob, err := json.Marshal(&idx)
 	if err != nil {
 		return err
@@ -152,7 +204,7 @@ func (c *Cache) LoadIndex() error {
 	if err := json.Unmarshal(blob, &idx); err != nil {
 		return c.coldStart(path, fmt.Sprintf("corrupt snapshot: %v", err))
 	}
-	if idx.Version != indexVersion {
+	if idx.Version < minIndexVersion || idx.Version > indexVersion {
 		return c.coldStart(path, fmt.Sprintf("unsupported snapshot version %d", idx.Version))
 	}
 	if idx.Banks != c.cfg.Banks || idx.SetsPerBank != c.cfg.SetsPerBank ||
@@ -189,6 +241,7 @@ func (c *Cache) LoadIndex() error {
 	}
 	c.lockAll()
 	defer c.unlockAll()
+	restored := make(map[BlockID]uint32, len(frames))
 	for _, lf := range frames {
 		c.frames[lf.idx] = frame{id: lf.id, valid: true, size: lf.size, crc: lf.crc, lru: lf.lru}
 		s := c.stripeOfFrame(lf.idx)
@@ -196,6 +249,48 @@ func (c *Cache) LoadIndex() error {
 		if lf.lru > s.clock {
 			s.clock = lf.lru
 		}
+		restored[lf.id] = lf.crc
+	}
+	if c.dedup != nil && len(idx.Dedup) > 0 {
+		// Rebind dedup entries whose canonical frame survived with the
+		// same content; anything else is silently dropped (the aliases
+		// just re-fetch on first miss).
+		d := c.dedup
+		d.mu.Lock()
+		for _, pe := range idx.Dedup {
+			h, ok := backend.ParseHash(pe.Hash)
+			if !ok {
+				continue
+			}
+			fhBytes, err := base64.StdEncoding.DecodeString(pe.FH)
+			if err != nil {
+				continue
+			}
+			canonical := BlockID{FH: string(fhBytes), Block: pe.Block}
+			if crc, live := restored[canonical]; !live || crc != pe.Crc {
+				continue
+			}
+			if _, dup := d.byHash[h]; dup {
+				continue
+			}
+			e := &dentry{hash: h, canonical: canonical, crc: pe.Crc, size: pe.Size,
+				refs: map[BlockID]struct{}{canonical: {}}}
+			d.byHash[h] = e
+			d.byID[canonical] = e
+			for _, pr := range pe.Refs {
+				rb, err := base64.StdEncoding.DecodeString(pr.FH)
+				if err != nil {
+					continue
+				}
+				rid := BlockID{FH: string(rb), Block: pr.Block}
+				if _, taken := d.byID[rid]; taken {
+					continue
+				}
+				e.refs[rid] = struct{}{}
+				d.byID[rid] = e
+			}
+		}
+		d.mu.Unlock()
 	}
 	return nil
 }

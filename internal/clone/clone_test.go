@@ -98,8 +98,8 @@ func TestCloneWorkflow(t *testing.T) {
 	}
 	// The memory state must have moved via the file channel, not
 	// block-by-block NFS.
-	if st := e.node.Proxy.Stats(); st.FileChanFetch != 1 {
-		t.Errorf("file channel fetches = %d, want 1", st.FileChanFetch)
+	if n := e.node.Proxy.Snapshot().Counter("gvfs_proxy_filechan_fetches_total"); n != 1 {
+		t.Errorf("file channel fetches = %d, want 1", n)
 	}
 }
 
@@ -122,8 +122,8 @@ func TestSequentialClonesSameImageGetWarmer(t *testing.T) {
 		t.Fatalf("results = %d", len(results))
 	}
 	// Only the first clone transfers the memory state.
-	if st := e.node.Proxy.Stats(); st.FileChanFetch != 1 {
-		t.Errorf("file channel fetches = %d, want 1 (temporal locality)", st.FileChanFetch)
+	if n := e.node.Proxy.Snapshot().Counter("gvfs_proxy_filechan_fetches_total"); n != 1 {
+		t.Errorf("file channel fetches = %d, want 1 (temporal locality)", n)
 	}
 }
 
@@ -143,8 +143,8 @@ func TestSequentialClonesDistinctImages(t *testing.T) {
 	if _, err := clone.Sequential(sess, opts); err != nil {
 		t.Fatal(err)
 	}
-	if st := e.node.Proxy.Stats(); st.FileChanFetch != 3 {
-		t.Errorf("file channel fetches = %d, want 3 (no locality)", st.FileChanFetch)
+	if n := e.node.Proxy.Snapshot().Counter("gvfs_proxy_filechan_fetches_total"); n != 3 {
+		t.Errorf("file channel fetches = %d, want 3 (no locality)", n)
 	}
 }
 

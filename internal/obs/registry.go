@@ -199,6 +199,15 @@ type Snapshot struct {
 	Histograms map[string]HistogramValue `json:"histograms"`
 }
 
+// Counter reads a counter by its rendered sample name, returning 0
+// when the instrument is absent (e.g. an optional bridge that was
+// never registered). This is the lookup callers of the retired
+// proxy.Stats projection migrate to.
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge reads a gauge by its rendered sample name (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
 // child is one labeled instrument within a family.
 type child struct {
 	vals []string

@@ -1,0 +1,230 @@
+package proxy
+
+// Backend plumbing for the data path. The proxy's READ/WRITE handling,
+// write-back, read-ahead and meta-data machinery speak the
+// internal/backend interface exclusively; the NFSv3 wire client lives
+// behind it in internal/backend/nfs3be. The one deliberate exception
+// is the cache-less relay (no block cache, real RPC upstream — the
+// gvfsd identity-mapping role), which keeps raw call forwarding so
+// each client's own credentials ride every data call.
+
+import (
+	"errors"
+	"time"
+
+	"gvfs/internal/backend"
+	"gvfs/internal/bufpool"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/obs"
+	"gvfs/internal/sunrpc"
+)
+
+// useBackendIO reports whether READ/WRITE data-path calls go through
+// the backend interface (caching proxy, or no RPC upstream at all).
+func (p *Proxy) useBackendIO() bool {
+	return p.cfg.BlockCache != nil || p.cfg.Upstream == nil
+}
+
+// beOpts builds backend call options from a live trace span and the
+// call's remaining deadline budget.
+func beOpts(tr *obs.Active, deadline time.Time) backend.CallOpts {
+	opts := backend.CallOpts{Deadline: deadline}
+	if tr != nil {
+		opts.TraceID, opts.Hop = tr.ID(), tr.Hop()+1
+	}
+	return opts
+}
+
+// beRead issues a proxy-initiated backend read (write-back RMW,
+// read-ahead, meta-data) with breaker fast-fail and health observation.
+func (p *Proxy) beRead(fh nfs3.FH, off uint64, count uint32, tr *obs.Active, deadline time.Time) (backend.ReadResult, error) {
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return backend.ReadResult{}, errUpstreamDown
+	}
+	return p.beReadRaw(fh, off, count, tr, deadline)
+}
+
+// beDemandRead is beRead for client-demand reads: those count toward
+// the forwarded counter exactly like relayed calls (the fast-fail path
+// does not).
+func (p *Proxy) beDemandRead(fh nfs3.FH, off uint64, count uint32, tr *obs.Active, deadline time.Time) (backend.ReadResult, error) {
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return backend.ReadResult{}, errUpstreamDown
+	}
+	p.stats.forwarded.Add(1)
+	return p.beReadRaw(fh, off, count, tr, deadline)
+}
+
+func (p *Proxy) beReadRaw(fh nfs3.FH, off uint64, count uint32, tr *obs.Active, deadline time.Time) (backend.ReadResult, error) {
+	upStart := time.Now()
+	r, err := p.cfg.Backend.Read(backend.FileID(fh), off, count, beOpts(tr, deadline))
+	tr.Span(obs.LayerUpstream, callOutcome(err), upStart)
+	p.observeUpstream(err)
+	return r, err
+}
+
+// beWrite issues a proxy-initiated durable backend write (write-back).
+func (p *Proxy) beWrite(fh nfs3.FH, off uint64, data []byte) (*backend.Attr, error) {
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return nil, errUpstreamDown
+	}
+	attr, err := p.cfg.Backend.Write(backend.FileID(fh), off, data, backend.CallOpts{})
+	p.observeUpstream(err)
+	return attr, err
+}
+
+// beDemandWrite is beWrite for client-demand write-through, counted as
+// forwarded and attributed to the call's trace and deadline.
+func (p *Proxy) beDemandWrite(fh nfs3.FH, off uint64, data []byte, tr *obs.Active, deadline time.Time) (*backend.Attr, error) {
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return nil, errUpstreamDown
+	}
+	p.stats.forwarded.Add(1)
+	upStart := time.Now()
+	attr, err := p.cfg.Backend.Write(backend.FileID(fh), off, data, beOpts(tr, deadline))
+	tr.Span(obs.LayerUpstream, callOutcome(err), upStart)
+	p.observeUpstream(err)
+	return attr, err
+}
+
+// errNoNamespace marks a backend without namespace support.
+var errNoNamespace = errors.New("proxy: backend has no namespace support")
+
+// beLookup resolves dir/name through the backend's namespace.
+func (p *Proxy) beLookup(dir nfs3.FH, name string) (nfs3.FH, backend.Attr, error) {
+	lk, ok := p.cfg.Backend.(backend.Lookuper)
+	if !ok {
+		return nil, backend.Attr{}, errNoNamespace
+	}
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return nil, backend.Attr{}, errUpstreamDown
+	}
+	fid, attr, err := lk.Lookup(backend.FileID(dir), name, backend.CallOpts{})
+	p.observeUpstream(err)
+	return nfs3.FH(fid), attr, err
+}
+
+// errStatus maps a classified backend error onto the NFS status to
+// report to the client. ok=false means the failure is transport-level
+// (unavailable, out of budget, or unclassified) and must surface as an
+// RPC-level SystemErr, never as an NFS status the client would treat
+// as authoritative.
+func errStatus(err error) (nfs3.Status, bool) {
+	var be *backend.Error
+	if !errors.As(err, &be) {
+		return 0, false
+	}
+	switch be.Class {
+	case backend.ClassUnavailable, backend.ClassTimeout:
+		return 0, false
+	}
+	if be.Status != 0 {
+		return nfs3.Status(be.Status), true
+	}
+	switch be.Class {
+	case backend.ClassRetriable:
+		return nfs3.ErrJukebox, true
+	case backend.ClassStale:
+		return nfs3.ErrStale, true
+	case backend.ClassNotFound:
+		return nfs3.ErrNoEnt, true
+	default:
+		return nfs3.ErrIO, true
+	}
+}
+
+// backendReadError encodes a failed backend read as the NFS reply.
+func backendReadError(err error) ([]byte, sunrpc.AcceptStat) {
+	if st, ok := errStatus(err); ok {
+		res := nfs3.ReadRes{Status: st}
+		return res.Encode(), sunrpc.Success
+	}
+	return nil, sunrpc.SystemErr
+}
+
+// backendWriteError encodes a failed backend write as the NFS reply.
+func backendWriteError(err error) ([]byte, sunrpc.AcceptStat) {
+	if st, ok := errStatus(err); ok {
+		res := nfs3.WriteRes{Status: st, Verf: nfs3.WriteVerf}
+		return res.Encode(), sunrpc.Success
+	}
+	return nil, sunrpc.SystemErr
+}
+
+// fattrOf converts a backend attribute to an NFS post-op attribute.
+func fattrOf(a *backend.Attr) *nfs3.Fattr {
+	if a == nil {
+		return nil
+	}
+	fa := &nfs3.Fattr{Type: nfs3.TypeReg, Mode: a.Mode, Nlink: 1, Size: a.Size, Used: a.Size}
+	if a.Dir {
+		fa.Type = nfs3.TypeDir
+	}
+	if fa.Mode == 0 {
+		if a.Dir {
+			fa.Mode = 0755
+		} else {
+			fa.Mode = 0644
+		}
+	}
+	return fa
+}
+
+// readResultReply encodes a successful backend read as the NFS READ
+// reply, into a pooled buffer released by the RPC server (ReplyPooled).
+func (p *Proxy) readResultReply(c *sunrpc.Call, r backend.ReadResult) ([]byte, sunrpc.AcceptStat) {
+	res := nfs3.ReadRes{
+		Status: nfs3.OK,
+		Count:  uint32(len(r.Data)),
+		EOF:    r.EOF,
+		Data:   r.Data,
+		Attr:   fattrOf(r.Attr),
+	}
+	out := res.AppendTo(bufpool.Get(nfs3.ReadResSize(len(r.Data)))[:0])
+	c.ReplyPooled = true
+	return out, sunrpc.Success
+}
+
+// backendWriteReply encodes a successful durable backend write. The
+// backend contract is FILE_SYNC stability, so that is what the client
+// is told regardless of what it asked for.
+func (p *Proxy) backendWriteReply(c *sunrpc.Call, args *nfs3.WriteArgs, attr *backend.Attr) []byte {
+	res := nfs3.WriteRes{
+		Status:    nfs3.OK,
+		Count:     uint32(len(args.Data)),
+		Committed: nfs3.FileSync,
+		Verf:      nfs3.WriteVerf,
+	}
+	if fa := fattrOf(attr); fa != nil {
+		res.Wcc.After = fa
+	}
+	out := res.AppendTo(bufpool.Get(nfs3.WriteResSize)[:0])
+	c.ReplyPooled = true
+	return out
+}
+
+// readThrough satisfies a READ that bypasses the block cache — none
+// configured, or an unaligned request.
+func (p *Proxy) readThrough(c *sunrpc.Call, args *nfs3.ReadArgs, tr *obs.Active, start time.Time) ([]byte, sunrpc.AcceptStat) {
+	if !p.useBackendIO() {
+		res, stat := p.forward(c, tr)
+		p.accountRead(c, args.FH, "forwarded", args.Count, start)
+		return res, stat
+	}
+	r, err := p.beDemandRead(args.FH, args.Offset, args.Count, tr, c.Deadline)
+	if err != nil {
+		p.accountRead(c, args.FH, "error", args.Count, start)
+		return backendReadError(err)
+	}
+	if r.Attr != nil {
+		p.rememberSize(args.FH, r.Attr.Size)
+	}
+	res, stat := p.readResultReply(c, r)
+	p.accountRead(c, args.FH, "forwarded", args.Count, start)
+	return res, stat
+}

@@ -159,9 +159,8 @@ func TestChaosLossAndFlapWholeFileRead(t *testing.T) {
 	case <-time.After(60 * time.Second):
 		t.Fatal("whole-file read hung under loss + flap")
 	}
-	st := node.Proxy.Stats()
-	if st.Reconnects == 0 {
-		t.Errorf("stats = %+v, want at least one reconnect after the flap", st)
+	if n := node.Proxy.Snapshot().Counter("gvfs_rpc_reconnects_total"); n == 0 {
+		t.Error("want at least one reconnect after the flap")
 	}
 	if wan.DroppedMessages() == 0 {
 		t.Error("loss injection dropped nothing — test exercised no faults")
@@ -228,14 +227,14 @@ func TestChaosPartitionDegradedModeAndReplay(t *testing.T) {
 	if d := time.Since(start); d > 5*time.Second {
 		t.Errorf("degraded error took %v, want fast failure", d)
 	}
-	st := node.Proxy.Stats()
-	if st.BreakerOpens == 0 {
+	st := node.Proxy.Snapshot()
+	if st.Counter("gvfs_proxy_breaker_opens_total") == 0 {
 		t.Error("circuit breaker never opened")
 	}
-	if st.BreakerFastFails == 0 {
+	if st.Counter("gvfs_proxy_breaker_fastfails_total") == 0 {
 		t.Error("no fast-fails recorded while partitioned")
 	}
-	if st.DegradedReads == 0 {
+	if st.Counter("gvfs_proxy_degraded_reads_total") == 0 {
 		t.Error("no degraded reads recorded")
 	}
 
@@ -259,9 +258,9 @@ func TestChaosPartitionDegradedModeAndReplay(t *testing.T) {
 	if node.Proxy.Degraded() {
 		t.Error("proxy still degraded after heal + probe")
 	}
-	st = node.Proxy.Stats()
-	if st.Probes == 0 || st.Replays == 0 {
-		t.Errorf("recovery stats = %+v, want probes and replays > 0", st)
+	st = node.Proxy.Snapshot()
+	if st.Counter("gvfs_proxy_probes_total") == 0 || st.Counter("gvfs_proxy_replays_total") == 0 {
+		t.Error("recovery stats: want probes and replays > 0")
 	}
 }
 

@@ -139,11 +139,11 @@ func TestFileChannelFailureFallsBackToBlocks(t *testing.T) {
 	if err != nil || !bytes.Equal(got, state) {
 		t.Fatalf("fallback read failed: %v", err)
 	}
-	st := node.Proxy.Stats()
-	if st.FileChanFetch != 0 {
+	st := node.Proxy.Snapshot()
+	if st.Counter("gvfs_proxy_filechan_fetches_total") != 0 {
 		t.Error("fetch count nonzero despite unreachable channel")
 	}
-	if st.ReadMisses == 0 {
+	if st.Counter("gvfs_proxy_read_misses_total") == 0 {
 		t.Error("no block-based reads despite fallback")
 	}
 }

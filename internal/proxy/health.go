@@ -13,7 +13,7 @@ import (
 	"sync"
 	"time"
 
-	"gvfs/internal/nfs3"
+	"gvfs/internal/backend"
 	"gvfs/internal/sunrpc"
 )
 
@@ -121,9 +121,26 @@ func isTransportErr(err error) bool {
 	return !isRPC
 }
 
-// observeUpstream feeds a forwarded call's outcome into the breaker.
+// observeUpstream feeds a forwarded or backend call's outcome into the
+// breaker. Backend errors carry their own classification: only
+// ClassUnavailable is a transport-level failure, a timeout is neutral
+// (budget exhaustion says nothing about upstream health), and any
+// classified per-file error proves the path is alive. Raw relay errors
+// fall back to the transport-vs-RPC distinction.
 func (p *Proxy) observeUpstream(err error) {
 	if p.health == nil {
+		return
+	}
+	var be *backend.Error
+	if errors.As(err, &be) {
+		switch be.Class {
+		case backend.ClassTimeout:
+			return
+		case backend.ClassUnavailable:
+			p.health.failure()
+		default:
+			p.health.success()
+		}
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -148,14 +165,11 @@ func (p *Proxy) degraded() bool {
 // considered unreachable; cached data served under session semantics).
 func (p *Proxy) Degraded() bool { return p.degraded() }
 
-// probeUpstream issues a minimal upstream call to test the path.
+// probeUpstream issues a minimal backend probe to test the path. An
+// upstream that answers with an RPC-level error still counts as
+// reachable (the backend contract mirrors isTransportErr).
 func (p *Proxy) probeUpstream() error {
-	_, err := p.cfg.Upstream.Call(nfs3.Program, nfs3.Version, nfs3.ProcNull,
-		defaultCred, nil)
-	if isTransportErr(err) {
-		return err
-	}
-	return nil
+	return p.cfg.Backend.Probe()
 }
 
 // replayAfterRecovery pushes every write acknowledged during (or

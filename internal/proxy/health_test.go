@@ -16,7 +16,6 @@ import (
 	"testing"
 	"time"
 
-	"gvfs/internal/nfs3"
 	"gvfs/internal/sunrpc"
 )
 
@@ -50,12 +49,25 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// nullCall mimics what every proxy-initiated upstream call does since
+// the backend split: fail fast while the breaker is open, otherwise
+// touch the transport and feed the outcome to the health tracker.
+func nullCall(p *Proxy) error {
+	if p.degraded() {
+		p.stats.breakerFastFails.Add(1)
+		return errUpstreamDown
+	}
+	err := p.cfg.Backend.Probe()
+	p.observeUpstream(err)
+	return err
+}
+
 // tripBreaker drives the proxy's own failure accounting until the
 // breaker opens.
 func tripBreaker(t *testing.T, p *Proxy, threshold int) {
 	t.Helper()
 	for i := 0; i < threshold; i++ {
-		if _, err := p.call(nfs3.ProcNull, nil); err == nil {
+		if err := nullCall(p); err == nil {
 			t.Fatal("call succeeded against a down gate")
 		}
 	}
@@ -93,7 +105,7 @@ func TestBreakerOpenCallersFailFastWithoutProbing(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				if _, err := p.call(nfs3.ProcNull, nil); !errors.Is(err, errUpstreamDown) {
+				if err := nullCall(p); !errors.Is(err, errUpstreamDown) {
 					wrongErr.Add(1)
 				}
 			}
@@ -107,9 +119,9 @@ func TestBreakerOpenCallersFailFastWithoutProbing(t *testing.T) {
 	if elapsed > 2*time.Second {
 		t.Errorf("fast-fail path took %v for %d calls", elapsed, workers*perWorker)
 	}
-	st := p.Stats()
-	if st.BreakerFastFails < workers*perWorker {
-		t.Errorf("fast-fail counter %d < %d hammer calls", st.BreakerFastFails, workers*perWorker)
+	fastFails := p.Snapshot().Counter("gvfs_proxy_breaker_fastfails_total")
+	if fastFails < workers*perWorker {
+		t.Errorf("fast-fail counter %d < %d hammer calls", fastFails, workers*perWorker)
 	}
 	// Only the probe loop may have touched the transport while open:
 	// at most one probe per interval (plus generous scheduling slack),
@@ -149,7 +161,7 @@ func TestBreakerConcurrentFailuresSpawnOneProbeLoop(t *testing.T) {
 	if !p.Degraded() {
 		t.Fatal("breaker did not open")
 	}
-	if opens := p.Stats().BreakerOpens; opens != 1 {
+	if opens := p.Snapshot().Counter("gvfs_proxy_breaker_opens_total"); opens != 1 {
 		t.Fatalf("breaker opened %d times from one outage", opens)
 	}
 
@@ -194,7 +206,7 @@ func TestBreakerRecoveryClosesOnceAndReplaysOnce(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := p.call(nfs3.ProcNull, nil); err != nil {
+				if err := nullCall(p); err != nil {
 					t.Errorf("post-recovery call failed: %v", err)
 					return
 				}
@@ -203,10 +215,11 @@ func TestBreakerRecoveryClosesOnceAndReplaysOnce(t *testing.T) {
 	}
 	wg.Wait()
 
-	waitUntil(t, "replay", func() bool { return p.Stats().Replays == 1 })
-	st := p.Stats()
-	if st.BreakerOpens != 1 {
-		t.Errorf("breaker opened %d times across one outage+recovery", st.BreakerOpens)
+	waitUntil(t, "replay", func() bool {
+		return p.Snapshot().Counter("gvfs_proxy_replays_total") == 1
+	})
+	if opens := p.Snapshot().Counter("gvfs_proxy_breaker_opens_total"); opens != 1 {
+		t.Errorf("breaker opened %d times across one outage+recovery", opens)
 	}
 	// The probe loop must have exited: probing flag clear, and no
 	// further probes land on the healthy upstream.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"gvfs/internal/backend"
 	"gvfs/internal/bufpool"
 	"gvfs/internal/cache"
 	"gvfs/internal/filechan"
@@ -82,9 +83,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	}
 
 	if p.cfg.BlockCache == nil {
-		res, stat := p.forward(c, tr)
-		p.accountRead(c, args.FH, "forwarded", args.Count, start)
-		return res, stat
+		return p.readThrough(c, &args, tr, start)
 	}
 	bs := uint64(p.cfg.BlockCache.BlockSize())
 	if args.Offset%bs != 0 || uint64(args.Count) > bs {
@@ -93,9 +92,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		if err := p.cfg.BlockCache.WriteBackFile(args.FH); err != nil {
 			return nil, sunrpc.SystemErr
 		}
-		res, stat := p.forward(c, tr)
-		p.accountRead(c, args.FH, "forwarded", args.Count, start)
-		return res, stat
+		return p.readThrough(c, &args, tr, start)
 	}
 	block := args.Offset / bs
 	lookup := time.Now()
@@ -110,6 +107,21 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		}
 	}
 	tr.Span(obs.LayerBlockCache, "miss", lookup)
+	// Content-hash hints: with dedup enabled and a hashing backend, a
+	// clone's block often already sits in the shared cache under
+	// another file's identity — serve it without any upstream
+	// transfer. Zero-content blocks need no frame at all (the paper's
+	// zero-block map generalized to the well-known zero hash). Local
+	// work, so it runs even under brownout.
+	if uint64(args.Count) == bs && p.cfg.BlockCache.DedupEnabled() {
+		if hr, ok := p.cfg.Backend.(backend.Hasher); ok {
+			if h, n, ok := hr.BlockHash(backend.FileID(args.FH), block, int(bs)); ok {
+				if res, stat, ok := p.serveByHash(c, &args, block, h, n, tr, lookup, start); ok {
+					return res, stat
+				}
+			}
+		}
+	}
 	// Brownout: hits above kept being served, but a miss means WAN work
 	// the overloaded proxy cannot afford — defer it with a retriable
 	// error so the queues drain.
@@ -118,15 +130,10 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		return res, stat
 	}
 	p.stats.readMisses.Add(1)
-	res, stat := p.forward(c, tr)
-	if stat != sunrpc.Success {
+	r, err := p.beDemandRead(args.FH, args.Offset, args.Count, tr, c.Deadline)
+	if err != nil {
 		p.accountRead(c, args.FH, "error", args.Count, start)
-		return res, stat
-	}
-	r, err := nfs3.DecodeReadRes(res)
-	if err != nil || r.Status != nfs3.OK {
-		p.accountRead(c, args.FH, "error", args.Count, start)
-		return res, stat
+		return backendReadError(err)
 	}
 	if r.Attr != nil {
 		p.rememberSize(args.FH, r.Attr.Size)
@@ -134,13 +141,41 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	// Only cache full-block requests so a frame always represents the
 	// block's prefix from its aligned start.
 	if uint64(args.Count) == bs && len(r.Data) > 0 {
-		if err := p.cfg.BlockCache.Put(args.FH, block, r.Data, false); err != nil {
+		if err := p.cfg.BlockCache.PutDedup(args.FH, block, r.Data, false); err != nil {
 			return nil, sunrpc.SystemErr
 		}
 	}
 	p.maybePrefetch(args.FH, block)
+	res, stat := p.readResultReply(c, r)
 	p.accountRead(c, args.FH, "block_miss", args.Count, start)
 	return res, stat
+}
+
+// serveByHash tries to satisfy a missed block read by content: a known
+// zero block is synthesized locally, and content already cached under
+// another file's identity is served through a dedup alias. Both avoid
+// the upstream transfer entirely.
+func (p *Proxy) serveByHash(c *sunrpc.Call, args *nfs3.ReadArgs, block uint64, h backend.Hash, n uint32, tr *obs.Active, lookup, start time.Time) ([]byte, sunrpc.AcceptStat, bool) {
+	if backend.IsZeroHash(h, int(n)) {
+		p.stats.zeroFiltered.Add(1)
+		res, stat := p.cachedReadReply(c, args, make([]byte, n))
+		tr.Span(obs.LayerZeroFilter, "hit", lookup)
+		p.accountRead(c, args.FH, "zero_filter", args.Count, start)
+		return res, stat, true
+	}
+	buf := bufpool.Get(p.cfg.BlockCache.BlockSize())
+	data, ok := p.cfg.BlockCache.GetByHash(args.FH, block, h, buf)
+	if !ok {
+		bufpool.Put(buf)
+		return nil, 0, false
+	}
+	tr.Span(obs.LayerBlockCache, "dedup_hit", lookup)
+	p.stats.readHits.Add(1)
+	p.maybePrefetch(args.FH, block)
+	res, stat := p.cachedReadReply(c, args, data)
+	bufpool.Put(buf)
+	p.accountRead(c, args.FH, "block_hit", args.Count, start)
+	return res, stat, true
 }
 
 // serveBlockHit serves a READ from the block cache when present, using
@@ -353,18 +388,12 @@ func (p *Proxy) mergeBlock(fh nfs3.FH, block, bs uint64, data []byte) ([]byte, e
 		return data, nil
 	}
 	// The block has bytes beyond the write that we don't hold:
-	// read-modify-write from upstream.
-	rargs := nfs3.ReadArgs{FH: fh, Offset: blockStart, Count: uint32(bs)}
-	res, err := p.call(nfs3.ProcRead, rargs.Encode())
+	// read-modify-write through the backend. Failures come back
+	// classified (backend.Error), so the caller's fallback treats
+	// every backend identically.
+	r, err := p.beRead(fh, blockStart, uint32(bs), nil, time.Time{})
 	if err != nil {
 		return nil, err
-	}
-	r, err := nfs3.DecodeReadRes(res)
-	if err != nil {
-		return nil, err
-	}
-	if r.Status != nfs3.OK {
-		return nil, &nfs3.Error{Status: r.Status, Op: "read-modify-write"}
 	}
 	if len(r.Data) <= len(data) {
 		return data, nil
@@ -397,8 +426,33 @@ func (p *Proxy) absorbedWriteReply(c *sunrpc.Call, args *nfs3.WriteArgs) []byte 
 	return out
 }
 
-// writeThrough forwards a write and keeps the block cache coherent.
+// writeThrough pushes a write upstream synchronously and keeps the
+// block cache coherent. Caching proxies (and upstream-less ones) go
+// through the backend; cache-less relays keep raw forwarding so the
+// client's own credentials ride the call.
 func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
+	if !p.useBackendIO() {
+		return p.relayWrite(c, args, tr)
+	}
+	p.stats.writesForwarded.Add(1)
+	p.acct.recordWrite(p.fileLabel(args.FH), p.clientLabel(c), len(args.Data))
+	attr, err := p.beDemandWrite(args.FH, args.Offset, args.Data, tr, c.Deadline)
+	if err != nil {
+		return backendWriteError(err)
+	}
+	if attr != nil {
+		p.rememberSize(args.FH, attr.Size)
+	} else {
+		p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
+	}
+	if err := p.coherentAfterWrite(args); err != nil {
+		return nil, sunrpc.SystemErr
+	}
+	return p.backendWriteReply(c, args, attr), sunrpc.Success
+}
+
+// relayWrite is the raw-forwarding write-through for cache-less relays.
+func (p *Proxy) relayWrite(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
 	res, stat := p.forward(c, tr)
 	p.stats.writesForwarded.Add(1)
 	p.acct.recordWrite(p.fileLabel(args.FH), p.clientLabel(c), len(args.Data))
@@ -412,26 +466,26 @@ func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Activ
 	if r.Wcc.After != nil {
 		p.rememberSize(args.FH, r.Wcc.After.Size)
 	}
-	if p.cfg.BlockCache != nil {
-		bs := uint64(p.cfg.BlockCache.BlockSize())
-		if p.cfg.BlockCache.Config().ReadOnly {
-			// Shared read-only caches hold golden (immutable) data;
-			// a write through this proxy only drops the stale frame.
-			if err := p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs); err != nil {
-				return nil, sunrpc.SystemErr
-			}
-		} else if args.Offset%bs == 0 && uint64(len(args.Data)) == bs {
-			if err := p.cfg.BlockCache.Put(args.FH, args.Offset/bs, args.Data, false); err != nil {
-				return nil, sunrpc.SystemErr
-			}
-		} else {
-			// Partial overlap: drop any stale frame.
-			if err := p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs); err != nil {
-				return nil, sunrpc.SystemErr
-			}
-		}
-	}
 	return res, stat
+}
+
+// coherentAfterWrite reconciles the block cache with a write that was
+// just made durable upstream.
+func (p *Proxy) coherentAfterWrite(args *nfs3.WriteArgs) error {
+	if p.cfg.BlockCache == nil {
+		return nil
+	}
+	bs := uint64(p.cfg.BlockCache.BlockSize())
+	if p.cfg.BlockCache.Config().ReadOnly {
+		// Shared read-only caches hold golden (immutable) data; a
+		// write through this proxy only drops the stale frame.
+		return p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs)
+	}
+	if args.Offset%bs == 0 && uint64(len(args.Data)) == bs {
+		return p.cfg.BlockCache.PutDedup(args.FH, args.Offset/bs, args.Data, false)
+	}
+	// Partial overlap: drop any stale frame.
+	return p.cfg.BlockCache.InvalidateBlock(args.FH, args.Offset/bs)
 }
 
 // --- meta-data machinery ---
@@ -457,20 +511,15 @@ func (p *Proxy) metaFor(fh nfs3.FH) *metaState {
 	if !ok || info.parent == "" || meta.IsMetaName(info.name) {
 		return ms
 	}
-	largs := nfs3.LookupArgs{Dir: nfs3.FH(info.parent), Name: meta.NameFor(info.name)}
-	res, err := p.call(nfs3.ProcLookup, largs.Encode())
+	obj, attr, err := p.beLookup(nfs3.FH(info.parent), meta.NameFor(info.name))
 	if err != nil {
 		return ms
 	}
-	r, err := nfs3.DecodeLookupRes(res)
-	if err != nil || r.Status != nfs3.OK {
-		return ms
+	size := attr.Size
+	if size == 0 {
+		size = 1 << 20
 	}
-	var size uint64 = 1 << 20
-	if r.ObjAttr != nil {
-		size = r.ObjAttr.Size
-	}
-	blob, err := p.readAllUpstream(r.Object, size)
+	blob, err := p.readAllUpstream(obj, size)
 	if err != nil {
 		return ms
 	}
@@ -482,23 +531,16 @@ func (p *Proxy) metaFor(fh nfs3.FH) *metaState {
 	return ms
 }
 
-// readAllUpstream fetches an entire (small) file block by block.
+// readAllUpstream fetches an entire (small) file block by block
+// through the backend.
 func (p *Proxy) readAllUpstream(fh nfs3.FH, sizeHint uint64) ([]byte, error) {
 	const chunk = 8192
 	out := make([]byte, 0, sizeHint)
 	var off uint64
 	for {
-		args := nfs3.ReadArgs{FH: fh, Offset: off, Count: chunk}
-		res, err := p.call(nfs3.ProcRead, args.Encode())
+		r, err := p.beRead(fh, off, chunk, nil, time.Time{})
 		if err != nil {
 			return nil, err
-		}
-		r, err := nfs3.DecodeReadRes(res)
-		if err != nil {
-			return nil, err
-		}
-		if r.Status != nfs3.OK {
-			return nil, &nfs3.Error{Status: r.Status, Op: "meta read"}
 		}
 		out = append(out, r.Data...)
 		off += uint64(len(r.Data))

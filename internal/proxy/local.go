@@ -1,0 +1,221 @@
+package proxy
+
+// Local namespace: when the proxy runs without an RPC upstream
+// (Config.Upstream == nil — e.g. the objstore backend), control-plane
+// calls that would otherwise be relayed are synthesized from the
+// backend's namespace interface. The READ/WRITE data path never comes
+// through here; io.go routes it to the backend directly. Procedures
+// the backend cannot express return ProcUnavail, exactly as an
+// upstream that does not serve the program would.
+
+import (
+	"bytes"
+
+	"gvfs/internal/backend"
+	"gvfs/internal/mountd"
+	"gvfs/internal/nfs3"
+	"gvfs/internal/sunrpc"
+	"gvfs/internal/xdr"
+)
+
+func (p *Proxy) localNamespace(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	if c.Prog == nfs3.MountProgram {
+		return p.localMount(c)
+	}
+	switch c.Proc {
+	case nfs3.ProcNull:
+		return nil, sunrpc.Success
+	case nfs3.ProcGetattr:
+		return p.localGetattr(c)
+	case nfs3.ProcAccess:
+		return p.localAccess(c)
+	case nfs3.ProcFSInfo:
+		return p.localFsinfo(c)
+	case nfs3.ProcCommit:
+		return p.localCommit(c)
+	}
+	ns, ok := p.cfg.Backend.(backend.Namespacer)
+	if !ok {
+		return nil, sunrpc.ProcUnavail
+	}
+	switch c.Proc {
+	case nfs3.ProcLookup:
+		return p.localLookup(ns, c)
+	case nfs3.ProcCreate:
+		return p.localCreate(ns, c)
+	}
+	return nil, sunrpc.ProcUnavail
+}
+
+func (p *Proxy) localMount(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	switch c.Proc {
+	case mountd.ProcNull, mountd.ProcUmnt:
+		return nil, sunrpc.Success
+	case mountd.ProcMnt:
+	default:
+		return nil, sunrpc.ProcUnavail
+	}
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	dirpath := d.String()
+	if d.Err() != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	ns, ok := p.cfg.Backend.(backend.Namespacer)
+	if !ok {
+		e.Uint32(mountd.ErrAcces)
+		return buf.Bytes(), sunrpc.Success
+	}
+	fid, _, err := ns.Root(dirpath)
+	if err != nil {
+		e.Uint32(mountd.ErrNoEnt)
+		return buf.Bytes(), sunrpc.Success
+	}
+	e.Uint32(mountd.OK)
+	e.Opaque(fid)
+	e.Uint32(1) // one auth flavor follows
+	e.Uint32(sunrpc.AuthUnix)
+	return buf.Bytes(), sunrpc.Success
+}
+
+func (p *Proxy) localLookup(ns backend.Namespacer, c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeLookupArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	fid, attr, lerr := ns.Lookup(backend.FileID(args.Dir), args.Name, backend.CallOpts{Deadline: c.Deadline})
+	if lerr != nil {
+		st, ok := errStatus(lerr)
+		if !ok {
+			return nil, sunrpc.SystemErr
+		}
+		res := nfs3.LookupRes{Status: st}
+		return res.Encode(), sunrpc.Success
+	}
+	res := nfs3.LookupRes{Status: nfs3.OK, Object: nfs3.FH(fid), ObjAttr: fattrOf(&attr)}
+	return res.Encode(), sunrpc.Success
+}
+
+func (p *Proxy) localGetattr(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeGetattrArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	attr, gerr := p.cfg.Backend.GetAttr(backend.FileID(args.FH), backend.CallOpts{Deadline: c.Deadline})
+	if gerr != nil {
+		st, ok := errStatus(gerr)
+		if !ok {
+			return nil, sunrpc.SystemErr
+		}
+		res := nfs3.GetattrRes{Status: st}
+		return res.Encode(), sunrpc.Success
+	}
+	res := nfs3.GetattrRes{Status: nfs3.OK, Attr: *fattrOf(&attr)}
+	return res.Encode(), sunrpc.Success
+}
+
+func (p *Proxy) localAccess(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	fh := nfs3.DecodeFH(d)
+	want := d.Uint32()
+	if d.Err() != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	attr, gerr := p.cfg.Backend.GetAttr(backend.FileID(fh), backend.CallOpts{Deadline: c.Deadline})
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	if gerr != nil {
+		st, ok := errStatus(gerr)
+		if !ok {
+			return nil, sunrpc.SystemErr
+		}
+		e.Uint32(uint32(st))
+		nfs3.EncodePostOpAttr(e, nil)
+		return buf.Bytes(), sunrpc.Success
+	}
+	e.Uint32(uint32(nfs3.OK))
+	nfs3.EncodePostOpAttr(e, fattrOf(&attr))
+	// Access control is the proxy layer's job (identity mapping);
+	// grant whatever was requested, like the end server does.
+	e.Uint32(want)
+	return buf.Bytes(), sunrpc.Success
+}
+
+func (p *Proxy) localFsinfo(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	args, err := nfs3.DecodeGetattrArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	var post *nfs3.Fattr
+	if attr, gerr := p.cfg.Backend.GetAttr(backend.FileID(args.FH), backend.CallOpts{Deadline: c.Deadline}); gerr == nil {
+		post = fattrOf(&attr)
+	}
+	info := nfs3.DefaultFSInfo()
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(nfs3.OK))
+	nfs3.EncodePostOpAttr(e, post)
+	e.Uint32(info.RtMax)
+	e.Uint32(info.RtPref)
+	e.Uint32(info.RtMult)
+	e.Uint32(info.WtMax)
+	e.Uint32(info.WtPref)
+	e.Uint32(info.WtMult)
+	e.Uint32(info.DtPref)
+	e.Uint64(info.MaxFileSize)
+	e.Uint32(info.TimeDelta.Sec)
+	e.Uint32(info.TimeDelta.Nsec)
+	e.Uint32(info.Properties)
+	return buf.Bytes(), sunrpc.Success
+}
+
+func (p *Proxy) localCreate(ns backend.Namespacer, c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	d := xdr.NewDecoder(bytes.NewReader(c.Args))
+	dir := nfs3.DecodeFH(d)
+	name := d.String()
+	if d.Err() != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	fid, attr, cerr := ns.Create(backend.FileID(dir), name, backend.CallOpts{Deadline: c.Deadline})
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	if cerr != nil {
+		st, ok := errStatus(cerr)
+		if !ok {
+			return nil, sunrpc.SystemErr
+		}
+		e.Uint32(uint32(st))
+		wcc := nfs3.WccData{}
+		wcc.Encode(e)
+		return buf.Bytes(), sunrpc.Success
+	}
+	e.Uint32(uint32(nfs3.OK))
+	nfs3.EncodePostOpFH(e, nfs3.FH(fid))
+	nfs3.EncodePostOpAttr(e, fattrOf(&attr))
+	wcc := nfs3.WccData{}
+	wcc.Encode(e)
+	return buf.Bytes(), sunrpc.Success
+}
+
+func (p *Proxy) localCommit(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
+	a, err := nfs3.DecodeCommitArgs(c.Args)
+	if err != nil {
+		return nil, sunrpc.GarbageArgs
+	}
+	status := nfs3.OK
+	if cerr := p.cfg.Backend.Commit(backend.FileID(a.FH), backend.CallOpts{Deadline: c.Deadline}); cerr != nil {
+		st, ok := errStatus(cerr)
+		if !ok {
+			return nil, sunrpc.SystemErr
+		}
+		status = st
+	}
+	var buf bytes.Buffer
+	e := xdr.NewEncoder(&buf)
+	e.Uint32(uint32(status))
+	wcc := nfs3.WccData{}
+	wcc.Encode(e)
+	e.FixedOpaque(nfs3.WriteVerf[:])
+	return buf.Bytes(), sunrpc.Success
+}

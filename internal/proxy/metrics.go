@@ -3,6 +3,7 @@ package proxy
 import (
 	"time"
 
+	"gvfs/internal/backend"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
 	"gvfs/internal/sunrpc"
@@ -158,13 +159,23 @@ func (p *Proxy) registerBridges(reg *obs.Registry) {
 				func() float64 { return float64(bc.JournalStats().SizeBytes) })
 		}
 	}
-	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
+	if bc := p.cfg.BlockCache; bc != nil && bc.DedupEnabled() {
+		reg.GaugeFunc("gvfs_dedup_entries", "Distinct contents tracked by the dedup table.",
+			func() float64 { return float64(bc.DedupStats().Entries) })
+		reg.GaugeFunc("gvfs_dedup_refs", "File-block identities bound to deduplicated contents.",
+			func() float64 { return float64(bc.DedupStats().Refs) })
+		reg.CounterFunc("gvfs_dedup_hits_total", "Reads served through a dedup alias or content-hash hint.",
+			func() uint64 { return bc.DedupStats().Hits })
+		reg.CounterFunc("gvfs_dedup_alias_drops_total", "Stale dedup mappings discarded lazily.",
+			func() uint64 { return bc.DedupStats().AliasDrops })
+	}
+	if ts, ok := p.cfg.Backend.(backend.TransportStatser); ok {
 		reg.CounterFunc("gvfs_rpc_retries_total", "Upstream RPC retransmissions.",
-			func() uint64 { return up.TransportStats().Retries })
+			func() uint64 { return ts.TransportStats().Retries })
 		reg.CounterFunc("gvfs_rpc_reconnects_total", "Upstream transport reconnects.",
-			func() uint64 { return up.TransportStats().Reconnects })
+			func() uint64 { return ts.TransportStats().Reconnects })
 		reg.CounterFunc("gvfs_rpc_timeouts_total", "Upstream per-call deadline expirations.",
-			func() uint64 { return up.TransportStats().Timeouts })
+			func() uint64 { return ts.TransportStats().Timeouts })
 	}
 }
 

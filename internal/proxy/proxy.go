@@ -33,7 +33,8 @@ import (
 	"time"
 
 	"gvfs/internal/auth"
-	"gvfs/internal/bufpool"
+	"gvfs/internal/backend"
+	"gvfs/internal/backend/nfs3be"
 	"gvfs/internal/cache"
 	"gvfs/internal/filecache"
 	"gvfs/internal/meta"
@@ -45,10 +46,21 @@ import (
 	"gvfs/internal/xdr"
 )
 
-// Config assembles a proxy. Only Upstream is mandatory; everything
-// else enables an optional paper mechanism.
+// Config assembles a proxy. At least one of Backend and Upstream must
+// be set; everything else enables an optional paper mechanism.
 type Config struct {
-	// Upstream is the RPC transport to the next hop.
+	// Backend is the upstream provider the proxy's data path (READ,
+	// WRITE, write-back, read-ahead, meta-data) speaks to. Leaving it
+	// nil with Upstream set wraps Upstream in the NFSv3 backend
+	// (internal/backend/nfs3be) automatically, preserving the classic
+	// proxy-over-RPC arrangement.
+	Backend backend.Backend
+
+	// Upstream is the RPC transport to the next hop. It remains the
+	// control-plane relay — LOOKUP, MOUNT and directory operations are
+	// forwarded verbatim so each client's own credentials cross the
+	// hop. Nil routes control calls to the backend's namespace instead
+	// (see backend.Namespacer; the objstore arrangement).
 	Upstream nfs3.Caller
 
 	// Mapper, when set, rewrites AUTH_UNIX credentials to short-lived
@@ -150,35 +162,6 @@ type Config struct {
 	CallBudget time.Duration
 }
 
-// Stats counts proxy activity.
-//
-// Deprecated: Stats is a point-in-time projection of the unified obs
-// registry, kept so existing callers compile. New code should read
-// Proxy.Snapshot() (or scrape the /metrics endpoint), which also
-// carries per-procedure latency histograms and cache-layer breakdowns.
-type Stats struct {
-	Calls           uint64
-	Forwarded       uint64
-	ReadHits        uint64 // block reads served from the disk cache
-	ReadMisses      uint64
-	ZeroFiltered    uint64 // reads satisfied from the zero-block map
-	FileChanReads   uint64 // reads served from the file cache
-	FileChanFetch   uint64 // whole-file channel transfers performed
-	WritesAbsorbed  uint64 // writes held by write-back caching
-	WritesForwarded uint64
-	Prefetched      uint64 // blocks pulled in by sequential read-ahead
-
-	// Fault-tolerance counters.
-	Retries          uint64 // upstream RPC retransmissions (transport)
-	Reconnects       uint64 // upstream transport reconnects
-	Timeouts         uint64 // upstream per-call deadline expirations
-	BreakerOpens     uint64 // times the upstream breaker tripped open
-	BreakerFastFails uint64 // calls failed fast while the breaker was open
-	Probes           uint64 // recovery probes sent while open
-	Replays          uint64 // post-recovery write-back replays triggered
-	DegradedReads    uint64 // reads served from cache while degraded
-}
-
 type pathInfo struct {
 	parent string // parent fh key ("" for root)
 	name   string
@@ -223,10 +206,13 @@ type Proxy struct {
 }
 
 // New returns a Proxy for cfg. If a write-back block cache is
-// supplied, its write-back function is wired to upstream WRITE calls.
+// supplied, its write-back function is wired to backend WRITE calls.
 func New(cfg Config) (*Proxy, error) {
-	if cfg.Upstream == nil {
-		return nil, fmt.Errorf("proxy: Config.Upstream is required")
+	if cfg.Backend == nil && cfg.Upstream == nil {
+		return nil, fmt.Errorf("proxy: Config.Backend or Config.Upstream is required")
+	}
+	if cfg.Backend == nil {
+		cfg.Backend = nfs3be.New(cfg.Upstream)
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -244,6 +230,18 @@ func New(cfg Config) (*Proxy, error) {
 		qos:   cfg.QoS,
 		done:  make(chan struct{}),
 	}
+	// Proxy-initiated backend calls (write-back, RMW, meta-data,
+	// read-ahead) carry the session credential through the same mapper
+	// the relay path uses, so identity mapping stays uniform.
+	if cc, ok := cfg.Backend.(backend.CredentialCarrier); ok {
+		cc.SetCredSource(func() (uint32, []byte, error) {
+			cred, err := p.upstreamCred(p.proxyCred())
+			if err != nil {
+				return 0, nil, err
+			}
+			return cred.Flavor, cred.Body, nil
+		})
+	}
 	p.registerBridges(reg)
 	if cfg.ReadAhead > 0 && cfg.BlockCache != nil {
 		p.ra = newReadAhead()
@@ -257,37 +255,6 @@ func New(cfg Config) (*Proxy, error) {
 		})
 	}
 	return p, nil
-}
-
-// Stats returns a snapshot of the proxy counters, merging in transport
-// counters when the upstream caller exposes them.
-//
-// Deprecated: kept as a thin wrapper over the registry; see the Stats
-// type for the replacement.
-func (p *Proxy) Stats() Stats {
-	c := p.stats
-	s := Stats{
-		Calls:            c.calls.Value(),
-		Forwarded:        c.forwarded.Value(),
-		ReadHits:         c.readHits.Value(),
-		ReadMisses:       c.readMisses.Value(),
-		ZeroFiltered:     c.zeroFiltered.Value(),
-		FileChanReads:    c.fileChanReads.Value(),
-		FileChanFetch:    c.fileChanFetch.Value(),
-		WritesAbsorbed:   c.writesAbsorbed.Value(),
-		WritesForwarded:  c.writesForwarded.Value(),
-		Prefetched:       c.prefetched.Value(),
-		BreakerOpens:     c.breakerOpens.Value(),
-		BreakerFastFails: c.breakerFastFails.Value(),
-		Probes:           c.probes.Value(),
-		Replays:          c.replays.Value(),
-		DegradedReads:    c.degradedReads.Value(),
-	}
-	if up, ok := p.cfg.Upstream.(interface{ TransportStats() sunrpc.TransportStats }); ok {
-		t := up.TransportStats()
-		s.Retries, s.Reconnects, s.Timeouts = t.Retries, t.Reconnects, t.Timeouts
-	}
-	return s
 }
 
 // upstreamCred maps the caller's credential for the next hop.
@@ -449,7 +416,12 @@ var errUpstreamDown = fmt.Errorf("proxy: upstream unavailable (circuit breaker o
 // forward relays a call upstream unchanged except for credentials.
 // While the circuit breaker is open the call fails fast: degraded mode
 // guarantees bounded error latency instead of hanging on a dead WAN.
+// Without an RPC upstream the call is synthesized from the backend's
+// namespace instead (local.go).
 func (p *Proxy) forward(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
+	if p.cfg.Upstream == nil {
+		return p.localNamespace(c)
+	}
 	cred, err := p.upstreamCred(c.Cred)
 	if err != nil {
 		return nil, sunrpc.SystemErr
@@ -472,37 +444,13 @@ func (p *Proxy) forward(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptSt
 	return res, sunrpc.Success
 }
 
-// call issues a proxy-initiated upstream NFS call.
-func (p *Proxy) call(proc uint32, args []byte) ([]byte, error) {
-	cred, err := p.upstreamCred(p.proxyCred())
-	if err != nil {
-		return nil, err
-	}
-	if p.degraded() {
-		p.stats.breakerFastFails.Add(1)
-		return nil, errUpstreamDown
-	}
-	res, err := p.upstreamCall(nfs3.Program, nfs3.Version, proc, cred, args, nil, time.Time{})
-	p.observeUpstream(err)
-	return res, err
-}
-
-// upstreamWrite propagates one block to the next hop with FileSync
-// stability; used for write-back of dirty cache frames.
+// upstreamWrite propagates one block to the next hop with durable
+// (FileSync) stability; used for write-back of dirty cache frames. A
+// failure surfaces as a classified backend error, so journal rescue
+// and keeps-dirty handling behave identically across backends.
 func (p *Proxy) upstreamWrite(fh nfs3.FH, off uint64, data []byte) error {
-	args := nfs3.WriteArgs{FH: fh, Offset: off, Count: uint32(len(data)), Stable: nfs3.FileSync, Data: data}
-	buf := args.AppendTo(bufpool.Get(nfs3.WriteArgsSize(len(data)))[:0])
-	res, err := p.call(nfs3.ProcWrite, buf)
-	bufpool.Put(buf)
-	if err != nil {
+	if _, err := p.beWrite(fh, off, data); err != nil {
 		return err
-	}
-	var r nfs3.WriteRes
-	if err := r.DecodeInto(res); err != nil {
-		return err
-	}
-	if r.Status != nfs3.OK {
-		return &nfs3.Error{Status: r.Status, Op: "write-back"}
 	}
 	if p.cfg.BlockCache != nil {
 		// A coalesced write-back covers several blocks; close each

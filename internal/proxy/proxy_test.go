@@ -96,8 +96,8 @@ func TestProxyCacheHitsOnRereadAfterPageCacheDrop(t *testing.T) {
 	if _, err := e.session.ReadFile("/vm.vmdk"); err != nil {
 		t.Fatal(err)
 	}
-	before := e.proxyN.Proxy.Stats()
-	if before.ReadMisses == 0 {
+	beforeMisses := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total")
+	if beforeMisses == 0 {
 		t.Fatal("first read should miss in the proxy cache")
 	}
 
@@ -107,12 +107,12 @@ func TestProxyCacheHitsOnRereadAfterPageCacheDrop(t *testing.T) {
 	if _, err := e.session.ReadFile("/vm.vmdk"); err != nil {
 		t.Fatal(err)
 	}
-	after := e.proxyN.Proxy.Stats()
-	if after.ReadHits == 0 {
+	after := e.proxyN.Proxy.Snapshot()
+	if after.Counter("gvfs_proxy_read_hits_total") == 0 {
 		t.Error("re-read produced no proxy cache hits")
 	}
-	if after.ReadMisses != before.ReadMisses {
-		t.Errorf("re-read missed in proxy cache: %d -> %d", before.ReadMisses, after.ReadMisses)
+	if m := after.Counter("gvfs_proxy_read_misses_total"); m != beforeMisses {
+		t.Errorf("re-read missed in proxy cache: %d -> %d", beforeMisses, m)
 	}
 }
 
@@ -122,8 +122,7 @@ func TestWriteBackAbsorbsWrites(t *testing.T) {
 	if err := e.session.WriteFile("/out.dat", payload); err != nil {
 		t.Fatal(err)
 	}
-	st := e.proxyN.Proxy.Stats()
-	if st.WritesAbsorbed == 0 {
+	if n := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_writes_absorbed_total"); n == 0 {
 		t.Fatal("no writes absorbed under write-back")
 	}
 	// Server must NOT have the data yet.
@@ -172,12 +171,12 @@ func TestFlushPropagatesAndInvalidates(t *testing.T) {
 	}
 	// After flush the proxy cache is cold again.
 	e.session.DropCaches()
-	before := e.proxyN.Proxy.Stats()
+	before := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total")
 	if _, err := e.session.ReadFile("/f.dat"); err != nil {
 		t.Fatal(err)
 	}
-	after := e.proxyN.Proxy.Stats()
-	if after.ReadMisses == before.ReadMisses {
+	after := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total")
+	if after == before {
 		t.Error("proxy cache unexpectedly warm after flush")
 	}
 }
@@ -219,9 +218,8 @@ func TestZeroBlockFiltering(t *testing.T) {
 	if !bytes.Equal(got, state) {
 		t.Fatal("zero-filtered read corrupted data")
 	}
-	st := e.proxyN.Proxy.Stats()
-	if st.ZeroFiltered != 63 {
-		t.Errorf("zero-filtered reads = %d, want 63", st.ZeroFiltered)
+	if n := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_zero_filtered_total"); n != 63 {
+		t.Errorf("zero-filtered reads = %d, want 63", n)
 	}
 }
 
@@ -244,11 +242,11 @@ func TestFileChannelFetch(t *testing.T) {
 	if !bytes.Equal(got, state) {
 		t.Fatal("file-channel read corrupted data")
 	}
-	st := e.proxyN.Proxy.Stats()
-	if st.FileChanFetch != 1 {
-		t.Errorf("file channel fetches = %d, want 1", st.FileChanFetch)
+	st := e.proxyN.Proxy.Snapshot()
+	if n := st.Counter("gvfs_proxy_filechan_fetches_total"); n != 1 {
+		t.Errorf("file channel fetches = %d, want 1", n)
 	}
-	if st.FileChanReads == 0 {
+	if st.Counter("gvfs_proxy_filechan_reads_total") == 0 {
 		t.Error("no reads served from the file cache")
 	}
 	// Re-read after dropping the client cache: still served locally,
@@ -257,8 +255,8 @@ func TestFileChannelFetch(t *testing.T) {
 	if _, err := e.session.ReadFile("/vm/mem.vmss"); err != nil {
 		t.Fatal(err)
 	}
-	if st2 := e.proxyN.Proxy.Stats(); st2.FileChanFetch != 1 {
-		t.Errorf("re-read refetched the file: %d fetches", st2.FileChanFetch)
+	if n := e.proxyN.Proxy.Snapshot().Counter("gvfs_proxy_filechan_fetches_total"); n != 1 {
+		t.Errorf("re-read refetched the file: %d fetches", n)
 	}
 }
 
@@ -274,9 +272,9 @@ func TestDisableMetaIgnoresMetadata(t *testing.T) {
 	if _, err := e.session.ReadFile("/vm/mem.vmss"); err != nil {
 		t.Fatal(err)
 	}
-	st := e.proxyN.Proxy.Stats()
-	if st.FileChanFetch != 0 || st.ZeroFiltered != 0 {
-		t.Errorf("metadata acted on despite DisableMeta: %+v", st)
+	st := e.proxyN.Proxy.Snapshot()
+	if f, z := st.Counter("gvfs_proxy_filechan_fetches_total"), st.Counter("gvfs_proxy_zero_filtered_total"); f != 0 || z != 0 {
+		t.Errorf("metadata acted on despite DisableMeta: fetches=%d zero-filtered=%d", f, z)
 	}
 }
 
@@ -435,10 +433,10 @@ func TestCascadedProxies(t *testing.T) {
 		t.Fatalf("cascaded read failed: err=%v", err)
 	}
 	// Both levels saw the traffic.
-	if lanProxy.Proxy.Stats().ReadMisses == 0 {
+	if lanProxy.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total") == 0 {
 		t.Error("LAN proxy saw no read misses")
 	}
-	if cliProxy.Proxy.Stats().ReadMisses == 0 {
+	if cliProxy.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total") == 0 {
 		t.Error("client proxy saw no read misses")
 	}
 }
@@ -480,9 +478,9 @@ func TestNoCacheProxyPureForwarding(t *testing.T) {
 	if err != nil || !bytes.Equal(data, payload) {
 		t.Error("forwarding proxy write did not reach server")
 	}
-	st := e.proxyN.Proxy.Stats()
-	if st.ReadHits != 0 || st.WritesAbsorbed != 0 {
-		t.Errorf("cache activity on cacheless proxy: %+v", st)
+	st := e.proxyN.Proxy.Snapshot()
+	if h, w := st.Counter("gvfs_proxy_read_hits_total"), st.Counter("gvfs_proxy_writes_absorbed_total"); h != 0 || w != 0 {
+		t.Errorf("cache activity on cacheless proxy: hits=%d absorbed=%d", h, w)
 	}
 }
 
@@ -522,8 +520,7 @@ func TestReadAheadPrefetchesSequential(t *testing.T) {
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("sequential read through read-ahead proxy: %v", err)
 	}
-	st := node.Proxy.Stats()
-	if st.Prefetched == 0 {
+	if n := node.Proxy.Snapshot().Counter("gvfs_proxy_prefetched_total"); n == 0 {
 		t.Error("no blocks prefetched on a fully sequential scan")
 	}
 	// Prefetching must never corrupt: re-read after dropping client
@@ -648,12 +645,12 @@ func TestProxyWarmRestartWithPersistedIndex(t *testing.T) {
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("read after restart: %v", err)
 	}
-	st := node2.Proxy.Stats()
-	if st.ReadHits == 0 {
+	st := node2.Proxy.Snapshot()
+	if st.Counter("gvfs_proxy_read_hits_total") == 0 {
 		t.Error("no cache hits after warm restart")
 	}
-	if st.ReadMisses != 0 {
-		t.Errorf("%d misses after warm restart, want 0", st.ReadMisses)
+	if m := st.Counter("gvfs_proxy_read_misses_total"); m != 0 {
+		t.Errorf("%d misses after warm restart, want 0", m)
 	}
 }
 
@@ -819,7 +816,7 @@ func TestSharedReadOnlyCache(t *testing.T) {
 	if _, err := sessA.ReadFile("/golden.vmdk"); err != nil {
 		t.Fatal(err)
 	}
-	if st := nodeA.Proxy.Stats(); st.ReadMisses == 0 {
+	if nodeA.Proxy.Snapshot().Counter("gvfs_proxy_read_misses_total") == 0 {
 		t.Fatal("first proxy should miss")
 	}
 
@@ -828,12 +825,12 @@ func TestSharedReadOnlyCache(t *testing.T) {
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("second proxy read: %v", err)
 	}
-	st := nodeB.Proxy.Stats()
-	if st.ReadHits == 0 {
+	st := nodeB.Proxy.Snapshot()
+	if st.Counter("gvfs_proxy_read_hits_total") == 0 {
 		t.Error("second proxy got no hits from the shared cache")
 	}
-	if st.ReadMisses != 0 {
-		t.Errorf("second proxy missed %d blocks despite shared cache", st.ReadMisses)
+	if m := st.Counter("gvfs_proxy_read_misses_total"); m != 0 {
+		t.Errorf("second proxy missed %d blocks despite shared cache", m)
 	}
 
 	// Writes through a read-only shared cache pass through and drop

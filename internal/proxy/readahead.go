@@ -2,11 +2,11 @@ package proxy
 
 import (
 	"sync"
+	"time"
 
-	"gvfs/internal/bufpool"
+	"gvfs/internal/backend"
 	"gvfs/internal/cache"
 	"gvfs/internal/nfs3"
-	"gvfs/internal/sunrpc"
 )
 
 // Read-ahead implements one of the paper's stated future-work
@@ -203,10 +203,10 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 		return
 	}
 	pipelined := false
-	var starter sunrpc.Starter
+	var br backend.BatchReader
 	if p.cfg.ReadAheadPipeline {
-		if st, ok := p.cfg.Upstream.(sunrpc.Starter); ok {
-			pipelined, starter = true, st
+		if b, ok := p.cfg.Backend.(backend.BatchReader); ok && p.cfg.Backend.Caps().Batched {
+			pipelined, br = true, b
 		}
 	}
 	minBatch := 1
@@ -251,7 +251,7 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 			p.ra.rewind(fh, eligible[0])
 			return
 		}
-		go p.prefetchPipelined(starter, fh, append([]uint64(nil), eligible...), bs)
+		go p.prefetchPipelined(br, fh, append([]uint64(nil), eligible...), bs)
 		return
 	}
 
@@ -278,78 +278,59 @@ func (p *Proxy) maybePrefetch(fh nfs3.FH, block uint64) {
 	}
 }
 
-// prefetchPipelined pulls a window of blocks with the READs pipelined
-// on the upstream connection: every request is transmitted back to
-// back via Start, then the replies are collected in order. Over a WAN
-// the window costs one round trip plus serialization instead of one
-// round trip per block. Every block in blocks has a registered
-// in-flight entry; this function owns finishing all of them.
-func (p *Proxy) prefetchPipelined(st sunrpc.Starter, fh nfs3.FH, blocks []uint64, bs uint64) {
+// prefetchPipelined pulls a window of blocks through the backend's
+// batch reader: every request is transmitted back to back, then the
+// replies are collected in order (backend/nfs3be pipelines them on the
+// upstream connection). Over a WAN the window costs one round trip
+// plus serialization instead of one round trip per block. Every block
+// in blocks has a registered in-flight entry; this function owns
+// finishing all of them.
+func (p *Proxy) prefetchPipelined(br backend.BatchReader, fh nfs3.FH, blocks []uint64, bs uint64) {
 	defer func() { <-p.ra.sem }()
-	finishFrom := func(i int) {
-		for _, b := range blocks[i:] {
+	if p.degraded() {
+		for _, b := range blocks {
 			p.ra.finish(cache.BlockID{FH: fh.Key(), Block: b})
 		}
-	}
-	cred, err := p.upstreamCred(p.proxyCred())
-	if err != nil || p.degraded() {
-		finishFrom(0)
 		return
 	}
-	type flight struct {
-		block uint64
-		pd    *sunrpc.Pending
+	offs := make([]uint64, len(blocks))
+	for i, b := range blocks {
+		offs[i] = b * bs
 	}
-	flights := make([]flight, 0, len(blocks))
-	started := 0
-	for _, b := range blocks {
-		args := nfs3.ReadArgs{FH: fh, Offset: b * bs, Count: uint32(bs)}
-		buf := args.AppendTo(bufpool.Get(nfs3.FHSize + 16)[:0])
-		pd, err := st.Start(nfs3.Program, nfs3.Version, nfs3.ProcRead, cred, buf)
-		bufpool.Put(buf)
-		if err != nil {
-			// Transport down: nothing later will fare better.
+	finished := make([]bool, len(blocks))
+	br.ReadBatch(backend.FileID(fh), offs, uint32(bs), backend.CallOpts{},
+		func(i int, r backend.ReadResult, err error) {
 			p.observeUpstream(err)
-			break
+			if err == nil {
+				p.storePrefetched(fh, blocks[i], r)
+			}
+			p.ra.finish(cache.BlockID{FH: fh.Key(), Block: blocks[i]})
+			finished[i] = true
+		})
+	// A batch cut short (transport down mid-window) still owes every
+	// remaining waiter its wake-up.
+	for i, done := range finished {
+		if !done {
+			p.ra.finish(cache.BlockID{FH: fh.Key(), Block: blocks[i]})
 		}
-		flights = append(flights, flight{block: b, pd: pd})
-		started++
 	}
-	// Every started call must be waited (Wait releases the XID slot);
-	// the replies arrive while later requests are still being served.
-	for _, f := range flights {
-		res, err := f.pd.Wait()
-		p.observeUpstream(err)
-		if err == nil {
-			p.storePrefetched(fh, f.block, res)
-		}
-		p.ra.finish(cache.BlockID{FH: fh.Key(), Block: f.block})
-	}
-	finishFrom(started)
 }
 
 // prefetchBlock pulls one block into the disk cache. Errors are
 // swallowed: prefetching is best-effort and the demand path remains
 // correct without it.
 func (p *Proxy) prefetchBlock(fh nfs3.FH, block, bs uint64) {
-	args := nfs3.ReadArgs{FH: fh, Offset: block * bs, Count: uint32(bs)}
-	buf := args.AppendTo(bufpool.Get(nfs3.FHSize + 16)[:0])
-	res, err := p.call(nfs3.ProcRead, buf)
-	bufpool.Put(buf)
+	r, err := p.beRead(fh, block*bs, uint32(bs), nil, time.Time{})
 	if err != nil {
 		return
 	}
-	p.storePrefetched(fh, block, res)
+	p.storePrefetched(fh, block, r)
 }
 
-// storePrefetched decodes one prefetch READ reply and inserts the data
-// into the block cache. Decode borrows from res (the reply record is
-// GC-owned); Put copies into the cache bank.
-func (p *Proxy) storePrefetched(fh nfs3.FH, block uint64, res []byte) {
-	var r nfs3.ReadRes
-	if err := r.DecodeRefInto(res); err != nil || r.Status != nfs3.OK {
-		return
-	}
+// storePrefetched inserts one prefetched block into the block cache,
+// through the dedup table when enabled. The result's data may alias
+// the transport reply; the cache copies into its bank.
+func (p *Proxy) storePrefetched(fh nfs3.FH, block uint64, r backend.ReadResult) {
 	if r.Attr != nil {
 		p.rememberSize(fh, r.Attr.Size)
 	}
@@ -360,7 +341,7 @@ func (p *Proxy) storePrefetched(fh nfs3.FH, block uint64, res []byte) {
 	if cached, dirty := p.cfg.BlockCache.Peek(fh, block); cached && dirty {
 		return
 	}
-	if err := p.cfg.BlockCache.Put(fh, block, r.Data, false); err != nil {
+	if err := p.cfg.BlockCache.PutDedup(fh, block, r.Data, false); err != nil {
 		return
 	}
 	p.stats.prefetched.Add(1)

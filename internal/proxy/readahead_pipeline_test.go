@@ -66,7 +66,7 @@ func TestReadAheadPipelinedOrdering(t *testing.T) {
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("sequential read through pipelined read-ahead: err=%v, equal=%v", err, bytes.Equal(got, payload))
 	}
-	if st := node.Proxy.Stats(); st.Prefetched == 0 {
+	if n := node.Proxy.Snapshot().Counter("gvfs_proxy_prefetched_total"); n == 0 {
 		t.Error("no blocks prefetched on a fully sequential scan")
 	}
 	// Re-read after dropping the client cache: now mostly proxy-cache

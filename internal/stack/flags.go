@@ -92,6 +92,11 @@ type ProxyFlags struct {
 	Upstream string // next hop address
 	Keyfile  string // 32-byte tunnel session key file
 
+	// Backend selection (see ProxyOptionsV2).
+	Backend     string // nfs3 | objstore
+	ObjstoreDir string // object store directory (backend objstore)
+	Dedup       bool   // content-addressed cross-file dedup in the block cache
+
 	// Block cache.
 	CacheDir   string
 	CacheBanks int
@@ -143,8 +148,11 @@ type ProxyFlags struct {
 func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	f := &ProxyFlags{}
 	fs.StringVar(&f.Listen, "listen", "127.0.0.1:8049", "listen address for local NFS clients")
-	fs.StringVar(&f.Upstream, "upstream", "", "next hop (gvfsd or another gvfsproxy)")
+	fs.StringVar(&f.Upstream, "upstream", "", "next hop (gvfsd or another gvfsproxy); required with -backend nfs3")
 	fs.StringVar(&f.Keyfile, "keyfile", "", "32-byte session key for the upstream tunnel")
+	fs.StringVar(&f.Backend, "backend", BackendNFS3, "upstream backend: nfs3 (RPC to -upstream) | objstore (local content-addressed store)")
+	fs.StringVar(&f.ObjstoreDir, "objstore-dir", "", "object store directory (required with -backend objstore)")
+	fs.BoolVar(&f.Dedup, "dedup", false, "share identical cached blocks across files (content-addressed dedup; needs -cache-dir)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "block cache directory (empty = no disk cache)")
 	fs.IntVar(&f.CacheBanks, "cache-banks", 512, "number of cache banks")
 	fs.IntVar(&f.CacheSets, "cache-sets", 128, "sets per bank")
@@ -216,13 +224,53 @@ func ReadKeyfile(path string) ([]byte, error) {
 	return key, nil
 }
 
-// Options converts the parsed flags into ProxyOptions, reading the
-// keyfile and validating the write policy. The daemon-level fields
-// (Listen, StatsEvery, MetricsAddr) stay on the flags struct.
+// Options converts the parsed flags into the classic ProxyOptions.
+// Daemons that honor the -backend selector should call OptionsV2.
 func (f *ProxyFlags) Options() (ProxyOptions, error) {
-	if f.Upstream == "" {
-		return ProxyOptions{}, fmt.Errorf("-upstream is required")
+	v2, err := f.OptionsV2()
+	if err != nil {
+		return ProxyOptions{}, err
 	}
+	if v2.Backend != "" && v2.Backend != BackendNFS3 {
+		return ProxyOptions{}, fmt.Errorf("-backend %s needs the V2 options path", v2.Backend)
+	}
+	return v2.ProxyOptions, nil
+}
+
+// OptionsV2 converts the parsed flags into ProxyOptionsV2, reading the
+// keyfile and validating the write policy and backend selection. The
+// daemon-level fields (Listen, StatsEvery, MetricsAddr) stay on the
+// flags struct.
+func (f *ProxyFlags) OptionsV2() (ProxyOptionsV2, error) {
+	opts, err := f.baseOptions()
+	if err != nil {
+		return ProxyOptionsV2{}, err
+	}
+	v2 := ProxyOptionsV2{
+		ProxyOptions: opts,
+		Backend:      f.Backend,
+		ObjstoreDir:  f.ObjstoreDir,
+		Dedup:        f.Dedup,
+	}
+	switch f.Backend {
+	case "", BackendNFS3:
+		if f.Upstream == "" {
+			return ProxyOptionsV2{}, fmt.Errorf("-upstream is required with -backend nfs3")
+		}
+	case BackendObjstore:
+		if f.ObjstoreDir == "" {
+			return ProxyOptionsV2{}, fmt.Errorf("-objstore-dir is required with -backend objstore")
+		}
+	default:
+		return ProxyOptionsV2{}, fmt.Errorf("unknown -backend %q (want nfs3 or objstore)", f.Backend)
+	}
+	if f.Dedup && f.CacheDir == "" {
+		return ProxyOptionsV2{}, fmt.Errorf("-dedup needs -cache-dir")
+	}
+	return v2, nil
+}
+
+func (f *ProxyFlags) baseOptions() (ProxyOptions, error) {
 	key, err := ReadKeyfile(f.Keyfile)
 	if err != nil {
 		return ProxyOptions{}, err

@@ -14,6 +14,7 @@ import (
 	"net"
 
 	"gvfs/internal/auth"
+	"gvfs/internal/backend/objstore"
 	"gvfs/internal/cache"
 	"gvfs/internal/filecache"
 	"gvfs/internal/filechan"
@@ -292,30 +293,60 @@ type ProxyOptions struct {
 	AcctIdleTTL    time.Duration
 }
 
-// StartProxy runs a GVFS proxy node.
+// Backend selector values for ProxyOptionsV2.Backend.
+const (
+	BackendNFS3     = "nfs3"     // NFSv3 over ONC-RPC to UpstreamAddr (classic)
+	BackendObjstore = "objstore" // local content-addressed object store, no upstream
+)
+
+// ProxyOptionsV2 is the versioned successor of ProxyOptions: all the
+// classic wiring plus the backend selector that arrived with the
+// pluggable upstream API. The zero Backend keeps the historical
+// behavior, so ProxyOptionsV2{ProxyOptions: opts} is always equivalent
+// to the old StartProxy(opts).
+type ProxyOptionsV2 struct {
+	ProxyOptions
+
+	// Backend selects the upstream implementation: BackendNFS3
+	// (default) dials UpstreamAddr; BackendObjstore serves from a local
+	// object store and ignores the Upstream* fields entirely.
+	Backend string
+
+	// ObjstoreDir is the object store directory (BackendObjstore).
+	// Ignored when ObjstoreStore is set.
+	ObjstoreDir string
+
+	// ObjstoreStore supplies the store directly — a MemStore for
+	// self-contained runs, or a CountingStore wrapper when the caller
+	// wants per-object traffic accounting (the dedup benchmark).
+	ObjstoreStore objstore.Store
+
+	// ObjstoreBlock is the store's block size (0 = objstore default).
+	ObjstoreBlock int
+
+	// Dedup enables the content-addressed dedup map in the block cache
+	// (cache.Config.Dedup): identical blocks across files — N cloned VM
+	// images — share one cached frame.
+	Dedup bool
+}
+
+// StartProxy runs a GVFS proxy node over the classic NFSv3 upstream.
+// Equivalent to StartProxyV2 with the zero backend selector.
 func StartProxy(opts ProxyOptions) (*Node, error) {
-	dial := Dialer(opts.UpstreamAddr, opts.UpstreamLink, opts.UpstreamKey)
-	conn, err := dial()
-	if err != nil {
-		return nil, fmt.Errorf("stack: proxy upstream dial: %w", err)
-	}
-	var upstream *sunrpc.Client
-	if opts.UpstreamCallTimeout > 0 || opts.UpstreamMaxRetries > 0 {
-		copts := sunrpc.ClientOptions{
-			CallTimeout: opts.UpstreamCallTimeout,
-			MaxRetries:  opts.UpstreamMaxRetries,
-			Idempotent:  nfs3.RetrySafe,
+	return StartProxyV2(ProxyOptionsV2{ProxyOptions: opts})
+}
+
+// StartProxyV2 runs a GVFS proxy node over the selected backend.
+func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
+	opts := o.ProxyOptions
+	var cleanup []func()
+	fail := func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
 		}
-		if opts.UpstreamMaxRetries > 0 {
-			copts.Redial = dial
-		}
-		upstream = sunrpc.NewClientWithOptions(conn, copts)
-	} else {
-		upstream = sunrpc.NewClient(conn)
 	}
 
 	cfg := proxy.Config{
-		Upstream:          upstream,
 		Mapper:            opts.Mapper,
 		DisableMeta:       opts.DisableMeta,
 		ReadAhead:         opts.ReadAhead,
@@ -331,6 +362,48 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		AcctMaxEntries:    opts.AcctMaxEntries,
 		AcctIdleTTL:       opts.AcctIdleTTL,
 	}
+
+	switch o.Backend {
+	case "", BackendNFS3:
+		dial := Dialer(opts.UpstreamAddr, opts.UpstreamLink, opts.UpstreamKey)
+		conn, err := dial()
+		if err != nil {
+			return nil, fmt.Errorf("stack: proxy upstream dial: %w", err)
+		}
+		var upstream *sunrpc.Client
+		if opts.UpstreamCallTimeout > 0 || opts.UpstreamMaxRetries > 0 {
+			copts := sunrpc.ClientOptions{
+				CallTimeout: opts.UpstreamCallTimeout,
+				MaxRetries:  opts.UpstreamMaxRetries,
+				Idempotent:  nfs3.RetrySafe,
+			}
+			if opts.UpstreamMaxRetries > 0 {
+				copts.Redial = dial
+			}
+			upstream = sunrpc.NewClientWithOptions(conn, copts)
+		} else {
+			upstream = sunrpc.NewClient(conn)
+		}
+		cfg.Upstream = upstream
+		cleanup = append(cleanup, func() { upstream.Close() })
+	case BackendObjstore:
+		store := o.ObjstoreStore
+		if store == nil {
+			if o.ObjstoreDir == "" {
+				return nil, fmt.Errorf("stack: objstore backend needs ObjstoreDir or ObjstoreStore")
+			}
+			ds, err := objstore.NewDirStore(o.ObjstoreDir)
+			if err != nil {
+				return nil, fmt.Errorf("stack: objstore: %w", err)
+			}
+			store = ds
+		}
+		cfg.Backend = objstore.New(store, o.ObjstoreBlock)
+	default:
+		return nil, fmt.Errorf("stack: unknown backend %q (want %q or %q)",
+			o.Backend, BackendNFS3, BackendObjstore)
+	}
+
 	if opts.TraceRing > 0 {
 		cfg.Tracer = obs.NewTracer(opts.TraceRing)
 	}
@@ -342,8 +415,6 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		}
 		cfg.Flight = obs.NewFlightRecorder(opts.FlightRing, opts.SlowThreshold)
 	}
-	var cleanup []func()
-	cleanup = append(cleanup, func() { upstream.Close() })
 
 	if opts.QoS != nil {
 		qcfg := *opts.QoS
@@ -374,11 +445,11 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	var blockCache *cache.Cache
 	if opts.SharedBlockCache != nil {
 		if opts.CacheConfig != nil {
-			upstream.Close()
+			fail()
 			return nil, fmt.Errorf("stack: SharedBlockCache and CacheConfig are mutually exclusive")
 		}
 		if !opts.SharedBlockCache.Config().ReadOnly {
-			upstream.Close()
+			fail()
 			return nil, fmt.Errorf("stack: a shared block cache must be ReadOnly")
 		}
 		blockCache = opts.SharedBlockCache
@@ -392,15 +463,19 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 		if ccfg.Logger == nil && opts.Logger != nil {
 			ccfg.Logger = opts.Logger.Named("cache")
 		}
+		if o.Dedup {
+			ccfg.Dedup = true
+		}
+		var err error
 		blockCache, err = cache.New(ccfg)
 		if err != nil {
-			upstream.Close()
+			fail()
 			return nil, err
 		}
 		if opts.PersistIndex {
 			if err := blockCache.LoadIndex(); err != nil {
 				blockCache.Close()
-				upstream.Close()
+				fail()
 				return nil, fmt.Errorf("stack: reload cache index: %w", err)
 			}
 		}
@@ -411,7 +486,7 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	if opts.FileCacheDir != "" {
 		fc, err := filecache.New(opts.FileCacheDir)
 		if err != nil {
-			upstream.Close()
+			fail()
 			return nil, err
 		}
 		cfg.FileCache = fc
@@ -422,7 +497,7 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 
 	p, err := proxy.New(cfg)
 	if err != nil {
-		upstream.Close()
+		fail()
 		return nil, err
 	}
 	cleanup = append(cleanup, p.Shutdown)
@@ -443,7 +518,7 @@ func StartProxy(opts ProxyOptions) (*Node, error) {
 	srv.Register(nfs3.MountProgram, nfs3.MountVersion, p)
 	l, err := listen(opts.ListenLink, opts.ListenKey)
 	if err != nil {
-		upstream.Close()
+		fail()
 		return nil, err
 	}
 	if opts.IdleWriteBack > 0 {
@@ -471,24 +546,24 @@ func StartStatsLogger(log *obs.Logger, p *proxy.Proxy, every time.Duration) (sto
 				return
 			case <-tick.C:
 			}
-			st := p.Stats()
+			st := p.Snapshot()
 			log.Info("stats",
-				"calls", st.Calls,
-				"hits", st.ReadHits,
-				"misses", st.ReadMisses,
-				"zero", st.ZeroFiltered,
-				"filechan_reads", st.FileChanReads,
-				"filechan_fetches", st.FileChanFetch,
-				"absorbed", st.WritesAbsorbed,
-				"prefetched", st.Prefetched,
-				"retries", st.Retries,
-				"reconnects", st.Reconnects,
-				"timeouts", st.Timeouts,
-				"breaker_opens", st.BreakerOpens,
-				"fast_fails", st.BreakerFastFails,
-				"probes", st.Probes,
-				"replays", st.Replays,
-				"degraded_reads", st.DegradedReads,
+				"calls", st.Counter("gvfs_proxy_calls_total"),
+				"hits", st.Counter("gvfs_proxy_read_hits_total"),
+				"misses", st.Counter("gvfs_proxy_read_misses_total"),
+				"zero", st.Counter("gvfs_proxy_zero_filtered_total"),
+				"filechan_reads", st.Counter("gvfs_proxy_filechan_reads_total"),
+				"filechan_fetches", st.Counter("gvfs_proxy_filechan_fetches_total"),
+				"absorbed", st.Counter("gvfs_proxy_writes_absorbed_total"),
+				"prefetched", st.Counter("gvfs_proxy_prefetched_total"),
+				"retries", st.Counter("gvfs_rpc_retries_total"),
+				"reconnects", st.Counter("gvfs_rpc_reconnects_total"),
+				"timeouts", st.Counter("gvfs_rpc_timeouts_total"),
+				"breaker_opens", st.Counter("gvfs_proxy_breaker_opens_total"),
+				"fast_fails", st.Counter("gvfs_proxy_breaker_fastfails_total"),
+				"probes", st.Counter("gvfs_proxy_probes_total"),
+				"replays", st.Counter("gvfs_proxy_replays_total"),
+				"degraded_reads", st.Counter("gvfs_proxy_degraded_reads_total"),
 				"degraded", p.Degraded(),
 			)
 		}
