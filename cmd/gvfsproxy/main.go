@@ -127,6 +127,9 @@ func main() {
 			Flight:   node.Flight,
 			Statusz:  node.Proxy.WriteStatusz,
 		}
+		if node.Cachean != nil {
+			ep.Cachez = node.Cachean.WriteCachez
+		}
 		ml, err := ep.ListenAndServe(flags.MetricsAddr)
 		if err != nil {
 			log.Fatalf("gvfsproxy: metrics: %v", err)

@@ -2,8 +2,10 @@
 // proxies: a top(1) for the paper's cascaded-proxy deployments. It
 // polls each hop's observability endpoint (/statusz for the
 // per-file/per-client accounting tables, /metrics for the aggregate
-// counters, /flightrec for the recorder depth) and renders one compact
-// screen per refresh, closest hop first.
+// counters, /flightrec for the recorder depth, /cachez for the cache
+// analytics — hit ratio, working set, what-if sizing — when the hop
+// runs with -cachean) and renders one compact screen per refresh,
+// closest hop first.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"gvfs/internal/cachean"
 	"gvfs/internal/obs"
 	"gvfs/internal/proxy"
 )
@@ -41,7 +44,8 @@ type hopState struct {
 	err      error
 	statusz  proxy.Statusz
 	metrics  map[string]float64
-	recorded uint64 // flight recordings ever made
+	recorded uint64            // flight recordings ever made
+	cachez   *cachean.Snapshot // nil when the hop has no analytics endpoint
 }
 
 func main() {
@@ -117,6 +121,15 @@ func poll(client *http.Client, h hop) hopState {
 			st.recorded = doc.Total
 		}
 	}
+	// Cache analytics are optional: older daemons (or ones running
+	// without -cachean) have no /cachez, and the hop renders without
+	// the analytics line.
+	if body, err = get(client, h.base+"/cachez"); err == nil {
+		var snap cachean.Snapshot
+		if json.Unmarshal(body, &snap) == nil && snap.SampleRate > 0 {
+			st.cachez = &snap
+		}
+	}
 	return st
 }
 
@@ -169,6 +182,15 @@ func renderHop(b *strings.Builder, st hopState, rows int) {
 		st.statusz.Audit.DirtyBlocks,
 		humanDur(st.statusz.Audit.OldestDirtyAgeNs),
 		st.recorded)
+	if cz := st.cachez; cz != nil {
+		fmt.Fprintf(b, "    cachean  hit %.1f%%  wss %s  predicted@2x %.1f%%  (cap %s, sampled %d",
+			100*cz.HitRatio, humanBytes(cz.WorkingSetBytes),
+			100*whatIfAt(cz, "2x"), humanBytes(cz.CapacityBytes), cz.SampledRefs)
+		if cz.DroppedEvents > 0 {
+			fmt.Fprintf(b, ", dropped %d", cz.DroppedEvents)
+		}
+		b.WriteString(")\n")
+	}
 	files := st.statusz.Files["reads"]
 	if len(files) > rows {
 		files = files[:rows]
@@ -194,6 +216,18 @@ func renderHop(b *strings.Builder, st hopState, rows int) {
 		}
 		b.WriteByte('\n')
 	}
+}
+
+// whatIfAt picks one ghost-cache prediction by scale label; falls back
+// to the observed hit ratio when the grid lacks the point (e.g. the
+// analyzer has no capacity configured).
+func whatIfAt(cz *cachean.Snapshot, scale string) float64 {
+	for _, w := range cz.WhatIf {
+		if w.Scale == scale {
+			return w.HitRatio
+		}
+	}
+	return cz.HitRatio
 }
 
 // opMix renders a client's op counters as "READ=12 WRITE=3", sorted by

@@ -14,6 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"gvfs/internal/cache"
+	"gvfs/internal/cachean"
+	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
 )
 
@@ -36,11 +39,21 @@ func startEndpoint(t *testing.T) *httptest.Server {
 	a.Span("proxy", "ok", time.Now().Add(-10*time.Millisecond))
 	flight.Record(a.Finish(), obs.ReasonSlow)
 
+	an := cachean.New(cachean.Config{Rate: 1, CapacityBytes: 100 * 8192, BlockSize: 8192})
+	t.Cleanup(func() { an.Close() })
+	fh := nfs3.FH("promlint-test-file")
+	for block := uint64(0); block < 8; block++ {
+		an.CacheLookup(fh, block, cache.LookupMiss)
+	}
+	an.CacheLookup(fh, 0, cache.LookupHit)
+	an.Sync()
+
 	srv := httptest.NewServer(obs.Endpoint{
 		Registry: reg,
 		Tracer:   tracer,
 		Log:      ring,
 		Flight:   flight,
+		Cachez:   an.WriteCachez,
 	}.Mux())
 	t.Cleanup(srv.Close)
 	return srv
@@ -53,14 +66,36 @@ func TestLintAllSurfacesAgainstLiveEndpoint(t *testing.T) {
 		"-url", srv.URL + "/metrics",
 		"-statusz-url", srv.URL + "/statusz",
 		"-logz-url", srv.URL + "/logz",
+		"-cachez-url", srv.URL + "/cachez",
 	}, strings.NewReader(""), &out)
 	if err != nil {
 		t.Fatalf("lint failed: %v\n%s", err, out.String())
 	}
-	for _, want := range []string{"metrics ok", "statusz ok", "logz ok"} {
+	for _, want := range []string{"metrics ok", "statusz ok", "logz ok", "cachez ok"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+func TestRequiredMetrics(t *testing.T) {
+	srv := startEndpoint(t)
+	var out strings.Builder
+	// Both a bare counter and a histogram family (matched via its _sum /
+	// _count samples) must satisfy -require.
+	err := run([]string{
+		"-url", srv.URL + "/metrics",
+		"-require", "gvfs_test_total,gvfs_test_duration_seconds",
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatalf("required metrics not found: %v\n%s", err, out.String())
+	}
+	err = run([]string{
+		"-url", srv.URL + "/metrics",
+		"-require", "gvfs_no_such_metric_total",
+	}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "gvfs_no_such_metric_total") {
+		t.Fatalf("missing required metric accepted: %v", err)
 	}
 }
 

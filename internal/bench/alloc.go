@@ -93,6 +93,9 @@ func measureWarmAlloc(ops int) (read, write AllocPath, err error) {
 			BlockSize: bs, Policy: cache.WriteBack,
 		},
 		DisableMeta: true,
+		// Analytics on: the measured allocs/op include the sampler tap,
+		// so the alloc gate proves the tap is free on the warm path.
+		Cachean: true,
 	})
 	if err != nil {
 		return read, write, err

@@ -117,6 +117,10 @@ type Config struct {
 	// Logger receives cache lifecycle events (journal recovery, cold
 	// starts, checksum failures). Nil is safe: events are dropped.
 	Logger *obs.Logger
+	// Tap, when set, observes the access stream (lookups with their
+	// outcome, insertions, evictions) for the cache-analytics
+	// subsystem. See AccessTap for the cost contract.
+	Tap AccessTap
 }
 
 // DefaultConfig mirrors the experimental setup of the paper: 512 banks,
@@ -501,18 +505,26 @@ func (c *Cache) GetInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
 }
 
 func (c *Cache) getInto(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
-	data, ok := c.getPhysical(fh, block, dst)
-	if ok || c.dedup == nil {
+	id := BlockID{FH: fh.Key(), Block: block}
+	data, ok := c.getPhysical(id, dst)
+	if ok {
+		c.tapLookup(fh, block, LookupHit)
 		return data, ok
 	}
-	// Physical miss: the ID may be an alias of a deduplicated frame.
-	return c.getAlias(BlockID{FH: fh.Key(), Block: block}, dst)
+	if c.dedup != nil {
+		// Physical miss: the ID may be an alias of a deduplicated frame.
+		if data, ok = c.getAlias(id, dst); ok {
+			c.tapLookup(fh, block, LookupAliasHit)
+			return data, ok
+		}
+	}
+	c.tapLookup(fh, block, LookupMiss)
+	return data, ok
 }
 
 // getPhysical looks the block up in the stripe indexes only, without
 // consulting the dedup alias table.
-func (c *Cache) getPhysical(fh nfs3.FH, block uint64, dst []byte) ([]byte, bool) {
-	id := BlockID{FH: fh.Key(), Block: block}
+func (c *Cache) getPhysical(id BlockID, dst []byte) ([]byte, bool) {
 	s := c.stripeFor(id)
 	s.mu.Lock()
 	idx, ok := s.index[id]
@@ -666,6 +678,9 @@ func (c *Cache) put(fh nfs3.FH, block uint64, data []byte, dirty, journal bool) 
 			fr.lru = s.clock
 			s.unpinExcl(fr)
 			s.mu.Unlock()
+			if c.cfg.Tap != nil {
+				c.cfg.Tap.CacheInsert(id, dirty)
+			}
 			return nil
 		}
 
@@ -714,6 +729,10 @@ func (c *Cache) put(fh nfs3.FH, block uint64, data []byte, dirty, journal bool) 
 		if fr.valid {
 			delete(s.index, fr.id)
 			s.stats.Evictions++
+			if c.cfg.Tap != nil {
+				// Counter-only by contract: safe under the stripe lock.
+				c.cfg.Tap.CacheEvict(fr.id)
+			}
 		}
 		// Claim the frame and publish the mapping before the data
 		// write: readers that find it wait on the exclusive pin and
@@ -746,6 +765,9 @@ func (c *Cache) put(fh nfs3.FH, block uint64, data []byte, dirty, journal bool) 
 		s.stats.Insertions++
 		s.unpinExcl(fr)
 		s.mu.Unlock()
+		if c.cfg.Tap != nil {
+			c.cfg.Tap.CacheInsert(id, dirty)
+		}
 		return nil
 	}
 }

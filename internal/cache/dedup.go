@@ -221,7 +221,7 @@ func (c *Cache) getAlias(id BlockID, dst []byte) ([]byte, bool) {
 		d.dropEntry(e)
 		return nil, false
 	}
-	data, ok := c.getPhysical(nfs3.FH(canonical.FH), canonical.Block, dst)
+	data, ok := c.getPhysical(canonical, dst)
 	if !ok || crc32c(data) != crc {
 		d.dropEntry(e)
 		return nil, false
@@ -250,7 +250,7 @@ func (c *Cache) GetByHash(fh nfs3.FH, block uint64, h backend.Hash, dst []byte) 
 	if e == nil {
 		return nil, false
 	}
-	data, ok := c.getPhysical(nfs3.FH(canonical.FH), canonical.Block, dst)
+	data, ok := c.getPhysical(canonical, dst)
 	if !ok || crc32c(data) != crc {
 		d.dropEntry(e)
 		return nil, false
@@ -266,6 +266,10 @@ func (c *Cache) GetByHash(fh nfs3.FH, block uint64, h backend.Hash, dst []byte) 
 		d.mu.Unlock()
 	}
 	d.hits.Add(1)
+	// A hash-hint hit is a lookup the stripe counters never saw: report
+	// it under the requesting identity. The probe's failure paths stay
+	// silent — the caller's preceding Get already reported the miss.
+	c.tapLookup(fh, block, LookupAliasHit)
 	return data, true
 }
 

@@ -1,0 +1,46 @@
+package cache
+
+import "gvfs/internal/nfs3"
+
+// LookupOutcome classifies one cache lookup for an AccessTap.
+type LookupOutcome uint8
+
+const (
+	// LookupMiss: the block was in neither the stripe indexes nor the
+	// dedup alias table.
+	LookupMiss LookupOutcome = iota
+	// LookupHit: served from the block's own physical frame.
+	LookupHit
+	// LookupAliasHit: served through a dedup alias of another
+	// identity's frame (including hash-hint hits via GetByHash).
+	LookupAliasHit
+)
+
+// AccessTap observes the cache's access stream for the cache-analytics
+// subsystem: one event per logical lookup (with its outcome), per
+// insertion, and per eviction. Implementations must be cheap,
+// non-blocking and allocation-free — lookup and insert taps run on the
+// data path outside the stripe locks, but eviction taps run while a
+// stripe lock is held.
+//
+// Internal redirects do not double-report: a lookup that misses
+// physically and hits through a dedup alias is a single
+// LookupAliasHit, and the physical read of the canonical frame it
+// triggers is not reported separately.
+//
+// CacheLookup receives the raw file handle so the lookup fast path
+// never materializes a string key for the tap (a BlockID's FH would
+// escape to the heap on every lookup); fh aliases a request buffer
+// and must not be retained past the call — copy it if sampled.
+type AccessTap interface {
+	CacheLookup(fh nfs3.FH, block uint64, outcome LookupOutcome)
+	CacheInsert(id BlockID, dirty bool)
+	CacheEvict(id BlockID)
+}
+
+// tapLookup reports one lookup to the configured tap (nil-safe).
+func (c *Cache) tapLookup(fh nfs3.FH, block uint64, outcome LookupOutcome) {
+	if c.cfg.Tap != nil {
+		c.cfg.Tap.CacheLookup(fh, block, outcome)
+	}
+}

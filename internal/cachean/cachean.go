@@ -1,0 +1,448 @@
+// Package cachean is the cache-analytics subsystem: an always-on,
+// low-overhead observer of the block cache's access stream that
+// answers the operator questions proxy caching raises at scale — how
+// big should this cache be, what would 2x (or 0.5x) the capacity buy,
+// and which tenant or file owns the working set.
+//
+// The estimator is a SHARDS-style spatially-hashed reuse-distance
+// sampler: a reference to block b enters the analysis iff
+// hash(b) < R·2^64, so every reference to a sampled block is seen and
+// the sampled stream is a faithful rate-R subsample of the distinct
+// block space. The LRU stack distance of each sampled reference
+// (distinct sampled blocks touched since its previous reference,
+// computed with a Fenwick tree over reference timestamps) scales by
+// 1/R to an estimate of the true stack distance, which makes the
+// miss-ratio curve self-normalizing: a cache of C blocks would have
+// hit a reference iff its sampled distance is below C·R, and the hit
+// ratio at C is the fraction of sampled references below that
+// threshold — cold (first-touch) references count as misses at every
+// size. The exact reference count is also kept, and curves apply the
+// SHARDS adjustment: the difference between the expected sample count
+// (refs·R) and the actual one is folded in at distance zero, removing
+// the bias a sample that happened to include (or miss) hot blocks
+// would otherwise put on the whole curve.
+//
+// The hot-path tap is effectively free: an inline FNV-64a hash, a few
+// atomic counter adds, and — for the ~R fraction of references that
+// are sampled — one non-blocking send of a small value struct to the
+// single consumer goroutine that owns all analytic state. The tap
+// never blocks, never allocates, and never takes the analytics mutex;
+// bursts beyond the channel buffer are dropped and counted.
+package cachean
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/nfs3"
+)
+
+// Op classes for the proxy-level demand taps: data classes carry byte
+// counts and feed per-tenant working sets; metadata classes make
+// GETATTR/LOOKUP demand visible separately from READ/WRITE.
+const (
+	ClassRead = iota
+	ClassWrite
+	ClassGetattr
+	ClassLookup
+	ClassOtherMeta
+	numClasses
+)
+
+var classNames = [numClasses]string{"READ", "WRITE", "GETATTR", "LOOKUP", "OTHER"}
+
+// Scales is the what-if grid: predicted hit ratio at each multiple of
+// the configured capacity.
+var Scales = []float64{0.25, 0.5, 1, 2, 4}
+
+// ScaleLabel renders a what-if scale ("0.25x", "2x") for metric labels.
+func ScaleLabel(s float64) string {
+	switch s {
+	case 0.25:
+		return "0.25x"
+	case 0.5:
+		return "0.5x"
+	case 1:
+		return "1x"
+	case 2:
+		return "2x"
+	case 4:
+		return "4x"
+	}
+	return "?x"
+}
+
+// Config parameterizes an Analyzer. Zero fields take defaults.
+type Config struct {
+	// Rate is the spatial sampling rate in (0, 1]; default 0.01.
+	Rate float64
+	// Window is the working-set epoch length (default 60s): estimates
+	// cover the last one-to-two windows and refresh each rotation.
+	Window time.Duration
+	// CapacityBytes centers the miss-ratio curve and the what-if grid
+	// on the cache being observed. Required for useful predictions.
+	CapacityBytes uint64
+	// BlockSize is the cache frame size in bytes (default 8192).
+	BlockSize int
+	// Buffer is the event channel depth (default 8192).
+	Buffer int
+}
+
+func (c *Config) fill() {
+	if c.Rate <= 0 || c.Rate > 1 {
+		c.Rate = 0.01
+	}
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 8192
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 8192
+	}
+}
+
+const (
+	evRef uint8 = iota
+	evDemand
+	evSync
+)
+
+// event is one sampled observation, sent by value: the strings are
+// references to already-allocated keys, so a send allocates nothing.
+type event struct {
+	fh     string
+	tenant string
+	block  uint64
+	kind   uint8
+	sync   chan struct{} // non-nil only for Sync barriers
+}
+
+// Analyzer maintains online miss-ratio curves, working-set estimates,
+// block heat and what-if predictions from sampled cache and proxy
+// demand taps. All methods are safe for concurrent use.
+type Analyzer struct {
+	cfg    Config
+	thresh uint64 // sample iff hash < thresh
+
+	// Hot-path counters (exact, unsampled).
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	aliasHits atomic.Uint64
+	inserts   atomic.Uint64
+	evictions atomic.Uint64
+	mrcRefs   atomic.Uint64 // every reference offered to the MRC stream, sampled or not
+	sampled   atomic.Uint64
+	dropped   atomic.Uint64
+
+	classOps   [numClasses]atomic.Uint64
+	classBytes [numClasses]atomic.Uint64
+
+	events chan event
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// mu guards everything below: the consumer goroutine takes it per
+	// drained batch, snapshots take it briefly.
+	mu         sync.Mutex
+	tr         *distTracker
+	hist       mrcHist
+	cur, prev  *epochSet
+	epochStart time.Time
+	busyNs     uint64
+	saturated  uint64 // epoch entries dropped at the bound
+	fileLabel  func(fhKey string) string
+}
+
+// New starts an analyzer and its consumer goroutine. Call Close to
+// stop it.
+func New(cfg Config) *Analyzer {
+	cfg.fill()
+	a := &Analyzer{
+		cfg:        cfg,
+		thresh:     rateThreshold(cfg.Rate),
+		events:     make(chan event, cfg.Buffer),
+		done:       make(chan struct{}),
+		tr:         newDistTracker(),
+		cur:        newEpochSet(),
+		prev:       newEpochSet(),
+		epochStart: time.Now(),
+	}
+	a.wg.Add(1)
+	go a.run()
+	return a
+}
+
+// Close stops the consumer goroutine. Taps remain safe to call after
+// Close; their sampled events are dropped.
+func (a *Analyzer) Close() {
+	select {
+	case <-a.done:
+		return
+	default:
+	}
+	close(a.done)
+	a.wg.Wait()
+}
+
+// Rate returns the configured sampling rate.
+func (a *Analyzer) Rate() float64 { return a.cfg.Rate }
+
+// SetFileLabeler installs the function that renders a raw file-handle
+// key into the human label used in snapshots (the proxy's path label).
+func (a *Analyzer) SetFileLabeler(fn func(fhKey string) string) {
+	a.mu.Lock()
+	a.fileLabel = fn
+	a.mu.Unlock()
+}
+
+// SetCapacity re-centers the what-if grid on the observed cache's
+// actual geometry. The stack calls this after cache.New has filled the
+// cache config's defaults; predictions pick up the new center on the
+// next read.
+func (a *Analyzer) SetCapacity(bytes uint64, blockSize int) {
+	a.mu.Lock()
+	if bytes > 0 {
+		a.cfg.CapacityBytes = bytes
+	}
+	if blockSize > 0 {
+		a.cfg.BlockSize = blockSize
+	}
+	a.mu.Unlock()
+}
+
+// rateThreshold maps a sampling rate to the 64-bit hash threshold:
+// sample iff hash < rate·2^64.
+func rateThreshold(rate float64) uint64 {
+	if rate >= 1 {
+		return ^uint64(0)
+	}
+	if rate <= 0 {
+		return 0
+	}
+	return uint64(rate * float64(1<<32) * float64(1<<32))
+}
+
+// FNV-64a, inlined over the two key components so the hot path hashes
+// without assembling a byte buffer.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashKey(fh string, block uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(fh); i++ {
+		h ^= uint64(fh[i])
+		h *= fnvPrime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= block & 0xff
+		h *= fnvPrime
+		block >>= 8
+	}
+	return h
+}
+
+func hashKeyBytes(fh []byte, block uint64) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(fh); i++ {
+		h ^= uint64(fh[i])
+		h *= fnvPrime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= block & 0xff
+		h *= fnvPrime
+		block >>= 8
+	}
+	return h
+}
+
+// --- cache.AccessTap implementation (the cache-level feed) ---
+
+// CacheLookup observes one block-cache lookup. Every lookup — hit,
+// miss, or dedup alias hit — is one reference of the MRC stream. The
+// fh bytes are hashed in place and copied only in the sampled branch,
+// so the unsampled 99% allocates nothing.
+func (a *Analyzer) CacheLookup(fh nfs3.FH, block uint64, outcome cache.LookupOutcome) {
+	switch outcome {
+	case cache.LookupHit:
+		a.hits.Add(1)
+	case cache.LookupAliasHit:
+		a.aliasHits.Add(1)
+	default:
+		a.misses.Add(1)
+	}
+	a.refTapBytes(fh, block)
+}
+
+// CacheInsert observes one insertion. Dirty inserts (write absorbs)
+// are demand the cache must hold, so they join the reference stream;
+// clean inserts are miss fills whose demand was already counted by the
+// missing lookup, so they only bump the counter.
+func (a *Analyzer) CacheInsert(id cache.BlockID, dirty bool) {
+	a.inserts.Add(1)
+	if dirty {
+		a.refTap(id.FH, id.Block)
+	}
+}
+
+// CacheEvict observes one eviction. It runs under a stripe lock, so it
+// is a single atomic add: the ghost LRU needs no eviction feed.
+func (a *Analyzer) CacheEvict(cache.BlockID) { a.evictions.Add(1) }
+
+// refTap funnels one reference into the sampled stream. The exact
+// reference count feeds the SHARDS adjustment: the curve is evaluated
+// against the expected sample count (refs·rate), with the difference
+// from the actual count applied at distance zero, which removes the
+// bias a lucky (or unlucky) draw of hot blocks would otherwise leave.
+func (a *Analyzer) refTap(fh string, block uint64) {
+	a.mrcRefs.Add(1)
+	if hashKey(fh, block) >= a.thresh {
+		return
+	}
+	a.sampled.Add(1)
+	select {
+	case a.events <- event{fh: fh, block: block, kind: evRef}:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// refTapBytes is refTap over raw fh bytes: the string copy is made
+// only after the sampling decision.
+func (a *Analyzer) refTapBytes(fh []byte, block uint64) {
+	a.mrcRefs.Add(1)
+	if hashKeyBytes(fh, block) >= a.thresh {
+		return
+	}
+	a.sampled.Add(1)
+	select {
+	case a.events <- event{fh: string(fh), block: block, kind: evRef}:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// --- proxy-level demand taps (tenant identity, op classes) ---
+
+// DemandData observes one data op (READ or WRITE) a tenant issued
+// against a block. The class counters are exact; the per-tenant
+// working set sees the same spatial sample as the MRC stream. The fh
+// bytes are only converted to a string when the reference is sampled,
+// so the common path does not allocate.
+func (a *Analyzer) DemandData(tenant string, fh []byte, block uint64, bytes int, write bool) {
+	class := ClassRead
+	if write {
+		class = ClassWrite
+	}
+	a.classOps[class].Add(1)
+	a.classBytes[class].Add(uint64(bytes))
+	if hashKeyBytes(fh, block) >= a.thresh {
+		return
+	}
+	a.sampled.Add(1)
+	select {
+	case a.events <- event{fh: string(fh), tenant: tenant, block: block, kind: evDemand}:
+	default:
+		a.dropped.Add(1)
+	}
+}
+
+// DemandMeta observes one metadata op (GETATTR, LOOKUP, other): a
+// single atomic add, making metadata demand visible next to data
+// demand without any per-call analytic work.
+func (a *Analyzer) DemandMeta(class int) {
+	if class < 0 || class >= numClasses {
+		class = ClassOtherMeta
+	}
+	a.classOps[class].Add(1)
+}
+
+// Sync blocks until every event queued before the call has been
+// applied — a barrier for tests, benches and snapshot-accuracy
+// sensitive callers. Safe (and a no-op) after Close.
+func (a *Analyzer) Sync() {
+	ch := make(chan struct{})
+	select {
+	case a.events <- event{kind: evSync, sync: ch}:
+	case <-a.done:
+		return
+	}
+	select {
+	case <-ch:
+	case <-a.done:
+	}
+}
+
+// run is the single consumer: it owns the reuse-distance tracker, the
+// MRC histogram and the working-set epochs, draining events in batches
+// under the analytics mutex.
+func (a *Analyzer) run() {
+	defer a.wg.Done()
+	period := a.cfg.Window / 4
+	if period < 100*time.Millisecond {
+		period = 100 * time.Millisecond
+	}
+	if period > 15*time.Second {
+		period = 15 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case ev := <-a.events:
+			start := time.Now()
+			a.mu.Lock()
+			a.apply(ev)
+			// Drain the burst while we hold the lock, bounded so
+			// snapshots are never starved.
+		drain:
+			for i := 0; i < 512; i++ {
+				select {
+				case ev = <-a.events:
+					a.apply(ev)
+				default:
+					break drain
+				}
+			}
+			a.busyNs += uint64(time.Since(start))
+			a.mu.Unlock()
+		case now := <-tick.C:
+			a.mu.Lock()
+			a.maybeRotate(now)
+			a.mu.Unlock()
+		case <-a.done:
+			return
+		}
+	}
+}
+
+// apply folds one event into the analytic state. Caller holds a.mu.
+func (a *Analyzer) apply(ev event) {
+	switch ev.kind {
+	case evSync:
+		close(ev.sync)
+	case evRef:
+		k := bkey{fh: ev.fh, block: ev.block}
+		a.hist.add(a.tr.ref(k))
+		a.cur.touchBlock(k, &a.saturated)
+	case evDemand:
+		k := bkey{fh: ev.fh, block: ev.block}
+		a.cur.touchTenant(ev.tenant, k, &a.saturated)
+	}
+}
+
+// maybeRotate starts a new working-set epoch when the window elapsed.
+// Caller holds a.mu.
+func (a *Analyzer) maybeRotate(now time.Time) {
+	if now.Sub(a.epochStart) < a.cfg.Window {
+		return
+	}
+	a.prev = a.cur
+	a.cur = newEpochSet()
+	a.epochStart = now
+}

@@ -1,0 +1,366 @@
+package cachean
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gvfs/internal/cache"
+	"gvfs/internal/nfs3"
+)
+
+// --- distTracker ---
+
+func TestTrackerBasics(t *testing.T) {
+	tr := newDistTracker()
+	k := func(b uint64) bkey { return bkey{fh: "f", block: b} }
+	// First touches are cold.
+	for b := uint64(0); b < 4; b++ {
+		if d := tr.ref(k(b)); d != -1 {
+			t.Fatalf("first ref of %d: dist %d, want -1", b, d)
+		}
+	}
+	// 0 1 2 3 then 0: three distinct blocks since 0's last reference.
+	if d := tr.ref(k(0)); d != 3 {
+		t.Fatalf("re-ref of 0: dist %d, want 3", d)
+	}
+	// Immediately again: distance 0.
+	if d := tr.ref(k(0)); d != 0 {
+		t.Fatalf("back-to-back ref of 0: dist %d, want 0", d)
+	}
+	if got := tr.live(); got != 4 {
+		t.Fatalf("live = %d, want 4", got)
+	}
+}
+
+// Regression: a fresh tracker must assign 1-based positions. A Fenwick
+// update at position 0 never advances (0 & -0 == 0), so a zero-valued
+// `next` hangs the consumer on the very first sampled reference.
+func TestTrackerFirstRefTerminates(t *testing.T) {
+	done := make(chan int64)
+	go func() {
+		tr := newDistTracker()
+		tr.ref(bkey{fh: "x", block: 0})
+		done <- tr.ref(bkey{fh: "x", block: 0})
+	}()
+	select {
+	case d := <-done:
+		if d != 0 {
+			t.Fatalf("second ref dist = %d, want 0", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tracker.ref did not terminate (Fenwick position-0 loop)")
+	}
+}
+
+func TestTrackerCompaction(t *testing.T) {
+	tr := newDistTracker()
+	// More references than the position space and more distinct keys
+	// than maxLive: compaction must renumber and drop the oldest.
+	total := trackerCap + trackerCap/2
+	for i := 0; i < total; i++ {
+		tr.ref(bkey{fh: "f", block: uint64(i)})
+	}
+	// maxLive is enforced at compaction time; between compactions the
+	// map can grow back toward the position space. The hard memory
+	// bound is the position space itself.
+	if tr.live() > trackerCap {
+		t.Fatalf("live = %d, want <= %d", tr.live(), trackerCap)
+	}
+	// A recently referenced key still resolves with an exact distance.
+	last := bkey{fh: "f", block: uint64(total - 1)}
+	tr.ref(bkey{fh: "g", block: 1})
+	tr.ref(bkey{fh: "g", block: 2})
+	if d := tr.ref(last); d != 2 {
+		t.Fatalf("recent key after compaction: dist %d, want 2", d)
+	}
+	// A key dropped at compaction reads as cold again.
+	if d := tr.ref(bkey{fh: "f", block: 0}); d != -1 {
+		t.Fatalf("evicted key: dist %d, want -1 (cold)", d)
+	}
+}
+
+// --- mrcHist ---
+
+func TestHistExactAndCold(t *testing.T) {
+	var h mrcHist
+	h.add(0)
+	h.add(0)
+	h.add(5)
+	h.add(-1) // cold: in the denominator at every size
+	// At rate 1 with a complete sample the expected total equals the
+	// actual total, so the adjustment vanishes.
+	// Capacity 1 block: tau = 1, only distance-0 refs hit.
+	if got, want := h.hitRatioAt(1, 1, 4), 0.5; got != want {
+		t.Fatalf("hitRatioAt(1) = %v, want %v", got, want)
+	}
+	// Large capacity: everything but the cold ref hits.
+	if got, want := h.hitRatioAt(1000, 1, 4), 0.75; got != want {
+		t.Fatalf("hitRatioAt(1000) = %v, want %v", got, want)
+	}
+	if got := h.hitRatioAt(0, 1, 4); got != 0 {
+		t.Fatalf("hitRatioAt(0) = %v, want 0", got)
+	}
+	// SHARDS adjustment: an oversampled stream (actual 4 > expected 2)
+	// shifts the correction into the distance-0 bucket.
+	if got, want := h.hitRatioAt(1000, 1, 2), 0.5; got != want {
+		t.Fatalf("adjusted hitRatioAt = %v, want %v", got, want)
+	}
+}
+
+func TestHistGeometricInterpolation(t *testing.T) {
+	var h mrcHist
+	// One reference deep in the geometric range.
+	h.add(100_000)
+	if got := h.hitsBelow(50_000); got != 0 {
+		t.Fatalf("hitsBelow(50k) = %v, want 0", got)
+	}
+	if got := h.hitsBelow(1_000_000); got != 1 {
+		t.Fatalf("hitsBelow(1M) = %v, want 1", got)
+	}
+	// Straddling the bucket must interpolate to a fraction in (0, 1).
+	if got := h.hitsBelow(100_001); got <= 0 || got >= 1 {
+		t.Fatalf("hitsBelow(100001) = %v, want fractional", got)
+	}
+}
+
+// --- estimator accuracy vs the exact oracle ---
+
+// feedTrace pushes a reference trace through both a sampled analyzer
+// and the exact oracle and compares the curves at the what-if scales.
+// Returns the worst absolute hit-ratio disagreement.
+func feedTrace(t *testing.T, blocks []uint64, capBlocks uint64) float64 {
+	t.Helper()
+	const blockSize = 8192
+	an := New(Config{
+		Rate:          0.01,
+		CapacityBytes: capBlocks * blockSize,
+		BlockSize:     blockSize,
+	})
+	defer an.Close()
+	oracle := NewOracle()
+	fh := nfs3.FH("trace-file-handle")
+	for i, b := range blocks {
+		an.CacheLookup(fh, b, cache.LookupMiss)
+		oracle.Ref(string(fh), b)
+		// Drain regularly so the bounded channel never overflows:
+		// dropped events would make the comparison unfair.
+		if i%1024 == 1023 {
+			an.Sync()
+		}
+	}
+	an.Sync()
+	if d := an.DroppedEvents(); d != 0 {
+		t.Fatalf("dropped %d events; accuracy comparison needs a complete stream", d)
+	}
+	worst := 0.0
+	for _, s := range Scales {
+		est := an.PredictedHitRatio(s)
+		orc := oracle.HitRatioAt(uint64(s * float64(capBlocks)))
+		t.Logf("@%s: estimated %.4f oracle %.4f (sampled %d)",
+			ScaleLabel(s), est, orc, an.SampledRefs())
+		if diff := est - orc; diff > worst {
+			worst = diff
+		} else if -diff > worst {
+			worst = -diff
+		}
+	}
+	return worst
+}
+
+func TestEstimatorAccuracyZipf(t *testing.T) {
+	// Skewed head over a wide block space — the adversarial case for
+	// spatial sampling: whether individual hot blocks land in the
+	// sample swings the raw curve, and the SHARDS adjustment must
+	// remove that bias.
+	const n = 500_000
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 8, 20_000-1)
+	blocks := make([]uint64, n)
+	for i := range blocks {
+		blocks[i] = zipf.Uint64()
+	}
+	if worst := feedTrace(t, blocks, 4000); worst > 0.05 {
+		t.Errorf("zipf: worst abs err %.4f, want <= 0.05", worst)
+	}
+}
+
+func TestEstimatorAccuracyScan(t *testing.T) {
+	// One cold pass over a large space: hit ratio 0 at every size, and
+	// the estimator must report that rather than extrapolate.
+	blocks := make([]uint64, 50_000)
+	for i := range blocks {
+		blocks[i] = uint64(i)
+	}
+	if worst := feedTrace(t, blocks, 4000); worst > 0.05 {
+		t.Errorf("scan: worst abs err %.4f, want <= 0.05", worst)
+	}
+}
+
+func TestEstimatorAccuracyLoop(t *testing.T) {
+	// Cyclic passes over 6000 blocks: the true curve is a step at the
+	// loop size, placed between the 1x and 2x what-if points so the
+	// sampled estimate must get both sides of the step right.
+	const loop, passes = 6000, 20
+	blocks := make([]uint64, 0, loop*passes)
+	for p := 0; p < passes; p++ {
+		for b := uint64(0); b < loop; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	if worst := feedTrace(t, blocks, 4000); worst > 0.05 {
+		t.Errorf("loop: worst abs err %.4f, want <= 0.05", worst)
+	}
+}
+
+// --- concurrency (run under -race) ---
+
+func TestConcurrentTaps(t *testing.T) {
+	an := New(Config{Rate: 0.5, CapacityBytes: 1 << 20, BlockSize: 8192, Window: 200 * time.Millisecond})
+	defer an.Close()
+	an.SetFileLabeler(func(k string) string { return "label:" + k })
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fh := nfs3.FH(fmt.Sprintf("fh-%d", g))
+			var fhb [8]byte
+			binary.LittleEndian.PutUint64(fhb[:], uint64(g))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := uint64(i % 512)
+				an.CacheLookup(fh, b, cache.LookupOutcome(i%3))
+				an.CacheInsert(cache.BlockID{FH: string(fh), Block: b}, i%2 == 0)
+				an.CacheEvict(cache.BlockID{FH: string(fh), Block: b})
+				an.DemandData(fmt.Sprintf("tenant-%d", g), fhb[:], b, 8192, i%2 == 0)
+				an.DemandMeta(i % numClasses)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		_ = an.Snapshot()
+		_ = an.HitRatio()
+		_ = an.PredictedHitRatio(2)
+		_, _ = an.TenantWSS("tenant-1")
+		_ = an.WorkingSetBytes()
+		var buf bytes.Buffer
+		if err := an.WriteCachez(&buf); err != nil {
+			t.Fatalf("WriteCachez: %v", err)
+		}
+		an.SetCapacity(1<<21, 8192)
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	an.Sync()
+	// Taps must stay safe after Close, too.
+	an.Close()
+	an.CacheLookup(nfs3.FH("late"), 1, cache.LookupHit)
+	an.Sync()
+}
+
+// --- snapshot bounds and shape ---
+
+func TestSnapshotBounded(t *testing.T) {
+	an := New(Config{Rate: 1, CapacityBytes: 100 * 8192, BlockSize: 8192})
+	defer an.Close()
+	// Far more tenants, files and blocks than the snapshot may carry.
+	for i := 0; i < 3*maxSnapTenants; i++ {
+		var fhb [8]byte
+		binary.LittleEndian.PutUint64(fhb[:], uint64(i))
+		an.DemandData(fmt.Sprintf("tenant-%03d", i), fhb[:], uint64(i), 8192, false)
+	}
+	for f := 0; f < 3*maxSnapFiles; f++ {
+		fh := nfs3.FH(fmt.Sprintf("file-%03d", f))
+		for b := uint64(0); b < 8; b++ {
+			an.CacheLookup(fh, b, cache.LookupMiss)
+		}
+	}
+	an.Sync()
+	s := an.Snapshot()
+	if len(s.Tenants) > maxSnapTenants {
+		t.Errorf("tenants: %d > bound %d", len(s.Tenants), maxSnapTenants)
+	}
+	if len(s.Files) > maxSnapFiles {
+		t.Errorf("files: %d > bound %d", len(s.Files), maxSnapFiles)
+	}
+	if len(s.HotBlocks) > maxHotBlocks {
+		t.Errorf("hot blocks: %d > bound %d", len(s.HotBlocks), maxHotBlocks)
+	}
+	if len(s.MRC) > maxMRCPoints {
+		t.Errorf("mrc points: %d > bound %d", len(s.MRC), maxMRCPoints)
+	}
+	if s.Lookups == 0 || s.SampledRefs == 0 {
+		t.Errorf("counters empty: lookups %d sampled %d", s.Lookups, s.SampledRefs)
+	}
+	// The document must round-trip as JSON (the /cachez contract).
+	var buf bytes.Buffer
+	if err := an.WriteCachez(&buf); err != nil {
+		t.Fatalf("WriteCachez: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("cachez is not valid JSON: %v", err)
+	}
+	if back.SampleRate != 1 {
+		t.Errorf("round-trip sample_rate = %v, want 1", back.SampleRate)
+	}
+}
+
+func TestWorkingSetScaling(t *testing.T) {
+	// At rate 1 the estimate is exact: N distinct sampled blocks at
+	// blockSize bytes each.
+	an := New(Config{Rate: 1, CapacityBytes: 1 << 30, BlockSize: 4096})
+	defer an.Close()
+	fh := nfs3.FH("wss-file")
+	for b := uint64(0); b < 100; b++ {
+		an.CacheLookup(fh, b, cache.LookupMiss)
+		an.CacheLookup(fh, b, cache.LookupHit) // re-touch: still one distinct block
+	}
+	an.Sync()
+	if got, want := an.WorkingSetBytes(), uint64(100*4096); got != want {
+		t.Errorf("WorkingSetBytes = %d, want %d", got, want)
+	}
+	var fhb [8]byte
+	for b := uint64(0); b < 10; b++ {
+		an.DemandData("uid=500", fhb[:], b, 4096, false)
+	}
+	an.Sync()
+	bytes_, blocks := an.TenantWSS("uid=500")
+	if blocks != 10 || bytes_ != 10*4096 {
+		t.Errorf("TenantWSS = (%d, %d), want (40960, 10)", bytes_, blocks)
+	}
+	if b, n := an.TenantWSS("absent"); b != 0 || n != 0 {
+		t.Errorf("TenantWSS(absent) = (%d, %d), want zeros", b, n)
+	}
+}
+
+func TestHitRatioCounters(t *testing.T) {
+	an := New(Config{Rate: 0.01})
+	defer an.Close()
+	fh := nfs3.FH("hr")
+	for i := 0; i < 6; i++ {
+		an.CacheLookup(fh, uint64(i), cache.LookupHit)
+	}
+	for i := 0; i < 2; i++ {
+		an.CacheLookup(fh, uint64(i), cache.LookupAliasHit)
+	}
+	for i := 0; i < 2; i++ {
+		an.CacheLookup(fh, uint64(i), cache.LookupMiss)
+	}
+	// 6 hits + 2 alias hits out of 10 lookups.
+	if got, want := an.HitRatio(), 0.8; got != want {
+		t.Errorf("HitRatio = %v, want %v", got, want)
+	}
+}

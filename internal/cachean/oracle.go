@@ -1,0 +1,54 @@
+package cachean
+
+import "math"
+
+// Oracle is the exact (unsampled) LRU reuse-distance analyzer the
+// estimator is judged against: every reference's stack distance is
+// recorded exactly, and HitRatioAt counts them exactly — no sampling,
+// no histogram bucketing. Tests and `gvfsbench -experiment mrc` feed
+// it the same reference stream the sampled estimator sees and assert
+// the curves agree.
+//
+// It shares the Fenwick-tree tracker with the estimator, so it is
+// exact up to the tracker's maxLive bound on distinct keys (65536);
+// keep oracle workloads below that.
+type Oracle struct {
+	tr    *distTracker
+	dists []int32 // one stack distance per reference; -1 = cold
+}
+
+// NewOracle returns an empty oracle.
+func NewOracle() *Oracle {
+	return &Oracle{tr: newDistTracker()}
+}
+
+// Ref records one reference.
+func (o *Oracle) Ref(fh string, block uint64) {
+	d := o.tr.ref(bkey{fh: fh, block: block})
+	if d > math.MaxInt32 {
+		d = math.MaxInt32
+	}
+	o.dists = append(o.dists, int32(d))
+}
+
+// Refs returns the number of references recorded.
+func (o *Oracle) Refs() int { return len(o.dists) }
+
+// Distinct returns the number of distinct blocks referenced.
+func (o *Oracle) Distinct() int { return o.tr.live() }
+
+// HitRatioAt returns the exact hit ratio an LRU cache of capBlocks
+// blocks would have achieved on the recorded stream (cold references
+// miss at every size).
+func (o *Oracle) HitRatioAt(capBlocks uint64) float64 {
+	if len(o.dists) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, d := range o.dists {
+		if d >= 0 && uint64(d) < capBlocks {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(o.dists))
+}

@@ -1,0 +1,361 @@
+package cachean
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+)
+
+// Bounds on the arrays a snapshot (and therefore /cachez) may carry,
+// so the document stays a bounded read for scrapers.
+const (
+	maxMRCPoints   = 33
+	maxSnapTenants = 32
+	maxSnapFiles   = 16
+	maxHotBlocks   = 16
+)
+
+// MRCPoint is one point of the online miss-ratio curve.
+type MRCPoint struct {
+	SizeBytes uint64  `json:"size_bytes"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// WhatIf is one ghost-cache prediction: the hit ratio this workload
+// would see at a multiple of the current capacity.
+type WhatIf struct {
+	Scale     string  `json:"scale"`
+	SizeBytes uint64  `json:"size_bytes"`
+	HitRatio  float64 `json:"predicted_hit_ratio"`
+}
+
+// TenantDemand is one tenant's working-set estimate over the sliding
+// window, from the proxy demand feed.
+type TenantDemand struct {
+	Tenant              string `json:"tenant"`
+	WorkingSetBytes     uint64 `json:"working_set_bytes"`
+	SampledUniqueBlocks uint64 `json:"sampled_unique_blocks"`
+}
+
+// FileDemand is one file's working-set estimate over the sliding
+// window, from the cache reference stream.
+type FileDemand struct {
+	File                string `json:"file"`
+	WorkingSetBytes     uint64 `json:"working_set_bytes"`
+	SampledUniqueBlocks uint64 `json:"sampled_unique_blocks"`
+	SampledRefs         uint64 `json:"sampled_refs"`
+}
+
+// HotBlock is one entry of the sampled block-heat ranking.
+type HotBlock struct {
+	File        string `json:"file"`
+	Block       uint64 `json:"block"`
+	SampledRefs uint32 `json:"sampled_refs"`
+}
+
+// OpClass is one op class's exact demand counters.
+type OpClass struct {
+	Class string `json:"class"`
+	Ops   uint64 `json:"ops"`
+	Bytes uint64 `json:"bytes,omitempty"`
+}
+
+// Snapshot is the full cache-analytics reading served at /cachez.
+// Working-set estimates are the max of the current and previous epoch,
+// so they are at most one window stale and never dip to zero at a
+// rotation.
+type Snapshot struct {
+	SampleRate    float64 `json:"sample_rate"`
+	WindowSeconds float64 `json:"window_seconds"`
+	CapacityBytes uint64  `json:"capacity_bytes"`
+	BlockSize     int     `json:"block_size"`
+
+	Lookups   uint64  `json:"lookups"`
+	Hits      uint64  `json:"hits"`
+	AliasHits uint64  `json:"alias_hits"`
+	Misses    uint64  `json:"misses"`
+	Inserts   uint64  `json:"inserts"`
+	Evictions uint64  `json:"evictions"`
+	HitRatio  float64 `json:"hit_ratio"`
+
+	MRCRefs        uint64  `json:"mrc_refs"`
+	SampledRefs    uint64  `json:"sampled_refs"`
+	DroppedEvents  uint64  `json:"dropped_events"`
+	SaturatedDrops uint64  `json:"saturated_drops"`
+	ColdFraction   float64 `json:"cold_fraction"`
+	TrackedKeys    int     `json:"tracked_keys"`
+	SamplerBusyNs  uint64  `json:"sampler_busy_ns"`
+
+	WorkingSetBytes     uint64 `json:"working_set_bytes"`
+	SampledUniqueBlocks uint64 `json:"sampled_unique_blocks"`
+
+	MRC       []MRCPoint     `json:"mrc"`
+	WhatIf    []WhatIf       `json:"what_if"`
+	OpClasses []OpClass      `json:"op_classes"`
+	Tenants   []TenantDemand `json:"tenants,omitempty"`
+	Files     []FileDemand   `json:"files,omitempty"`
+	HotBlocks []HotBlock     `json:"hot_blocks,omitempty"`
+}
+
+// HitRatio returns the exact current hit ratio from the tap counters
+// (hits + alias hits over all lookups); 0 before any traffic.
+func (a *Analyzer) HitRatio() float64 {
+	h := a.hits.Load() + a.aliasHits.Load()
+	total := h + a.misses.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(h) / float64(total)
+}
+
+// PredictedHitRatio evaluates the miss-ratio curve at scale times the
+// configured capacity.
+func (a *Analyzer) PredictedHitRatio(scale float64) float64 {
+	expected := float64(a.mrcRefs.Load()) * a.cfg.Rate
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	capBlocks := uint64(scale * float64(a.cfg.CapacityBytes) / float64(a.cfg.BlockSize))
+	return a.hist.hitRatioAt(capBlocks, a.cfg.Rate, expected)
+}
+
+// WorkingSetBytes estimates the bytes touched over the last window:
+// distinct sampled blocks scaled by 1/rate times the block size.
+func (a *Analyzer) WorkingSetBytes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scaleBlocks(uint64(maxInt(len(a.cur.blocks), len(a.prev.blocks))))
+}
+
+// SampledRefs returns the total references admitted by the spatial
+// filter.
+func (a *Analyzer) SampledRefs() uint64 { return a.sampled.Load() }
+
+// DroppedEvents returns sampled events dropped on channel overflow.
+func (a *Analyzer) DroppedEvents() uint64 { return a.dropped.Load() }
+
+// BusyNs returns cumulative consumer processing time, the sampler's
+// overhead ledger.
+func (a *Analyzer) BusyNs() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.busyNs
+}
+
+// TenantWSS returns one tenant's working-set estimate for the
+// /statusz per-tenant table: scaled bytes and the raw sampled distinct
+// block count behind the estimate.
+func (a *Analyzer) TenantWSS(tenant string) (bytes, sampledBlocks uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := maxInt(len(a.cur.tenants[tenant]), len(a.prev.tenants[tenant]))
+	return a.scaleBlocks(uint64(n)), uint64(n)
+}
+
+// scaleBlocks converts a sampled distinct-block count to estimated
+// bytes. Caller holds a.mu (for cfg immutables it is not needed, but
+// every caller already holds it).
+func (a *Analyzer) scaleBlocks(n uint64) uint64 {
+	return uint64(float64(n) / a.cfg.Rate * float64(a.cfg.BlockSize))
+}
+
+// Snapshot assembles the full analytics reading.
+func (a *Analyzer) Snapshot() Snapshot {
+	hits, alias, misses := a.hits.Load(), a.aliasHits.Load(), a.misses.Load()
+	s := Snapshot{
+		SampleRate:    a.cfg.Rate,
+		WindowSeconds: a.cfg.Window.Seconds(),
+		Lookups:       hits + alias + misses,
+		Hits:          hits,
+		AliasHits:     alias,
+		Misses:        misses,
+		Inserts:       a.inserts.Load(),
+		Evictions:     a.evictions.Load(),
+		HitRatio:      a.HitRatio(),
+		MRCRefs:       a.mrcRefs.Load(),
+		SampledRefs:   a.sampled.Load(),
+		DroppedEvents: a.dropped.Load(),
+	}
+	for c := 0; c < numClasses; c++ {
+		if ops := a.classOps[c].Load(); ops > 0 {
+			s.OpClasses = append(s.OpClasses, OpClass{
+				Class: classNames[c],
+				Ops:   ops,
+				Bytes: a.classBytes[c].Load(),
+			})
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s.CapacityBytes = a.cfg.CapacityBytes
+	s.BlockSize = a.cfg.BlockSize
+	s.SaturatedDrops = a.saturated
+	s.TrackedKeys = a.tr.live()
+	s.SamplerBusyNs = a.busyNs
+	if a.hist.total > 0 {
+		s.ColdFraction = float64(a.hist.cold) / float64(a.hist.total)
+	}
+	blocks := uint64(maxInt(len(a.cur.blocks), len(a.prev.blocks)))
+	s.SampledUniqueBlocks = blocks
+	s.WorkingSetBytes = a.scaleBlocks(blocks)
+
+	capBlocks := a.cfg.CapacityBytes / uint64(a.cfg.BlockSize)
+	expected := float64(s.MRCRefs) * a.cfg.Rate
+	if capBlocks > 0 && a.hist.total > 0 {
+		// The curve: 2^(1/3)-spaced sizes from capacity/32 to 32x.
+		for i := 0; i < maxMRCPoints-1; i++ {
+			scale := ldexpCbrt(i - 15) // 2^((i-15)/3)
+			size := uint64(scale * float64(capBlocks))
+			if size == 0 {
+				continue
+			}
+			s.MRC = append(s.MRC, MRCPoint{
+				SizeBytes: size * uint64(a.cfg.BlockSize),
+				HitRatio:  a.hist.hitRatioAt(size, a.cfg.Rate, expected),
+			})
+		}
+		for _, scale := range Scales {
+			size := uint64(scale * float64(capBlocks))
+			s.WhatIf = append(s.WhatIf, WhatIf{
+				Scale:     ScaleLabel(scale),
+				SizeBytes: size * uint64(a.cfg.BlockSize),
+				HitRatio:  a.hist.hitRatioAt(size, a.cfg.Rate, expected),
+			})
+		}
+	}
+	s.Tenants = a.tenantRowsLocked()
+	s.Files, s.HotBlocks = a.fileRowsLocked()
+	return s
+}
+
+// tenantRowsLocked builds the per-tenant table, largest working set
+// first, bounded. Caller holds a.mu.
+func (a *Analyzer) tenantRowsLocked() []TenantDemand {
+	names := make(map[string]struct{}, len(a.cur.tenants)+len(a.prev.tenants))
+	for t := range a.cur.tenants {
+		names[t] = struct{}{}
+	}
+	for t := range a.prev.tenants {
+		names[t] = struct{}{}
+	}
+	rows := make([]TenantDemand, 0, len(names))
+	for t := range names {
+		n := uint64(maxInt(len(a.cur.tenants[t]), len(a.prev.tenants[t])))
+		rows = append(rows, TenantDemand{
+			Tenant:              t,
+			WorkingSetBytes:     a.scaleBlocks(n),
+			SampledUniqueBlocks: n,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].WorkingSetBytes != rows[j].WorkingSetBytes {
+			return rows[i].WorkingSetBytes > rows[j].WorkingSetBytes
+		}
+		return rows[i].Tenant < rows[j].Tenant
+	})
+	if len(rows) > maxSnapTenants {
+		rows = rows[:maxSnapTenants]
+	}
+	return rows
+}
+
+// fileRowsLocked derives the per-file working sets and the block-heat
+// ranking from the current epoch's per-block counts. Caller holds a.mu.
+func (a *Analyzer) fileRowsLocked() ([]FileDemand, []HotBlock) {
+	type fagg struct {
+		blocks uint64
+		refs   uint64
+	}
+	files := make(map[string]*fagg)
+	hot := make([]HotBlock, 0, len(a.cur.blocks))
+	for k, n := range a.cur.blocks {
+		f := files[k.fh]
+		if f == nil {
+			f = &fagg{}
+			files[k.fh] = f
+		}
+		f.blocks++
+		f.refs += uint64(n)
+		hot = append(hot, HotBlock{File: k.fh, Block: k.block, SampledRefs: n})
+	}
+	rows := make([]FileDemand, 0, len(files))
+	for fh, f := range files {
+		rows = append(rows, FileDemand{
+			File:                a.labelLocked(fh),
+			WorkingSetBytes:     a.scaleBlocks(f.blocks),
+			SampledUniqueBlocks: f.blocks,
+			SampledRefs:         f.refs,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SampledRefs != rows[j].SampledRefs {
+			return rows[i].SampledRefs > rows[j].SampledRefs
+		}
+		return rows[i].File < rows[j].File
+	})
+	if len(rows) > maxSnapFiles {
+		rows = rows[:maxSnapFiles]
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].SampledRefs != hot[j].SampledRefs {
+			return hot[i].SampledRefs > hot[j].SampledRefs
+		}
+		if hot[i].File != hot[j].File {
+			return hot[i].File < hot[j].File
+		}
+		return hot[i].Block < hot[j].Block
+	})
+	if len(hot) > maxHotBlocks {
+		hot = hot[:maxHotBlocks]
+	}
+	for i := range hot {
+		hot[i].File = a.labelLocked(hot[i].File)
+	}
+	return rows, hot
+}
+
+// labelLocked renders a raw file-handle key for display. Caller holds
+// a.mu.
+func (a *Analyzer) labelLocked(fhKey string) string {
+	if a.fileLabel != nil {
+		return a.fileLabel(fhKey)
+	}
+	if len(fhKey) > 8 {
+		fhKey = fhKey[:8]
+	}
+	return "fh:" + hex.EncodeToString([]byte(fhKey))
+}
+
+// WriteCachez renders the snapshot as the bounded /cachez JSON
+// document.
+func (a *Analyzer) WriteCachez(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Snapshot())
+}
+
+// ldexpCbrt returns 2^(n/3).
+func ldexpCbrt(n int) float64 {
+	oct, rem := n/3, n%3
+	if rem < 0 {
+		oct--
+		rem += 3
+	}
+	f := 1.0
+	switch rem {
+	case 1:
+		f = 1.2599210498948732 // 2^(1/3)
+	case 2:
+		f = 1.5874010519681994 // 2^(2/3)
+	}
+	return math.Ldexp(f, oct)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

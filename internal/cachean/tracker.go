@@ -1,0 +1,282 @@
+package cachean
+
+import (
+	"math"
+	"math/bits"
+)
+
+// bkey identifies one block in the analytic state (the string is the
+// raw nfs3 file-handle key).
+type bkey struct {
+	fh    string
+	block uint64
+}
+
+const (
+	// trackerCap is the number of references between tracker
+	// compactions (the Fenwick tree's position space).
+	trackerCap = 1 << 17
+	// maxLive bounds the distinct keys kept across a compaction; the
+	// oldest beyond it read as cold on their next reference. At the
+	// default 1% sampling rate this tracks ~6.5M distinct real blocks.
+	maxLive = 1 << 16
+)
+
+// distTracker computes LRU stack distances — the number of distinct
+// keys referenced since a key's previous reference — with the classic
+// hash-map + Fenwick-tree construction: each reference occupies one
+// position in a logical timeline, the tree holds a 1 at every key's
+// latest position, and the distance is the count of ones after the
+// key's previous position. Positions are compacted periodically so the
+// tree stays a fixed size.
+type distTracker struct {
+	pos   map[bkey]int32
+	tree  []int32
+	next  int32  // next position to assign, 1-based
+	order []bkey // position-1 -> key referenced there (for compaction)
+}
+
+func newDistTracker() *distTracker {
+	return &distTracker{
+		pos:   make(map[bkey]int32),
+		tree:  make([]int32, trackerCap+1),
+		next:  1, // position 0 is unused: a Fenwick update at 0 would not terminate
+		order: make([]bkey, 0, trackerCap),
+	}
+}
+
+func (t *distTracker) add(i, d int32) {
+	for ; i <= trackerCap; i += i & -i {
+		t.tree[i] += d
+	}
+}
+
+func (t *distTracker) sum(i int32) int32 {
+	var s int32
+	for ; i > 0; i -= i & -i {
+		s += t.tree[i]
+	}
+	return s
+}
+
+// ref records one reference to k and returns its stack distance, or
+// -1 for a cold (first-touch) reference.
+func (t *distTracker) ref(k bkey) int64 {
+	if t.next > trackerCap {
+		t.compact()
+	}
+	dist := int64(-1)
+	if p, ok := t.pos[k]; ok {
+		dist = int64(t.sum(t.next-1) - t.sum(p))
+		t.add(p, -1)
+	}
+	p := t.next
+	t.next++
+	t.add(p, 1)
+	t.pos[k] = p
+	t.order = append(t.order, k)
+	return dist
+}
+
+// live returns the number of distinct keys currently tracked.
+func (t *distTracker) live() int { return len(t.pos) }
+
+// compact renumbers live keys into positions 1..n preserving recency
+// order, and drops the oldest keys beyond maxLive (their next
+// reference reads as cold — a deliberate bound, not a leak).
+func (t *distTracker) compact() {
+	keys := make([]bkey, 0, len(t.pos))
+	for i, k := range t.order {
+		if p, ok := t.pos[k]; ok && p == int32(i+1) {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) > maxLive {
+		for _, k := range keys[:len(keys)-maxLive] {
+			delete(t.pos, k)
+		}
+		keys = keys[len(keys)-maxLive:]
+	}
+	for i := range t.tree {
+		t.tree[i] = 0
+	}
+	t.order = t.order[:0]
+	t.next = 1
+	for _, k := range keys {
+		t.pos[k] = t.next
+		t.add(t.next, 1)
+		t.order = append(t.order, k)
+		t.next++
+	}
+}
+
+const (
+	// histExactMax: sampled distances below this are counted exactly.
+	// At 1% sampling this is exact evaluation for caches up to ~400K
+	// blocks; beyond it geometric buckets interpolate.
+	histExactMax = 4096
+	histGeoBase  = 12 // first geometric octave: 2^12 == histExactMax
+	histGeoSub   = 8  // sub-buckets per octave (≤ 9% width)
+	histGeoCount = (63 - histGeoBase) * histGeoSub
+)
+
+// mrcHist accumulates sampled stack distances. Evaluation at a
+// threshold τ (= capacity·rate) yields the predicted hit ratio:
+// references with distance < τ would have hit, cold references miss at
+// every size and stay in the denominator, which is what makes the
+// SHARDS estimate self-normalizing.
+type mrcHist struct {
+	exact [histExactMax]uint64
+	geo   [histGeoCount]uint64
+	cold  uint64
+	total uint64
+}
+
+// add records one sampled distance (-1 = cold).
+func (h *mrcHist) add(dist int64) {
+	h.total++
+	if dist < 0 {
+		h.cold++
+		return
+	}
+	if dist < histExactMax {
+		h.exact[dist]++
+		return
+	}
+	l := bits.Len64(uint64(dist)) - 1 // floor(log2)
+	sub := (uint64(dist) >> uint(l-3)) & 7
+	idx := (l-histGeoBase)*histGeoSub + int(sub)
+	if idx >= histGeoCount {
+		idx = histGeoCount - 1
+	}
+	h.geo[idx]++
+}
+
+// geoBounds returns bucket i's [lo, hi) distance range.
+func geoBounds(i int) (lo, hi float64) {
+	octave := histGeoBase + i/histGeoSub
+	sub := i % histGeoSub
+	width := math.Ldexp(1, octave-3) // 2^octave / 8
+	lo = math.Ldexp(1, octave) + float64(sub)*width
+	return lo, lo + width
+}
+
+// hitsBelow counts references with distance < tau, interpolating
+// within a straddled geometric bucket.
+func (h *mrcHist) hitsBelow(tau float64) float64 {
+	if tau <= 0 {
+		return 0
+	}
+	var sum float64
+	t := int64(math.Ceil(tau))
+	if t > histExactMax {
+		t = histExactMax
+	}
+	for d := int64(0); d < t; d++ {
+		sum += float64(h.exact[d])
+	}
+	if tau <= histExactMax {
+		return sum
+	}
+	for i := 0; i < histGeoCount; i++ {
+		if h.geo[i] == 0 {
+			continue
+		}
+		lo, hi := geoBounds(i)
+		switch {
+		case hi <= tau:
+			sum += float64(h.geo[i])
+		case lo >= tau:
+			return sum
+		default:
+			sum += float64(h.geo[i]) * (tau - lo) / (hi - lo)
+		}
+	}
+	return sum
+}
+
+// hitRatioAt evaluates the miss-ratio curve: the predicted hit ratio
+// of an LRU cache holding capBlocks blocks, given sampling rate rate.
+//
+// expectedTotal is the expected sample count (exact reference count ×
+// rate). Per the SHARDS adjustment, the difference between it and the
+// actual sample count is applied at distance zero and the ratio is
+// taken over the expectation: a draw that happened to include hot
+// blocks oversamples short distances, and without the correction that
+// bias inflates the whole curve.
+func (h *mrcHist) hitRatioAt(capBlocks uint64, rate, expectedTotal float64) float64 {
+	if h.total == 0 || expectedTotal <= 0 {
+		return 0
+	}
+	tau := float64(capBlocks) * rate
+	if tau <= 0 {
+		return 0
+	}
+	hits := h.hitsBelow(tau) + (expectedTotal - float64(h.total))
+	switch r := hits / expectedTotal; {
+	case r < 0:
+		return 0
+	case r > 1:
+		return 1
+	default:
+		return r
+	}
+}
+
+// maxEpochEntries bounds the total map entries one working-set epoch
+// may hold (blocks + per-tenant entries); beyond it new keys are
+// dropped and counted, so a scan cannot grow memory without bound.
+const (
+	maxEpochEntries = 1 << 17
+	maxTenants      = 64
+)
+
+// epochSet is one working-set window: sampled per-block reference
+// counts (distinct size + heat in one map) and per-tenant sampled
+// block sets from the proxy demand feed.
+type epochSet struct {
+	blocks  map[bkey]uint32
+	tenants map[string]map[bkey]struct{}
+	entries int
+}
+
+func newEpochSet() *epochSet {
+	return &epochSet{
+		blocks:  make(map[bkey]uint32),
+		tenants: make(map[string]map[bkey]struct{}),
+	}
+}
+
+func (e *epochSet) touchBlock(k bkey, saturated *uint64) {
+	if n, ok := e.blocks[k]; ok {
+		e.blocks[k] = n + 1
+		return
+	}
+	if e.entries >= maxEpochEntries {
+		*saturated++
+		return
+	}
+	e.blocks[k] = 1
+	e.entries++
+}
+
+func (e *epochSet) touchTenant(tenant string, k bkey, saturated *uint64) {
+	set, ok := e.tenants[tenant]
+	if !ok {
+		if len(e.tenants) >= maxTenants {
+			*saturated++
+			return
+		}
+		set = make(map[bkey]struct{})
+		e.tenants[tenant] = set
+	}
+	if _, ok := set[k]; ok {
+		return
+	}
+	if e.entries >= maxEpochEntries {
+		*saturated++
+		return
+	}
+	set[k] = struct{}{}
+	e.entries++
+}

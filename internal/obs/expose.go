@@ -265,6 +265,9 @@ type Endpoint struct {
 	// Statusz, when set, renders the daemon-specific /statusz JSON
 	// document (the proxy's accounting tables).
 	Statusz func(w io.Writer) error
+	// Cachez, when set, renders the cache-analytics JSON document
+	// (miss-ratio curves, working sets, what-if predictions).
+	Cachez func(w io.Writer) error
 }
 
 // Mux builds the HTTP handler set:
@@ -276,6 +279,7 @@ type Endpoint struct {
 //	/logz          JSON dump of the structured log ring
 //	/flightrec     JSON dump of the flight recorder
 //	/statusz       daemon accounting document (when Statusz set)
+//	/cachez        cache-analytics document (when Cachez set)
 func (e Endpoint) Mux() *http.ServeMux {
 	reg := e.Registry
 	if reg == nil {
@@ -309,6 +313,14 @@ func (e Endpoint) Mux() *http.ServeMux {
 		}
 	}
 	mux.HandleFunc("/statusz", jsonHandler(statusz))
+	cachez := e.Cachez
+	if cachez == nil {
+		cachez = func(w io.Writer) error {
+			_, err := io.WriteString(w, "{}\n")
+			return err
+		}
+	}
+	mux.HandleFunc("/cachez", jsonHandler(cachez))
 	return mux
 }
 

@@ -342,6 +342,25 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // first use. Cache the result on hot paths.
 func (v *CounterVec) With(vals ...string) *Counter { return v.fam.child(vals).c }
 
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, KindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use. Cache the result on hot paths.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.fam.child(vals).g }
+
+// WithFunc registers a callback-backed gauge for the given label
+// values, read through fn at collection time. Re-registering the same
+// label values replaces the callback.
+func (v *GaugeVec) WithFunc(fn func() float64, vals ...string) {
+	v.fam.child(vals).gf = fn
+}
+
 // HistogramVec is a family of histograms distinguished by label values.
 type HistogramVec struct{ fam *family }
 

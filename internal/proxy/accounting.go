@@ -95,12 +95,26 @@ type Statusz struct {
 	Clients      []ClientStats          `json:"clients"`
 
 	// QoS is the admission scheduler's per-tenant table (absent when
-	// QoS is disabled). Brownout mirrors the gvfs_qos_brownout_active
-	// gauge.
-	QoS      []qos.TenantStats `json:"qos_tenants,omitempty"`
-	Brownout bool              `json:"brownout,omitempty"`
+	// QoS is disabled), with cache-analytics demand columns merged in
+	// when -cachean is on. Brownout mirrors the
+	// gvfs_qos_brownout_active gauge.
+	QoS      []TenantRow `json:"qos_tenants,omitempty"`
+	Brownout bool        `json:"brownout,omitempty"`
 
 	Audit AuditLog `json:"writeback_audit"`
+}
+
+// TenantRow is one tenant's row in the statusz QoS table: the
+// admission scheduler's counters joined with the cache-analytics
+// demand estimate for the same identity (zero when analytics are off
+// or the tenant's accesses were never sampled). WorkingSetBytes is
+// the SHARDS-scaled estimate of distinct bytes the tenant touched in
+// the sliding window; SampledUniqueBlocks is the raw (unscaled)
+// evidence behind it.
+type TenantRow struct {
+	qos.TenantStats
+	WorkingSetBytes     uint64 `json:"working_set_bytes"`
+	SampledUniqueBlocks uint64 `json:"sampled_unique_blocks"`
 }
 
 // AuditLog is the audit section of the statusz document.
@@ -418,7 +432,13 @@ func (a *accounting) snapshot(degraded bool) Statusz {
 // Statusz returns the proxy's accounting snapshot.
 func (p *Proxy) Statusz() Statusz {
 	doc := p.acct.snapshot(p.degraded())
-	doc.QoS = p.QoSTenants()
+	for _, ts := range p.QoSTenants() {
+		row := TenantRow{TenantStats: ts}
+		if p.cfg.Cachean != nil {
+			row.WorkingSetBytes, row.SampledUniqueBlocks = p.cfg.Cachean.TenantWSS(ts.Client)
+		}
+		doc.QoS = append(doc.QoS, row)
+	}
 	doc.Brownout = p.brownout()
 	return doc
 }

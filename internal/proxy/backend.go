@@ -213,18 +213,18 @@ func (p *Proxy) backendWriteReply(c *sunrpc.Call, args *nfs3.WriteArgs, attr *ba
 func (p *Proxy) readThrough(c *sunrpc.Call, args *nfs3.ReadArgs, tr *obs.Active, start time.Time) ([]byte, sunrpc.AcceptStat) {
 	if !p.useBackendIO() {
 		res, stat := p.forward(c, tr)
-		p.accountRead(c, args.FH, "forwarded", args.Count, start)
+		p.accountRead(c, args.FH, args.Offset, "forwarded", args.Count, start)
 		return res, stat
 	}
 	r, err := p.beDemandRead(args.FH, args.Offset, args.Count, tr, c.Deadline)
 	if err != nil {
-		p.accountRead(c, args.FH, "error", args.Count, start)
+		p.accountRead(c, args.FH, args.Offset, "error", args.Count, start)
 		return backendReadError(err)
 	}
 	if r.Attr != nil {
 		p.rememberSize(args.FH, r.Attr.Size)
 	}
 	res, stat := p.readResultReply(c, r)
-	p.accountRead(c, args.FH, "forwarded", args.Count, start)
+	p.accountRead(c, args.FH, args.Offset, "forwarded", args.Count, start)
 	return res, stat
 }

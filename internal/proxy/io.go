@@ -27,19 +27,25 @@ func (p *Proxy) synthesizedAttr(fh nfs3.FH) *nfs3.Fattr {
 	return nil
 }
 
-// accountRead feeds one finished READ into both the per-outcome
-// latency histogram and the per-file / per-client accounting tables.
+// accountRead feeds one finished READ into the per-outcome latency
+// histogram, the per-file / per-client accounting tables, and the
+// cache-analytics demand feed (tenant identity + block touched).
 // Degraded reads are attributed to the file and client that issued
 // them, so /statusz shows who was served from cache during an outage.
-func (p *Proxy) accountRead(c *sunrpc.Call, fh nfs3.FH, outcome string, count uint32, start time.Time) {
+func (p *Proxy) accountRead(c *sunrpc.Call, fh nfs3.FH, off uint64, outcome string, count uint32, start time.Time) {
 	p.stats.observeRead(outcome, start)
 	// The aggregate histogram above always records; the per-file /
 	// per-client table detail is optional work brownout sheds.
 	if p.brownout() {
 		return
 	}
+	client := p.clientLabel(c)
+	if p.cfg.Cachean != nil && p.cfg.BlockCache != nil && outcome != "error" {
+		bs := uint64(p.cfg.BlockCache.BlockSize())
+		p.cfg.Cachean.DemandData(client, fh, off/bs, int(count), false)
+	}
 	served := outcome == "block_hit" || outcome == "file_cache" || outcome == "zero_filter"
-	p.acct.recordRead(p.fileLabel(fh), p.clientLabel(c), outcome, count, served && p.degraded())
+	p.acct.recordRead(p.fileLabel(fh), client, outcome, count, served && p.degraded())
 }
 
 func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.AcceptStat) {
@@ -59,14 +65,14 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 				if err := p.ensureFetched(args.FH, ms); err == nil {
 					res, stat := p.readFromFileCache(&args)
 					tr.Span(obs.LayerFileCache, "hit", start)
-					p.accountRead(c, args.FH, "file_cache", args.Count, start)
+					p.accountRead(c, args.FH, args.Offset, "file_cache", args.Count, start)
 					return res, stat
 				}
 				// Channel failure: fall through to block-based path.
 			} else if ms.m.HasZeroMap() && rangeIsZero(ms.m, args.Offset, args.Count) {
 				res, stat := p.zeroReply(&args, ms.m)
 				tr.Span(obs.LayerZeroFilter, "hit", start)
-				p.accountRead(c, args.FH, "zero_filter", args.Count, start)
+				p.accountRead(c, args.FH, args.Offset, "zero_filter", args.Count, start)
 				return res, stat
 			}
 		}
@@ -77,7 +83,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 		if info, ok := p.pathOf(args.FH); ok && p.cfg.FileCache.Has(info.full) {
 			res, stat := p.readFromFileCache(&args)
 			tr.Span(obs.LayerFileCache, "hit", start)
-			p.accountRead(c, args.FH, "file_cache", args.Count, start)
+			p.accountRead(c, args.FH, args.Offset, "file_cache", args.Count, start)
 			return res, stat
 		}
 	}
@@ -126,13 +132,13 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	// the overloaded proxy cannot afford — defer it with a retriable
 	// error so the queues drain.
 	if res, stat, shed := p.deferMissInBrownout(c); shed {
-		p.accountRead(c, args.FH, "error", args.Count, start)
+		p.accountRead(c, args.FH, args.Offset, "error", args.Count, start)
 		return res, stat
 	}
 	p.stats.readMisses.Add(1)
 	r, err := p.beDemandRead(args.FH, args.Offset, args.Count, tr, c.Deadline)
 	if err != nil {
-		p.accountRead(c, args.FH, "error", args.Count, start)
+		p.accountRead(c, args.FH, args.Offset, "error", args.Count, start)
 		return backendReadError(err)
 	}
 	if r.Attr != nil {
@@ -147,7 +153,7 @@ func (p *Proxy) handleRead(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Accep
 	}
 	p.maybePrefetch(args.FH, block)
 	res, stat := p.readResultReply(c, r)
-	p.accountRead(c, args.FH, "block_miss", args.Count, start)
+	p.accountRead(c, args.FH, args.Offset, "block_miss", args.Count, start)
 	return res, stat
 }
 
@@ -160,7 +166,7 @@ func (p *Proxy) serveByHash(c *sunrpc.Call, args *nfs3.ReadArgs, block uint64, h
 		p.stats.zeroFiltered.Add(1)
 		res, stat := p.cachedReadReply(c, args, make([]byte, n))
 		tr.Span(obs.LayerZeroFilter, "hit", lookup)
-		p.accountRead(c, args.FH, "zero_filter", args.Count, start)
+		p.accountRead(c, args.FH, args.Offset, "zero_filter", args.Count, start)
 		return res, stat, true
 	}
 	buf := bufpool.Get(p.cfg.BlockCache.BlockSize())
@@ -174,7 +180,7 @@ func (p *Proxy) serveByHash(c *sunrpc.Call, args *nfs3.ReadArgs, block uint64, h
 	p.maybePrefetch(args.FH, block)
 	res, stat := p.cachedReadReply(c, args, data)
 	bufpool.Put(buf)
-	p.accountRead(c, args.FH, "block_hit", args.Count, start)
+	p.accountRead(c, args.FH, args.Offset, "block_hit", args.Count, start)
 	return res, stat, true
 }
 
@@ -195,7 +201,7 @@ func (p *Proxy) serveBlockHit(c *sunrpc.Call, args *nfs3.ReadArgs, block uint64,
 	p.maybePrefetch(args.FH, block)
 	res, stat := p.cachedReadReply(c, args, data)
 	bufpool.Put(buf)
-	p.accountRead(c, args.FH, "block_hit", args.Count, start)
+	p.accountRead(c, args.FH, args.Offset, "block_hit", args.Count, start)
 	return res, stat, true
 }
 
@@ -358,7 +364,11 @@ func (p *Proxy) handleWrite(c *sunrpc.Call, tr *obs.Active) ([]byte, sunrpc.Acce
 	p.bumpSize(args.FH, args.Offset+uint64(len(args.Data)))
 	p.stats.writesAbsorbed.Add(1)
 	file := p.fileLabel(args.FH)
-	p.acct.recordWrite(file, p.clientLabel(c), len(args.Data))
+	client := p.clientLabel(c)
+	if p.cfg.Cachean != nil {
+		p.cfg.Cachean.DemandData(client, args.FH, block, len(args.Data), true)
+	}
+	p.acct.recordWrite(file, client, len(args.Data))
 	p.acct.blockDirtied(file, block, len(args.Data))
 	tr.Span(obs.LayerBlockCache, "absorb", start)
 	return p.absorbedWriteReply(c, &args), sunrpc.Success
@@ -435,6 +445,10 @@ func (p *Proxy) writeThrough(c *sunrpc.Call, args *nfs3.WriteArgs, tr *obs.Activ
 		return p.relayWrite(c, args, tr)
 	}
 	p.stats.writesForwarded.Add(1)
+	if p.cfg.Cachean != nil && p.cfg.BlockCache != nil {
+		bs := uint64(p.cfg.BlockCache.BlockSize())
+		p.cfg.Cachean.DemandData(p.clientLabel(c), args.FH, args.Offset/bs, len(args.Data), true)
+	}
 	p.acct.recordWrite(p.fileLabel(args.FH), p.clientLabel(c), len(args.Data))
 	attr, err := p.beDemandWrite(args.FH, args.Offset, args.Data, tr, c.Deadline)
 	if err != nil {

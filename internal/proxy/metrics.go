@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gvfs/internal/backend"
+	"gvfs/internal/cachean"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
 	"gvfs/internal/sunrpc"
@@ -168,6 +169,29 @@ func (p *Proxy) registerBridges(reg *obs.Registry) {
 			func() uint64 { return bc.DedupStats().Hits })
 		reg.CounterFunc("gvfs_dedup_alias_drops_total", "Stale dedup mappings discarded lazily.",
 			func() uint64 { return bc.DedupStats().AliasDrops })
+	}
+	if an := p.cfg.Cachean; an != nil {
+		reg.GaugeFunc("gvfs_cachean_hit_ratio",
+			"Observed block-cache hit ratio (alias hits included).",
+			an.HitRatio)
+		pred := reg.GaugeVec("gvfs_cachean_predicted_hit_ratio",
+			"Ghost-cache predicted hit ratio at a multiple of current capacity.", "scale")
+		for _, s := range cachean.Scales {
+			s := s
+			pred.WithFunc(func() float64 { return an.PredictedHitRatio(s) }, cachean.ScaleLabel(s))
+		}
+		reg.GaugeFunc("gvfs_cachean_working_set_bytes",
+			"Estimated working-set size over the sliding window (scaled from the sample).",
+			func() float64 { return float64(an.WorkingSetBytes()) })
+		reg.CounterFunc("gvfs_cachean_sampled_refs_total",
+			"Cache references admitted by the spatial sampler.",
+			an.SampledRefs)
+		reg.CounterFunc("gvfs_cachean_dropped_events_total",
+			"Sampled events dropped because the analytics queue was full.",
+			an.DroppedEvents)
+		reg.GaugeFunc("gvfs_cachean_sampler_busy_seconds",
+			"Cumulative CPU time spent in the analytics consumer goroutine.",
+			func() float64 { return float64(an.BusyNs()) / 1e9 })
 	}
 	if ts, ok := p.cfg.Backend.(backend.TransportStatser); ok {
 		reg.CounterFunc("gvfs_rpc_retries_total", "Upstream RPC retransmissions.",

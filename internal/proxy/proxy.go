@@ -36,6 +36,7 @@ import (
 	"gvfs/internal/backend"
 	"gvfs/internal/backend/nfs3be"
 	"gvfs/internal/cache"
+	"gvfs/internal/cachean"
 	"gvfs/internal/filecache"
 	"gvfs/internal/meta"
 	"gvfs/internal/mountd"
@@ -155,6 +156,13 @@ type Config struct {
 	// stack layer builds and closes it alongside the proxy).
 	QoS *qos.Scheduler
 
+	// Cachean, when set, receives proxy-level demand taps (tenant
+	// identity from the AUTH_UNIX credential, op-class tagging) and is
+	// surfaced through /statusz, /cachez and the gvfs_cachean_*
+	// metrics. The caller owns its lifecycle and normally also installs
+	// it as the block cache's AccessTap (the stack layer does both).
+	Cachean *cachean.Analyzer
+
 	// CallBudget is the default per-call deadline applied to calls
 	// that arrive without a propagated budget in the trace verifier.
 	// The remaining budget is re-propagated upstream on every hop and
@@ -243,6 +251,12 @@ func New(cfg Config) (*Proxy, error) {
 		})
 	}
 	p.registerBridges(reg)
+	if cfg.Cachean != nil {
+		// Render raw fh keys in /cachez through the proxy's path map.
+		cfg.Cachean.SetFileLabeler(func(key string) string {
+			return p.fileLabel(nfs3.FH(key))
+		})
+	}
 	if cfg.ReadAhead > 0 && cfg.BlockCache != nil {
 		p.ra = newReadAhead()
 	}
@@ -308,6 +322,19 @@ func (p *Proxy) HandleCall(c *sunrpc.Call) ([]byte, sunrpc.AcceptStat) {
 	// Per-client op-mix accounting is optional detail brownout sheds.
 	if !p.brownout() {
 		p.acct.recordOp(p.clientLabel(c), procLabel(c.Prog, c.Proc))
+		if p.cfg.Cachean != nil && c.Prog == nfs3.Program {
+			// Metadata op classes; READ/WRITE demand is tapped with its
+			// block identity on the io.go paths instead.
+			switch c.Proc {
+			case nfs3.ProcRead, nfs3.ProcWrite:
+			case nfs3.ProcGetattr:
+				p.cfg.Cachean.DemandMeta(cachean.ClassGetattr)
+			case nfs3.ProcLookup:
+				p.cfg.Cachean.DemandMeta(cachean.ClassLookup)
+			default:
+				p.cfg.Cachean.DemandMeta(cachean.ClassOtherMeta)
+			}
+		}
 	}
 	if idle := p.idle.Load(); idle != nil {
 		idle.touch()

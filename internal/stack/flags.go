@@ -141,6 +141,11 @@ type ProxyFlags struct {
 	// Accounting table bounds.
 	AcctEntries int           // max per-file/per-client rows (0 = default)
 	AcctTTL     time.Duration // idle row eviction TTL (0 = default)
+
+	// Cache analytics (see internal/cachean and DESIGN.md §11).
+	Cachean       bool          // enable miss-ratio curves + working-set estimation
+	CacheanRate   float64       // spatial sample rate (0 = default 0.01)
+	CacheanWindow time.Duration // working-set sliding window (0 = default 60s)
 }
 
 // BindProxyFlags registers the proxy daemon's flags on fs and returns
@@ -193,6 +198,9 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.DurationVar(&f.CallBudget, "call-budget", 0, "default end-to-end deadline for calls without a propagated budget (0 = off)")
 	fs.IntVar(&f.AcctEntries, "acct-entries", 0, "max per-file/per-client accounting rows (0 = default 4096)")
 	fs.DurationVar(&f.AcctTTL, "acct-ttl", 0, "evict accounting rows idle this long (0 = default 15m)")
+	fs.BoolVar(&f.Cachean, "cachean", false, "enable cache analytics: miss-ratio curves, working sets, what-if sizing (/cachez)")
+	fs.Float64Var(&f.CacheanRate, "cachean-sample-rate", 0, "cache-analytics spatial sample rate in (0,1] (0 = default 0.01)")
+	fs.DurationVar(&f.CacheanWindow, "cachean-window", 0, "cache-analytics working-set window (0 = default 60s)")
 	f.Log = BindLogFlags(fs)
 	return f
 }
@@ -303,6 +311,9 @@ func (f *ProxyFlags) baseOptions() (ProxyOptions, error) {
 		CallBudget:          f.CallBudget,
 		AcctMaxEntries:      f.AcctEntries,
 		AcctIdleTTL:         f.AcctTTL,
+		Cachean:             f.Cachean,
+		CacheanRate:         f.CacheanRate,
+		CacheanWindow:       f.CacheanWindow,
 	}
 	if f.QoS || f.BrownoutEnter > 0 {
 		opts.QoS = &qos.Config{

@@ -16,6 +16,7 @@ import (
 	"gvfs/internal/auth"
 	"gvfs/internal/backend/objstore"
 	"gvfs/internal/cache"
+	"gvfs/internal/cachean"
 	"gvfs/internal/filecache"
 	"gvfs/internal/filechan"
 	"gvfs/internal/memfs"
@@ -37,6 +38,7 @@ type Node struct {
 	Metrics    *obs.Registry       // the proxy's registry (nil for end servers)
 	Tracer     *obs.Tracer         // the proxy's trace ring (nil unless enabled)
 	Flight     *obs.FlightRecorder // the proxy's flight recorder (nil unless enabled)
+	Cachean    *cachean.Analyzer   // cache analytics (nil unless enabled)
 	rpcSrv     *sunrpc.Server
 	listener   net.Listener
 	extra      []func() // additional cleanup
@@ -291,6 +293,19 @@ type ProxyOptions struct {
 	// accounting tables (0 = package defaults).
 	AcctMaxEntries int
 	AcctIdleTTL    time.Duration
+
+	// Cachean enables the cache-analytics subsystem (internal/cachean):
+	// a SHARDS-sampled reuse-distance tracker behind the block cache
+	// that maintains online miss-ratio curves, working-set estimates
+	// and what-if sizing, surfaced at /cachez and as gvfs_cachean_*
+	// metrics. The analyzer is installed as the block cache's access
+	// tap, so it needs CacheConfig; with only a SharedBlockCache the
+	// proxy-level demand taps still feed it, but the MRC stays empty.
+	// CacheanRate is the spatial sample rate (0 = 0.01); CacheanWindow
+	// the working-set sliding window (0 = 60s).
+	Cachean       bool
+	CacheanRate   float64
+	CacheanWindow time.Duration
 }
 
 // Backend selector values for ProxyOptionsV2.Backend.
@@ -442,6 +457,16 @@ func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
 		cleanup = append(cleanup, sched.Close)
 	}
 
+	var analyzer *cachean.Analyzer
+	if opts.Cachean {
+		analyzer = cachean.New(cachean.Config{
+			Rate:   opts.CacheanRate,
+			Window: opts.CacheanWindow,
+		})
+		cfg.Cachean = analyzer
+		cleanup = append(cleanup, analyzer.Close)
+	}
+
 	var blockCache *cache.Cache
 	if opts.SharedBlockCache != nil {
 		if opts.CacheConfig != nil {
@@ -465,6 +490,9 @@ func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
 		}
 		if o.Dedup {
 			ccfg.Dedup = true
+		}
+		if analyzer != nil && ccfg.Tap == nil {
+			ccfg.Tap = analyzer
 		}
 		var err error
 		blockCache, err = cache.New(ccfg)
@@ -493,6 +521,13 @@ func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
 		if opts.FileChanAddr != "" {
 			cfg.FileChanDial = Dialer(opts.FileChanAddr, opts.FileChanLink, opts.FileChanKey)
 		}
+	}
+
+	if analyzer != nil && blockCache != nil {
+		cc := blockCache.Config()
+		analyzer.SetCapacity(
+			uint64(cc.Banks)*uint64(cc.SetsPerBank)*uint64(cc.Assoc)*uint64(cc.BlockSize),
+			cc.BlockSize)
 	}
 
 	p, err := proxy.New(cfg)
@@ -528,7 +563,7 @@ func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
 	go srv.Serve(l)
 	return &Node{Addr: l.Addr().String(), Proxy: p, BlockCache: blockCache,
 		Metrics: p.MetricsRegistry(), Tracer: cfg.Tracer, Flight: cfg.Flight,
-		rpcSrv: srv, listener: l, extra: cleanup}, nil
+		Cachean: analyzer, rpcSrv: srv, listener: l, extra: cleanup}, nil
 }
 
 // StartStatsLogger emits one structured "stats" event for p at every
