@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|noisy|alloc|dedup|mrc|all")
+		"comma-separated experiments: fig3|fig4|fig5|fig6|table1|zerofilter|persistent|concurrency|ablation-writepolicy|ablation-metadata|ablation-geometry|ablation-tunnel|ablation-readahead|trace|flightrec|crash|noisy|alloc|dedup|mrc|failover|all")
 	scale := flag.Float64("scale", 64, "divide data sizes and compute times by this factor")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	noEncrypt := flag.Bool("no-encrypt", false, "disable inter-proxy tunnels")
@@ -58,10 +58,11 @@ func main() {
 		"alloc":                o.RunAlloc,
 		"dedup":                o.RunDedup,
 		"mrc":                  o.RunMrc,
+		"failover":             o.RunFailover,
 	}
 	order := []string{"fig3", "fig4", "fig5", "fig6", "table1", "zerofilter", "persistent", "concurrency",
 		"ablation-writepolicy", "ablation-metadata", "ablation-geometry", "ablation-tunnel", "ablation-readahead",
-		"trace", "flightrec", "crash", "noisy", "alloc", "dedup", "mrc"}
+		"trace", "flightrec", "crash", "noisy", "alloc", "dedup", "mrc", "failover"}
 
 	var selected []string
 	if *experiment == "all" {

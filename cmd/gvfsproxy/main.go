@@ -35,6 +35,15 @@
 // identical cached blocks — N cloned VM images — share one disk-cache
 // frame, whichever backend is in use.
 //
+// With -backend repl the proxy fans its upstream over a replica set
+// (-replicas objstore:/a,objstore:/b,objstore:/c): per-replica health
+// tracking with automatic failover, hedged reads after a latency
+// quantile (-repl-hedge-quantile), optional majority-ack writes
+// (-repl-quorum), and a background scrub that cross-checks block
+// hashes between replicas and repairs divergence (-repl-scrub).
+// Replica health appears at /statusz and as gvfs_backend_replica_*
+// metrics.
+//
 // With -metrics the proxy serves its unified observability surface
 // over HTTP: Prometheus exposition at /metrics (with exemplars when
 // the flight recorder is on), the request-trace ring at /traces, the
@@ -105,6 +114,7 @@ func main() {
 		"listen", l.Addr().String(),
 		"backend", flags.Backend,
 		"upstream", flags.Upstream,
+		"replicas", flags.Replicas,
 		"cache", flags.CacheDir != "",
 		"dedup", flags.Dedup,
 		"policy", flags.Policy,

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/cachean"
 	"gvfs/internal/obs"
 	"gvfs/internal/proxy"
@@ -191,6 +192,7 @@ func renderHop(b *strings.Builder, st hopState, rows int) {
 		}
 		b.WriteString(")\n")
 	}
+	renderReplicas(b, st.statusz.Replication)
 	files := st.statusz.Files["reads"]
 	if len(files) > rows {
 		files = files[:rows]
@@ -216,6 +218,55 @@ func renderHop(b *strings.Builder, st hopState, rows int) {
 		}
 		b.WriteByte('\n')
 	}
+}
+
+// renderReplicas paints the replicated-backend health table. Hops
+// running a single backend carry no replication section in /statusz
+// and render nothing here.
+func renderReplicas(b *strings.Builder, rs *replbe.Stats) {
+	if rs == nil {
+		return
+	}
+	mode := "primary-ack"
+	if rs.Quorum {
+		mode = "quorum"
+	}
+	hedgeRate := 0.0
+	if rs.Reads > 0 {
+		hedgeRate = float64(rs.HedgesFired) / float64(rs.Reads)
+	}
+	fmt.Fprintf(b, "    repl %s  reads %d  failovers %d  hedges %d/%d (%.1f%% of reads, delay %s)  scrub %d/%d repaired\n",
+		mode, rs.Reads, rs.Failovers, rs.HedgesWon, rs.HedgesFired,
+		100*hedgeRate, humanDur(rs.HedgeDelayNs),
+		rs.Scrub.BlocksRepaired, rs.Scrub.BlocksDivergent)
+	fmt.Fprintf(b, "    %-12s %-9s %-8s %9s %8s %7s %7s %7s %6s\n",
+		"replica", "backend", "state", "ewma", "ops", "errs", "hwins", "pending", "stale")
+	for _, r := range rs.Replicas {
+		state := r.State
+		if r.State == "down" && r.DownSinceNs > 0 {
+			state = "down " + time.Since(time.Unix(0, r.DownSinceNs)).Round(time.Second).String()
+		}
+		if r.ReadOnly {
+			state += " ro"
+		}
+		fmt.Fprintf(b, "    %-12s %-9s %-8s %9s %8d %7d %7d %7d %6d\n",
+			clip(r.Name, 12), clip(r.Backend, 9), state,
+			humanLat(r.EWMALatencyNs), r.Ops, r.Errors, r.HedgeWins,
+			r.PendingRepl, r.StaleFiles)
+	}
+}
+
+// humanLat renders a latency with sub-millisecond resolution (replica
+// EWMAs on a LAN are routinely tens of microseconds).
+func humanLat(ns int64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	if d < time.Millisecond {
+		return d.Round(time.Microsecond).String()
+	}
+	return d.Round(100 * time.Microsecond).String()
 }
 
 // whatIfAt picks one ghost-cache prediction by scale label; falls back

@@ -251,8 +251,14 @@ func Run(t *testing.T, mk Maker) {
 		if c := backend.Classify(err); c != backend.ClassUnavailable {
 			t.Errorf("dead transport classified %v, want unavailable (err: %v)", c, err)
 		}
-		if f.B.Probe() == nil {
+		perr := f.B.Probe()
+		if perr == nil {
 			t.Error("probe reported a dead transport healthy")
+		} else if c := backend.Classify(perr); c != backend.ClassUnavailable {
+			// The class matters, not just presence: the breaker counts
+			// only Unavailable, and the replicated backend fails over on
+			// it. A misclassified probe error silently disables both.
+			t.Errorf("dead-transport probe classified %v, want unavailable (err: %v)", c, perr)
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"gvfs/internal/backend"
 	"gvfs/internal/backend/nfs3be"
 	"gvfs/internal/backend/objstore"
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/memfs"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/sunrpc"
@@ -106,6 +107,58 @@ func TestObjstoreBackend(t *testing.T) {
 			},
 			KillTransport: func() {
 				be.SetFault(&backend.Error{Class: backend.ClassUnavailable, Op: "fault"})
+			},
+		}
+	})
+}
+
+// TestReplBackend runs the suite against the replicated composite over
+// three identically seeded object stores, with replica 0 permanently
+// unreachable — the composite must pass every subtest, including the
+// failure-class ones, while quietly failing over around the dead
+// replica. The fault hooks hit the two live replicas so "jukebox" and
+// "dead transport" mean the whole surviving set.
+func TestReplBackend(t *testing.T) {
+	Run(t, func(t *testing.T, content []byte) *Fixture {
+		stores := make([]*objstore.Backend, 3)
+		reps := make([]replbe.Replica, 3)
+		for i := range stores {
+			be := objstore.New(objstore.NewMemStore(), 8192)
+			if err := be.CreateFile("/data.bin", content); err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = be
+			reps[i] = replbe.Replica{Name: "r" + string(rune('0'+i)), B: be}
+		}
+		stores[0].SetFault(&backend.Error{Class: backend.ClassUnavailable, Op: "fault"})
+		rb, err := replbe.New(reps, replbe.Config{
+			ScrubInterval: -1, // deterministic: no background pass mid-subtest
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rb.Close() })
+		return &Fixture{
+			B:       rb,
+			File:    backend.FileID("/data.bin"),
+			Content: content,
+			SetJukebox: func(on bool) {
+				for _, be := range stores[1:] {
+					if on {
+						be.SetFault(&backend.Error{
+							Class:  backend.ClassRetriable,
+							Op:     "fault",
+							Status: uint32(nfs3.ErrJukebox),
+						})
+					} else {
+						be.SetFault(nil)
+					}
+				}
+			},
+			KillTransport: func() {
+				for _, be := range stores[1:] {
+					be.SetFault(&backend.Error{Class: backend.ClassUnavailable, Op: "fault"})
+				}
 			},
 		}
 	})

@@ -17,9 +17,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"path"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"gvfs/internal/backend"
@@ -127,9 +129,25 @@ func cleanPath(p string) string { return path.Clean("/" + p) }
 
 func manifestKey(fid string) string { return metaPrefix + fid }
 
+// storeErr maps a raw Store failure into the backend error taxonomy.
+// DirStore surfaces bare OS errors — ENOSPC, EIO, EROFS, permission —
+// and a store that answered with one of those is alive: they classify
+// as ClassIO with the matching NFS status (echoed to the client and
+// ignored by the circuit breaker and replica health scoring), never as
+// breaker-counting Unavailable. Only errors with no recognizable cause
+// keep the Unavailable default (a vanished mount, a dying device).
 func storeErr(op string, err error) error {
-	if errors.Is(err, ErrNotExist) {
-		return &backend.Error{Class: backend.ClassNotFound, Op: op, Err: err}
+	switch {
+	case errors.Is(err, ErrNotExist) || errors.Is(err, fs.ErrNotExist):
+		return &backend.Error{Class: backend.ClassNotFound, Op: op, Status: 2 /* NFS3ERR_NOENT */, Err: err}
+	case errors.Is(err, syscall.ENOSPC), errors.Is(err, syscall.EDQUOT):
+		return &backend.Error{Class: backend.ClassIO, Op: op, Status: 28 /* NFS3ERR_NOSPC */, Err: err}
+	case errors.Is(err, syscall.EIO):
+		return &backend.Error{Class: backend.ClassIO, Op: op, Status: 5 /* NFS3ERR_IO */, Err: err}
+	case errors.Is(err, syscall.EROFS):
+		return &backend.Error{Class: backend.ClassIO, Op: op, Status: 30 /* NFS3ERR_ROFS */, Err: err}
+	case errors.Is(err, fs.ErrPermission):
+		return &backend.Error{Class: backend.ClassIO, Op: op, Status: 13 /* NFS3ERR_ACCES */, Err: err}
 	}
 	return &backend.Error{Class: backend.ClassUnavailable, Op: op, Err: err}
 }
@@ -210,7 +228,10 @@ func (b *Backend) blockContent(op string, h backend.Hash, n int) ([]byte, error)
 	data, err := b.store.Get(dataPrefix + h.String())
 	if err != nil {
 		if errors.Is(err, ErrNotExist) {
-			return nil, &backend.Error{Class: backend.ClassIO, Op: op, Err: fmt.Errorf("missing block object %s", h)}
+			// A manifest pointing at an absent object is store-side
+			// corruption, not a missing file: NFS3ERR_IO, and for the
+			// replicated backend a divergence the scrub can repair.
+			return nil, &backend.Error{Class: backend.ClassIO, Op: op, Status: 5 /* NFS3ERR_IO */, Err: fmt.Errorf("missing block object %s", h)}
 		}
 		return nil, storeErr(op, err)
 	}
@@ -401,7 +422,7 @@ func (b *Backend) GetAttr(f backend.FileID, opts backend.CallOpts) (backend.Attr
 	if fid == "/" || b.isDir(fid) {
 		return backend.Attr{Mode: 0755, Dir: true}, nil
 	}
-	return backend.Attr{}, &backend.Error{Class: backend.ClassNotFound, Op: "getattr", Err: ErrNotExist}
+	return backend.Attr{}, &backend.Error{Class: backend.ClassNotFound, Op: "getattr", Status: 2 /* NFS3ERR_NOENT */, Err: ErrNotExist}
 }
 
 // Root implements backend.Namespacer.

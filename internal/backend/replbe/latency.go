@@ -1,0 +1,55 @@
+package replbe
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latTracker is a lock-free fixed-bucket latency histogram tracking
+// the read-latency distribution online, the hedge trigger's evidence —
+// the flight recorder's histogram idea reduced to the two operations
+// this path needs (observe, quantile). Bucket i covers durations in
+// [2^i, 2^(i+1)) microseconds; 40 buckets span <1µs to ~12 days.
+type latTracker struct {
+	buckets [40]atomic.Uint64
+	total   atomic.Uint64
+}
+
+func newLatTracker() *latTracker { return &latTracker{} }
+
+func (t *latTracker) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us) // 0 for <1µs, else floor(log2)+1
+	if i >= len(t.buckets) {
+		i = len(t.buckets) - 1
+	}
+	t.buckets[i].Add(1)
+	t.total.Add(1)
+}
+
+func (t *latTracker) count() uint64 { return t.total.Load() }
+
+// quantile returns an upper bound on the q-quantile of observed
+// latencies (the top edge of the bucket the quantile falls in). The
+// scan reads each bucket once; concurrent observes can make the result
+// off by a sample, which is fine for a hedge trigger.
+func (t *latTracker) quantile(q float64) time.Duration {
+	total := t.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i := range t.buckets {
+		cum += t.buckets[i].Load()
+		if cum > target {
+			// Upper edge of bucket i: 2^i µs.
+			return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(uint64(1)<<uint(len(t.buckets)-1)) * time.Microsecond
+}

@@ -1,0 +1,98 @@
+package replbe
+
+import (
+	"sync"
+
+	"gvfs/internal/backend"
+)
+
+// item is one queued replication operation: an acknowledged write or
+// create to re-apply on a secondary, keyed by the file it touches so
+// read routing can tell which files the replica is still catching up
+// on.
+type item struct {
+	key   string
+	apply func(b backend.Backend) error
+}
+
+// queue is one replica's FIFO replication queue. Items are applied in
+// the order the primary acknowledged them, which preserves per-file
+// write ordering for any single writer. pending counts items per file
+// and stays nonzero from enqueue until the apply finished — the window
+// in which reads must avoid the replica.
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []item
+	pending map[string]int
+	closed  bool
+}
+
+func newQueue() *queue {
+	q := &queue{pending: make(map[string]int)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// add enqueues one operation (no-op after close).
+func (q *queue) add(key string, apply func(b backend.Backend) error) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, item{key: key, apply: apply})
+		q.pending[key]++
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// take blocks for the next item; ok is false when the queue is closed
+// and drained of waiters.
+func (q *queue) take() (item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return item{}, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+// finish drops the pending count for one applied (or abandoned) item.
+func (q *queue) finish(key string) {
+	q.mu.Lock()
+	if q.pending[key]--; q.pending[key] <= 0 {
+		delete(q.pending, key)
+	}
+	q.mu.Unlock()
+}
+
+// pendingFor returns the number of not-yet-applied items for a file.
+func (q *queue) pendingFor(key string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending[key]
+}
+
+// depth is the total pending count across files (queued + in-flight).
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, v := range q.pending {
+		n += v
+	}
+	return n
+}
+
+// close wakes the worker to exit; queued items are abandoned (their
+// files keep nonzero pending, but the composite is shutting down).
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

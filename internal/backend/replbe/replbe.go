@@ -1,0 +1,881 @@
+// Package replbe implements backend.Backend over a set of replica
+// backends — any mix of nfs3be and objstore — so a proxy survives the
+// loss of any single upstream. The composite tracks per-replica health
+// (EWMA latency plus consecutive-error scoring over the backend.Classify
+// taxonomy, with probe-driven recovery), re-routes operations that fail
+// with Unavailable/Timeout to the next healthy replica before the
+// client or the proxy circuit breaker ever sees the error, hedges slow
+// READs against the next-best replica after an online latency quantile,
+// and runs a background scrub that cross-checks block content hashes
+// between replicas and repairs divergence (see scrub.go).
+//
+// Replicas must be interchangeable: the same FileID must name the same
+// file on every replica (objstore FileIDs are paths; NFS replicas get
+// this from deterministically seeded servers). Writes are acknowledged
+// by the first healthy write-capable replica and replicated to the
+// rest asynchronously (or fanned out synchronously with Quorum); reads
+// are routed only to replicas that hold every acknowledged write for
+// the file (no queued replication, no stale marker), which preserves
+// read-your-writes without waiting for the fan-out.
+package replbe
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gvfs/internal/backend"
+)
+
+// Replica is one member of the replicated set.
+type Replica struct {
+	// Name labels the replica in metrics, /statusz and logs.
+	Name string
+	// B is the replica's backend. The composite owns it: Close closes it.
+	B backend.Backend
+	// ReadOnly excludes the replica from writes, replication and repair
+	// (e.g. a snapshot mirror).
+	ReadOnly bool
+}
+
+// Config tunes the composite. The zero value gets sane defaults.
+type Config struct {
+	// FailThreshold is the number of consecutive Unavailable/Timeout
+	// failures that mark a replica down (default 3).
+	FailThreshold int
+
+	// ProbeInterval is how often down replicas are probed for recovery
+	// (default 1s).
+	ProbeInterval time.Duration
+
+	// HedgeQuantile is the read-latency quantile that arms a hedge: a
+	// READ still outstanding after this quantile fires a second read at
+	// the next-best replica (default 0.95). Negative disables hedging.
+	HedgeQuantile float64
+
+	// HedgeMinDelay / HedgeMaxDelay clamp the hedge delay (defaults
+	// 1ms / 2s), so a fast steady state cannot hedge every call and a
+	// slow one still hedges within the caller's patience.
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
+
+	// HedgeBudget caps hedged reads as a fraction of all reads
+	// (default 0.1). The cap keeps hedging from doubling upstream load
+	// when the latency distribution is genuinely wide.
+	HedgeBudget float64
+
+	// Quorum makes writes synchronous: fan out to every write-capable
+	// replica and acknowledge once a majority succeeded. The default
+	// (false) is primary-ack: one durable write, async replication.
+	Quorum bool
+
+	// ScrubInterval is the cadence of the background scrub/read-repair
+	// pass (default 30s; negative disables the loop — ScrubNow still
+	// works).
+	ScrubInterval time.Duration
+
+	// ScrubBlockSize is the block granularity of hash comparison
+	// (default 8192).
+	ScrubBlockSize int
+
+	// ScrubFilesPerPass bounds how many files one pass examines
+	// (default 16).
+	ScrubFilesPerPass int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = 2 * time.Second
+	}
+	if c.HedgeBudget == 0 {
+		c.HedgeBudget = 0.1
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 30 * time.Second
+	}
+	if c.ScrubBlockSize <= 0 {
+		c.ScrubBlockSize = 8192
+	}
+	if c.ScrubFilesPerPass <= 0 {
+		c.ScrubFilesPerPass = 16
+	}
+	return c
+}
+
+// Backend is the replicated composite. It implements backend.Backend
+// plus the optional capability interfaces its replicas support
+// (Namespacer, Hasher, CredentialCarrier, TransportStatser).
+type Backend struct {
+	cfg  Config
+	reps []*replica
+
+	lat *latTracker // successful READ latency distribution (hedge trigger)
+
+	reads       atomic.Uint64 // READs handled by the composite
+	failovers   atomic.Uint64 // ops re-routed after an Unavailable/Timeout failure
+	hedgesFired atomic.Uint64
+	hedgesWon   atomic.Uint64 // hedges where the second read answered first
+
+	scrub scrubState
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds the composite over replicas. At least one replica must be
+// write-capable unless every caller is read-only.
+func New(replicas []Replica, cfg Config) (*Backend, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("replbe: no replicas")
+	}
+	cfg = cfg.withDefaults()
+	c := &Backend{
+		cfg:  cfg,
+		lat:  newLatTracker(),
+		done: make(chan struct{}),
+	}
+	c.scrub.init(&c.cfg)
+	for i, r := range replicas {
+		if r.B == nil {
+			return nil, fmt.Errorf("replbe: replica %d has no backend", i)
+		}
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("r%d", i)
+		}
+		rep := newReplica(name, r.B, r.ReadOnly, i)
+		c.reps = append(c.reps, rep)
+	}
+	// Replication workers only exist in primary-ack mode: quorum writes
+	// fan out synchronously and leave only stale marks behind.
+	if !cfg.Quorum {
+		for _, r := range c.reps {
+			if r.readOnly {
+				continue
+			}
+			r.q = newQueue()
+			c.wg.Add(1)
+			go c.replWorker(r)
+		}
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	if cfg.ScrubInterval > 0 {
+		c.wg.Add(1)
+		go c.scrubLoop()
+	}
+	return c, nil
+}
+
+// failoverClass reports whether an error means "try another replica":
+// transport-level unavailability and deadline expiry. Every other
+// class is an authoritative answer from a live server and is returned
+// to the caller as-is.
+func failoverClass(err error) bool {
+	switch backend.Classify(err) {
+	case backend.ClassUnavailable, backend.ClassTimeout:
+		return true
+	}
+	return false
+}
+
+// allDown is the error returned when every candidate replica failed
+// with a failover class. It is ClassUnavailable so the proxy breaker
+// counts it — the breaker should open only when the whole replica set
+// is gone, which is exactly this case. The one exception: when the
+// last failure was a Timeout, the set is not known dead — the caller's
+// deadline ran out — so the class stays Timeout and the breaker is not
+// charged for the client's own budget.
+func allDown(op string, last error) error {
+	class := backend.ClassUnavailable
+	if backend.Classify(last) == backend.ClassTimeout {
+		class = backend.ClassTimeout
+	}
+	return &backend.Error{Class: class, Op: op,
+		Err: fmt.Errorf("all replicas failed (last: %w)", last)}
+}
+
+// readCandidates orders replicas for a read of key: first the eligible
+// ones (healthy, no queued replication and no stale marker for the
+// file) by ascending EWMA latency, then — only as a last resort when
+// nothing is eligible — consistent-but-down replicas, since a probe
+// may not have noticed a recovery yet. Replicas with pending or stale
+// state for the file are never read: they may miss acknowledged
+// writes.
+func (c *Backend) readCandidates(key string) []*replica {
+	var elig, downOK []*replica
+	for _, r := range c.reps {
+		if !r.consistentFor(key) {
+			continue
+		}
+		if r.isDown() {
+			downOK = append(downOK, r)
+		} else {
+			elig = append(elig, r)
+		}
+	}
+	sortByEWMA(elig)
+	return append(elig, downOK...)
+}
+
+// writeCandidates orders write-capable replicas by index — a stable
+// primary, so consecutive writes land on the same replica — healthy
+// first, down ones as a last resort.
+func (c *Backend) writeCandidates() []*replica {
+	var up, down []*replica
+	for _, r := range c.reps {
+		if r.readOnly {
+			continue
+		}
+		if r.isDown() {
+			down = append(down, r)
+		} else {
+			up = append(up, r)
+		}
+	}
+	return append(up, down...)
+}
+
+func sortByEWMA(reps []*replica) {
+	// Insertion sort: the set is tiny (2-5 replicas) and mostly sorted.
+	for i := 1; i < len(reps); i++ {
+		for j := i; j > 0 && reps[j].ewma() < reps[j-1].ewma(); j-- {
+			reps[j], reps[j-1] = reps[j-1], reps[j]
+		}
+	}
+}
+
+// Read implements backend.Backend with failover and hedging.
+func (c *Backend) Read(f backend.FileID, off uint64, count uint32, opts backend.CallOpts) (backend.ReadResult, error) {
+	c.reads.Add(1)
+	key := f.Key()
+	cands := c.readCandidates(key)
+	if len(cands) == 0 {
+		return backend.ReadResult{}, &backend.Error{Class: backend.ClassUnavailable, Op: "read",
+			Err: errors.New("no consistent replica for file")}
+	}
+	c.scrub.register(f, nil, "")
+	return c.hedgedRead(cands, f, off, count, opts)
+}
+
+// timedRead is one replica read with health/latency observation.
+func (c *Backend) timedRead(r *replica, f backend.FileID, off uint64, count uint32, opts backend.CallOpts) (backend.ReadResult, error) {
+	start := time.Now()
+	res, err := r.b.Read(f, off, count, opts)
+	d := time.Since(start)
+	r.observe(err, d, c.cfg.FailThreshold)
+	if err == nil {
+		c.lat.observe(d)
+	}
+	return res, err
+}
+
+// seqRead walks cands from index i, returning the first success or the
+// first authoritative (non-failover) error.
+func (c *Backend) seqRead(cands []*replica, i int, f backend.FileID, off uint64, count uint32, opts backend.CallOpts, lastErr error) (backend.ReadResult, error) {
+	for ; i < len(cands); i++ {
+		if lastErr != nil {
+			c.failovers.Add(1)
+		}
+		res, err := c.timedRead(cands[i], f, off, count, opts)
+		if err == nil {
+			return res, nil
+		}
+		if !failoverClass(err) {
+			return backend.ReadResult{}, err
+		}
+		lastErr = err
+	}
+	return backend.ReadResult{}, allDown("read", lastErr)
+}
+
+// hedgedRead issues the read on the best candidate and, if it is still
+// outstanding after the hedge delay, fires a second read at the next
+// candidate, taking the first success. Failures (of the failover
+// classes) immediately launch the next candidate instead of waiting.
+func (c *Backend) hedgedRead(cands []*replica, f backend.FileID, off uint64, count uint32, opts backend.CallOpts) (backend.ReadResult, error) {
+	delay := c.hedgeDelay(opts)
+	if delay <= 0 || len(cands) < 2 {
+		return c.seqRead(cands, 0, f, off, count, opts, nil)
+	}
+
+	type result struct {
+		res backend.ReadResult
+		err error
+		rep *replica
+	}
+	// Buffered to the candidate count: a loser finishing after we
+	// return must not block its goroutine forever.
+	ch := make(chan result, len(cands))
+	launch := func(r *replica) {
+		go func() {
+			res, err := c.timedRead(r, f, off, count, opts)
+			ch <- result{res, err, r}
+		}()
+	}
+	launch(cands[0])
+	next := 1
+	outstanding := 1
+	var hedged *replica
+	var lastErr, authErr error
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	timerC := timer.C
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if hedged != nil && r.rep == hedged {
+					c.hedgesWon.Add(1)
+					r.rep.hedgeWins.Add(1)
+				}
+				return r.res, nil
+			}
+			if !failoverClass(r.err) {
+				// Authoritative failure: remember it, but let an
+				// in-flight hedge still win before we surface it.
+				if authErr == nil {
+					authErr = r.err
+				}
+				continue
+			}
+			lastErr = r.err
+			if next < len(cands) {
+				c.failovers.Add(1)
+				launch(cands[next])
+				next++
+				outstanding++
+			}
+		case <-timerC:
+			timerC = nil
+			if outstanding > 0 && next < len(cands) && c.takeHedgeToken() {
+				hedged = cands[next]
+				launch(cands[next])
+				next++
+				outstanding++
+			}
+		}
+	}
+	if authErr != nil {
+		return backend.ReadResult{}, authErr
+	}
+	return backend.ReadResult{}, allDown("read", lastErr)
+}
+
+// hedgeDelay computes the delay before a hedge fires, or 0 when this
+// read must not hedge: hedging disabled, the latency distribution is
+// still warming up, or the caller's remaining deadline budget cannot
+// fit a second attempt (QoS deadline propagation wins over the hedge).
+func (c *Backend) hedgeDelay(opts backend.CallOpts) time.Duration {
+	if c.cfg.HedgeQuantile < 0 || c.lat.count() < hedgeWarmup {
+		return 0
+	}
+	d := c.lat.quantile(c.cfg.HedgeQuantile)
+	if d < c.cfg.HedgeMinDelay {
+		d = c.cfg.HedgeMinDelay
+	}
+	if d > c.cfg.HedgeMaxDelay {
+		d = c.cfg.HedgeMaxDelay
+	}
+	if !opts.Deadline.IsZero() {
+		rem := time.Until(opts.Deadline)
+		if rem <= 2*d {
+			// No budget for a second attempt after the delay; spend the
+			// whole deadline on the primary instead.
+			return 0
+		}
+	}
+	return d
+}
+
+// hedgeWarmup is the minimum observed reads before hedging arms: the
+// quantile of a handful of samples is noise.
+const hedgeWarmup = 20
+
+// takeHedgeToken enforces the hedge budget: hedges may be at most
+// HedgeBudget of all reads.
+func (c *Backend) takeHedgeToken() bool {
+	for {
+		fired := c.hedgesFired.Load()
+		if float64(fired+1) > c.cfg.HedgeBudget*float64(c.reads.Load())+1 {
+			return false
+		}
+		if c.hedgesFired.CompareAndSwap(fired, fired+1) {
+			return true
+		}
+	}
+}
+
+// Write implements backend.Backend: primary-ack with asynchronous
+// replication, or synchronous majority fan-out under Config.Quorum.
+func (c *Backend) Write(f backend.FileID, off uint64, data []byte, opts backend.CallOpts) (*backend.Attr, error) {
+	c.scrub.register(f, nil, "")
+	if c.cfg.Quorum {
+		return c.quorumWrite(f, off, data, opts)
+	}
+	cands := c.writeCandidates()
+	if len(cands) == 0 {
+		return nil, &backend.Error{Class: backend.ClassUnavailable, Op: "write",
+			Err: errors.New("no write-capable replica")}
+	}
+	var lastErr error
+	for i, r := range cands {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		start := time.Now()
+		attr, err := r.b.Write(f, off, data, opts)
+		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		if err == nil {
+			c.replicateWrite(r, f, off, data)
+			return attr, nil
+		}
+		if !failoverClass(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, allDown("write", lastErr)
+}
+
+// replicateWrite enqueues the acknowledged write to every other
+// write-capable replica. The data is copied once — queue items only
+// hold the copy — so the caller may reuse its buffer immediately. The
+// enqueue happens before Write returns, which is what guarantees a
+// subsequent read never picks a replica missing this write: the
+// replica's pending count for the file is already nonzero.
+func (c *Backend) replicateWrite(acker *replica, f backend.FileID, off uint64, data []byte) {
+	var cp []byte
+	key := f.Key()
+	fid := append(backend.FileID(nil), f...)
+	for _, r := range c.reps {
+		if r == acker || r.readOnly || r.q == nil {
+			continue
+		}
+		if cp == nil {
+			cp = append([]byte(nil), data...)
+		}
+		r.q.add(key, func(b backend.Backend) error {
+			_, err := b.Write(fid, off, cp, backend.CallOpts{})
+			return err
+		})
+	}
+}
+
+// quorumWrite fans the write out to every write-capable replica
+// concurrently and acknowledges once a majority of them succeeded.
+// Replicas that failed or were down get a stale marker so reads skip
+// them until the scrub repairs the file.
+func (c *Backend) quorumWrite(f backend.FileID, off uint64, data []byte, opts backend.CallOpts) (*backend.Attr, error) {
+	var writers []*replica
+	for _, r := range c.reps {
+		if !r.readOnly {
+			writers = append(writers, r)
+		}
+	}
+	if len(writers) == 0 {
+		return nil, &backend.Error{Class: backend.ClassUnavailable, Op: "write",
+			Err: errors.New("no write-capable replica")}
+	}
+	need := len(writers)/2 + 1
+	key := f.Key()
+
+	type result struct {
+		attr *backend.Attr
+		err  error
+		rep  *replica
+	}
+	ch := make(chan result, len(writers))
+	attempted := 0
+	for _, r := range writers {
+		if r.isDown() {
+			r.markStale(key)
+			continue
+		}
+		attempted++
+		go func(r *replica) {
+			start := time.Now()
+			attr, err := r.b.Write(f, off, data, opts)
+			r.observe(err, time.Since(start), c.cfg.FailThreshold)
+			ch <- result{attr, err, r}
+		}(r)
+	}
+	var attr *backend.Attr
+	var firstErr error
+	succ := 0
+	for i := 0; i < attempted; i++ {
+		res := <-ch
+		if res.err == nil {
+			succ++
+			if attr == nil {
+				attr = res.attr
+			}
+		} else {
+			res.rep.markStale(key)
+			if firstErr == nil || failoverClass(firstErr) && !failoverClass(res.err) {
+				firstErr = res.err
+			}
+		}
+	}
+	if succ >= need {
+		return attr, nil
+	}
+	if firstErr == nil {
+		firstErr = errors.New("quorum not reached")
+	}
+	if succ > 0 || failoverClass(firstErr) {
+		// Partial success below quorum is still a durability failure the
+		// caller must retry; report it as Unavailable so the breaker
+		// logic treats the set as unhealthy.
+		return nil, &backend.Error{Class: backend.ClassUnavailable, Op: "write",
+			Err: fmt.Errorf("quorum %d/%d: %w", succ, need, firstErr)}
+	}
+	return nil, firstErr
+}
+
+// Commit implements backend.Backend against the write candidates.
+func (c *Backend) Commit(f backend.FileID, opts backend.CallOpts) error {
+	cands := c.writeCandidates()
+	if len(cands) == 0 {
+		return &backend.Error{Class: backend.ClassUnavailable, Op: "commit",
+			Err: errors.New("no write-capable replica")}
+	}
+	var lastErr error
+	for i, r := range cands {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		start := time.Now()
+		err := r.b.Commit(f, opts)
+		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		if err == nil {
+			return nil
+		}
+		if !failoverClass(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return allDown("commit", lastErr)
+}
+
+// GetAttr implements backend.Backend with the read routing rules
+// (attributes from a replica missing acknowledged writes would report
+// a stale size).
+func (c *Backend) GetAttr(f backend.FileID, opts backend.CallOpts) (backend.Attr, error) {
+	cands := c.readCandidates(f.Key())
+	if len(cands) == 0 {
+		return backend.Attr{}, &backend.Error{Class: backend.ClassUnavailable, Op: "getattr",
+			Err: errors.New("no consistent replica for file")}
+	}
+	var lastErr error
+	for i, r := range cands {
+		if i > 0 {
+			c.failovers.Add(1)
+		}
+		start := time.Now()
+		attr, err := r.b.GetAttr(f, opts)
+		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		if err == nil {
+			return attr, nil
+		}
+		if !failoverClass(err) {
+			return backend.Attr{}, err
+		}
+		lastErr = err
+	}
+	return backend.Attr{}, allDown("getattr", lastErr)
+}
+
+// Probe implements backend.Backend: the composite is reachable while
+// any replica is. A probe success also feeds the health tracker, so
+// the proxy breaker's recovery probe doubles as replica recovery.
+func (c *Backend) Probe() error {
+	var lastErr error
+	for _, r := range c.reps {
+		err := r.b.Probe()
+		if err == nil {
+			r.markUp()
+			return nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replicas")
+	}
+	return &backend.Error{Class: backend.ClassUnavailable, Op: "probe", Err: lastErr}
+}
+
+// Caps implements backend.Backend. ContentHashes is advertised only
+// when every replica has it, so a BlockHash fallback never silently
+// disagrees with a Read served by a hashless replica.
+func (c *Backend) Caps() backend.Caps {
+	hashes := true
+	for _, r := range c.reps {
+		if !r.b.Caps().ContentHashes {
+			hashes = false
+		}
+	}
+	return backend.Caps{Name: "repl", ContentHashes: hashes}
+}
+
+// Close stops the probe, scrub and replication machinery, then closes
+// every replica backend.
+func (c *Backend) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		for _, r := range c.reps {
+			if r.q != nil {
+				r.q.close()
+			}
+		}
+		c.wg.Wait()
+		for _, r := range c.reps {
+			if cerr := r.b.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+// probeLoop recovers down replicas: a successful Probe marks the
+// replica healthy again (reads and writes resume; stale files stay
+// excluded until the scrub repairs them).
+func (c *Backend) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		for _, r := range c.reps {
+			if !r.isDown() {
+				continue
+			}
+			if err := r.b.Probe(); err == nil {
+				r.markUp()
+			}
+		}
+	}
+}
+
+// replWorker drains one replica's replication queue. A failed apply —
+// the replica is down, or the write errored — marks the file stale on
+// that replica: reads skip it and the scrub repairs it from a replica
+// that holds the acknowledged data.
+func (c *Backend) replWorker(r *replica) {
+	defer c.wg.Done()
+	for {
+		item, ok := r.q.take()
+		if !ok {
+			return
+		}
+		if r.isDown() {
+			r.markStale(item.key)
+		} else {
+			start := time.Now()
+			err := item.apply(r.b)
+			r.observe(err, time.Since(start), c.cfg.FailThreshold)
+			if err != nil {
+				r.markStale(item.key)
+			}
+		}
+		r.q.finish(item.key)
+	}
+}
+
+// Lookup implements backend.Lookuper with index-order failover, so a
+// lookup immediately after Create resolves on the replica that
+// acknowledged the create (both use the same stable order).
+func (c *Backend) Lookup(dir backend.FileID, name string, opts backend.CallOpts) (backend.FileID, backend.Attr, error) {
+	var lastErr error
+	tried := false
+	for _, r := range c.reps {
+		lk, ok := r.b.(backend.Lookuper)
+		if !ok || r.isDown() {
+			continue
+		}
+		tried = true
+		start := time.Now()
+		fid, attr, err := lk.Lookup(dir, name, opts)
+		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		if err == nil {
+			return fid, attr, nil
+		}
+		if !failoverClass(err) {
+			return nil, backend.Attr{}, err
+		}
+		lastErr = err
+	}
+	if !tried {
+		return nil, backend.Attr{}, &backend.Error{Class: backend.ClassIO, Op: "lookup",
+			Err: errors.New("no replica supports lookup")}
+	}
+	return nil, backend.Attr{}, allDown("lookup", lastErr)
+}
+
+// Root implements backend.Namespacer against the first replica that
+// can answer.
+func (c *Backend) Root(dirpath string) (backend.FileID, backend.Attr, error) {
+	var lastErr error
+	tried := false
+	for _, r := range c.reps {
+		ns, ok := r.b.(backend.Namespacer)
+		if !ok || r.isDown() {
+			continue
+		}
+		tried = true
+		fid, attr, err := ns.Root(dirpath)
+		if err == nil {
+			return fid, attr, nil
+		}
+		if !failoverClass(err) {
+			return nil, backend.Attr{}, err
+		}
+		lastErr = err
+	}
+	if !tried {
+		return nil, backend.Attr{}, &backend.Error{Class: backend.ClassIO, Op: "root",
+			Err: errors.New("no replica supports namespace operations")}
+	}
+	return nil, backend.Attr{}, allDown("root", lastErr)
+}
+
+// Create implements backend.Namespacer: create on the first healthy
+// write-capable replica, replicate the create to the rest. The created
+// file's identity (and its parent dir + name, so the scrub can
+// re-create it on a replica that missed the replication) is registered
+// with the scrub.
+func (c *Backend) Create(dir backend.FileID, name string, opts backend.CallOpts) (backend.FileID, backend.Attr, error) {
+	var acker *replica
+	var fid backend.FileID
+	var attr backend.Attr
+	var lastErr error
+	tried := false
+	for _, r := range c.writeCandidates() {
+		ns, ok := r.b.(backend.Namespacer)
+		if !ok {
+			continue
+		}
+		if tried {
+			c.failovers.Add(1)
+		}
+		tried = true
+		start := time.Now()
+		f, a, err := ns.Create(dir, name, opts)
+		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		if err == nil {
+			acker, fid, attr = r, f, a
+			break
+		}
+		if !failoverClass(err) {
+			return nil, backend.Attr{}, err
+		}
+		lastErr = err
+	}
+	if acker == nil {
+		if !tried {
+			return nil, backend.Attr{}, &backend.Error{Class: backend.ClassIO, Op: "create",
+				Err: errors.New("no replica supports create")}
+		}
+		return nil, backend.Attr{}, allDown("create", lastErr)
+	}
+	c.scrub.register(fid, dir, name)
+	key := fid.Key()
+	pdir := append(backend.FileID(nil), dir...)
+	for _, r := range c.reps {
+		if r == acker || r.readOnly || r.q == nil {
+			continue
+		}
+		if _, ok := r.b.(backend.Namespacer); !ok {
+			continue
+		}
+		r.q.add(key, func(b backend.Backend) error {
+			_, _, err := b.(backend.Namespacer).Create(pdir, name, backend.CallOpts{})
+			return err
+		})
+	}
+	return fid, attr, nil
+}
+
+// BlockHash implements backend.Hasher by asking the read candidates in
+// routing order; ok is false when none can answer.
+func (c *Backend) BlockHash(f backend.FileID, block uint64, blockSize int) (backend.Hash, uint32, bool) {
+	for _, r := range c.readCandidates(f.Key()) {
+		if h, ok := r.b.(backend.Hasher); ok {
+			if hash, n, ok := h.BlockHash(f, block, blockSize); ok {
+				return hash, n, true
+			}
+		}
+	}
+	return backend.Hash{}, 0, false
+}
+
+// TransportStats implements backend.TransportStatser by summing the
+// replicas' transport counters.
+func (c *Backend) TransportStats() backend.TransportStats {
+	var sum backend.TransportStats
+	for _, r := range c.reps {
+		if ts, ok := r.b.(backend.TransportStatser); ok {
+			s := ts.TransportStats()
+			sum.Retries += s.Retries
+			sum.Reconnects += s.Reconnects
+			sum.Timeouts += s.Timeouts
+		}
+	}
+	return sum
+}
+
+// SetCredSource implements backend.CredentialCarrier, fanning the
+// source to every replica that authenticates.
+func (c *Backend) SetCredSource(src backend.CredSource) {
+	for _, r := range c.reps {
+		if cc, ok := r.b.(backend.CredentialCarrier); ok {
+			cc.SetCredSource(src)
+		}
+	}
+}
+
+// WaitReplicated blocks until every replication queue is empty (or the
+// timeout passes), returning whether it drained. Tests and benchmarks
+// use it to bound the asynchronous window.
+func (c *Backend) WaitReplicated(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		for _, r := range c.reps {
+			if r.q != nil && r.q.depth() > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -342,6 +342,13 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // first use. Cache the result on hot paths.
 func (v *CounterVec) With(vals ...string) *Counter { return v.fam.child(vals).c }
 
+// WithFunc registers a callback-backed counter for the given label
+// values, read through fn at collection time. Re-registering the same
+// label values replaces the callback.
+func (v *CounterVec) WithFunc(fn func() uint64, vals ...string) {
+	v.fam.child(vals).cf = fn
+}
+
 // GaugeVec is a family of gauges distinguished by label values.
 type GaugeVec struct{ fam *family }
 

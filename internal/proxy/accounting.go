@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/qos"
 	"gvfs/internal/sunrpc"
@@ -100,6 +101,10 @@ type Statusz struct {
 	// gvfs_qos_brownout_active gauge.
 	QoS      []TenantRow `json:"qos_tenants,omitempty"`
 	Brownout bool        `json:"brownout,omitempty"`
+
+	// Replication is the replicated backend's health snapshot (absent
+	// for single-backend proxies).
+	Replication *replbe.Stats `json:"replication,omitempty"`
 
 	Audit AuditLog `json:"writeback_audit"`
 }
@@ -440,6 +445,10 @@ func (p *Proxy) Statusz() Statusz {
 		doc.QoS = append(doc.QoS, row)
 	}
 	doc.Brownout = p.brownout()
+	if rb, ok := p.cfg.Backend.(*replbe.Backend); ok {
+		s := rb.Stats()
+		doc.Replication = &s
+	}
 	return doc
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"gvfs/internal/backend"
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/cachean"
 	"gvfs/internal/nfs3"
 	"gvfs/internal/obs"
@@ -200,6 +201,39 @@ func (p *Proxy) registerBridges(reg *obs.Registry) {
 			func() uint64 { return ts.TransportStats().Reconnects })
 		reg.CounterFunc("gvfs_rpc_timeouts_total", "Upstream per-call deadline expirations.",
 			func() uint64 { return ts.TransportStats().Timeouts })
+	}
+	if rb, ok := p.cfg.Backend.(*replbe.Backend); ok {
+		up := reg.GaugeVec("gvfs_backend_replica_up",
+			"Replica health: 1 healthy, 0 down.", "replica")
+		ewma := reg.GaugeVec("gvfs_backend_replica_ewma_latency_seconds",
+			"EWMA op latency per replica.", "replica")
+		ops := reg.CounterVec("gvfs_backend_replica_ops_total",
+			"Operations issued per replica.", "replica")
+		errs := reg.CounterVec("gvfs_backend_replica_errors_total",
+			"Failed operations per replica.", "replica")
+		for i := 0; i < rb.ReplicaCount(); i++ {
+			i := i
+			name := rb.ReplicaName(i)
+			up.WithFunc(func() float64 { return rb.ReplicaUp(i) }, name)
+			ewma.WithFunc(func() float64 { return rb.ReplicaEWMASeconds(i) }, name)
+			ops.WithFunc(func() uint64 { return rb.ReplicaOps(i) }, name)
+			errs.WithFunc(func() uint64 { return rb.ReplicaErrors(i) }, name)
+		}
+		reg.CounterFunc("gvfs_backend_replica_failovers_total",
+			"Operations re-routed to another replica after a failover-class error.",
+			rb.Failovers)
+		reg.CounterFunc("gvfs_backend_replica_hedges_total",
+			"Hedged reads fired after the latency-quantile delay.",
+			rb.HedgesFired)
+		reg.CounterFunc("gvfs_backend_replica_hedge_wins_total",
+			"Hedged reads where the second replica answered first.",
+			rb.HedgesWon)
+		reg.CounterFunc("gvfs_backend_replica_scrub_divergent_total",
+			"Divergent blocks detected by the background scrub.",
+			rb.ScrubDivergent)
+		reg.CounterFunc("gvfs_backend_replica_scrub_repaired_total",
+			"Divergent blocks rewritten from a good replica.",
+			rb.ScrubRepaired)
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/cache"
 	"gvfs/internal/obs"
 	"gvfs/internal/qos"
@@ -93,9 +95,17 @@ type ProxyFlags struct {
 	Keyfile  string // 32-byte tunnel session key file
 
 	// Backend selection (see ProxyOptionsV2).
-	Backend     string // nfs3 | objstore
+	Backend     string // nfs3 | objstore | repl
 	ObjstoreDir string // object store directory (backend objstore)
 	Dedup       bool   // content-addressed cross-file dedup in the block cache
+
+	// Replicated backend (see ProxyOptionsV2.Replicas / replbe.Config).
+	Replicas       string        // comma-separated replica specs (backend repl)
+	ReplQuorum     bool          // majority-ack writes instead of primary-ack
+	ReplHedgeQuant float64       // hedged-read latency quantile (0 = default, <0 off)
+	ReplScrub      time.Duration // scrub pass interval (0 = default, <0 off)
+	ReplFailThresh int           // consecutive errors marking a replica down (0 = default)
+	ReplProbeEvery time.Duration // down-replica probe period (0 = default)
 
 	// Block cache.
 	CacheDir   string
@@ -155,8 +165,14 @@ func BindProxyFlags(fs *flag.FlagSet) *ProxyFlags {
 	fs.StringVar(&f.Listen, "listen", "127.0.0.1:8049", "listen address for local NFS clients")
 	fs.StringVar(&f.Upstream, "upstream", "", "next hop (gvfsd or another gvfsproxy); required with -backend nfs3")
 	fs.StringVar(&f.Keyfile, "keyfile", "", "32-byte session key for the upstream tunnel")
-	fs.StringVar(&f.Backend, "backend", BackendNFS3, "upstream backend: nfs3 (RPC to -upstream) | objstore (local content-addressed store)")
+	fs.StringVar(&f.Backend, "backend", BackendNFS3, "upstream backend: nfs3 (RPC to -upstream) | objstore (local content-addressed store) | repl (replicated set, see -replicas)")
 	fs.StringVar(&f.ObjstoreDir, "objstore-dir", "", "object store directory (required with -backend objstore)")
+	fs.StringVar(&f.Replicas, "replicas", "", "comma-separated replica specs for -backend repl: objstore:<dir> | nfs3:<host:port> (first is the write primary)")
+	fs.BoolVar(&f.ReplQuorum, "repl-quorum", false, "acknowledge writes after a majority of replicas instead of the primary only")
+	fs.Float64Var(&f.ReplHedgeQuant, "repl-hedge-quantile", 0, "latency quantile arming hedged reads (0 = default 0.95, negative = hedging off)")
+	fs.DurationVar(&f.ReplScrub, "repl-scrub", 0, "background scrub/read-repair pass interval (0 = default 30s, negative = off)")
+	fs.IntVar(&f.ReplFailThresh, "repl-fail-threshold", 0, "consecutive failover-class errors that mark a replica down (0 = default 3)")
+	fs.DurationVar(&f.ReplProbeEvery, "repl-probe-interval", 0, "recovery probe period for down replicas (0 = default 1s)")
 	fs.BoolVar(&f.Dedup, "dedup", false, "share identical cached blocks across files (content-addressed dedup; needs -cache-dir)")
 	fs.StringVar(&f.CacheDir, "cache-dir", "", "block cache directory (empty = no disk cache)")
 	fs.IntVar(&f.CacheBanks, "cache-banks", 512, "number of cache banks")
@@ -269,8 +285,23 @@ func (f *ProxyFlags) OptionsV2() (ProxyOptionsV2, error) {
 		if f.ObjstoreDir == "" {
 			return ProxyOptionsV2{}, fmt.Errorf("-objstore-dir is required with -backend objstore")
 		}
+	case BackendRepl:
+		if f.Replicas == "" {
+			return ProxyOptionsV2{}, fmt.Errorf("-replicas is required with -backend repl")
+		}
+		v2.Replicas = strings.Split(f.Replicas, ",")
+		if f.ReplQuorum || f.ReplHedgeQuant != 0 || f.ReplScrub != 0 ||
+			f.ReplFailThresh != 0 || f.ReplProbeEvery != 0 {
+			v2.ReplConfig = &replbe.Config{
+				Quorum:        f.ReplQuorum,
+				HedgeQuantile: f.ReplHedgeQuant,
+				ScrubInterval: f.ReplScrub,
+				FailThreshold: f.ReplFailThresh,
+				ProbeInterval: f.ReplProbeEvery,
+			}
+		}
 	default:
-		return ProxyOptionsV2{}, fmt.Errorf("unknown -backend %q (want nfs3 or objstore)", f.Backend)
+		return ProxyOptionsV2{}, fmt.Errorf("unknown -backend %q (want nfs3, objstore or repl)", f.Backend)
 	}
 	if f.Dedup && f.CacheDir == "" {
 		return ProxyOptionsV2{}, fmt.Errorf("-dedup needs -cache-dir")

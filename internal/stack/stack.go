@@ -12,9 +12,12 @@ import (
 
 	"fmt"
 	"net"
+	"strings"
 
 	"gvfs/internal/auth"
+	"gvfs/internal/backend/nfs3be"
 	"gvfs/internal/backend/objstore"
+	"gvfs/internal/backend/replbe"
 	"gvfs/internal/cache"
 	"gvfs/internal/cachean"
 	"gvfs/internal/filecache"
@@ -312,6 +315,7 @@ type ProxyOptions struct {
 const (
 	BackendNFS3     = "nfs3"     // NFSv3 over ONC-RPC to UpstreamAddr (classic)
 	BackendObjstore = "objstore" // local content-addressed object store, no upstream
+	BackendRepl     = "repl"     // replicated composite over Replicas specs
 )
 
 // ProxyOptionsV2 is the versioned successor of ProxyOptions: all the
@@ -343,6 +347,21 @@ type ProxyOptionsV2 struct {
 	// (cache.Config.Dedup): identical blocks across files — N cloned VM
 	// images — share one cached frame.
 	Dedup bool
+
+	// Replicas lists the replicated backend's members (BackendRepl) in
+	// priority order — index 0 is the write primary and, when it is an
+	// NFS replica, the control-plane relay. Each spec is
+	// "objstore:<dir>" or "nfs3:<host:port>".
+	Replicas []string
+
+	// ReplicaBackends supplies pre-built replicas directly (tests and
+	// benchmarks wire simnet-backed replicas this way); takes
+	// precedence over Replicas. The composite owns and closes them.
+	ReplicaBackends []replbe.Replica
+
+	// ReplConfig tunes the replicated backend (nil = replbe defaults:
+	// hedged reads at the p95 latency, 30s scrub, primary-ack writes).
+	ReplConfig *replbe.Config
 }
 
 // StartProxy runs a GVFS proxy node over the classic NFSv3 upstream.
@@ -414,9 +433,91 @@ func StartProxyV2(o ProxyOptionsV2) (*Node, error) {
 			store = ds
 		}
 		cfg.Backend = objstore.New(store, o.ObjstoreBlock)
+	case BackendRepl:
+		reps := o.ReplicaBackends
+		var relay nfs3.Caller
+		if len(reps) == 0 {
+			for i, spec := range o.Replicas {
+				kind, arg, ok := strings.Cut(spec, ":")
+				if !ok || arg == "" {
+					fail()
+					return nil, fmt.Errorf("stack: bad replica spec %q (want objstore:<dir> or nfs3:<host:port>)", spec)
+				}
+				name := fmt.Sprintf("r%d", i)
+				switch kind {
+				case "objstore":
+					ds, err := objstore.NewDirStore(arg)
+					if err != nil {
+						fail()
+						return nil, fmt.Errorf("stack: replica %s: %w", name, err)
+					}
+					reps = append(reps, replbe.Replica{Name: name, B: objstore.New(ds, o.ObjstoreBlock)})
+				case "nfs3":
+					dial := Dialer(arg, nil, opts.UpstreamKey)
+					conn, err := dial()
+					if err != nil {
+						fail()
+						return nil, fmt.Errorf("stack: replica %s dial: %w", name, err)
+					}
+					// Replica clients always redial: probe-driven recovery
+					// after an outage needs a fresh transport, and the
+					// composite's health gating (not a dead socket) is what
+					// decides whether the replica serves.
+					client := sunrpc.NewClientWithOptions(conn, sunrpc.ClientOptions{
+						CallTimeout: opts.UpstreamCallTimeout,
+						MaxRetries:  opts.UpstreamMaxRetries,
+						Idempotent:  nfs3.RetrySafe,
+						Redial:      dial,
+					})
+					cleanup = append(cleanup, func() { client.Close() })
+					reps = append(reps, replbe.Replica{Name: name, B: nfs3be.New(client)})
+					if i == 0 {
+						// NFS replicas carry no local namespace: relay
+						// MOUNT/LOOKUP over the primary, like the classic
+						// single-upstream arrangement.
+						relay = client
+					}
+				default:
+					fail()
+					return nil, fmt.Errorf("stack: unknown replica kind %q in %q", kind, spec)
+				}
+			}
+		}
+		if relay == nil && opts.UpstreamAddr != "" {
+			// Injected replicas (or an all-objstore set) can still name a
+			// control-plane relay the classic way: UpstreamAddr/Link is
+			// then the namespace hop, typically the primary replica's
+			// server.
+			dial := Dialer(opts.UpstreamAddr, opts.UpstreamLink, opts.UpstreamKey)
+			conn, err := dial()
+			if err != nil {
+				fail()
+				return nil, fmt.Errorf("stack: repl relay dial: %w", err)
+			}
+			client := sunrpc.NewClientWithOptions(conn, sunrpc.ClientOptions{
+				CallTimeout: opts.UpstreamCallTimeout,
+				MaxRetries:  opts.UpstreamMaxRetries,
+				Idempotent:  nfs3.RetrySafe,
+				Redial:      dial,
+			})
+			cleanup = append(cleanup, func() { client.Close() })
+			relay = client
+		}
+		rcfg := replbe.Config{}
+		if o.ReplConfig != nil {
+			rcfg = *o.ReplConfig
+		}
+		rb, err := replbe.New(reps, rcfg)
+		if err != nil {
+			fail()
+			return nil, fmt.Errorf("stack: repl backend: %w", err)
+		}
+		cfg.Backend = rb
+		cfg.Upstream = relay
+		cleanup = append(cleanup, func() { rb.Close() })
 	default:
-		return nil, fmt.Errorf("stack: unknown backend %q (want %q or %q)",
-			o.Backend, BackendNFS3, BackendObjstore)
+		return nil, fmt.Errorf("stack: unknown backend %q (want %q, %q or %q)",
+			o.Backend, BackendNFS3, BackendObjstore, BackendRepl)
 	}
 
 	if opts.TraceRing > 0 {
