@@ -157,6 +157,30 @@ func (r *replica) consistentFor(key string) bool {
 	return r.q == nil || r.q.pendingFor(key) == 0
 }
 
+// consistentForID is consistentFor keyed by FileID. The map indexes
+// compile to allocation-free string conversions, keeping the read
+// routing path free of per-op key allocations.
+func (r *replica) consistentForID(f backend.FileID) bool {
+	r.mu.Lock()
+	st := r.stale[string(f)]
+	r.mu.Unlock()
+	if st {
+		return false
+	}
+	return r.q == nil || r.q.pendingForID(f) == 0
+}
+
+// behind reports whether the replica is known to be missing anything at
+// all — queued replication or stale files. A NotFound from a behind
+// replica is not authoritative: the name it cannot resolve may be
+// sitting in its queue or among the files the scrub still owes it.
+func (r *replica) behind() bool {
+	if r.staleCount() > 0 {
+		return true
+	}
+	return r.q != nil && r.q.depth() > 0
+}
+
 func (r *replica) state() string {
 	if r.isDown() {
 		return "down"

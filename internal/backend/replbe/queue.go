@@ -1,6 +1,7 @@
 package replbe
 
 import (
+	"errors"
 	"sync"
 
 	"gvfs/internal/backend"
@@ -9,15 +10,31 @@ import (
 // item is one queued replication operation: an acknowledged write or
 // create to re-apply on a secondary, keyed by the file it touches so
 // read routing can tell which files the replica is still catching up
-// on.
+// on. Create items carry a second key — the (dir, name) pair — so
+// lookup routing can tell the name is still materializing. done is
+// non-nil for synchronously routed operations (a failover write landing
+// behind queued items, see Backend.writeOn): the worker delivers the
+// apply error there.
 type item struct {
-	key   string
-	apply func(b backend.Backend) error
+	key     string
+	nameKey string // optional second pending key ("" = none)
+	apply   func(b backend.Backend) error
+	done    chan error
 }
+
+// errQueueClosed is delivered to sync waiters whose item can no longer
+// be applied because the composite is shutting down.
+var errQueueClosed = &backend.Error{Class: backend.ClassUnavailable, Op: "replicate",
+	Err: errors.New("replication queue closed")}
+
+// errReplicaDown is delivered when the worker skips an item because the
+// replica is marked down (the item's file goes stale instead).
+var errReplicaDown = &backend.Error{Class: backend.ClassUnavailable, Op: "replicate",
+	Err: errors.New("replica down")}
 
 // queue is one replica's FIFO replication queue. Items are applied in
 // the order the primary acknowledged them, which preserves per-file
-// write ordering for any single writer. pending counts items per file
+// write ordering for any single writer. pending counts items per key
 // and stays nonzero from enqueue until the apply finished — the window
 // in which reads must avoid the replica.
 type queue struct {
@@ -34,19 +51,43 @@ func newQueue() *queue {
 	return q
 }
 
-// add enqueues one operation (no-op after close).
-func (q *queue) add(key string, apply func(b backend.Backend) error) {
+// add enqueues one asynchronous operation (no-op after close).
+func (q *queue) add(key, nameKey string, apply func(b backend.Backend) error) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, item{key: key, apply: apply})
-		q.pending[key]++
-		q.cond.Signal()
+		q.enqueueLocked(item{key: key, nameKey: nameKey, apply: apply})
 	}
 	q.mu.Unlock()
 }
 
+// addSync enqueues an operation that a caller is waiting on — a
+// failover op that must apply *after* the queued items for its file to
+// preserve write ordering. The returned channel delivers the apply
+// error (buffered: the worker never blocks on a departed waiter).
+func (q *queue) addSync(key, nameKey string, apply func(b backend.Backend) error) <-chan error {
+	done := make(chan error, 1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		done <- errQueueClosed
+		return done
+	}
+	q.enqueueLocked(item{key: key, nameKey: nameKey, apply: apply, done: done})
+	q.mu.Unlock()
+	return done
+}
+
+func (q *queue) enqueueLocked(it item) {
+	q.items = append(q.items, it)
+	q.pending[it.key]++
+	if it.nameKey != "" {
+		q.pending[it.nameKey]++
+	}
+	q.cond.Signal()
+}
+
 // take blocks for the next item; ok is false when the queue is closed
-// and drained of waiters.
+// and drained.
 func (q *queue) take() (item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -61,23 +102,38 @@ func (q *queue) take() (item, bool) {
 	return it, true
 }
 
-// finish drops the pending count for one applied (or abandoned) item.
-func (q *queue) finish(key string) {
+// finish drops the pending counts for one applied (or abandoned) item.
+func (q *queue) finish(it item) {
 	q.mu.Lock()
-	if q.pending[key]--; q.pending[key] <= 0 {
-		delete(q.pending, key)
+	if q.pending[it.key]--; q.pending[it.key] <= 0 {
+		delete(q.pending, it.key)
+	}
+	if it.nameKey != "" {
+		if q.pending[it.nameKey]--; q.pending[it.nameKey] <= 0 {
+			delete(q.pending, it.nameKey)
+		}
 	}
 	q.mu.Unlock()
 }
 
-// pendingFor returns the number of not-yet-applied items for a file.
+// pendingFor returns the number of not-yet-applied items for a key.
 func (q *queue) pendingFor(key string) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.pending[key]
 }
 
-// depth is the total pending count across files (queued + in-flight).
+// pendingForID is pendingFor keyed by FileID without materializing the
+// key string (the map index compiles to an allocation-free lookup).
+func (q *queue) pendingForID(f backend.FileID) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pending[string(f)]
+}
+
+// depth is the total pending count across keys (queued + in-flight).
+// Create items count once per key, so depth is an upper bound on the
+// queued item count — callers only compare it against zero.
 func (q *queue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -88,8 +144,9 @@ func (q *queue) depth() int {
 	return n
 }
 
-// close wakes the worker to exit; queued items are abandoned (their
-// files keep nonzero pending, but the composite is shutting down).
+// close wakes the worker, which drains the remaining items before
+// exiting (Backend.Close waits on the worker before closing replica
+// backends, so the drain still has live targets).
 func (q *queue) close() {
 	q.mu.Lock()
 	q.closed = true

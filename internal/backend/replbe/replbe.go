@@ -16,7 +16,11 @@
 // rest asynchronously (or fanned out synchronously with Quorum); reads
 // are routed only to replicas that hold every acknowledged write for
 // the file (no queued replication, no stale marker), which preserves
-// read-your-writes without waiting for the fan-out.
+// read-your-writes without waiting for the fan-out. A write that fails
+// over to a replica whose queue still holds earlier operations for the
+// same file is routed *through* that queue, so per-file apply order
+// always matches acknowledgement order — a direct write would be
+// overwritten when the worker applied the older queued data behind it.
 package replbe
 
 import (
@@ -125,6 +129,10 @@ type Backend struct {
 
 	lat *latTracker // successful READ latency distribution (hedge trigger)
 
+	// candPool recycles read-routing scratch buffers so candidate
+	// selection does not allocate per READ.
+	candPool sync.Pool
+
 	reads       atomic.Uint64 // READs handled by the composite
 	failovers   atomic.Uint64 // ops re-routed after an Unavailable/Timeout failure
 	hedgesFired atomic.Uint64
@@ -210,6 +218,24 @@ func allDown(op string, last error) error {
 		Err: fmt.Errorf("all replicas failed (last: %w)", last)}
 }
 
+// candBuf is reusable scratch for read candidate selection.
+type candBuf struct {
+	all  []*replica
+	down []*replica
+}
+
+func (c *Backend) getCandBuf() *candBuf {
+	if v := c.candPool.Get(); v != nil {
+		b := v.(*candBuf)
+		b.all = b.all[:0]
+		b.down = b.down[:0]
+		return b
+	}
+	return &candBuf{}
+}
+
+func (c *Backend) putCandBuf(b *candBuf) { c.candPool.Put(b) }
+
 // readCandidates orders replicas for a read of key: first the eligible
 // ones (healthy, no queued replication and no stale marker for the
 // file) by ascending EWMA latency, then — only as a last resort when
@@ -231,6 +257,27 @@ func (c *Backend) readCandidates(key string) []*replica {
 	}
 	sortByEWMA(elig)
 	return append(elig, downOK...)
+}
+
+// readCandidatesInto is readCandidates for the hot path: it fills a
+// pooled buffer and never materializes the key string, so candidate
+// selection costs no per-op allocations. The returned slice aliases
+// buf and must not outlive its return to the pool (hedge goroutines
+// capture individual *replica pointers, never the slice).
+func (c *Backend) readCandidatesInto(f backend.FileID, buf *candBuf) []*replica {
+	for _, r := range c.reps {
+		if !r.consistentForID(f) {
+			continue
+		}
+		if r.isDown() {
+			buf.down = append(buf.down, r)
+		} else {
+			buf.all = append(buf.all, r)
+		}
+	}
+	sortByEWMA(buf.all)
+	buf.all = append(buf.all, buf.down...)
+	return buf.all
 }
 
 // writeCandidates orders write-capable replicas by index — a stable
@@ -260,16 +307,27 @@ func sortByEWMA(reps []*replica) {
 	}
 }
 
+// scrubSampleMask samples read-path scrub registration: one in 64
+// reads takes the registry lock. Writes and creates still register
+// unconditionally — those registrations are what stale repair depends
+// on — so sampling only thins the rot-detection candidates, and the
+// mask is small enough that a steady workload's files register within
+// its first moments (read #1 always registers).
+const scrubSampleMask = 63
+
 // Read implements backend.Backend with failover and hedging.
 func (c *Backend) Read(f backend.FileID, off uint64, count uint32, opts backend.CallOpts) (backend.ReadResult, error) {
-	c.reads.Add(1)
-	key := f.Key()
-	cands := c.readCandidates(key)
+	n := c.reads.Add(1)
+	buf := c.getCandBuf()
+	defer c.putCandBuf(buf)
+	cands := c.readCandidatesInto(f, buf)
 	if len(cands) == 0 {
 		return backend.ReadResult{}, &backend.Error{Class: backend.ClassUnavailable, Op: "read",
 			Err: errors.New("no consistent replica for file")}
 	}
-	c.scrub.register(f, nil, "")
+	if n&scrubSampleMask == 1 {
+		c.scrub.register(f, nil, "")
+	}
 	return c.hedgedRead(cands, f, off, count, opts)
 }
 
@@ -434,14 +492,13 @@ func (c *Backend) Write(f backend.FileID, off uint64, data []byte, opts backend.
 		return nil, &backend.Error{Class: backend.ClassUnavailable, Op: "write",
 			Err: errors.New("no write-capable replica")}
 	}
+	key := f.Key()
 	var lastErr error
 	for i, r := range cands {
 		if i > 0 {
 			c.failovers.Add(1)
 		}
-		start := time.Now()
-		attr, err := r.b.Write(f, off, data, opts)
-		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		attr, err := c.writeOn(r, key, f, off, data, opts)
 		if err == nil {
 			c.replicateWrite(r, f, off, data)
 			return attr, nil
@@ -452,6 +509,33 @@ func (c *Backend) Write(f backend.FileID, off uint64, data []byte, opts backend.
 		lastErr = err
 	}
 	return nil, allDown("write", lastErr)
+}
+
+// writeOn lands one write on r. When r's replication queue still holds
+// earlier operations for the file — r is a failover target that has
+// not caught up on writes another replica acknowledged — the write is
+// routed through the queue and applied in order behind them: a direct
+// write would race the worker, which would then apply the older queued
+// data over it, silently losing an acknowledged write. The sync route
+// blocks until the worker applies the item, so the returned error has
+// normal Write semantics and the caller's buffer is never retained.
+func (c *Backend) writeOn(r *replica, key string, f backend.FileID, off uint64, data []byte, opts backend.CallOpts) (*backend.Attr, error) {
+	if r.q != nil && r.q.pendingFor(key) > 0 {
+		var attr *backend.Attr
+		err := <-r.q.addSync(key, "", func(b backend.Backend) error {
+			a, werr := b.Write(f, off, data, opts)
+			attr = a
+			return werr
+		})
+		if err != nil {
+			return nil, err
+		}
+		return attr, nil
+	}
+	start := time.Now()
+	attr, err := r.b.Write(f, off, data, opts)
+	r.observe(err, time.Since(start), c.cfg.FailThreshold)
+	return attr, err
 }
 
 // replicateWrite enqueues the acknowledged write to every other
@@ -471,7 +555,7 @@ func (c *Backend) replicateWrite(acker *replica, f backend.FileID, off uint64, d
 		if cp == nil {
 			cp = append([]byte(nil), data...)
 		}
-		r.q.add(key, func(b backend.Backend) error {
+		r.q.add(key, "", func(b backend.Backend) error {
 			_, err := b.Write(fid, off, cp, backend.CallOpts{})
 			return err
 		})
@@ -481,7 +565,12 @@ func (c *Backend) replicateWrite(acker *replica, f backend.FileID, off uint64, d
 // quorumWrite fans the write out to every write-capable replica
 // concurrently and acknowledges once a majority of them succeeded.
 // Replicas that failed or were down get a stale marker so reads skip
-// them until the scrub repairs the file.
+// them until the scrub repairs the file — but only when at least one
+// writer succeeded: stale means "missing data that exists on another
+// replica", and a write that landed nowhere leaves the old state
+// uniform. Marking on total failure would brand every replica stale at
+// once, leaving the file with no consistent read candidate and the
+// scrub with no repair source.
 func (c *Backend) quorumWrite(f backend.FileID, off uint64, data []byte, opts backend.CallOpts) (*backend.Attr, error) {
 	var writers []*replica
 	for _, r := range c.reps {
@@ -503,9 +592,10 @@ func (c *Backend) quorumWrite(f backend.FileID, off uint64, data []byte, opts ba
 	}
 	ch := make(chan result, len(writers))
 	attempted := 0
+	var missed []*replica // down or failed: stale iff the data landed somewhere
 	for _, r := range writers {
 		if r.isDown() {
-			r.markStale(key)
+			missed = append(missed, r)
 			continue
 		}
 		attempted++
@@ -527,10 +617,15 @@ func (c *Backend) quorumWrite(f backend.FileID, off uint64, data []byte, opts ba
 				attr = res.attr
 			}
 		} else {
-			res.rep.markStale(key)
+			missed = append(missed, res.rep)
 			if firstErr == nil || failoverClass(firstErr) && !failoverClass(res.err) {
 				firstErr = res.err
 			}
+		}
+	}
+	if succ > 0 {
+		for _, r := range missed {
+			r.markStale(key)
 		}
 	}
 	if succ >= need {
@@ -549,21 +644,32 @@ func (c *Backend) quorumWrite(f backend.FileID, off uint64, data []byte, opts ba
 	return nil, firstErr
 }
 
-// Commit implements backend.Backend against the write candidates.
+// Commit implements backend.Backend against the write candidates. Like
+// writeOn, a commit that fails over to a replica with queued operations
+// for the file rides the queue, so the data it makes durable includes
+// every write acknowledged before it.
 func (c *Backend) Commit(f backend.FileID, opts backend.CallOpts) error {
 	cands := c.writeCandidates()
 	if len(cands) == 0 {
 		return &backend.Error{Class: backend.ClassUnavailable, Op: "commit",
 			Err: errors.New("no write-capable replica")}
 	}
+	key := f.Key()
 	var lastErr error
 	for i, r := range cands {
 		if i > 0 {
 			c.failovers.Add(1)
 		}
-		start := time.Now()
-		err := r.b.Commit(f, opts)
-		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		var err error
+		if r.q != nil && r.q.pendingFor(key) > 0 {
+			err = <-r.q.addSync(key, "", func(b backend.Backend) error {
+				return b.Commit(f, opts)
+			})
+		} else {
+			start := time.Now()
+			err = r.b.Commit(f, opts)
+			r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		}
 		if err == nil {
 			return nil
 		}
@@ -579,7 +685,9 @@ func (c *Backend) Commit(f backend.FileID, opts backend.CallOpts) error {
 // (attributes from a replica missing acknowledged writes would report
 // a stale size).
 func (c *Backend) GetAttr(f backend.FileID, opts backend.CallOpts) (backend.Attr, error) {
-	cands := c.readCandidates(f.Key())
+	buf := c.getCandBuf()
+	defer c.putCandBuf(buf)
+	cands := c.readCandidatesInto(f, buf)
 	if len(cands) == 0 {
 		return backend.Attr{}, &backend.Error{Class: backend.ClassUnavailable, Op: "getattr",
 			Err: errors.New("no consistent replica for file")}
@@ -683,50 +791,96 @@ func (c *Backend) probeLoop() {
 // replWorker drains one replica's replication queue. A failed apply —
 // the replica is down, or the write errored — marks the file stale on
 // that replica: reads skip it and the scrub repairs it from a replica
-// that holds the acknowledged data.
+// that holds the acknowledged data. Sync items (failover ops routed
+// through the queue to stay ordered) get their apply error delivered to
+// the waiting caller.
 func (c *Backend) replWorker(r *replica) {
 	defer c.wg.Done()
 	for {
-		item, ok := r.q.take()
+		it, ok := r.q.take()
 		if !ok {
 			return
 		}
+		var err error
 		if r.isDown() {
-			r.markStale(item.key)
+			err = errReplicaDown
+			r.markStale(it.key)
 		} else {
 			start := time.Now()
-			err := item.apply(r.b)
+			err = it.apply(r.b)
 			r.observe(err, time.Since(start), c.cfg.FailThreshold)
 			if err != nil {
-				r.markStale(item.key)
+				r.markStale(it.key)
 			}
 		}
-		r.q.finish(item.key)
+		if it.done != nil {
+			it.done <- err
+		}
+		r.q.finish(it)
 	}
+}
+
+// nameKey is the queue pending key for a directory entry, letting
+// lookup routing see a queued Create for (dir, name) before the created
+// file's own FileID is known on that replica. The NUL prefix keeps it
+// out of the FileID key space (objstore keys are slash-rooted paths,
+// NFS keys are server handles).
+func nameKey(dir backend.FileID, name string) string {
+	return "\x00n" + string(dir) + "\x00" + name
 }
 
 // Lookup implements backend.Lookuper with index-order failover, so a
 // lookup immediately after Create resolves on the replica that
-// acknowledged the create (both use the same stable order).
+// acknowledged the create (both use the same stable order). A replica
+// whose queue still holds the Create for this (dir, name) answers
+// through the queue — after the create applies — instead of returning
+// a NotFound for a file the composite has acknowledged; and a NotFound
+// from a replica that is demonstrably behind (non-empty queue or stale
+// files) is kept only as a last resort rather than returned over a
+// caught-up replica's answer.
 func (c *Backend) Lookup(dir backend.FileID, name string, opts backend.CallOpts) (backend.FileID, backend.Attr, error) {
-	var lastErr error
+	nk := nameKey(dir, name)
+	var lastErr, notFound error
 	tried := false
 	for _, r := range c.reps {
-		lk, ok := r.b.(backend.Lookuper)
-		if !ok || r.isDown() {
+		if _, ok := r.b.(backend.Lookuper); !ok || r.isDown() {
 			continue
 		}
 		tried = true
-		start := time.Now()
-		fid, attr, err := lk.Lookup(dir, name, opts)
-		r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		var fid backend.FileID
+		var attr backend.Attr
+		run := func(b backend.Backend) error {
+			f, a, lerr := b.(backend.Lookuper).Lookup(dir, name, opts)
+			fid, attr = f, a
+			return lerr
+		}
+		var err error
+		if r.q != nil && r.q.pendingFor(nk) > 0 {
+			err = <-r.q.addSync(nk, "", run)
+		} else {
+			start := time.Now()
+			err = run(r.b)
+			r.observe(err, time.Since(start), c.cfg.FailThreshold)
+		}
 		if err == nil {
 			return fid, attr, nil
 		}
 		if !failoverClass(err) {
+			if backend.Classify(err) == backend.ClassNotFound && r.behind() {
+				// The replica may simply not have applied a create it
+				// missed (failed replication, recovering from an outage);
+				// let a caught-up replica answer before believing it.
+				if notFound == nil {
+					notFound = err
+				}
+				continue
+			}
 			return nil, backend.Attr{}, err
 		}
 		lastErr = err
+	}
+	if notFound != nil {
+		return nil, backend.Attr{}, notFound
 	}
 	if !tried {
 		return nil, backend.Attr{}, &backend.Error{Class: backend.ClassIO, Op: "lookup",
@@ -803,6 +957,7 @@ func (c *Backend) Create(dir backend.FileID, name string, opts backend.CallOpts)
 	}
 	c.scrub.register(fid, dir, name)
 	key := fid.Key()
+	nk := nameKey(dir, name)
 	pdir := append(backend.FileID(nil), dir...)
 	for _, r := range c.reps {
 		if r == acker || r.readOnly || r.q == nil {
@@ -811,7 +966,7 @@ func (c *Backend) Create(dir backend.FileID, name string, opts backend.CallOpts)
 		if _, ok := r.b.(backend.Namespacer); !ok {
 			continue
 		}
-		r.q.add(key, func(b backend.Backend) error {
+		r.q.add(key, nk, func(b backend.Backend) error {
 			_, _, err := b.(backend.Namespacer).Create(pdir, name, backend.CallOpts{})
 			return err
 		})

@@ -3,6 +3,7 @@ package replbe
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -336,6 +337,187 @@ func TestCreateReplicates(t *testing.T) {
 		if _, err := o.GetAttr(fid, backend.CallOpts{}); err != nil {
 			t.Errorf("replica %d missing created file: %v", i, err)
 		}
+	}
+}
+
+// gatedBackend holds Write and Create until the gate opens, letting a
+// test pin a replica's replication queue in the not-yet-applied state
+// while it drives failover traffic at the same file.
+type gatedBackend struct {
+	*objstore.Backend
+	gate chan struct{}
+}
+
+func (g *gatedBackend) Write(f backend.FileID, off uint64, data []byte, opts backend.CallOpts) (*backend.Attr, error) {
+	<-g.gate
+	return g.Backend.Write(f, off, data, opts)
+}
+
+func (g *gatedBackend) Create(dir backend.FileID, name string, opts backend.CallOpts) (backend.FileID, backend.Attr, error) {
+	<-g.gate
+	return g.Backend.Create(dir, name, opts)
+}
+
+// TestWriteFailoverOrdersBehindQueuedWrites pins the write-ordering
+// invariant: a write that fails over to a secondary whose queue still
+// holds an older write for the same file must apply after it, not race
+// it. A direct write would be overwritten when the worker applied the
+// queued data, silently losing an acknowledged write.
+func TestWriteFailoverOrdersBehindQueuedWrites(t *testing.T) {
+	content := fileContent(40960)
+	primary := mkObj(t, content)
+	gate := make(chan struct{})
+	gateOnce := sync.OnceFunc(func() { close(gate) })
+	defer gateOnce() // a Fatal path must still unblock the worker for Close
+	sec := &gatedBackend{Backend: mkObj(t, content), gate: gate}
+	c, err := New([]Replica{{Name: "p", B: primary}, {Name: "s", B: sec}}, Config{ScrubInterval: -1})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	fid := backend.FileID(testFile)
+
+	// Acknowledged on the primary; the replication to s parks at the gate.
+	old := bytes.Repeat([]byte{0x01}, 8192)
+	if _, err := c.Write(fid, 0, old, backend.CallOpts{}); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	primary.SetFault(unavailable())
+
+	// The failover write must queue behind the parked item.
+	newData := bytes.Repeat([]byte{0x02}, 8192)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Write(fid, 0, newData, backend.CallOpts{})
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.reps[1].q.pendingFor(testFile) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("failover write never routed through the replication queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gateOnce()
+	if err := <-done; err != nil {
+		t.Fatalf("failover write: %v", err)
+	}
+	if !c.WaitReplicated(5 * time.Second) {
+		t.Fatal("replication queues did not drain")
+	}
+	// The secondary must hold the acknowledged (newer) data, and the
+	// composite must serve it: the queued old write applied first.
+	r, err := sec.Backend.Read(fid, 0, 8192, backend.CallOpts{})
+	if err != nil || !bytes.Equal(r.Data, newData) {
+		t.Fatalf("secondary lost the acknowledged failover write: err=%v old=%v",
+			err, bytes.Equal(r.Data, old))
+	}
+	cr, err := c.Read(fid, 0, 8192, backend.CallOpts{})
+	if err != nil || !bytes.Equal(cr.Data, newData) {
+		t.Fatalf("composite read after failover write: err=%v", err)
+	}
+}
+
+// TestQuorumTotalFailureMarksNothingStale: a quorum write that lands
+// nowhere leaves the old state uniform, so no replica may be marked
+// stale — branding all of them would leave the file with no read
+// candidate and the scrub with no repair source, permanently.
+func TestQuorumTotalFailureMarksNothingStale(t *testing.T) {
+	c, objs, content := mkSet(t, 3, Config{Quorum: true, ScrubInterval: -1})
+	for _, o := range objs {
+		o.SetFault(unavailable())
+	}
+	patch := bytes.Repeat([]byte{0x7F}, 8192)
+	if _, err := c.Write(backend.FileID(testFile), 0, patch, backend.CallOpts{}); err == nil {
+		t.Fatal("write succeeded with every replica dead")
+	}
+	for i, r := range c.reps {
+		if got := r.staleCount(); got != 0 {
+			t.Errorf("replica %d stale files = %d after total write failure, want 0", i, got)
+		}
+	}
+	for _, o := range objs {
+		o.SetFault(nil)
+	}
+	r, err := c.Read(backend.FileID(testFile), 0, 8192, backend.CallOpts{})
+	if err != nil || !bytes.Equal(r.Data, content[:8192]) {
+		t.Fatalf("file unreadable after recovered total-failure write: %v", err)
+	}
+}
+
+// TestLookupSeesQueuedCreate: a lookup that fails over to a replica
+// whose queue still holds the Create for that name must resolve the
+// file (by riding the queue behind the create), not return NotFound
+// for a file the composite has acknowledged.
+func TestLookupSeesQueuedCreate(t *testing.T) {
+	content := fileContent(8192)
+	primary := mkObj(t, content)
+	gate := make(chan struct{})
+	gateOnce := sync.OnceFunc(func() { close(gate) })
+	defer gateOnce()
+	sec := &gatedBackend{Backend: mkObj(t, content), gate: gate}
+	c, err := New([]Replica{{Name: "p", B: primary}, {Name: "s", B: sec}}, Config{ScrubInterval: -1})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	dir := backend.FileID("/images")
+	fid, _, err := c.Create(dir, "new.img", backend.CallOpts{})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	primary.SetFault(unavailable())
+
+	type lookupResult struct {
+		fid backend.FileID
+		err error
+	}
+	done := make(chan lookupResult, 1)
+	go func() {
+		f, _, lerr := c.Lookup(dir, "new.img", backend.CallOpts{})
+		done <- lookupResult{f, lerr}
+	}()
+	nk := nameKey(dir, "new.img")
+	deadline := time.Now().Add(5 * time.Second)
+	for c.reps[1].q.pendingFor(nk) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("failover lookup never routed through the replication queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gateOnce()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("lookup after create with dead acker: %v", res.err)
+	}
+	if !bytes.Equal(res.fid, fid) {
+		t.Fatalf("lookup resolved %q, create returned %q", res.fid, fid)
+	}
+}
+
+// TestScrubConvergesWhenEveryReplicaStale: when no replica holds a
+// consistent copy (every one carries a stale marker), the scrub must
+// converge the set on the primary-order copy and restore readability
+// instead of leaving the file permanently without a repair source.
+func TestScrubConvergesWhenEveryReplicaStale(t *testing.T) {
+	c, _, content := mkSet(t, 3, Config{Quorum: true, ScrubInterval: -1})
+	c.RegisterFile(backend.FileID(testFile))
+	for _, r := range c.reps {
+		r.markStale(testFile)
+	}
+	if _, err := c.Read(backend.FileID(testFile), 0, 8192, backend.CallOpts{}); err == nil {
+		t.Fatal("read succeeded with every replica stale")
+	}
+	c.ScrubNow()
+	for i, r := range c.reps {
+		if got := r.staleCount(); got != 0 {
+			t.Errorf("replica %d stale files = %d after scrub convergence, want 0", i, got)
+		}
+	}
+	r, err := c.Read(backend.FileID(testFile), 0, 8192, backend.CallOpts{})
+	if err != nil || !bytes.Equal(r.Data, content[:8192]) {
+		t.Fatalf("file still unreadable after scrub convergence: %v", err)
 	}
 }
 

@@ -151,6 +151,17 @@ func (c *Backend) ScrubNow() {
 // divergence on a secondary is always repaired from the copy that
 // acknowledged the writes, never the other way around. Read-only
 // replicas are a fallback reference when no writer qualifies.
+//
+// Last resort: when NO replica — healthy or down — is consistent for
+// the file (every copy carries a stale marker, which partial quorum
+// failures can produce over time), the first healthy write-capable
+// replica becomes the reference even though it is stale. Converging
+// the set on the primary-order copy and clearing the markers restores
+// availability at the cost of possibly settling on a state missing
+// some unacknowledged-or-partially-acknowledged write; the alternative
+// is a file that is permanently unreadable because repair has no
+// source. If a consistent copy exists but is merely down, repair
+// waits for its recovery instead of converging without it.
 func (c *Backend) scrubSource(key string, not *replica) *replica {
 	for _, r := range c.writeCandidates() {
 		if r != not && !r.isDown() && r.consistentFor(key) {
@@ -158,6 +169,16 @@ func (c *Backend) scrubSource(key string, not *replica) *replica {
 		}
 	}
 	for _, r := range c.readCandidates(key) {
+		if r != not && !r.isDown() {
+			return r
+		}
+	}
+	for _, r := range c.reps {
+		if r.consistentFor(key) {
+			return nil // a consistent copy exists (down): wait for it
+		}
+	}
+	for _, r := range c.writeCandidates() {
 		if r != not && !r.isDown() {
 			return r
 		}
